@@ -1,0 +1,55 @@
+"""Experiment abl-mappings — ablation: knock out one capability at a time.
+
+DESIGN.md's claim that the twelve heterogeneity cases are *separable* is
+tested here: removing exactly one mapping capability from the full
+mediator must break the benchmark query built on that capability (its
+answer diverges from gold) while queries that do not require it keep
+passing. This is the mechanized version of §3's taxonomy argument.
+"""
+
+from repro.core import QUERIES, gold_answer
+from repro.integration import Capability, standard_mediator
+
+
+def _ablation_matrix(testbed):
+    """capability -> set of query numbers whose answers break."""
+    broken: dict[Capability, set[int]] = {}
+    full = standard_mediator()
+    for capability in Capability:
+        ablated = full.without_capability(capability)
+        failures = set()
+        for query in QUERIES:
+            courses = ablated.integrate(
+                testbed.documents, list(query.sources))
+            answer = query.evaluate(courses, ablated.lexicon)
+            if answer != gold_answer(query, testbed):
+                failures.add(query.number)
+        broken[capability] = failures
+    return broken
+
+
+def test_ablation_matrix(benchmark, paper_testbed):
+    broken = benchmark.pedantic(lambda: _ablation_matrix(paper_testbed),
+                                rounds=1, iterations=1)
+
+    print("\n[abl-mappings] capability knocked out -> queries broken:")
+    for capability in Capability:
+        failures = sorted(broken[capability])
+        print(f"  {capability.name:<18} -> {failures}")
+
+    for capability in Capability:
+        own_query = capability.query_number
+        # Knocking out a capability breaks its own query...
+        assert own_query in broken[capability], capability
+        if capability is Capability.RENAME:
+            # Renaming is the foundational copy step: without it no field
+            # reaches the global schema, so *everything* breaks. That is
+            # itself the expected shape.
+            assert broken[capability] == set(range(1, 13))
+            continue
+        # ...and every broken query *declares* a dependency on it.
+        for number in broken[capability]:
+            query = QUERIES[number - 1]
+            assert capability in query.required_capabilities, (
+                f"{capability.name} breaks Q{number}, which does not "
+                "declare it")

@@ -1,0 +1,45 @@
+"""Experiment abl-scraper — ablation: TESS without the nesting extension.
+
+§2.1: "Although the original TESS system could successfully extract
+information from catalog with simple structure such as the one from Brown
+University, it could not parse complex catalogs such as the one from the
+University of Maryland... The combination free-form structure and nested
+table required modification to TESS." The bench runs the whole testbed
+through both engine flavors: the original must fail on exactly the
+nested-structure sources, the modified one on none.
+"""
+
+from repro.catalogs import all_universities
+from repro.tess import TessExtractionError, TessScraper
+
+
+def _extraction_outcomes(supports_nesting: bool):
+    scraper = TessScraper(supports_nesting=supports_nesting)
+    outcomes: dict[str, bool] = {}
+    for profile in all_universities():
+        courses = profile.build_courses(seed=2004)
+        page = profile.render(courses)
+        try:
+            scraper.extract(page, profile.wrapper_config())
+            outcomes[profile.slug] = True
+        except TessExtractionError:
+            outcomes[profile.slug] = False
+    return outcomes
+
+
+def test_original_tess_fails_on_nested_sources(benchmark):
+    outcomes = benchmark.pedantic(
+        lambda: _extraction_outcomes(supports_nesting=False),
+        rounds=1, iterations=1)
+
+    failed = sorted(slug for slug, ok in outcomes.items() if not ok)
+    print(f"\n[abl-scraper] original TESS fails on: {failed}")
+    # UMD is the paper's example of an unextractable nested catalog.
+    assert failed == ["umd"]
+
+
+def test_modified_tess_extracts_everything():
+    outcomes = _extraction_outcomes(supports_nesting=True)
+    assert all(outcomes.values())
+    print(f"\n[abl-scraper] modified TESS extracts all "
+          f"{len(outcomes)} sources")

@@ -1,0 +1,47 @@
+"""Experiment ext-automatch — extension: automatic schema matching baseline.
+
+The paper's related work cites the schema-matching literature (Rahm &
+Bernstein) as the automated route. This bench runs a name-based automatic
+matcher as a benchmark contestant. Expected shape: automation for free
+buys exactly the name-level queries — renaming (Q1), plus the cases where
+a typed copy suffices once names line up (Q2 time fields, Q3 flattened
+titles, Q6 textbook nulls) — and none of the value-level or structural
+ones, placing it below Cohera and IWIZ on correctness but at complexity 0.
+"""
+
+from repro.core import rank, run_all, run_benchmark
+from repro.core.report import render_scoreboard, render_system_table
+from repro.systems import (
+    automatch,
+    cohera,
+    iwiz,
+    naive_xquery,
+    thalia_mediator,
+)
+
+
+def test_ext_automatch(benchmark, paper_testbed):
+    card = benchmark.pedantic(
+        lambda: run_benchmark(automatch(), paper_testbed),
+        rounds=3, iterations=1)
+
+    print("\n" + render_system_table(card))
+
+    correct = sorted(o.number for o in card.outcomes if o.correct)
+    assert correct == [1, 2, 3, 6]
+    assert card.complexity_score == 0
+    # Structural and value-level heterogeneities all defeat it.
+    for number in (4, 5, 7, 8, 9, 10, 11, 12):
+        assert not card.outcome(number).correct
+
+
+def test_ext_automatch_ranking(paper_testbed):
+    """The full five-system spectrum, from zero integration to all
+    twelve capabilities."""
+    cards = run_all(
+        [naive_xquery(), automatch(), cohera(), iwiz(), thalia_mediator()],
+        paper_testbed)
+    print("\n" + render_scoreboard(cards))
+    ordered = [card.system for card in rank(cards)]
+    assert ordered == ["THALIA-Mediator", "Cohera", "IWIZ", "AutoMatch",
+                       "NaiveXQuery"]

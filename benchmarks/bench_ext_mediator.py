@@ -1,0 +1,33 @@
+"""Experiment ext-mediator — extension: the full mediator answers all 12.
+
+The paper's conclusion: "current systems do not score well, and we hope
+that THALIA will be an inducement for research groups to construct better
+solutions." This bench runs this repository's construction — the full
+mapping set of :mod:`repro.integration` — and verifies a perfect score,
+with every answer equal to the gold answer computed from canonical data.
+"""
+
+from repro.core import QUERIES, gold_answer, run_benchmark
+from repro.core.report import render_system_table
+from repro.systems import thalia_mediator
+
+
+def test_ext_mediator_full_score(benchmark, paper_testbed):
+    card = benchmark.pedantic(
+        lambda: run_benchmark(thalia_mediator(), paper_testbed),
+        rounds=3, iterations=1)
+
+    print("\n" + render_system_table(card))
+    assert card.correct_count == 12
+    assert card.unsupported_numbers == []
+
+
+def test_ext_mediator_answers_equal_gold(paper_testbed):
+    system = thalia_mediator()
+    print("\n[ext-mediator] answers vs gold:")
+    for query in QUERIES:
+        attempt = system.answer(query, paper_testbed)
+        gold = gold_answer(query, paper_testbed)
+        assert attempt.answer == gold, f"Q{query.number}"
+        print(f"  Q{query.number:>2}: {len(gold)} answer tuple(s) "
+              "match gold")

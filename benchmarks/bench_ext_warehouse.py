@@ -1,0 +1,69 @@
+"""Experiment ext-warehouse — IWIZ's warehouse claim, measured.
+
+§4.2 on IWIZ: "queries that can be satisfied using the contents of the
+IWIZ warehouse, are answered quickly and efficiently without connecting to
+the sources." This bench quantifies that: answering all twelve benchmark
+queries through the materialized warehouse versus re-integrating the
+sources for every query (the mediation-only route). The shape to observe:
+the warehouse route amortizes integration and is clearly faster per query
+sweep, while producing identical (gold) answers.
+"""
+
+import time
+
+from repro.catalogs import paper_universities
+from repro.core import QUERIES, gold_answer
+from repro.core.global_queries import run_global_query
+from repro.integration import Warehouse, standard_mediator
+
+
+def test_ext_warehouse_sweep(benchmark, paper_testbed):
+    warehouse = Warehouse(standard_mediator(paper_universities()),
+                          paper_testbed.documents)
+
+    def sweep():
+        return {query.number: run_global_query(query, warehouse)
+                for query in QUERIES}
+
+    answers = benchmark(sweep)
+    for query in QUERIES:
+        assert answers[query.number] == \
+            gold_answer(query, paper_testbed), f"Q{query.number}"
+
+
+def test_ext_warehouse_amortizes_integration(paper_testbed):
+    from repro.tess import TessScraper
+
+    mediator = standard_mediator(paper_universities())
+    scraper = TessScraper()
+
+    # Mediation-only: per query, *connect to the sources* — run the
+    # wrapper over the (cached) pages again — then integrate and answer.
+    start = time.perf_counter()
+    for query in QUERIES:
+        fresh = {}
+        for slug in query.sources:
+            bundle = paper_testbed.source(slug)
+            fresh[slug] = scraper.extract(bundle.snapshot, bundle.config)
+        courses = mediator.integrate(fresh, list(query.sources))
+        query.evaluate(courses, mediator.lexicon)
+    per_query_route = time.perf_counter() - start
+
+    # Warehouse: integrate once, then query the materialization.
+    start = time.perf_counter()
+    warehouse = Warehouse(mediator, paper_testbed.documents)
+    build_cost = time.perf_counter() - start
+    start = time.perf_counter()
+    for query in QUERIES:
+        run_global_query(query, warehouse)
+    query_cost = time.perf_counter() - start
+
+    print(f"\n[ext-warehouse] source-connecting sweep: "
+          f"{per_query_route * 1000:.1f} ms")
+    print(f"[ext-warehouse] warehouse build: {build_cost * 1000:.1f} ms, "
+          f"query sweep: {query_cost * 1000:.1f} ms")
+
+    # The warehouse query sweep never re-touches the sources, so it must
+    # beat the per-query connect-extract-integrate sweep (and in the real
+    # deployment the gap is network-sized, not scraper-sized).
+    assert query_cost < per_query_route

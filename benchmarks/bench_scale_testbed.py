@@ -1,0 +1,54 @@
+"""Experiment scale-testbed — scalability sweep over testbed size.
+
+The paper motivates THALIA with integration approaches that "do not scale
+to data integration problems involving a large number of sources". This
+bench sweeps the pipeline (render → extract → infer schema) and the
+mediator (integrate all sources) from 5 up to the **45 sources** the
+paper projected for August 2004 (footnote 3; `extended_universities()` is
+that roadmap). The shape to observe is near-linear growth — the harness
+itself must not be the bottleneck when the testbed grows.
+"""
+
+import time
+
+from repro.catalogs import build_testbed, extended_universities
+from repro.integration import standard_mediator
+
+SWEEP = (5, 10, 15, 20, 25, 35, 45)
+
+
+def _build_subset(count: int):
+    return build_testbed(universities=extended_universities()[:count])
+
+
+def test_scale_pipeline(benchmark):
+    testbed = benchmark.pedantic(lambda: _build_subset(25),
+                                 rounds=3, iterations=1)
+    assert len(testbed) == 25
+
+
+def test_scale_sweep_is_roughly_linear():
+    timings: list[tuple[int, float, int]] = []
+    for count in SWEEP:
+        start = time.perf_counter()
+        testbed = _build_subset(count)
+        mediator = standard_mediator(
+            [bundle.profile for bundle in testbed])
+        courses = mediator.integrate(testbed.documents)
+        elapsed = time.perf_counter() - start
+        timings.append((count, elapsed, len(courses)))
+
+    print("\n[scale-testbed] sources  seconds  courses  s/source")
+    for count, elapsed, courses in timings:
+        print(f"  {count:>7}  {elapsed:>7.3f}  {courses:>7}  "
+              f"{elapsed / count:>8.4f}")
+
+    # Shape check: 5x the sources must cost clearly less than 15x the
+    # time (i.e. no super-linear blow-up in the harness itself).
+    per_source_small = timings[0][1] / timings[0][0]
+    per_source_large = timings[-1][1] / timings[-1][0]
+    assert per_source_large < per_source_small * 3
+
+    # Course volume grows with source count.
+    counts = [courses for _, _, courses in timings]
+    assert counts == sorted(counts)

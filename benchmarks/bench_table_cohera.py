@@ -1,0 +1,59 @@
+"""Experiment tab-cohera — §4.2: Cohera's per-query walk-through.
+
+Paper shape to reproduce: "Cohera could do 4 queries with no code, and
+another 5 with varying amounts of user-defined code. The other 3 queries
+look very difficult." — with the specific assignments:
+
+=====  ==========================  =========================
+query  paper verdict               capability
+=====  ==========================  =========================
+1      no code                     local→global mapping
+2      small amount of code        user-defined function
+3      moderate amount of code     union type + conversions
+4      no easy way                 complex mapping
+5      no easy way                 language translation
+6      no code                     native Postgres nulls
+7      moderate ("same as 3")      inference
+8      no easy way                 semantic incompatibility
+9      no code                     local→global mapping
+10     no code                     local→global mapping
+11     moderate ("same as 3, 7")   column semantics
+12     moderate ("same as 3,7,11") decomposition
+=====  ==========================  =========================
+"""
+
+from repro.core import run_benchmark
+from repro.core.report import render_system_table
+from repro.integration import Effort
+from repro.systems import cohera
+
+PAPER_VERDICTS = {
+    1: Effort.NONE, 2: Effort.LOW, 3: Effort.MEDIUM, 4: None, 5: None,
+    6: Effort.NONE, 7: Effort.MEDIUM, 8: None, 9: Effort.NONE,
+    10: Effort.NONE, 11: Effort.MEDIUM, 12: Effort.MEDIUM,
+}
+
+
+def test_table_cohera(benchmark, paper_testbed):
+    card = benchmark.pedantic(
+        lambda: run_benchmark(cohera(), paper_testbed),
+        rounds=3, iterations=1)
+
+    print("\n" + render_system_table(card))
+
+    # Per-query verdicts match the paper exactly.
+    for number, verdict in PAPER_VERDICTS.items():
+        outcome = card.outcome(number)
+        if verdict is None:
+            assert not outcome.supported, f"Q{number}"
+            assert not outcome.correct, f"Q{number}"
+        else:
+            assert outcome.supported and outcome.correct, f"Q{number}"
+            assert outcome.effort == verdict, f"Q{number}"
+
+    # The summary sentence's shape.
+    assert card.correct_count == 9
+    assert card.no_code_count == 4
+    coded = card.correct_count - card.no_code_count
+    assert coded == 5
+    assert sorted(card.unsupported_numbers) == [4, 5, 8]

@@ -1,0 +1,44 @@
+"""Experiment tab-iwiz — §4.2: IWIZ's per-query walk-through.
+
+Paper shape to reproduce: "IWIZ could do 9 queries with small to moderate
+amounts of custom integration code. The remaining 3 queries cannot be
+answered by IWIZ." — with no query free of code (IWIZ has no UDFs, and
+"no direct support for nulls" makes Q6 cost moderate code, unlike Cohera).
+"""
+
+from repro.core import run_benchmark
+from repro.core.report import render_system_table
+from repro.integration import Effort
+from repro.systems import iwiz
+
+PAPER_VERDICTS = {
+    1: Effort.LOW, 2: Effort.LOW, 3: Effort.MEDIUM, 4: None, 5: None,
+    6: Effort.MEDIUM, 7: Effort.MEDIUM, 8: None, 9: Effort.LOW,
+    10: Effort.LOW, 11: Effort.MEDIUM, 12: Effort.MEDIUM,
+}
+
+
+def test_table_iwiz(benchmark, paper_testbed):
+    card = benchmark.pedantic(
+        lambda: run_benchmark(iwiz(), paper_testbed),
+        rounds=3, iterations=1)
+
+    print("\n" + render_system_table(card))
+
+    for number, verdict in PAPER_VERDICTS.items():
+        outcome = card.outcome(number)
+        if verdict is None:
+            assert not outcome.supported, f"Q{number}"
+            assert not outcome.correct, f"Q{number}"
+        else:
+            assert outcome.supported and outcome.correct, f"Q{number}"
+            assert outcome.effort == verdict, f"Q{number}"
+
+    assert card.correct_count == 9
+    assert card.no_code_count == 0        # no UDFs: nothing is free
+    assert sorted(card.unsupported_numbers) == [4, 5, 8]
+
+    # All nine answered queries cost small *to moderate* code.
+    efforts = {card.outcome(n).effort for n, v in PAPER_VERDICTS.items()
+               if v is not None}
+    assert efforts == {Effort.LOW, Effort.MEDIUM}

@@ -1,0 +1,48 @@
+"""Experiment tab-scoring — §3.2: the scoring function and ranking.
+
+The paper's rule: 1 point per correct answer (max 12); external functions
+charged low/medium/high = 1/2/3 complexity points; equal correctness is
+ranked by *lower* complexity. Shape to reproduce: Cohera and IWIZ tie at
+9/12; Cohera ranks above IWIZ because its UDF machinery answers four
+queries with no code at all; the THALIA mediator tops the roll at 12/12.
+"""
+
+from repro.core import HonorRoll, rank, run_all
+from repro.core.report import render_query_matrix, render_scoreboard
+from repro.systems import cohera, iwiz, thalia_mediator
+
+
+def test_table_scoring(benchmark, paper_testbed):
+    cards = benchmark.pedantic(
+        lambda: run_all([cohera(), iwiz(), thalia_mediator()],
+                        paper_testbed),
+        rounds=1, iterations=1)
+
+    print("\n" + render_query_matrix(cards))
+    print(render_scoreboard(cards))
+
+    by_name = {card.system: card for card in cards}
+    cohera_card = by_name["Cohera"]
+    iwiz_card = by_name["IWIZ"]
+    thalia_card = by_name["THALIA-Mediator"]
+
+    # Correctness points.
+    assert cohera_card.correct_count == 9
+    assert iwiz_card.correct_count == 9
+    assert thalia_card.correct_count == 12
+
+    # Complexity: Cohera strictly cheaper than IWIZ at equal correctness.
+    assert cohera_card.complexity_score == 9
+    assert iwiz_card.complexity_score == 14
+    assert cohera_card.complexity_score < iwiz_card.complexity_score
+
+    # Ranking rule: THALIA > Cohera > IWIZ.
+    ordered = [card.system for card in rank(cards)]
+    assert ordered == ["THALIA-Mediator", "Cohera", "IWIZ"]
+
+    # Honor-roll round trip preserves the ranking.
+    roll = HonorRoll()
+    for card in cards:
+        roll.submit(card, submitter="bench")
+    print(roll.render())
+    assert [entry.card.system for entry in roll.ranked()] == ordered

@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper
+(see DESIGN.md's experiment index): it times the pipeline under
+``pytest-benchmark`` *and* asserts the paper's qualitative shape, printing
+the regenerated rows for inspection (run with ``-s`` to see them).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    """The full 25-source testbed, built once per benchmark session."""
+    return build_testbed()
+
+
+@pytest.fixture(scope="session")
+def paper_testbed():
+    """Just the nine paper-pinned sources (faster benches)."""
+    return build_testbed(universities=paper_universities())

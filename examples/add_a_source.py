@@ -1,0 +1,69 @@
+"""Add a new source to the testbed and integrate it.
+
+The paper closes §3.1 noting the testbed keeps growing ("we are still
+adding new data sources"). This example walks the full pipeline for a new
+university: declare its profile, render and scrape its snapshot, write a
+local→global mapping, and query the integrated result next to CMU's.
+
+Run with::
+
+    python examples/add_a_source.py
+"""
+
+from repro.catalogs import build_testbed
+from repro.catalogs.universities import GenericSpec, GenericUniversity
+from repro.catalogs.testbed import build_source
+from repro.integration import generic_mapping, standard_mediator
+from repro.xmlmodel import serialize_pretty
+
+
+def main() -> None:
+    # 1. Declare the new source. Tag vocabulary, layout and clock are the
+    #    knobs that make it heterogeneous with the rest of the testbed.
+    spec = GenericSpec(
+        slug="tudelft",
+        name="Delft University of Technology",
+        country="Netherlands",
+        layout="blocks",
+        code_tag="Vaknummer",
+        title_tag="Vaknaam",
+        instructor_tag="Docent",
+        time_tag="Tijdstip",
+        room_tag="Zaal",
+        units_tag="ECTS",
+        clock="24h",
+        code_prefix="IN", code_start=4001,
+        course_count=8,
+    )
+    profile = GenericUniversity(spec)
+
+    # 2. Run the snapshot -> TESS -> XML pipeline for it.
+    bundle = build_source(profile, seed=2004)
+    print(f"{profile.name}: extracted {bundle.stats.records} courses")
+    print("First extracted record:")
+    print(serialize_pretty(bundle.document.root.find("Course"),
+                           xml_declaration=False))
+
+    # 3. Extend the standard mediator with a mapping for the new source
+    #    (derived from the spec; hand-written mappings work the same way).
+    mediator = standard_mediator()
+    mediator.register(generic_mapping(profile))
+
+    # 4. Integrate the new source together with an existing one.
+    testbed = build_testbed()
+    documents = dict(testbed.documents)
+    documents["tudelft"] = bundle.document
+    courses = mediator.integrate(documents, ["cmu", "tudelft"])
+    print(f"\nIntegrated {len(courses)} courses from cmu + tudelft.")
+
+    # 5. Query the integrated result through the global schema.
+    afternoon = [c for c in courses
+                 if c.start_minute is not None and c.start_minute >= 15 * 60]
+    print("Courses starting at or after 15:00, across both schemas:")
+    for course in afternoon:
+        print(f"  [{course.source}] {course.code}: {course.title} "
+              f"({course.time_range_24h()})")
+
+
+if __name__ == "__main__":
+    main()

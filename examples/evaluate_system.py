@@ -1,0 +1,62 @@
+"""Evaluate integration systems on the THALIA benchmark (paper §4.2).
+
+Reproduces the paper's evaluation of Cohera and IWIZ, adds the full THALIA
+mediator, and shows how to score *your own* system by declaring its
+capability profile.
+
+Run with::
+
+    python examples/evaluate_system.py
+"""
+
+from repro.catalogs import build_testbed
+from repro.core import (
+    HonorRoll,
+    render_query_matrix,
+    render_scoreboard,
+    render_system_table,
+    run_all,
+    run_benchmark,
+)
+from repro.integration import Capability, Effort
+from repro.systems import CapabilityModelSystem, cohera, iwiz, thalia_mediator
+
+
+def main() -> None:
+    testbed = build_testbed()
+
+    # The paper's two systems plus this repository's mediator.
+    cards = run_all([cohera(), iwiz(), thalia_mediator()], testbed)
+    for card in cards:
+        print(render_system_table(card))
+        print()
+    print(render_query_matrix(cards))
+    print()
+    print(render_scoreboard(cards))
+    print()
+
+    # Your own system: declare what it can do and at what cost. This toy
+    # "SchemaMatcher2004" handles renaming and structure but nothing
+    # value-level.
+    my_system = CapabilityModelSystem(
+        name="SchemaMatcher2004",
+        profile={
+            Capability.RENAME: Effort.NONE,
+            Capability.RESTRUCTURE: Effort.LOW,
+            Capability.SET_HANDLING: Effort.LOW,
+            Capability.UNION_TYPE: Effort.MEDIUM,
+        })
+    my_card = run_benchmark(my_system, testbed)
+    print(render_system_table(my_card))
+    print()
+
+    # Upload everything to the honor roll, as the web site's
+    # 'Upload Your Scores' button would.
+    roll = HonorRoll()
+    for card in cards + [my_card]:
+        roll.submit(card, submitter="examples/evaluate_system.py")
+    print(roll.render())
+
+
+if __name__ == "__main__":
+    main()

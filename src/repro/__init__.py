@@ -1,0 +1,39 @@
+"""THALIA reproduction: testbed, benchmark and scoring harness.
+
+Reproduction of J. Hammer, M. Stonebraker, O. Topsakal, "THALIA: Test
+Harness for the Assessment of Legacy Information Integration Approaches"
+(University of Florida TR05-001 / ICDE 2005).
+
+Subpackages, bottom-up:
+
+* :mod:`repro.xmlmodel` -- XML document model, parser, serializer, simple
+  paths, XSD-subset inference/validation.
+* :mod:`repro.xquery` -- XQuery-subset engine running the benchmark
+  queries natively.
+* :mod:`repro.tess` -- the TESS screen scraper: regex wrapper configs and
+  the extraction engine (with the nested-structure extension).
+* :mod:`repro.catalogs` -- the synthetic testbed: canonical course data,
+  25 university snapshot renderers, extraction pipeline.
+* :mod:`repro.integration` -- global schema, mapping operators for all
+  twelve heterogeneity capabilities, two-kind nulls, mediator.
+* :mod:`repro.systems` -- Cohera and IWIZ capability models plus the full
+  THALIA mediator.
+* :mod:`repro.core` -- the benchmark itself: twelve queries, gold
+  answers, scoring function, runner, honor roll.
+* :mod:`repro.website` -- the THALIA web site generator and download
+  bundles.
+
+Thirty-second tour::
+
+    from repro.catalogs import build_testbed
+    from repro.core import run_all, render_scoreboard
+    from repro.systems import cohera, iwiz, thalia_mediator
+
+    testbed = build_testbed()
+    cards = run_all([cohera(), iwiz(), thalia_mediator()], testbed)
+    print(render_scoreboard(cards))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,192 @@
+"""Deterministic synthetic course generator.
+
+Every university's catalog consists of a few *pinned* courses — the exact
+sample elements quoted in the paper, which the benchmark queries hinge on —
+plus filler courses drawn from this generator. Filler is produced by a
+seeded :class:`random.Random`, so the whole testbed is reproducible
+byte-for-byte from a single seed (the testbed equivalent of the paper's
+cached snapshots).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .model import CanonicalCourse, Meeting, SectionInfo, units_to_workload
+
+# (english title, german title, topic slug)
+TOPICS: tuple[tuple[str, str, str], ...] = (
+    ("Operating Systems", "Betriebssysteme", "os"),
+    ("Compiler Construction", "Compilerbau", "compilers"),
+    ("Computer Graphics", "Computergrafik", "graphics"),
+    ("Artificial Intelligence", "Künstliche Intelligenz", "ai"),
+    ("Machine Learning", "Maschinelles Lernen", "ml"),
+    ("Computer Architecture", "Rechnerarchitektur", "arch"),
+    ("Algorithms", "Algorithmen", "algorithms"),
+    ("Theory of Computation", "Theoretische Informatik", "theory"),
+    ("Computational Geometry", "Algorithmische Geometrie", "geometry"),
+    ("Distributed Systems", "Verteilte Systeme", "distsys"),
+    ("Cryptography", "Kryptographie", "crypto"),
+    ("Information Retrieval", "Information Retrieval", "ir"),
+    ("Numerical Analysis", "Numerische Mathematik", "numerics"),
+    ("Robotics", "Robotik", "robotics"),
+    ("Embedded Systems", "Eingebettete Systeme", "embedded"),
+    ("Human-Computer Interaction", "Mensch-Maschine-Interaktion", "hci"),
+    ("Programming Languages", "Programmiersprachen", "pl"),
+    ("Software Verification", "Softwareverifikation", "verification"),
+    ("Parallel Computing", "Paralleles Rechnen", "parallel"),
+    ("Computer Vision", "Maschinelles Sehen", "vision"),
+    ("Bioinformatics", "Bioinformatik", "bioinf"),
+    ("Wireless Networks", "Drahtlose Netzwerke", "wireless"),
+    ("Data Mining", "Data Mining", "mining"),
+    ("Logic Programming", "Logikprogrammierung", "logic"),
+    ("Functional Programming", "Funktionale Programmierung", "fp"),
+)
+
+INSTRUCTOR_SURNAMES: tuple[str, ...] = (
+    "Adams", "Baker", "Chen", "Dietrich", "Evans", "Fischer", "Garcia",
+    "Huang", "Ivanov", "Johnson", "Keller", "Lamport", "Meyer", "Nguyen",
+    "O'Neil", "Patel", "Quinn", "Rivest", "Schmidt", "Tanaka", "Ullman",
+    "Vogel", "Weber", "Xu", "Yang", "Zhang",
+)
+
+ROOM_BUILDINGS: tuple[str, ...] = (
+    "Hall", "Center", "Tower", "Annex", "Wing", "Lab",
+)
+
+TEXTBOOKS: tuple[str, ...] = (
+    "'Introduction to Algorithms', by Cormen, Leiserson, Rivest, Stein, "
+    "2001, MIT Press.",
+    "'Modern Operating Systems', by Tanenbaum, 2001, Prentice Hall.",
+    "'Compilers: Principles, Techniques, and Tools', by Aho, Sethi, "
+    "Ullman, 1986, Addison-Wesley.",
+    "'Artificial Intelligence: A Modern Approach', by Russell, Norvig, "
+    "2003, Prentice Hall.",
+    "'Computer Networks', by Tanenbaum, 2002, Prentice Hall.",
+    "'Database Management Systems', by Ramakrishnan, Gehrke, 2002, "
+    "McGraw-Hill.",
+)
+
+_MEETING_STARTS = (8 * 60, 9 * 60, 9 * 60 + 30, 10 * 60, 11 * 60,
+                   12 * 60 + 30, 13 * 60 + 30, 14 * 60, 15 * 60,
+                   16 * 60, 17 * 60)
+_DAY_PATTERNS = (("M", "W", "F"), ("T", "Th"), ("M", "W"), ("F",), ("W",))
+_CLASSIFICATIONS = (("JR", "SR"), ("SO", "JR"), ("FR", "SO"), ("SR",), ())
+
+
+@dataclass
+class FillerStyle:
+    """Per-university knobs for filler generation."""
+
+    code_prefix: str = "CS"
+    code_start: int = 100
+    code_step: int = 7
+    german: bool = False
+    with_sections: bool = False
+    units_choices: tuple[int, ...] = (3, 4)
+    with_textbooks: bool = False
+    with_classification: bool = False
+
+
+class CourseFactory:
+    """Seeded filler-course factory for one university."""
+
+    def __init__(self, university: str, seed: int,
+                 style: FillerStyle | None = None) -> None:
+        self.university = university
+        self.style = style or FillerStyle()
+        # Mix the university slug into the seed so each source gets a
+        # distinct but reproducible stream.
+        self._rng = random.Random(f"{seed}:{university}")
+        self._code_counter = self.style.code_start
+        self._used_topics: set[str] = set()
+
+    def fill(self, count: int,
+             exclude_topics: set[str] | None = None) -> list[CanonicalCourse]:
+        """Generate *count* filler courses, avoiding excluded topic slugs.
+
+        Exclusion keeps filler from colliding with pinned courses — a
+        filler "Database Systems" at CMU would corrupt the gold answer of
+        every database-related benchmark query.
+        """
+        excluded = set(exclude_topics or ())
+        excluded |= self._used_topics
+        pool = [t for t in TOPICS if t[2] not in excluded]
+        self._rng.shuffle(pool)
+        if count > len(pool):
+            raise ValueError(
+                f"{self.university}: requested {count} filler courses but "
+                f"only {len(pool)} unused topics remain")
+        courses = [self._make_course(topic) for topic in pool[:count]]
+        self._used_topics |= {t[2] for t in pool[:count]}
+        return courses
+
+    # ------------------------------------------------------------------ #
+
+    def _make_course(self, topic: tuple[str, str, str]) -> CanonicalCourse:
+        title_en, title_de, _slug = topic
+        rng = self._rng
+        style = self.style
+        code = f"{style.code_prefix}{self._code_counter}"
+        self._code_counter += style.code_step
+        meeting = self._make_meeting()
+        units = rng.choice(style.units_choices)
+        instructor = rng.choice(INSTRUCTOR_SURNAMES)
+        room = self._make_room()
+        sections: tuple[SectionInfo, ...] = ()
+        if style.with_sections:
+            sections = self._make_sections(instructor)
+        prerequisites: tuple[str, ...] = ()
+        if rng.random() < 0.5:
+            prerequisites = (f"{style.code_prefix}{rng.randrange(100, 400)}",)
+        return CanonicalCourse(
+            university=self.university,
+            code=code,
+            title=title_en,
+            title_de=title_de if style.german else None,
+            instructors=(instructor,),
+            meeting=meeting,
+            room=room,
+            units=units,
+            workload=units_to_workload(units) if style.german else None,
+            description=f"A course on {title_en.lower()}.",
+            prerequisites=prerequisites,
+            textbook=(rng.choice(TEXTBOOKS)
+                      if style.with_textbooks and rng.random() < 0.7
+                      else None),
+            open_to=(rng.choice(_CLASSIFICATIONS)
+                     if style.with_classification else ()),
+            sections=sections,
+        )
+
+    def _make_meeting(self) -> Meeting:
+        rng = self._rng
+        start = rng.choice(_MEETING_STARTS)
+        duration = rng.choice((50, 75, 80, 110))
+        return Meeting(days=rng.choice(_DAY_PATTERNS),
+                       start_minute=start,
+                       end_minute=min(start + duration, 24 * 60))
+
+    def _make_room(self) -> str:
+        rng = self._rng
+        building = rng.choice(ROOM_BUILDINGS)
+        return f"{building} {rng.randrange(100, 500)}"
+
+    def _make_sections(self, lead_instructor: str) -> tuple[SectionInfo, ...]:
+        rng = self._rng
+        count = rng.choice((1, 2, 3))
+        sections = []
+        for index in range(count):
+            instructor = (lead_instructor if index == 0
+                          else rng.choice(INSTRUCTOR_SURNAMES))
+            sections.append(SectionInfo(
+                section_id=f"0{index + 1}01({rng.randrange(10000, 19999)})",
+                instructor=instructor,
+                meeting=self._make_meeting(),
+                room=self._make_room(),
+                seats=rng.choice((25, 40, 60)),
+                open_seats=rng.randrange(0, 10),
+                waitlist=rng.choice((0, 0, 2)),
+            ))
+        return tuple(sections)

@@ -1,0 +1,170 @@
+"""Canonical (ground-truth) course model for the synthetic testbed.
+
+The real THALIA testbed snapshots 25+ live university catalogs. Offline, we
+generate equivalent snapshots from a *canonical* dataset: every university's
+HTML page is rendered from :class:`CanonicalCourse` records, and the
+benchmark's gold answers are computed from the same records. That closes the
+loop the paper gets from its hand-made sample solutions: an integration
+system is correct on a query exactly when it recovers, from the
+heterogeneous XML, what the canonical data says.
+
+Times are stored as minutes since midnight so each university's renderer can
+choose its own clock convention (12-hour at CMU, 24-hour at UMass — the
+Benchmark Query 2 heterogeneity) without ambiguity in the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DAY_ORDER = ("M", "T", "W", "Th", "F")
+
+
+@dataclass(frozen=True)
+class Meeting:
+    """One weekly meeting pattern: days plus a start/end time."""
+
+    days: tuple[str, ...]
+    start_minute: int
+    end_minute: int
+
+    def __post_init__(self) -> None:
+        for day in self.days:
+            if day not in DAY_ORDER:
+                raise ValueError(f"unknown day code {day!r}")
+        if not 0 <= self.start_minute < 24 * 60:
+            raise ValueError("start_minute out of range")
+        if not self.start_minute < self.end_minute <= 24 * 60:
+            raise ValueError("end_minute must follow start_minute")
+
+    @property
+    def day_string(self) -> str:
+        return "".join(self.days)
+
+
+@dataclass(frozen=True)
+class SectionInfo:
+    """One section of a multi-section course (the UMD structure)."""
+
+    section_id: str
+    instructor: str
+    meeting: Meeting
+    room: str
+    seats: int = 40
+    open_seats: int = 5
+    waitlist: int = 0
+
+
+@dataclass(frozen=True)
+class CanonicalCourse:
+    """Ground-truth record for one course at one university.
+
+    Optional attributes model the *missing data* heterogeneities: a course
+    with ``textbook=None`` at a source whose schema has no textbook field is
+    the "data missing and cannot be present" case (Benchmark Query 8), while
+    an empty value in a source that has the field is "data missing but could
+    be present" (Benchmark Query 6).
+    """
+
+    university: str               # source slug, e.g. "cmu"
+    code: str                     # e.g. "15-415"
+    title: str                    # English title
+    instructors: tuple[str, ...]  # one or more
+    meeting: Meeting | None
+    room: str | None
+    units: int                    # credit hours (numeric ground truth)
+    title_de: str | None = None   # German title (ETH and friends)
+    workload: str | None = None   # German Umfang notation, e.g. "2V1U"
+    description: str = ""
+    prerequisites: tuple[str, ...] = ()
+    prereq_comment: str | None = None   # e.g. "First course in sequence"
+    textbook: str | None = None
+    open_to: tuple[str, ...] = ()       # US classifications: FR SO JR SR
+    semester_note: str | None = None    # German "3. Semester" style
+    term: str = "Fall 2003"
+    lab_room: str | None = None
+    url: str | None = None
+    instructor_urls: dict[str, str] = field(default_factory=dict, hash=False)
+    sections: tuple[SectionInfo, ...] = ()
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Stable identity: (university, code)."""
+        return (self.university, self.code)
+
+    @property
+    def is_entry_level(self) -> bool:
+        """True when the course has no prerequisites (Benchmark Query 7)."""
+        return not self.prerequisites
+
+    def instructor_names(self) -> tuple[str, ...]:
+        """All instructors, including per-section ones (Benchmark Query 10)."""
+        if self.sections:
+            ordered: list[str] = []
+            for section in self.sections:
+                if section.instructor not in ordered:
+                    ordered.append(section.instructor)
+            return tuple(ordered)
+        return self.instructors
+
+
+# --------------------------------------------------------------------------- #
+# Time formatting helpers shared by the renderers
+# --------------------------------------------------------------------------- #
+
+def fmt_12h(minute: int, with_suffix: bool = False) -> str:
+    """Render minutes-since-midnight on a 12-hour clock (``1:30``/``1:30pm``)."""
+    hour = minute // 60
+    mins = minute % 60
+    suffix = "am" if hour < 12 else "pm"
+    hour12 = hour % 12
+    if hour12 == 0:
+        hour12 = 12
+    rendered = f"{hour12}:{mins:02d}"
+    return rendered + suffix if with_suffix else rendered
+
+
+def fmt_24h(minute: int) -> str:
+    """Render minutes-since-midnight on a 24-hour clock (``13:30``)."""
+    return f"{minute // 60}:{minute % 60:02d}"
+
+
+def fmt_range_12h(meeting: Meeting) -> str:
+    """CMU style: ``1:30 - 2:50``."""
+    return f"{fmt_12h(meeting.start_minute)} - {fmt_12h(meeting.end_minute)}"
+
+
+def fmt_range_24h(meeting: Meeting) -> str:
+    """UMass style: ``13:30-14:45``."""
+    return f"{fmt_24h(meeting.start_minute)}-{fmt_24h(meeting.end_minute)}"
+
+
+def units_to_workload(units: int) -> str:
+    """Derive the German Umfang notation from numeric credit hours.
+
+    The ETH convention splits contact hours into lecture (Vorlesung, ``V``)
+    and exercise (Übung, ``U``) components; this reproduction fixes the
+    mapping at two-thirds lecture, one-third exercise (rounded), so the
+    transformation in Benchmark Query 4 is well-defined and invertible by
+    the full mediator: ``units = 3 * (V + U)``.
+    """
+    if units <= 0:
+        raise ValueError("units must be positive")
+    contact = max(units // 3, 1)
+    lecture = max(contact - contact // 3, 1)
+    exercise = contact - lecture
+    if exercise:
+        return f"{lecture}V{exercise}U"
+    return f"{lecture}V"
+
+
+def workload_to_units(workload: str) -> int:
+    """Invert :func:`units_to_workload` (used by the full mediator)."""
+    import re
+
+    match = re.fullmatch(r"(\d+)V(?:(\d+)U)?", workload.strip())
+    if not match:
+        raise ValueError(f"unparseable workload {workload!r}")
+    lecture = int(match.group(1))
+    exercise = int(match.group(2)) if match.group(2) else 0
+    return 3 * (lecture + exercise)

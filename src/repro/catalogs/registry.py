@@ -1,0 +1,267 @@
+"""Registry of all testbed sources (25, matching the paper's count).
+
+Nine sources are pinned to the benchmark queries; the other sixteen are
+generic profiles with deliberately varied tag vocabularies, layouts and
+clock conventions, mirroring the paper's statement that the testbed
+"currently provides access to course information from 25 computer science
+departments at Universities around the world."
+"""
+
+from __future__ import annotations
+
+from .universities import (
+    Brown,
+    CMU,
+    ETH,
+    GenericSpec,
+    GenericUniversity,
+    GeorgiaTech,
+    Michigan,
+    Toronto,
+    UCSD,
+    UMD,
+    UMass,
+    UniversityProfile,
+)
+
+_GENERIC_SPECS: tuple[GenericSpec, ...] = (
+    GenericSpec(slug="mit", name="Massachusetts Institute of Technology",
+                layout="table", code_tag="Subject", title_tag="Name",
+                instructor_tag="Lecturer", time_tag="Schedule",
+                room_tag="Location", units_tag="Units",
+                code_prefix="6.", code_start=101),
+    GenericSpec(slug="stanford", name="Stanford University",
+                layout="blocks", code_tag="CourseID", title_tag="Title",
+                instructor_tag="Instructor", time_tag="Times",
+                room_tag="Location", units_tag="Units",
+                code_prefix="CS", code_start=140),
+    GenericSpec(slug="berkeley", name="University of California, Berkeley",
+                layout="table", code_tag="CCN", title_tag="CourseTitle",
+                instructor_tag="Instructor", time_tag="DaysTime",
+                room_tag="Room", units_tag=None,
+                code_prefix="CS", code_start=160),
+    GenericSpec(slug="washington", name="University of Washington",
+                layout="dl", code_tag="Code", title_tag="CourseName",
+                instructor_tag="Teacher", time_tag="Meets",
+                room_tag="Where", units_tag="Credits",
+                code_prefix="CSE", code_start=301),
+    GenericSpec(slug="wisconsin", name="University of Wisconsin-Madison",
+                layout="table", code_tag="CourseNumber", title_tag="Title",
+                instructor_tag="Professor", time_tag="Time",
+                room_tag="Room", units_tag="Credits", clock="24h",
+                code_prefix="CS", code_start=502),
+    GenericSpec(slug="uiuc", name="University of Illinois Urbana-Champaign",
+                layout="blocks", code_tag="CRN", title_tag="CourseTitle",
+                instructor_tag="Instructor", time_tag="MeetingTime",
+                room_tag="Building", units_tag="Hours",
+                code_prefix="CS", code_start=411),
+    GenericSpec(slug="cornell", name="Cornell University",
+                layout="dl", code_tag="CourseNum", title_tag="LongTitle",
+                instructor_tag="Staff", time_tag="Pattern",
+                room_tag="Facility", units_tag="Credits",
+                code_prefix="COM S ", code_start=211),
+    GenericSpec(slug="princeton", name="Princeton University",
+                layout="table", code_tag="Listing", title_tag="Title",
+                instructor_tag="Instructor", time_tag="Schedule",
+                room_tag="Room", units_tag=None,
+                code_prefix="COS ", code_start=217),
+    GenericSpec(slug="caltech", name="California Institute of Technology",
+                layout="blocks", code_tag="Number", title_tag="Name",
+                instructor_tag="Instructor", time_tag="TimePlace",
+                room_tag="Annex", units_tag="Units",
+                code_prefix="CS/", code_start=111,
+                units_choices=(9, 12)),
+    GenericSpec(slug="columbia", name="Columbia University",
+                layout="table", code_tag="CallNumber", title_tag="Title",
+                instructor_tag="Faculty", time_tag="DayTime",
+                room_tag="Location", units_tag="Points",
+                code_prefix="W", code_start=4111),
+    GenericSpec(slug="utexas", name="University of Texas at Austin",
+                layout="dl", code_tag="UniqueNo", title_tag="CourseTitle",
+                instructor_tag="Instructor", time_tag="Hour",
+                room_tag="Room", units_tag=None,
+                code_prefix="", code_start=50403),
+    GenericSpec(slug="purdue", name="Purdue University",
+                layout="table", code_tag="CourseNum", title_tag="Title",
+                instructor_tag="Instructor", time_tag="Time",
+                room_tag="Bldg", units_tag="Credits",
+                code_prefix="CS", code_start=240),
+    GenericSpec(slug="waterloo", name="University of Waterloo",
+                country="Canada", layout="blocks", code_tag="Course",
+                title_tag="Title", instructor_tag="Instructor",
+                time_tag="Time", room_tag="Room", units_tag=None,
+                clock="24h", code_prefix="CS ", code_start=341),
+    GenericSpec(slug="ubc", name="University of British Columbia",
+                country="Canada", layout="table", code_tag="Section",
+                title_tag="CourseTitle", instructor_tag="Instructor",
+                time_tag="Schedule", room_tag="Room", units_tag="Credits",
+                clock="24h", code_prefix="CPSC ", code_start=210),
+    GenericSpec(slug="tum", name="Technische Universität München",
+                country="Germany", layout="table", german=True,
+                code_tag="Nummer", title_tag="Titel",
+                instructor_tag="Dozent", time_tag="Zeit", room_tag="Raum",
+                units_tag="Umfang", clock="24h",
+                code_prefix="IN", code_start=2001,
+                units_choices=(6, 9, 12)),
+    GenericSpec(slug="karlsruhe", name="Universität Karlsruhe (TH)",
+                country="Germany", layout="dl", german=True,
+                code_tag="Nr", title_tag="Veranstaltung",
+                instructor_tag="Dozent", time_tag="Termin", room_tag="Ort",
+                units_tag="SWS", clock="24h",
+                code_prefix="24", code_start=101,
+                units_choices=(6, 9)),
+)
+
+
+# Footnote 3 of the paper: the testbed was "expected to reach 45 sources
+# by August 2004". These twenty profiles are that roadmap: the testbed can
+# be built with `extended_universities()` to exercise the 45-source scale.
+_FUTURE_SPECS: tuple[GenericSpec, ...] = (
+    GenericSpec(slug="harvard", name="Harvard University",
+                layout="table", code_tag="CourseNo", title_tag="Title",
+                instructor_tag="Faculty", time_tag="MeetingTime",
+                room_tag="Location", units_tag=None,
+                code_prefix="CS ", code_start=121),
+    GenericSpec(slug="yale", name="Yale University",
+                layout="dl", code_tag="Number", title_tag="CourseName",
+                instructor_tag="Instructor", time_tag="Sessions",
+                room_tag="Place", units_tag="Credits",
+                code_prefix="CPSC ", code_start=223),
+    GenericSpec(slug="duke", name="Duke University",
+                layout="blocks", code_tag="Catalog", title_tag="Long_Title",
+                instructor_tag="Taught_By", time_tag="Days_Times",
+                room_tag="Room", units_tag=None,
+                code_prefix="CPS ", code_start=108),
+    GenericSpec(slug="nyu", name="New York University",
+                layout="table", code_tag="ClassNbr", title_tag="Descr",
+                instructor_tag="Instructor", time_tag="MtgTime",
+                room_tag="MtgLoc", units_tag="Units",
+                code_prefix="V22.", code_start=101),
+    GenericSpec(slug="rice", name="Rice University",
+                layout="blocks", code_tag="CourseCode", title_tag="Title",
+                instructor_tag="Teacher", time_tag="Session",
+                room_tag="Hall", units_tag="CreditHours",
+                code_prefix="COMP ", code_start=210),
+    GenericSpec(slug="umn", name="University of Minnesota",
+                layout="table", code_tag="Designator", title_tag="Title",
+                instructor_tag="Staff", time_tag="Times",
+                room_tag="Room", units_tag="Credits", clock="24h",
+                code_prefix="CSCI ", code_start=1901),
+    GenericSpec(slug="osu", name="Ohio State University",
+                layout="dl", code_tag="CallNo", title_tag="CourseTitle",
+                instructor_tag="Professor", time_tag="Schedule",
+                room_tag="Building", units_tag="CreditHrs",
+                code_prefix="CSE ", code_start=221),
+    GenericSpec(slug="psu", name="Pennsylvania State University",
+                layout="table", code_tag="Abbrev", title_tag="Name",
+                instructor_tag="Instructor", time_tag="Meeting",
+                room_tag="Room", units_tag=None,
+                code_prefix="CMPSC ", code_start=311),
+    GenericSpec(slug="virginia", name="University of Virginia",
+                layout="blocks", code_tag="Mnemonic", title_tag="Title",
+                instructor_tag="Lecturer", time_tag="DayTime",
+                room_tag="Location", units_tag="Units",
+                code_prefix="CS ", code_start=415),
+    GenericSpec(slug="rutgers", name="Rutgers University",
+                layout="table", code_tag="Index", title_tag="CourseTitle",
+                instructor_tag="Instructor", time_tag="Period",
+                room_tag="RoomNo", units_tag="Credits",
+                code_prefix="198:", code_start=112),
+    GenericSpec(slug="toronto2", name="York University",
+                country="Canada", layout="dl", code_tag="CourseId",
+                title_tag="Title", instructor_tag="Instructor",
+                time_tag="Slot", room_tag="Venue", units_tag=None,
+                clock="24h", code_prefix="COSC", code_start=2011),
+    GenericSpec(slug="mcgill", name="McGill University",
+                country="Canada", layout="table", code_tag="CourseNumber",
+                title_tag="CourseTitle", instructor_tag="Professeur",
+                time_tag="Horaire", room_tag="Salle", units_tag="Credits",
+                clock="24h", code_prefix="COMP ", code_start=250),
+    GenericSpec(slug="edinburgh", name="University of Edinburgh",
+                country="UK", layout="blocks", code_tag="CourseCode",
+                title_tag="CourseName", instructor_tag="Organiser",
+                time_tag="Timetable", room_tag="Venue",
+                units_tag="Points", clock="24h",
+                code_prefix="CS", code_start=301),
+    GenericSpec(slug="cambridge", name="University of Cambridge",
+                country="UK", layout="dl", code_tag="PaperNo",
+                title_tag="Subject", instructor_tag="Lecturer",
+                time_tag="Times", room_tag="Venue", units_tag=None,
+                clock="24h", code_prefix="Paper ", code_start=7),
+    GenericSpec(slug="oxford", name="University of Oxford",
+                country="UK", layout="table", code_tag="Code",
+                title_tag="Course", instructor_tag="Tutor",
+                time_tag="Schedule", room_tag="College",
+                units_tag=None, clock="24h",
+                code_prefix="OX", code_start=201),
+    GenericSpec(slug="saarland", name="Universität des Saarlandes",
+                country="Germany", layout="table", german=True,
+                code_tag="Kennung", title_tag="Titel",
+                instructor_tag="Dozent", time_tag="Zeit",
+                room_tag="Gebäude", units_tag="SWS", clock="24h",
+                code_prefix="INF-", code_start=301,
+                units_choices=(6, 9)),
+    GenericSpec(slug="vienna", name="Technische Universität Wien",
+                country="Austria", layout="blocks", german=True,
+                code_tag="LVA-Nr", title_tag="Titel",
+                instructor_tag="Vortragende", time_tag="Termin",
+                room_tag="Hörsaal", units_tag="Wochenstunden",
+                clock="24h", code_prefix="185.", code_start=101,
+                units_choices=(6, 9, 12)),
+    GenericSpec(slug="sydney", name="University of Sydney",
+                country="Australia", layout="table", code_tag="UnitCode",
+                title_tag="UnitName", instructor_tag="Coordinator",
+                time_tag="Sessions", room_tag="Venue",
+                units_tag="CreditPoints", clock="24h",
+                code_prefix="COMP", code_start=2004),
+    GenericSpec(slug="nus", name="National University of Singapore",
+                country="Singapore", layout="dl", code_tag="ModuleCode",
+                title_tag="ModuleTitle", instructor_tag="Lecturer",
+                time_tag="Timetable", room_tag="Venue",
+                units_tag="ModularCredits", clock="24h",
+                code_prefix="CS", code_start=1102),
+    GenericSpec(slug="technion", name="Technion - Israel Institute of "
+                "Technology", country="Israel", layout="blocks",
+                code_tag="CourseNumber", title_tag="CourseName",
+                instructor_tag="Instructor", time_tag="Hours",
+                room_tag="Room", units_tag="Points", clock="24h",
+                code_prefix="234", code_start=111),
+)
+
+
+def paper_universities() -> list[UniversityProfile]:
+    """The nine sources pinned to benchmark queries."""
+    return [Brown(), CMU(), ETH(), GeorgiaTech(), Michigan(), Toronto(),
+            UCSD(), UMD(), UMass()]
+
+
+def generic_universities() -> list[UniversityProfile]:
+    """The sixteen vocabulary/layout-variation sources."""
+    return [GenericUniversity(spec) for spec in _GENERIC_SPECS]
+
+
+def future_universities() -> list[UniversityProfile]:
+    """The twenty roadmap sources of the paper's footnote 3."""
+    return [GenericUniversity(spec) for spec in _FUTURE_SPECS]
+
+
+def all_universities() -> list[UniversityProfile]:
+    """All 25 testbed sources, paper-pinned first."""
+    return paper_universities() + generic_universities()
+
+
+def extended_universities() -> list[UniversityProfile]:
+    """The 45-source testbed the paper projected for August 2004."""
+    return all_universities() + future_universities()
+
+
+def get_university(slug: str) -> UniversityProfile:
+    """Look up one profile by slug.
+
+    Raises:
+        KeyError: when no source with that slug exists.
+    """
+    for profile in extended_universities():
+        if profile.slug == slug:
+            return profile
+    raise KeyError(f"unknown testbed source {slug!r}")

@@ -1,0 +1,58 @@
+"""HTML snapshot rendering helpers.
+
+Each university profile renders its canonical courses into a period-correct
+HTML page (tables, font tags, minimal CSS) that the TESS wrapper then
+scrapes back. The helpers here keep the per-university renderers small
+without homogenizing their *structure* — the structural variety is the
+point of the testbed.
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel import escape_text
+
+
+def escape(text: str) -> str:
+    """HTML-escape character data."""
+    return escape_text(text)
+
+
+def page(title: str, body: str, heading: str | None = None) -> str:
+    """A minimal early-2000s page skeleton around *body*."""
+    heading_html = f"<h1>{escape(heading or title)}</h1>\n"
+    return (
+        "<html>\n<head>\n"
+        f"<title>{escape(title)}</title>\n"
+        "</head>\n<body bgcolor=\"#ffffff\">\n"
+        f"{heading_html}"
+        f"{body}\n"
+        "<hr>\n<address>Cached snapshot &#8212; THALIA testbed</address>\n"
+        "</body>\n</html>\n"
+    )
+
+
+def anchor(href: str, label: str) -> str:
+    return f'<a href="{escape(href)}">{escape(label)}</a>'
+
+
+def table(rows: list[str], table_attrs: str = 'border="1"',
+          header: str | None = None) -> str:
+    """Assemble a table from pre-rendered ``<tr>`` strings."""
+    parts = [f"<table {table_attrs}>"]
+    if header is not None:
+        parts.append(header)
+    parts.extend(rows)
+    parts.append("</table>")
+    return "\n".join(parts)
+
+
+def header_row(*titles: str) -> str:
+    cells = "".join(f"<th>{escape(t)}</th>" for t in titles)
+    return f"<tr>{cells}</tr>"
+
+
+def row(cells: list[str], row_class: str | None = None) -> str:
+    """A ``<tr>`` from pre-rendered cell *contents* (caller escapes)."""
+    attrs = f' class="{row_class}"' if row_class else ""
+    body = "".join(f"<td>{cell}</td>" for cell in cells)
+    return f"<tr{attrs}>{body}</tr>"

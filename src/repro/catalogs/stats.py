@@ -1,0 +1,123 @@
+"""Testbed statistics: heterogeneity coverage and source diversity.
+
+The paper argues the testbed "exhibit[s] all of the syntactic and semantic
+heterogeneities that we have identified in our classification". This
+module makes that claim checkable: a coverage report mapping every
+heterogeneity case to the sources exhibiting it, plus per-source schema
+diversity numbers (tag vocabularies, layouts, languages, clock
+conventions) that quantify why integration is hard here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xmlmodel import XmlElement
+from .testbed import Testbed
+
+
+@dataclass
+class SourceStats:
+    """Schema-level numbers for one source."""
+
+    slug: str
+    name: str
+    country: str
+    language: str
+    records: int
+    record_tag: str
+    tags: list[str]
+    optional_tags: list[str]        # tags absent from some records
+    max_depth: int                  # nesting depth below a record
+    heterogeneities: tuple[int, ...]
+
+
+@dataclass
+class CoverageReport:
+    """Testbed-wide coverage of the twelve heterogeneity cases."""
+
+    sources: list[SourceStats] = field(default_factory=list)
+    by_query: dict[int, list[str]] = field(default_factory=dict)
+
+    @property
+    def tag_vocabulary(self) -> set[str]:
+        return {tag for stats in self.sources for tag in stats.tags}
+
+    @property
+    def languages(self) -> set[str]:
+        return {stats.language for stats in self.sources}
+
+    @property
+    def fully_covered(self) -> bool:
+        """Every benchmark query has at least one exhibiting source."""
+        return all(self.by_query.get(number) for number in range(1, 13))
+
+    def render(self) -> str:
+        lines = ["THALIA testbed statistics", "=" * 60]
+        lines.append(f"sources: {len(self.sources)}   "
+                     f"languages: {', '.join(sorted(self.languages))}   "
+                     f"distinct tags: {len(self.tag_vocabulary)}")
+        lines.append("")
+        lines.append("heterogeneity coverage (query -> exhibiting sources):")
+        for number in range(1, 13):
+            slugs = ", ".join(self.by_query.get(number, [])) or "NONE"
+            lines.append(f"  Q{number:>2}: {slugs}")
+        lines.append("")
+        lines.append("per-source schemas:")
+        for stats in self.sources:
+            optional = len(stats.optional_tags)
+            lines.append(
+                f"  {stats.slug:<10} {stats.records:>3} records  "
+                f"{len(stats.tags):>2} tags ({optional} optional)  "
+                f"depth {stats.max_depth}  lang {stats.language}")
+        return "\n".join(lines)
+
+
+def _element_depth(node: XmlElement) -> int:
+    children = node.element_children
+    if not children:
+        return 0
+    return 1 + max(_element_depth(child) for child in children)
+
+
+def source_stats(testbed: Testbed, slug: str) -> SourceStats:
+    """Compute schema statistics for one source."""
+    bundle = testbed.source(slug)
+    root = bundle.document.root
+    records = root.element_children
+    record_tag = records[0].tag if records else "?"
+    tag_presence: dict[str, int] = {}
+    for record in records:
+        seen = {child.tag for child in record.element_children}
+        for tag in seen:
+            tag_presence[tag] = tag_presence.get(tag, 0) + 1
+    tags = sorted(tag_presence)
+    optional = sorted(tag for tag, count in tag_presence.items()
+                      if count < len(records))
+    max_depth = max((_element_depth(record) for record in records),
+                    default=0)
+    return SourceStats(
+        slug=slug,
+        name=bundle.profile.name,
+        country=bundle.profile.country,
+        language=bundle.profile.language,
+        records=len(records),
+        record_tag=record_tag,
+        tags=tags,
+        optional_tags=optional,
+        max_depth=max_depth,
+        heterogeneities=tuple(bundle.profile.heterogeneities),
+    )
+
+
+def coverage_report(testbed: Testbed) -> CoverageReport:
+    """Full coverage report over a testbed build."""
+    report = CoverageReport()
+    for slug in testbed.slugs:
+        stats = source_stats(testbed, slug)
+        report.sources.append(stats)
+        for number in stats.heterogeneities:
+            report.by_query.setdefault(number, []).append(slug)
+    for number in sorted(report.by_query):
+        report.by_query[number].sort()
+    return report

@@ -1,0 +1,134 @@
+"""Testbed assembly: canonical data → HTML snapshots → extracted XML.
+
+:func:`build_testbed` runs the full pipeline for every registered source
+and returns a :class:`Testbed`, the object the rest of the system works
+against: the benchmark reads its documents, gold answers read its canonical
+courses, the web site generator reads its snapshots and schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..tess import ExtractionStats, TessScraper, WrapperConfig
+from ..xmlmodel import (
+    XmlDocument,
+    XmlSchema,
+    infer_schema,
+    serialize_pretty,
+)
+from .model import CanonicalCourse
+from .registry import all_universities
+from .universities import UniversityProfile
+
+DEFAULT_SEED = 2004  # the paper's year; any seed yields a valid testbed
+
+
+@dataclass
+class SourceBundle:
+    """Everything the testbed holds for one source."""
+
+    profile: UniversityProfile
+    courses: list[CanonicalCourse]
+    snapshot: str                 # cached HTML page
+    config: WrapperConfig
+    document: XmlDocument         # extracted XML
+    schema: XmlSchema             # inferred XSD
+    stats: ExtractionStats
+
+    @property
+    def slug(self) -> str:
+        return self.profile.slug
+
+
+class Testbed:
+    """The assembled testbed: 25 sources with snapshots, XML and schemas."""
+
+    def __init__(self, sources: list[SourceBundle], seed: int) -> None:
+        self._sources = {bundle.slug: bundle for bundle in sources}
+        self.seed = seed
+
+    # -- access ---------------------------------------------------------- #
+
+    @property
+    def slugs(self) -> list[str]:
+        return list(self._sources)
+
+    def source(self, slug: str) -> SourceBundle:
+        try:
+            return self._sources[slug]
+        except KeyError:
+            raise KeyError(f"testbed has no source {slug!r}") from None
+
+    def __contains__(self, slug: str) -> bool:
+        return slug in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self):
+        return iter(self._sources.values())
+
+    @property
+    def documents(self) -> dict[str, XmlDocument]:
+        """Extracted XML documents keyed by slug (feed to ``doc()``)."""
+        return {slug: bundle.document
+                for slug, bundle in self._sources.items()}
+
+    def courses(self, slug: str) -> list[CanonicalCourse]:
+        """Canonical ground-truth courses of one source."""
+        return self.source(slug).courses
+
+    def all_courses(self) -> list[CanonicalCourse]:
+        return [course for bundle in self for course in bundle.courses]
+
+    # -- persistence ------------------------------------------------------#
+
+    def save(self, directory: str | Path) -> Path:
+        """Write snapshots, configs, XML and XSD files under *directory*.
+
+        Layout matches the web site's download bundles::
+
+            <dir>/<slug>/snapshot.html
+            <dir>/<slug>/wrapper.cfg
+            <dir>/<slug>/<slug>.xml
+            <dir>/<slug>/<slug>.xsd
+        """
+        root = Path(directory)
+        for bundle in self:
+            source_dir = root / bundle.slug
+            source_dir.mkdir(parents=True, exist_ok=True)
+            (source_dir / "snapshot.html").write_text(
+                bundle.snapshot, encoding="utf-8")
+            (source_dir / "wrapper.cfg").write_text(
+                bundle.config.to_text(), encoding="utf-8")
+            (source_dir / f"{bundle.slug}.xml").write_text(
+                serialize_pretty(bundle.document), encoding="utf-8")
+            (source_dir / f"{bundle.slug}.xsd").write_text(
+                serialize_pretty(bundle.schema.to_xsd()), encoding="utf-8")
+        return root
+
+
+def build_source(profile: UniversityProfile, seed: int,
+                 scraper: TessScraper | None = None) -> SourceBundle:
+    """Run the pipeline for one source."""
+    engine = scraper if scraper is not None else TessScraper()
+    courses = profile.build_courses(seed)
+    snapshot = profile.render(courses)
+    config = profile.wrapper_config()
+    document = engine.extract(snapshot, config)
+    schema = infer_schema(document)
+    assert engine.last_stats is not None
+    return SourceBundle(
+        profile=profile, courses=courses, snapshot=snapshot, config=config,
+        document=document, schema=schema, stats=engine.last_stats)
+
+
+def build_testbed(seed: int = DEFAULT_SEED,
+                  universities: list[UniversityProfile] | None = None,
+                  scraper: TessScraper | None = None) -> Testbed:
+    """Build the full testbed (all 25 sources unless a subset is given)."""
+    profiles = universities if universities is not None else all_universities()
+    bundles = [build_source(profile, seed, scraper) for profile in profiles]
+    return Testbed(bundles, seed)

@@ -1,0 +1,28 @@
+"""University profiles: nine paper-pinned sources + sixteen generic ones."""
+
+from .base import UniversityProfile
+from .brown import Brown
+from .cmu import CMU
+from .eth import ETH
+from .gatech import GeorgiaTech
+from .generic import GenericSpec, GenericUniversity
+from .toronto import Toronto
+from .ucsd import UCSD
+from .umass import UMass
+from .umd import UMD
+from .umich import Michigan
+
+__all__ = [
+    "Brown",
+    "CMU",
+    "ETH",
+    "GenericSpec",
+    "GenericUniversity",
+    "GeorgiaTech",
+    "Michigan",
+    "Toronto",
+    "UCSD",
+    "UMD",
+    "UMass",
+    "UniversityProfile",
+]

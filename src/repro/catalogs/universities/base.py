@@ -1,0 +1,44 @@
+"""Base class for university profiles.
+
+A :class:`UniversityProfile` bundles everything the testbed needs for one
+source: the canonical course data (pinned paper samples + seeded filler),
+an HTML snapshot renderer, and the TESS wrapper configuration that extracts
+the snapshot back into XML. ``heterogeneities`` lists the benchmark query
+numbers (1-12) in which the source participates as reference or challenge.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ...tess import WrapperConfig
+from ..model import CanonicalCourse
+
+
+class UniversityProfile(abc.ABC):
+    """One testbed source."""
+
+    #: short source identifier, e.g. "cmu"; also the XML root tag
+    slug: str
+    #: human-readable name, e.g. "Carnegie Mellon University"
+    name: str
+    country: str = "USA"
+    #: catalog language ("en" or "de")
+    language: str = "en"
+    #: benchmark query numbers this source participates in
+    heterogeneities: tuple[int, ...] = ()
+
+    @abc.abstractmethod
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        """Canonical ground-truth courses (pinned + seeded filler)."""
+
+    @abc.abstractmethod
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        """HTML snapshot of the original catalog page."""
+
+    @abc.abstractmethod
+    def wrapper_config(self) -> WrapperConfig:
+        """TESS configuration extracting the snapshot into XML."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.slug}>"

@@ -1,0 +1,149 @@
+"""Brown University — the paper's running example (its Figure 1).
+
+Brown participates in three benchmark queries:
+
+* Q3 challenge — course titles are a *union type*: a hyperlink element plus
+  trailing free text, not a plain string.
+* Q9 reference — ``Room`` is a direct attribute of ``Course`` (and holds
+  the lab location too: "CIT 165, Labs in Sunlab").
+* Q12 challenge — the Title/Time column is a *composite*: course title,
+  Brown's hour-block letter, days and time run together in one cell
+  ("Computer NetworksM hr. M 3-5:30").
+
+The hour-block letters reproduce Brown's real scheduling code (A = MWF 8,
+D = MWF 11, K = TTh 2:30, M = Mon 3, ...).
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting
+from ..rendering import anchor, escape, header_row, page, row, table
+from .base import UniversityProfile
+
+#: (day pattern, start minute) -> Brown hour-block letter
+HOUR_CODES: dict[tuple[str, int], str] = {
+    ("MWF", 8 * 60): "A", ("MWF", 9 * 60): "B", ("MWF", 10 * 60): "C",
+    ("MWF", 11 * 60): "D", ("MWF", 12 * 60): "E", ("MWF", 13 * 60): "F",
+    ("MWF", 14 * 60): "G",
+    ("TTh", 9 * 60): "H", ("TTh", 10 * 60 + 30): "I",
+    ("TTh", 13 * 60): "J", ("TTh", 14 * 60 + 30): "K",
+    ("TTh", 18 * 60 + 30): "L",
+    ("M", 15 * 60): "M", ("W", 15 * 60): "N",
+}
+
+
+def hour_code(meeting: Meeting) -> str:
+    """Brown's hour-block letter for a meeting, 'Z' for irregular slots."""
+    return HOUR_CODES.get((meeting.day_string, meeting.start_minute), "Z")
+
+
+def brown_time(minute: int) -> str:
+    """Brown's terse 12-hour rendering: ``11`` for 11:00, ``2:30`` for 14:30."""
+    hour = minute // 60 % 12
+    if hour == 0:
+        hour = 12
+    mins = minute % 60
+    return f"{hour}:{mins:02d}" if mins else str(hour)
+
+
+def brown_days(meeting: Meeting) -> str:
+    """``MWF`` for single-letter days, ``T,Th`` when a two-letter day occurs."""
+    if any(len(d) > 1 for d in meeting.days):
+        return ",".join(meeting.days)
+    return "".join(meeting.days)
+
+
+def composite_title_suffix(meeting: Meeting) -> str:
+    """The text Brown appends to the title: ``K hr. T,Th 2:30-4``."""
+    start = brown_time(meeting.start_minute)
+    end = brown_time(meeting.end_minute)
+    return (f"{hour_code(meeting)} hr. {brown_days(meeting)} "
+            f"{start}-{end}")
+
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="brown", code="CS016",
+        title="Intro to Algorithms & Data Structures",
+        instructors=("Klein",),
+        meeting=Meeting(("M", "W", "F"), 11 * 60, 12 * 60),
+        room="CIT 227", units=4,
+        url="http://www.cs.brown.edu/courses/cs016/",
+        instructor_urls={"Klein": "http://www.cs.brown.edu/~klein/"},
+        description="Fundamental algorithms and data structures.",
+    ),
+    CanonicalCourse(
+        university="brown", code="CS032",
+        title="Intro. to Software Engineering",
+        instructors=("Reiss",),
+        meeting=Meeting(("T", "Th"), 14 * 60 + 30, 16 * 60),
+        room="CIT 165, Labs in Sunlab", lab_room="Sunlab", units=4,
+        url="http://www.cs.brown.edu/courses/cs032/",
+        instructor_urls={"Reiss": "http://www.cs.brown.edu/~spr/"},
+        prerequisites=("CS016",),
+        description="Team-based software construction.",
+    ),
+    CanonicalCourse(
+        university="brown", code="CS168",
+        title="Computer Networks",
+        instructors=("Doeppner",),
+        meeting=Meeting(("M",), 15 * 60, 17 * 60 + 30),
+        room="CIT 368", units=4,
+        instructor_urls={"Doeppner": "http://www.cs.brown.edu/~twd/"},
+        prerequisites=("CS033",),
+        description="Protocol design and network programming.",
+    ),
+)
+
+
+class Brown(UniversityProfile):
+    slug = "brown"
+    name = "Brown University"
+    heterogeneities = (3, 9, 12)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="CS", code_start=110, code_step=9,
+            units_choices=(4,)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        rows = []
+        for course in courses:
+            instructor = course.instructors[0]
+            instructor_url = course.instructor_urls.get(instructor)
+            instructor_cell = (anchor(instructor_url, instructor)
+                               if instructor_url else escape(instructor))
+            title_html = (anchor(course.url, course.title)
+                          if course.url else escape(course.title))
+            title_cell = title_html + escape(
+                composite_title_suffix(course.meeting))
+            rows.append(row([
+                f'<tt class="num">{escape(course.code)}</tt>',
+                f'<span class="inst">{instructor_cell}</span>',
+                f'<span class="titletime">{title_cell}</span>',
+                f'<span class="room">{escape(course.room or "")}</span>',
+            ], row_class="course"))
+        header = header_row("Course", "Instructor", "Title/Time", "Room")
+        body = table(rows, header=header)
+        return page("Brown CS: Course Schedule", body,
+                    heading="Brown University Computer Science Courses")
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Course",
+            record_begin=r'<tr class="course">',
+            record_end=r"</tr>",
+            fields=[
+                FieldConfig("CourseNum", r'<tt class="num">', r"</tt>"),
+                FieldConfig("Instructor", r'<span class="inst">',
+                            r"</span>", mode="mixed"),
+                FieldConfig("Title", r'<span class="titletime">',
+                            r"</span>", mode="mixed"),
+                FieldConfig("Room", r'<span class="room">', r"</span>"),
+            ],
+        )

@@ -1,0 +1,104 @@
+"""ETH Zürich — the German-language source.
+
+ETH participates in three benchmark queries:
+
+* Q4 challenge — credit hours appear as the textual *Umfang* workload
+  notation ("2V1U": 2 lecture + 1 exercise hours) instead of a number.
+* Q5 challenge — element names *and* values are German ("Titel",
+  "XML und Datenbanken").
+* Q8 challenge — the American student-classification concept (freshman …
+  senior) does not exist; courses carry a semester note instead
+  ("Vernetzte Systeme (3. Semester)").
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting, fmt_24h
+from ..rendering import escape, header_row, page, row, table
+from .base import UniversityProfile
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="eth", code="251-0317",
+        title="XML and Databases", title_de="XML und Datenbanken",
+        instructors=("Gross",),
+        meeting=Meeting(("W",), 10 * 60, 12 * 60),
+        room="IFW A 36", units=9, workload="2V1U",
+        description="XML-Datenmodelle und Anfragesprachen.",
+    ),
+    CanonicalCourse(
+        university="eth", code="251-0312",
+        title="Database Systems", title_de="Datenbanksysteme",
+        instructors=("Schek",),
+        meeting=Meeting(("M", "W"), 8 * 60, 10 * 60),
+        room="HG E 7", units=12, workload="3V1U",
+        description="Architektur relationaler Datenbanksysteme.",
+    ),
+    CanonicalCourse(
+        university="eth", code="252-0061",
+        title="Networked Systems", title_de="Vernetzte Systeme",
+        instructors=("Plattner",),
+        meeting=Meeting(("T", "Th"), 13 * 60, 15 * 60),
+        room="ETZ E 6", units=12, workload="3V1U",
+        semester_note="3. Semester",
+        description="Grundlagen vernetzter Systeme.",
+    ),
+)
+
+
+class ETH(UniversityProfile):
+    slug = "eth"
+    name = "Swiss Federal Institute of Technology Zurich (ETH)"
+    country = "Switzerland"
+    language = "de"
+    heterogeneities = (4, 5, 8)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="252-0", code_start=210, code_step=7,
+            german=True, units_choices=(6, 9, 12)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        rows = []
+        for course in courses:
+            title = course.title_de or course.title
+            if course.semester_note:
+                title = f"{title} ({course.semester_note})"
+            meeting = course.meeting
+            assert meeting is not None
+            zeit = (f"{meeting.day_string} {fmt_24h(meeting.start_minute)}"
+                    f"-{fmt_24h(meeting.end_minute)}")
+            rows.append(row([
+                f'<span class="nr">{escape(course.code)}</span>',
+                f'<span class="titel">{escape(title)}</span>',
+                f'<span class="dozent">{escape(course.instructors[0])}</span>',
+                f'<span class="zeit">{escape(zeit)}</span>',
+                f'<span class="ort">{escape(course.room or "")}</span>',
+                f'<span class="umfang">{escape(course.workload or "")}</span>',
+            ], row_class="vorlesung"))
+        header = header_row("Nummer", "Titel", "Dozent", "Zeit",
+                            "Ort", "Umfang")
+        body = table(rows, header=header)
+        return page("ETH Zürich: Vorlesungsverzeichnis Informatik", body,
+                    heading="Departement Informatik &#8212; "
+                            "Vorlesungsverzeichnis")
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Vorlesung",
+            record_begin=r'<tr class="vorlesung">',
+            record_end=r"</tr>",
+            fields=[
+                FieldConfig("Nummer", r'<span class="nr">', r"</span>"),
+                FieldConfig("Titel", r'<span class="titel">', r"</span>"),
+                FieldConfig("Dozent", r'<span class="dozent">', r"</span>"),
+                FieldConfig("Zeit", r'<span class="zeit">', r"</span>"),
+                FieldConfig("Ort", r'<span class="ort">', r"</span>"),
+                FieldConfig("Umfang", r'<span class="umfang">', r"</span>"),
+            ],
+        )

@@ -1,0 +1,112 @@
+"""Georgia Tech — reference source for Q1 (synonyms) and Q8 (classification).
+
+Georgia Tech's schema names the teacher ``Instructor`` (CMU says
+``Lecturer`` — the Q1 synonym pair) and records which student
+classifications a course is open to in a ``Restricted`` field
+("JR or SR"), the concept that simply does not exist at ETH (Q8).
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting, fmt_range_12h
+from ..rendering import escape, header_row, page, row, table
+from .base import UniversityProfile
+
+
+def restriction_text(course: CanonicalCourse) -> str:
+    """Render the classification restriction: ``JR or SR``, empty if open."""
+    return " or ".join(course.open_to)
+
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="gatech", code="20381",
+        title="Data Visualization",
+        instructors=("Mark",),
+        meeting=Meeting(("M", "W", "F"), 9 * 60, 9 * 60 + 50),
+        room="CoC 101", units=3,
+        description="Visual representations of data.",
+    ),
+    CanonicalCourse(
+        university="gatech", code="20397",
+        title="Intro-Network Management",
+        instructors=("Calvert",),
+        meeting=Meeting(("T", "Th"), 12 * 60, 13 * 60 + 15),
+        room="CoC 052", units=3,
+        open_to=("JR", "SR"),
+        description="Managing enterprise networks.",
+    ),
+    CanonicalCourse(
+        university="gatech", code="20422",
+        title="Database Systems",
+        instructors=("Omiecinski",),
+        meeting=Meeting(("M", "W"), 14 * 60, 15 * 60 + 15),
+        room="CoC 016", units=3,
+        open_to=("JR", "SR"),
+        description="Relational model, SQL and database design.",
+    ),
+    CanonicalCourse(
+        university="gatech", code="20461",
+        title="Advanced Database Implementation",
+        instructors=("Navathe",),
+        meeting=Meeting(("T", "Th"), 15 * 60, 16 * 60 + 15),
+        room="CoC 016", units=3,
+        open_to=("SR",),
+        prerequisites=("20422",),
+        description="Query processing internals; seniors only.",
+    ),
+)
+
+
+class GeorgiaTech(UniversityProfile):
+    slug = "gatech"
+    name = "Georgia Institute of Technology"
+    heterogeneities = (1, 8)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="20", code_start=501, code_step=13,
+            with_classification=True, units_choices=(3, 4)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        rows = []
+        for course in courses:
+            meeting = course.meeting
+            assert meeting is not None
+            rows.append(row([
+                f'<span class="crn">{escape(course.code)}</span>',
+                f'<span class="title">{escape(course.title)}</span>',
+                f'<span class="inst">{escape(course.instructors[0])}</span>',
+                f'<span class="time">{escape(meeting.day_string)} '
+                f'{escape(fmt_range_12h(meeting))}</span>',
+                f'<span class="room">{escape(course.room or "")}</span>',
+                f'<span class="restr">{escape(restriction_text(course))}'
+                "</span>",
+            ], row_class="course"))
+        header = header_row("CRN", "Title", "Instructor", "Time", "Room",
+                            "Restrictions")
+        body = table(rows, header=header)
+        return page("Georgia Tech OSCAR: CS Course Schedule", body,
+                    heading="Georgia Tech College of Computing")
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Course",
+            record_begin=r'<tr class="course">',
+            record_end=r"</tr>",
+            fields=[
+                FieldConfig("CourseNum", r'<span class="crn">', r"</span>"),
+                FieldConfig("Title", r'<span class="title">', r"</span>"),
+                FieldConfig("Instructor", r'<span class="inst">',
+                            r"</span>"),
+                FieldConfig("Time", r'<span class="time">', r"</span>"),
+                FieldConfig("Room", r'<span class="room">', r"</span>"),
+                FieldConfig("Restricted", r'<span class="restr">',
+                            r"</span>"),
+            ],
+        )

@@ -1,0 +1,80 @@
+"""University of Toronto — reference source for Q6 (nulls).
+
+Toronto's schema has a ``text`` (textbook) element; some courses carry a
+full citation, some an *empty* value ("data missing but could be present").
+CMU, the challenge source, has no textbook field at all. Tag names are
+lowercase here, as in the paper's sample (``course``, ``title``, ``text``).
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting
+from ..rendering import escape, page
+from .base import UniversityProfile
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="toronto", code="CSC410",
+        title="Automated Verification",
+        instructors=("Chechik",),
+        meeting=Meeting(("M", "W"), 13 * 60, 14 * 60),
+        room="BA 1130", units=3,
+        textbook="'Model Checking', by Clarke, Grumberg, Peled, 1999, "
+                 "MIT Press.",
+        description="Automated verification of software and hardware.",
+    ),
+    CanonicalCourse(
+        university="toronto", code="CSC465",
+        title="Formal Methods in Software Verification",
+        instructors=("Hehner",),
+        meeting=Meeting(("T", "Th"), 10 * 60, 11 * 60),
+        room="BA 2175", units=3,
+        textbook=None,  # rendered as an *empty* text element (null value)
+        description="Program semantics and refinement.",
+    ),
+)
+
+
+class Toronto(UniversityProfile):
+    slug = "toronto"
+    name = "University of Toronto"
+    country = "Canada"
+    heterogeneities = (6,)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="CSC", code_start=301, code_step=17,
+            with_textbooks=True, units_choices=(3,)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        blocks = []
+        for course in courses:
+            textbook = course.textbook or ""
+            blocks.append(
+                '<div class="crs">\n'
+                f'<span class="code">{escape(course.code)}</span>\n'
+                f'<span class="ttl">{escape(course.title)}</span>\n'
+                f'<span class="who">{escape(course.instructors[0])}</span>\n'
+                f'<span class="book">{escape(textbook)}</span>\n'
+                "</div>")
+        return page("U of T Computer Science: Courses", "\n".join(blocks),
+                    heading="University of Toronto "
+                            "Department of Computer Science")
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="course",
+            record_begin=r'<div class="crs">',
+            record_end=r"</div>",
+            fields=[
+                FieldConfig("code", r'<span class="code">', r"</span>"),
+                FieldConfig("title", r'<span class="ttl">', r"</span>"),
+                FieldConfig("instructor", r'<span class="who">', r"</span>"),
+                FieldConfig("text", r'<span class="book">', r"</span>"),
+            ],
+        )

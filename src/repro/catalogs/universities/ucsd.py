@@ -1,0 +1,87 @@
+"""UC San Diego — challenge source for Q11 (attribute name ≠ semantics).
+
+UCSD's catalog lists, per course, *who teaches it in each term*: the
+columns are headed "Fall 2003", "Winter 2004", "Spring 2004" — names that
+say nothing about the values being instructors. Answering "list instructors
+for the database course" requires knowing that those term columns carry
+instructor information (the paper's sample value "Yannis - Deutsch" is the
+Fall/Winter instructor pair of CSE232, Database System Implementation).
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting
+from ..rendering import escape, header_row, page, row, table
+from .base import UniversityProfile
+
+TERMS = ("Fall2003", "Winter2004", "Spring2004")
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="ucsd", code="CSE232",
+        title="Database System Implementation",
+        instructors=("Yannis", "Deutsch"),
+        meeting=Meeting(("T", "Th"), 14 * 60, 15 * 60 + 20),
+        room="HSS 1330", units=4,
+        description="Implementation techniques for database systems.",
+    ),
+)
+
+
+def term_instructors(course: CanonicalCourse) -> dict[str, str]:
+    """Assign the course's instructors to terms in order (may leave gaps)."""
+    assignment: dict[str, str] = {}
+    for term, instructor in zip(TERMS, course.instructors):
+        assignment[term] = instructor
+    return assignment
+
+
+class UCSD(UniversityProfile):
+    slug = "ucsd"
+    name = "University of California, San Diego"
+    heterogeneities = (11,)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="CSE", code_start=110, code_step=13,
+            units_choices=(4,)))
+        return list(PINNED) + factory.fill(10, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        rows = []
+        for course in courses:
+            terms = term_instructors(course)
+            cells = [
+                f'<span class="num">{escape(course.code)}</span>',
+                f'<span class="title">{escape(course.title)}</span>',
+            ]
+            for term in TERMS:
+                css = term.lower()
+                cells.append(
+                    f'<span class="{css}">{escape(terms.get(term, ""))}'
+                    "</span>")
+            rows.append(row(cells, row_class="course"))
+        header = header_row("Course", "Title", "Fall 2003", "Winter 2004",
+                            "Spring 2004")
+        body = table(rows, header=header)
+        return page("UCSD CSE Course Offerings", body,
+                    heading="UC San Diego Computer Science and Engineering")
+
+    def wrapper_config(self) -> WrapperConfig:
+        fields = [
+            FieldConfig("CourseNum", r'<span class="num">', r"</span>"),
+            FieldConfig("CourseTitle", r'<span class="title">', r"</span>"),
+        ]
+        for term in TERMS:
+            fields.append(FieldConfig(
+                term, rf'<span class="{term.lower()}">', r"</span>"))
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Course",
+            record_begin=r'<tr class="course">',
+            record_end=r"</tr>",
+            fields=fields,
+        )

@@ -1,0 +1,94 @@
+"""University of Massachusetts — challenge source for Q2 (simple mapping).
+
+UMass renders meeting times on a **24-hour clock** (``16:00-17:15``) while
+the reference source CMU uses a 12-hour clock; resolving the query "find
+all database courses that meet at 1:30pm" against UMass requires the
+12→24-hour value transformation.
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting, fmt_range_24h
+from ..rendering import escape, header_row, page, row, table
+from .base import UniversityProfile
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="umass", code="CS430",
+        title="Graphical User Interfaces",
+        instructors=("Woolf",),
+        meeting=Meeting(("M", "W", "F"), 16 * 60, 17 * 60 + 15),
+        room="CMPS 142", units=3,
+        description="Design and implementation of user interfaces.",
+    ),
+    CanonicalCourse(
+        university="umass", code="CS445",
+        title="Database Systems",
+        instructors=("Diao",),
+        meeting=Meeting(("T", "Th"), 13 * 60 + 30, 14 * 60 + 45),
+        room="CMPS 140", units=3,
+        description="Fundamentals of database systems.",
+    ),
+    CanonicalCourse(
+        university="umass", code="CS645",
+        title="Database Design and Implementation",
+        instructors=("Gibbons",),
+        meeting=Meeting(("M", "W"), 11 * 60, 12 * 60 + 15),
+        room="CMPS 203", units=3,
+        prerequisites=("CS445",),
+        description="Advanced database internals (does not meet at 1:30).",
+    ),
+)
+
+
+class UMass(UniversityProfile):
+    slug = "umass"
+    name = "University of Massachusetts Amherst"
+    heterogeneities = (2,)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="CS", code_start=210, code_step=19,
+            units_choices=(3,)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        rows = []
+        for course in courses:
+            meeting = course.meeting
+            assert meeting is not None
+            rows.append(row([
+                f'<span class="num">{escape(course.code)}</span>',
+                f'<span class="name">{escape(course.title)}</span>',
+                f'<span class="staff">{escape(course.instructors[0])}</span>',
+                f'<span class="days">{escape(meeting.day_string)}</span>',
+                f'<span class="sched">{escape(fmt_range_24h(meeting))}'
+                "</span>",
+                f'<span class="where">{escape(course.room or "")}</span>',
+            ], row_class="course"))
+        header = header_row("Course", "Name", "Staff", "Days", "Time",
+                            "Room")
+        body = table(rows, header=header)
+        return page("UMass CS: Fall 2003 Course Schedule", body,
+                    heading="University of Massachusetts Amherst "
+                            "Computer Science")
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Course",
+            record_begin=r'<tr class="course">',
+            record_end=r"</tr>",
+            fields=[
+                FieldConfig("CourseNum", r'<span class="num">', r"</span>"),
+                FieldConfig("Name", r'<span class="name">', r"</span>"),
+                FieldConfig("Instructor", r'<span class="staff">',
+                            r"</span>"),
+                FieldConfig("Days", r'<span class="days">', r"</span>"),
+                FieldConfig("Time", r'<span class="sched">', r"</span>"),
+                FieldConfig("Room", r'<span class="where">', r"</span>"),
+            ],
+        )

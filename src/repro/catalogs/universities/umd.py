@@ -1,0 +1,160 @@
+"""University of Maryland — the nested-structure source (paper's Figure 2).
+
+UMD's free-form page nests a section table inside every course block; the
+paper reports having to *extend* TESS to extract it ("the combination
+free-form structure and nested table required modification to TESS").
+
+UMD participates in three benchmark queries:
+
+* Q3/Q5 reference — plain-string ``CourseName`` values (with the live
+  page's trailing semicolon quirk preserved: "Data Structures;").
+* Q9 challenge — room information hides inside the ``time`` element under
+  ``Section``.
+* Q10 challenge — instructors must be gathered from the section *titles*
+  ("0101(13795) Singh, H.") rather than a single Lecturer field.
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, NestedConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting, SectionInfo, fmt_12h
+from ..rendering import escape, page
+from .base import UniversityProfile
+
+
+def umd_time(section: SectionInfo) -> str:
+    """UMD renders days, times and the room in one run: ``MW 10:00am-11:15am CHM 1407``."""
+    meeting = section.meeting
+    start = fmt_12h(meeting.start_minute, with_suffix=True)
+    end = fmt_12h(meeting.end_minute, with_suffix=True)
+    return f"{meeting.day_string} {start}-{end} {section.room}"
+
+
+def section_title(section: SectionInfo) -> str:
+    """UMD's section heading: id then instructor — ``0101(13795) Singh, H.``."""
+    return f"{section.section_id} {section.instructor}"
+
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="umd", code="CMSC420",
+        title="Data Structures",
+        instructors=("Shankar, A.",),
+        meeting=None, room=None, units=3,
+        prerequisites=("CMSC214",),
+        sections=(
+            SectionInfo("0101(13801)", "Shankar, A.",
+                        Meeting(("M", "W", "F"), 9 * 60, 9 * 60 + 50),
+                        "CSI 2117"),
+        ),
+        description="Storage structures and algorithms for data.",
+    ),
+    CanonicalCourse(
+        university="umd", code="CMSC424",
+        title="Database Design",
+        instructors=("Roussopoulos, N.",),
+        meeting=None, room=None, units=3,
+        prerequisites=("CMSC420",),
+        sections=(
+            SectionInfo("0101(13844)", "Roussopoulos, N.",
+                        Meeting(("T", "Th"), 11 * 60, 12 * 60 + 15),
+                        "CSI 1121"),
+        ),
+        description="Relational design theory and query languages.",
+    ),
+    CanonicalCourse(
+        university="umd", code="CMSC435",
+        title="Software Engineering",
+        instructors=("Singh, H.", "Memon, A."),
+        meeting=None, room=None, units=3,
+        prerequisites=("CMSC330",),
+        sections=(
+            SectionInfo("0101(13795)", "Singh, H.",
+                        Meeting(("M", "W"), 10 * 60, 11 * 60 + 15),
+                        "CHM 1407"),
+            SectionInfo("0201(13796)", "Memon, A.",
+                        Meeting(("T", "Th"), 14 * 60, 15 * 60 + 15),
+                        "EGR 2154", seats=40, open_seats=2, waitlist=0),
+        ),
+        description="Software process, design and testing.",
+    ),
+)
+
+
+class UMD(UniversityProfile):
+    slug = "umd"
+    name = "University of Maryland"
+    heterogeneities = (3, 5, 9, 10)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="CMSC", code_start=411, code_step=2,
+            with_sections=True, units_choices=(3,)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        blocks = []
+        for course in courses:
+            section_rows = []
+            for section in course.sections or self._implied_sections(course):
+                seats_note = (f" (Seats={section.seats}, "
+                              f"Open={section.open_seats}, "
+                              f"Waitlist={section.waitlist})")
+                section_rows.append(
+                    "<tr>"
+                    f'<td class="sec">{escape(section_title(section))}</td>'
+                    f'<td class="tm">{escape(umd_time(section))}</td>'
+                    f'<td class="seats">{escape(seats_note.strip())}</td>'
+                    "</tr>")
+            sections_html = "\n".join(section_rows)
+            blocks.append(
+                '<div class="course">\n'
+                f'<b class="num">{escape(course.code)}</b> '
+                f'<span class="name">{escape(course.title)};</span>\n'
+                f'<blockquote>{escape(course.description)}</blockquote>\n'
+                f'<table class="sections" border="0">\n{sections_html}\n'
+                "</table>\n</div>")
+        body = "\n".join(blocks)
+        return page("UMD CS Schedule of Classes", body,
+                    heading="University of Maryland "
+                            "Computer Science Department")
+
+    @staticmethod
+    def _implied_sections(course: CanonicalCourse) -> tuple[SectionInfo, ...]:
+        """Single implied section for a course generated without sections."""
+        assert course.meeting is not None and course.room is not None
+        return (SectionInfo("0101", course.instructors[0], course.meeting,
+                            course.room),)
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Course",
+            record_begin=r'<div class="course">',
+            record_end=r"</div>",
+            fields=[
+                FieldConfig("CourseNum", r'<b class="num">', r"</b>"),
+                FieldConfig("CourseName", r'<span class="name">',
+                            r"</span>"),
+                FieldConfig("Description", r"<blockquote>",
+                            r"</blockquote>"),
+                FieldConfig(
+                    "Sections", r'<table class="sections"[^>]*>',
+                    r"</table>",
+                    nested=NestedConfig(
+                        record_tag="Section",
+                        begin=r"<tr>",
+                        end=r"</tr>",
+                        fields=[
+                            FieldConfig("title", r'<td class="sec">',
+                                        r"</td>"),
+                            FieldConfig("time", r'<td class="tm">',
+                                        r"</td>"),
+                            FieldConfig("seats", r'<td class="seats">',
+                                        r"</td>"),
+                        ],
+                    )),
+            ],
+        )

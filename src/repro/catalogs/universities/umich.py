@@ -1,0 +1,88 @@
+"""University of Michigan — reference source for Q7 (virtual columns).
+
+Michigan's schema states prerequisites *explicitly* in a ``prerequisite``
+element whose value is ``None`` for entry-level courses; CMU only implies
+the same fact in a free-text comment — that asymmetry is Benchmark Query 7.
+"""
+
+from __future__ import annotations
+
+from ...tess import FieldConfig, WrapperConfig
+from ..generator import CourseFactory, FillerStyle
+from ..model import CanonicalCourse, Meeting, fmt_range_12h
+from ..rendering import escape, page
+from .base import UniversityProfile
+
+
+def prerequisite_text(course: CanonicalCourse) -> str:
+    """Michigan's convention: explicit ``None`` when there are none."""
+    return ", ".join(course.prerequisites) if course.prerequisites else "None"
+
+
+PINNED: tuple[CanonicalCourse, ...] = (
+    CanonicalCourse(
+        university="umich", code="EECS484",
+        title="Database Management Systems",
+        instructors=("Jagadish",),
+        meeting=Meeting(("M", "W"), 10 * 60 + 30, 12 * 60),
+        room="1013 DOW", units=4,
+        description="Introduction to database management systems.",
+    ),
+    CanonicalCourse(
+        university="umich", code="EECS584",
+        title="Implementation of Databases",
+        instructors=("Mozafari",),
+        meeting=Meeting(("T", "Th"), 13 * 60 + 30, 15 * 60),
+        room="1690 BBB", units=4,
+        prerequisites=("EECS484",),
+        description="Database engine internals.",
+    ),
+)
+
+
+class Michigan(UniversityProfile):
+    slug = "umich"
+    name = "University of Michigan"
+    heterogeneities = (7,)
+
+    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+        # code_start avoids the pinned EECS484/EECS584 numbers.
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="EECS", code_start=441, code_step=11,
+            units_choices=(3, 4)))
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        blocks = []
+        for course in courses:
+            meeting = course.meeting
+            assert meeting is not None
+            blocks.append(
+                '<div class="entry">\n'
+                f'<h3 class="title">{escape(course.code)} '
+                f'{escape(course.title)}</h3>\n'
+                f'<p class="prereq">Prerequisite: '
+                f"{escape(prerequisite_text(course))}</p>\n"
+                f'<p class="meets">{escape(meeting.day_string)} '
+                f"{escape(fmt_range_12h(meeting))}, "
+                f"{escape(course.room or '')}</p>\n"
+                f'<p class="inst">{escape(course.instructors[0])}</p>\n'
+                "</div>")
+        return page("EECS Course Homepage Guide", "\n".join(blocks),
+                    heading="University of Michigan EECS Courses")
+
+    def wrapper_config(self) -> WrapperConfig:
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag="Course",
+            record_begin=r'<div class="entry">',
+            record_end=r"</div>",
+            fields=[
+                FieldConfig("title", r'<h3 class="title">', r"</h3>"),
+                FieldConfig("prerequisite",
+                            r'<p class="prereq">Prerequisite:', r"</p>"),
+                FieldConfig("meets", r'<p class="meets">', r"</p>"),
+                FieldConfig("instructor", r'<p class="inst">', r"</p>"),
+            ],
+        )

@@ -1,0 +1,227 @@
+"""Command-line interface: ``thalia <command>``.
+
+Commands:
+
+* ``build-testbed DIR`` — render all snapshots, extract XML, write the
+  per-source bundle (snapshot/wrapper/XML/XSD) under DIR.
+* ``run-benchmark`` — score Cohera, IWIZ and the THALIA mediator; print
+  the §4.2-style tables and the scoreboard.
+* ``query N`` — describe benchmark query N and run its reference XQuery
+  against the testbed.
+* ``build-site DIR`` — generate the THALIA web site (Fig. 4) under DIR.
+* ``bundle DIR`` — write the three download zips under DIR.
+* ``sources`` — list the testbed's sources.
+* ``stats [--extended]`` — testbed statistics and heterogeneity coverage.
+* ``selfcheck`` — verify every benchmark invariant over a fresh build.
+* ``taxonomy [N] [--no-samples]`` — the §3 heterogeneity classification,
+  with live sample elements from the testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .catalogs import build_testbed
+from .core import (
+    HonorRoll,
+    get_query,
+    render_query_description,
+    render_query_matrix,
+    render_scoreboard,
+    render_system_table,
+    run_all,
+)
+from .systems import cohera, iwiz, thalia_mediator
+from .website import SiteGenerator, build_all_bundles
+from .xquery import run_query as run_xquery
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="thalia",
+        description="THALIA: Test Harness for the Assessment of Legacy "
+                    "information Integration Approaches (reproduction)")
+    parser.add_argument("--seed", type=int, default=2004,
+                        help="testbed generation seed (default 2004)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser(
+        "build-testbed", help="write snapshots, configs, XML and XSDs")
+    build.add_argument("directory")
+
+    run = commands.add_parser(
+        "run-benchmark",
+        help="score Cohera, IWIZ and the THALIA mediator")
+    run.add_argument("--save-scores", metavar="FILE", default=None,
+                     help="persist the honor roll as JSON")
+
+    query = commands.add_parser(
+        "query", help="describe and run one benchmark query")
+    query.add_argument("number", type=int, choices=range(1, 13),
+                       metavar="N")
+
+    site = commands.add_parser(
+        "build-site", help="generate the THALIA web site")
+    site.add_argument("directory")
+    site.add_argument("--scores", metavar="FILE", default=None,
+                      help="honor-roll JSON produced by run-benchmark "
+                           "--save-scores")
+
+    bundle = commands.add_parser(
+        "bundle", help="write the three download zips")
+    bundle.add_argument("directory")
+
+    commands.add_parser("sources", help="list testbed sources")
+
+    stats = commands.add_parser(
+        "stats", help="testbed statistics and heterogeneity coverage")
+    stats.add_argument("--extended", action="store_true",
+                       help="use the 45-source roadmap testbed")
+
+    commands.add_parser(
+        "selfcheck",
+        help="verify every benchmark invariant over a fresh build")
+
+    taxonomy = commands.add_parser(
+        "taxonomy",
+        help="print the twelve-case heterogeneity classification")
+    taxonomy.add_argument("number", type=int, nargs="?",
+                          choices=range(1, 13), metavar="N",
+                          help="show one case only")
+    taxonomy.add_argument("--no-samples", action="store_true",
+                          help="omit the live sample elements")
+    return parser
+
+
+def _cmd_build_testbed(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed)
+    target = testbed.save(args.directory)
+    print(f"wrote {len(testbed)} sources under {target}")
+    return 0
+
+
+def _cmd_run_benchmark(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed)
+    cards = run_all([cohera(), iwiz(), thalia_mediator()], testbed)
+    for card in cards:
+        print(render_system_table(card))
+        print()
+    print(render_query_matrix(cards))
+    print()
+    print(render_scoreboard(cards))
+    roll = HonorRoll()
+    for card in cards:
+        roll.submit(card, submitter="repro")
+    print()
+    print(roll.render())
+    if args.save_scores:
+        path = roll.save(args.save_scores)
+        print(f"\nscores saved to {path}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed)
+    query = get_query(args.number)
+    print(render_query_description(query.number))
+    print()
+    results = run_xquery(query.xquery, testbed.documents)
+    print(f"reference query returned {len(results)} item(s) against "
+          f"{query.reference}:")
+    from .xmlmodel import XmlElement, serialize
+    for item in results:
+        if isinstance(item, XmlElement):
+            print("  " + serialize(item))
+        else:
+            print(f"  {item}")
+    return 0
+
+
+def _cmd_build_site(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed)
+    if args.scores:
+        roll = HonorRoll.load(args.scores)
+    else:
+        roll = HonorRoll()
+        for card in run_all([cohera(), iwiz(), thalia_mediator()],
+                            testbed):
+            roll.submit(card, submitter="repro")
+    root = SiteGenerator(testbed, roll).build(args.directory)
+    print(f"site generated under {root} (open {root / 'index.html'})")
+    return 0
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed)
+    for path in build_all_bundles(testbed, args.directory):
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_sources(args: argparse.Namespace) -> int:
+    testbed = build_testbed(seed=args.seed)
+    for bundle in testbed:
+        profile = bundle.profile
+        queries = ",".join(str(n) for n in profile.heterogeneities) or "-"
+        print(f"{bundle.slug:<10} {profile.name:<50} "
+              f"records={bundle.stats.records:<3} queries={queries}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .catalogs import coverage_report, extended_universities
+
+    universities = extended_universities() if args.extended else None
+    testbed = build_testbed(seed=args.seed, universities=universities)
+    report = coverage_report(testbed)
+    print(report.render())
+    if not report.fully_covered:
+        print("\nWARNING: some heterogeneity cases have no exhibiting "
+              "source!")
+        return 1
+    return 0
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from .core import validate_benchmark
+
+    testbed = build_testbed(seed=args.seed)
+    result = validate_benchmark(testbed)
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+def _cmd_taxonomy(args: argparse.Namespace) -> int:
+    from .core import all_cases, render_case, render_taxonomy
+
+    testbed = None if args.no_samples else build_testbed(seed=args.seed)
+    if args.number is not None:
+        case = [c for c in all_cases() if c.number == args.number][0]
+        print(render_case(case, testbed))
+        return 0
+    print(render_taxonomy(testbed))
+    return 0
+
+
+_COMMANDS = {
+    "build-testbed": _cmd_build_testbed,
+    "stats": _cmd_stats,
+    "selfcheck": _cmd_selfcheck,
+    "taxonomy": _cmd_taxonomy,
+    "run-benchmark": _cmd_run_benchmark,
+    "query": _cmd_query,
+    "build-site": _cmd_build_site,
+    "bundle": _cmd_bundle,
+    "sources": _cmd_sources,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

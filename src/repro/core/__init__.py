@@ -1,0 +1,64 @@
+"""THALIA benchmark core: the paper's primary contribution.
+
+* :data:`QUERIES` / :func:`get_query` — the twelve benchmark queries with
+  their reference/challenge source pairings and semantic evaluators.
+* :func:`gold_answer` — correct answers computed from the canonical data.
+* :class:`ScoreCard` / :func:`rank` — the §3.2 scoring function.
+* :func:`run_benchmark` / :func:`run_all` — the harness.
+* :class:`HonorRoll` — uploaded-score persistence and ranking.
+* :mod:`repro.core.report` — §4.2-style tables.
+
+End-to-end::
+
+    from repro.catalogs import build_testbed
+    from repro.core import run_all
+    from repro.core.report import render_scoreboard
+    from repro.systems import cohera, iwiz, thalia_mediator
+
+    cards = run_all([cohera(), iwiz(), thalia_mediator()], build_testbed())
+    print(render_scoreboard(cards))
+"""
+
+from .answers import gold_answer
+from .honor_roll import HonorRoll, HonorRollEntry
+from .queries import QUERIES, Answer, BenchmarkQuery, get_query
+from .report import (
+    query_short_name,
+    render_query_description,
+    render_query_matrix,
+    render_scoreboard,
+    render_system_table,
+)
+from .runner import run_all, run_benchmark, run_query
+from .scoring import MAX_CORRECT, QueryOutcome, ScoreCard, rank
+from .taxonomy import HeterogeneityCase, all_cases, render_case, render_taxonomy
+from .validation import ValidationIssue, ValidationResult, validate_benchmark
+
+__all__ = [
+    "Answer",
+    "BenchmarkQuery",
+    "HeterogeneityCase",
+    "HonorRoll",
+    "HonorRollEntry",
+    "MAX_CORRECT",
+    "QUERIES",
+    "QueryOutcome",
+    "ScoreCard",
+    "ValidationIssue",
+    "ValidationResult",
+    "get_query",
+    "all_cases",
+    "gold_answer",
+    "query_short_name",
+    "rank",
+    "render_case",
+    "render_query_description",
+    "render_taxonomy",
+    "render_query_matrix",
+    "render_scoreboard",
+    "render_system_table",
+    "run_all",
+    "run_benchmark",
+    "run_query",
+    "validate_benchmark",
+]

@@ -1,0 +1,96 @@
+"""Plain-text report rendering for benchmark runs.
+
+The benches print these tables; they are the reproduction of the paper's
+§4.2 per-query walk-throughs and §3.2 scoring examples.
+"""
+
+from __future__ import annotations
+
+from .queries import QUERIES, get_query
+from .scoring import MAX_CORRECT, ScoreCard, rank
+
+_QUERY_SHORT_NAMES = {
+    1: "renaming columns",
+    2: "24 hour clock",
+    3: "union data types",
+    4: "meaning of credits",
+    5: "language translation",
+    6: "nulls",
+    7: "virtual attributes",
+    8: "semantic incompatibility",
+    9: "attribute in different places",
+    10: "sets",
+    11: "name does not define semantics",
+    12: "run on columns",
+}
+
+
+def query_short_name(number: int) -> str:
+    """The paper's parenthetical label for a query ("renaming columns")."""
+    return _QUERY_SHORT_NAMES[number]
+
+
+def render_system_table(card: ScoreCard) -> str:
+    """The §4.2-style per-query list for one system."""
+    lines = [f"{card.system} on the THALIA benchmark", "-" * 60]
+    for outcome in sorted(card.outcomes, key=lambda o: o.number):
+        label = query_short_name(outcome.number)
+        verdict = "correct" if outcome.correct else "incorrect"
+        lines.append(
+            f"  Query {outcome.number:>2} ({label}): "
+            f"{outcome.effort_label} -> {verdict}")
+    lines.append("-" * 60)
+    lines.append(f"  {card.summary()}")
+    return "\n".join(lines)
+
+
+def render_scoreboard(cards: list[ScoreCard]) -> str:
+    """The §3.2 scoring table across systems, ranked."""
+    ranked = rank(cards)
+    width = max(len(card.system) for card in ranked)
+    lines = ["THALIA scoreboard", "-" * (width + 44)]
+    lines.append(f"  {'system'.ljust(width)}  correct  complexity  no-code")
+    for card in ranked:
+        lines.append(
+            f"  {card.system.ljust(width)}  "
+            f"{card.correct_count:>3}/{MAX_CORRECT}  "
+            f"{card.complexity_score:>10}  {card.no_code_count:>7}")
+    return "\n".join(lines)
+
+
+def render_query_matrix(cards: list[ScoreCard]) -> str:
+    """Systems × queries matrix: one cell per outcome."""
+    ranked = rank(cards)
+    width = max(len(card.system) for card in ranked)
+    header = "  " + "system".ljust(width) + "  " + " ".join(
+        f"Q{q.number:<2}" for q in QUERIES)
+    lines = ["Per-query outcomes (+ correct, . incorrect, x unsupported)",
+             header]
+    for card in ranked:
+        cells = []
+        for query in QUERIES:
+            outcome = card.outcome(query.number)
+            if not outcome.supported:
+                cells.append("x  ")
+            elif outcome.correct:
+                cells.append("+  ")
+            else:
+                cells.append(".  ")
+        lines.append("  " + card.system.ljust(width) + "  "
+                     + " ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+def render_query_description(number: int) -> str:
+    """Human-readable card for one benchmark query."""
+    query = get_query(number)
+    return "\n".join([
+        f"Benchmark Query {query.number}: {query.name}",
+        f"  group:      {query.group}",
+        f"  capability: {query.capability.name} "
+        f"({query.capability.description})",
+        f"  reference:  {query.reference}   challenge: {query.challenge}",
+        "  query:",
+        *("    " + line for line in query.xquery.splitlines()),
+        f"  challenge:  {query.challenge_description}",
+    ])

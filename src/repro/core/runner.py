@@ -1,0 +1,47 @@
+"""Benchmark runner: systems × queries → score cards."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..catalogs import Testbed, build_testbed
+from .answers import gold_answer
+from .queries import QUERIES, BenchmarkQuery
+from .scoring import QueryOutcome, ScoreCard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..systems.base import IntegrationSystem
+
+
+def run_query(system: "IntegrationSystem", query: BenchmarkQuery,
+              testbed: Testbed) -> QueryOutcome:
+    """Run one system on one benchmark query and judge the answer."""
+    gold = gold_answer(query, testbed)
+    attempt = system.answer(query, testbed)
+    return QueryOutcome(
+        number=query.number,
+        supported=attempt.supported,
+        correct=attempt.answer == gold,
+        effort=attempt.effort,
+        note=attempt.note,
+    )
+
+
+def run_benchmark(system: "IntegrationSystem",
+                  testbed: Testbed | None = None,
+                  queries: Iterable[BenchmarkQuery] | None = None
+                  ) -> ScoreCard:
+    """Run a system through the (full, by default) benchmark."""
+    bed = testbed if testbed is not None else build_testbed()
+    chosen = list(queries) if queries is not None else list(QUERIES)
+    card = ScoreCard(system=system.name)
+    for query in chosen:
+        card.outcomes.append(run_query(system, query, bed))
+    return card
+
+
+def run_all(systems: Iterable["IntegrationSystem"],
+            testbed: Testbed | None = None) -> list[ScoreCard]:
+    """Run several systems over one shared testbed build."""
+    bed = testbed if testbed is not None else build_testbed()
+    return [run_benchmark(system, bed) for system in systems]

@@ -1,0 +1,92 @@
+"""THALIA's scoring function (§3.2 of the paper).
+
+* Each correctly answered benchmark query is worth **1 point**, for a
+  maximum of 12.
+* Queries the system answers only with the help of an external function
+  are charged a **complexity score**: low = 1, medium = 2, high = 3.
+* Among systems with the same number of correct answers, the *higher* the
+  complexity score the *lower* the rank ("the higher the complexity score,
+  the lower the level of sophistication of the integration system").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..integration import Effort
+
+MAX_CORRECT = 12
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one system on one benchmark query."""
+
+    number: int
+    supported: bool            # the system claims the needed capabilities
+    correct: bool              # its answer equals the gold answer
+    effort: Effort | None      # custom-code effort charged when supported
+    note: str = ""
+
+    @property
+    def complexity_points(self) -> int:
+        """Complexity charged for this query (0 when unsupported/no code)."""
+        if not self.supported or self.effort is None:
+            return 0
+        return int(self.effort)
+
+    @property
+    def effort_label(self) -> str:
+        if not self.supported:
+            return "not supported"
+        assert self.effort is not None
+        return self.effort.label
+
+
+@dataclass
+class ScoreCard:
+    """A full benchmark run for one system."""
+
+    system: str
+    outcomes: list[QueryOutcome] = field(default_factory=list)
+
+    def outcome(self, number: int) -> QueryOutcome:
+        for entry in self.outcomes:
+            if entry.number == number:
+                return entry
+        raise KeyError(f"no outcome recorded for query {number}")
+
+    @property
+    def correct_count(self) -> int:
+        """The paper's primary score: correct answers out of 12."""
+        return sum(1 for o in self.outcomes if o.correct)
+
+    @property
+    def complexity_score(self) -> int:
+        """Total complexity points over the *correct* answers."""
+        return sum(o.complexity_points for o in self.outcomes if o.correct)
+
+    @property
+    def no_code_count(self) -> int:
+        """Queries answered correctly with no custom code at all."""
+        return sum(1 for o in self.outcomes
+                   if o.correct and o.effort == Effort.NONE)
+
+    @property
+    def unsupported_numbers(self) -> list[int]:
+        return [o.number for o in self.outcomes if not o.supported]
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Rank key: more correct first; ties broken by lower complexity."""
+        return (-self.correct_count, self.complexity_score)
+
+    def summary(self) -> str:
+        return (f"{self.system}: {self.correct_count}/{MAX_CORRECT} correct, "
+                f"complexity {self.complexity_score} "
+                f"({self.no_code_count} with no code)")
+
+
+def rank(cards: list[ScoreCard]) -> list[ScoreCard]:
+    """Order score cards per the paper's ranking rule (stable)."""
+    return sorted(cards, key=lambda card: card.sort_key)

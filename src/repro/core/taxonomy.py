@@ -1,0 +1,143 @@
+"""The heterogeneity classification (§3) as a first-class artifact.
+
+The paper calls its "systematic classification of the different types of
+syntactic and semantic heterogeneities" a second major contribution. This
+module renders that classification — the three groups, the twelve cases,
+and (when given a testbed) the *live sample elements* from the reference
+and challenge schemas, exactly the way §3.1 presents each case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..catalogs import Testbed
+from ..integration.capabilities import (
+    ATTRIBUTE_HETEROGENEITIES,
+    Capability,
+    MISSING_DATA_HETEROGENEITIES,
+    STRUCTURAL_HETEROGENEITIES,
+)
+from ..xmlmodel import XmlElement, serialize_pretty
+from .queries import BenchmarkQuery, get_query
+
+GROUPS: tuple[tuple[str, str, tuple[Capability, ...]], ...] = (
+    ("Attribute Heterogeneities",
+     "heterogeneities that exist between two related attributes in "
+     "different schemas",
+     ATTRIBUTE_HETEROGENEITIES),
+    ("Missing Data",
+     "heterogeneities that are due to missing information (structure or "
+     "value) in one of the schemas",
+     MISSING_DATA_HETEROGENEITIES),
+    ("Structural Heterogeneities",
+     "heterogeneities that are due to discrepancies in the way related "
+     "information is modeled/represented in different schemas",
+     STRUCTURAL_HETEROGENEITIES),
+)
+
+
+@dataclass(frozen=True)
+class HeterogeneityCase:
+    """One of the twelve cases, with its benchmark query binding."""
+
+    number: int
+    name: str
+    group: str
+    group_description: str
+    capability: Capability
+    query: BenchmarkQuery
+
+    @property
+    def description(self) -> str:
+        return self.capability.description
+
+    @property
+    def challenge(self) -> str:
+        return self.query.challenge_description
+
+
+def all_cases() -> list[HeterogeneityCase]:
+    """The twelve cases in paper order."""
+    cases: list[HeterogeneityCase] = []
+    for group_name, group_description, capabilities in GROUPS:
+        for capability in capabilities:
+            query = get_query(capability.query_number)
+            cases.append(HeterogeneityCase(
+                number=capability.query_number,
+                name=query.name,
+                group=group_name,
+                group_description=group_description,
+                capability=capability,
+                query=query,
+            ))
+    return cases
+
+
+def _sample_element(testbed: Testbed, slug: str,
+                    query: BenchmarkQuery) -> XmlElement | None:
+    """A representative record from one source for one case.
+
+    Picks the first record the query's semantic evaluator accepts from
+    that source, falling back to the source's first record — mirroring the
+    paper's per-case "Sample Element" listings.
+    """
+    from ..integration import standard_mediator
+
+    bundle = testbed.source(slug)
+    mediator = standard_mediator([bundle.profile])
+    courses = mediator.integrate_document(bundle.document)
+    answer = query.evaluate(courses, mediator.lexicon)
+    wanted_codes = {entry[1] for entry in answer if entry[0] == slug}
+    records = bundle.document.root.element_children
+    if wanted_codes:
+        code_paths = ("CourseNum", "Nummer", "code", "title")
+        for record in records:
+            for path in code_paths:
+                value = record.findtext(path)
+                if value and any(code in value for code in wanted_codes):
+                    return record
+    return records[0] if records else None
+
+
+def render_case(case: HeterogeneityCase,
+                testbed: Testbed | None = None) -> str:
+    """One case in the paper's §3.1 presentation style."""
+    lines = [
+        f"{case.number}. {case.name}",
+        f"   group:       {case.group}",
+        f"   capability:  {case.capability.name} — {case.description}",
+        "   benchmark query:",
+    ]
+    lines.extend("     " + line for line in case.query.xquery.splitlines())
+    lines.append(f"   reference schema:  {case.query.reference}")
+    lines.append(f"   challenge schema:  {case.query.challenge}")
+    if testbed is not None:
+        for label, slug in (("Reference", case.query.reference),
+                            ("Challenge", case.query.challenge)):
+            if slug not in testbed:
+                continue
+            sample = _sample_element(testbed, slug, case.query)
+            if sample is None:
+                continue
+            lines.append(f"   {label} sample element ({slug}):")
+            rendered = serialize_pretty(sample, xml_declaration=False)
+            lines.extend("     " + line
+                         for line in rendered.strip().splitlines())
+    lines.append(f"   challenge: {case.challenge}")
+    return "\n".join(lines)
+
+
+def render_taxonomy(testbed: Testbed | None = None) -> str:
+    """The full §3 classification, optionally with live samples."""
+    lines = ["THALIA heterogeneity classification", "=" * 60]
+    current_group: str | None = None
+    for case in all_cases():
+        if case.group != current_group:
+            current_group = case.group
+            lines.append("")
+            lines.append(f"{case.group}: {case.group_description}.")
+            lines.append("-" * 60)
+        lines.append(render_case(case, testbed))
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Integration framework: global schema, mapping operators, mediator.
+
+This package is the machinery a THALIA-scoring integration system needs:
+declarative local→global mappings covering all twelve heterogeneity
+capabilities, two-kind NULL semantics, an EN↔DE lexicon, meeting-time
+transformations, and a mediator that integrates and merges sources.
+
+Quick use::
+
+    from repro.catalogs import build_testbed
+    from repro.integration import standard_mediator
+
+    testbed = build_testbed()
+    mediator = standard_mediator()
+    courses = mediator.integrate(testbed.documents, ["cmu", "umass"])
+"""
+
+from .capabilities import (
+    ATTRIBUTE_HETEROGENEITIES,
+    Capability,
+    Effort,
+    MISSING_DATA_HETEROGENEITIES,
+    STRUCTURAL_HETEROGENEITIES,
+    capability_for_query,
+)
+from .cleansing import clean_text, cleanse, merge_duplicates, normalize_name
+from .errors import (
+    IntegrationError,
+    MappingError,
+    TimeParseError,
+    UnsupportedCapabilityError,
+)
+from .globalschema import GlobalCourse
+from .mappings import (
+    ClassificationList,
+    CodeFromTitle,
+    CopyInstructor,
+    CopyRoom,
+    CopyText,
+    DecomposeCompositeTitle,
+    DirectTextTitle,
+    EntryLevelExplicit,
+    EntryLevelFromComment,
+    FlattenUnionTitle,
+    GermanSource,
+    InstructorsFromSectionTitles,
+    InstructorsFromTermColumns,
+    MappingContext,
+    MappingOp,
+    NullableField,
+    NumericUnits,
+    ParseTimeRange,
+    RoomFromText,
+    SectionStructure,
+    SplitInstructors,
+    WorkloadUnits,
+)
+from .matcher import (
+    FIELD_SYNONYMS,
+    MatchReport,
+    TagMatch,
+    auto_match,
+    mapping_from_report,
+    match_source,
+    observed_tags,
+)
+from .mediator import IntegrationReport, Mediator, SourceMapping
+from .rewrite import QueryRewriter, RewriteRules, q1_rules, q5_rules
+from .nulls import INAPPLICABLE, MISSING, Null, is_null
+from .standard import (
+    PAPER_MAPPINGS,
+    generic_mapping,
+    standard_mappings,
+    standard_mediator,
+)
+from .timeparse import parse_time, parse_time_range, to_12h, to_24h
+from .translate import DEFAULT_LEXICON, Lexicon
+from .warehouse import WAREHOUSE_DOC_NAME, Warehouse
+
+__all__ = [
+    "ATTRIBUTE_HETEROGENEITIES",
+    "Capability",
+    "ClassificationList",
+    "CodeFromTitle",
+    "CopyInstructor",
+    "CopyRoom",
+    "CopyText",
+    "DEFAULT_LEXICON",
+    "DecomposeCompositeTitle",
+    "DirectTextTitle",
+    "Effort",
+    "FIELD_SYNONYMS",
+    "EntryLevelExplicit",
+    "EntryLevelFromComment",
+    "FlattenUnionTitle",
+    "GermanSource",
+    "GlobalCourse",
+    "INAPPLICABLE",
+    "InstructorsFromSectionTitles",
+    "InstructorsFromTermColumns",
+    "IntegrationError",
+    "IntegrationReport",
+    "Lexicon",
+    "MISSING",
+    "MISSING_DATA_HETEROGENEITIES",
+    "MappingContext",
+    "MappingError",
+    "MappingOp",
+    "MatchReport",
+    "Mediator",
+    "Null",
+    "NullableField",
+    "NumericUnits",
+    "PAPER_MAPPINGS",
+    "ParseTimeRange",
+    "QueryRewriter",
+    "RewriteRules",
+    "RoomFromText",
+    "STRUCTURAL_HETEROGENEITIES",
+    "SectionStructure",
+    "SourceMapping",
+    "SplitInstructors",
+    "TagMatch",
+    "TimeParseError",
+    "UnsupportedCapabilityError",
+    "WAREHOUSE_DOC_NAME",
+    "Warehouse",
+    "WorkloadUnits",
+    "auto_match",
+    "capability_for_query",
+    "clean_text",
+    "cleanse",
+    "generic_mapping",
+    "mapping_from_report",
+    "merge_duplicates",
+    "normalize_name",
+    "match_source",
+    "observed_tags",
+    "is_null",
+    "parse_time",
+    "q1_rules",
+    "q5_rules",
+    "parse_time_range",
+    "standard_mappings",
+    "standard_mediator",
+    "to_12h",
+    "to_24h",
+]

@@ -1,0 +1,111 @@
+"""The twelve heterogeneity-resolution capabilities and the effort scale.
+
+The paper's §3 classification maps one-to-one onto benchmark queries; the
+capability enum below is the machine-readable form. A system's *capability
+profile* (see :mod:`repro.systems`) assigns each capability an
+:class:`Effort` — or omits it entirely, which is the paper's "no easy way
+to deal with this" verdict.
+
+The effort scale is the paper's scoring scale for external functions:
+low = 1, medium = 2, high = 3 complexity points; NONE means the system's
+built-in mapping machinery covers the case with no custom code.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Effort(enum.IntEnum):
+    """Integration effort, ordered; the value is the complexity score."""
+
+    NONE = 0     # supported declaratively, no custom code
+    LOW = 1      # small amount of custom code
+    MEDIUM = 2   # moderate amount of custom code
+    HIGH = 3     # large amount of custom code
+
+    @property
+    def label(self) -> str:
+        return {
+            Effort.NONE: "no code",
+            Effort.LOW: "small amount of code",
+            Effort.MEDIUM: "moderate amount of code",
+            Effort.HIGH: "large amount of custom code",
+        }[self]
+
+
+class Capability(enum.Enum):
+    """One heterogeneity-resolution capability (= one benchmark query)."""
+
+    RENAME = 1             # Q1 synonyms: Instructor vs Lecturer
+    VALUE_TRANSFORM = 2    # Q2 simple mapping: 12h vs 24h clock
+    UNION_TYPE = 3         # Q3 union types: string vs link + string
+    COMPLEX_TRANSFORM = 4  # Q4 complex mapping: Units vs Umfang text
+    TRANSLATION = 5        # Q5 language: English vs German
+    NULL_HANDLING = 6      # Q6 nulls: absent/empty textbook
+    INFERENCE = 7          # Q7 virtual columns: prereq from comment
+    SEMANTIC_NULL = 8      # Q8 semantic incompatibility: two NULL kinds
+    RESTRUCTURE = 9        # Q9 same attribute in different structure
+    SET_HANDLING = 10      # Q10 sets: one field vs per-section values
+    COLUMN_SEMANTICS = 11  # Q11 attribute name does not define semantics
+    DECOMPOSITION = 12     # Q12 attribute composition
+
+    @property
+    def query_number(self) -> int:
+        """The benchmark query exercising this capability."""
+        return self.value
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    Capability.RENAME:
+        "map attributes whose names differ but meanings agree",
+    Capability.VALUE_TRANSFORM:
+        "apply a simple mathematical transformation to attribute values",
+    Capability.UNION_TYPE:
+        "match values represented with different data types "
+        "(string vs link + string)",
+    Capability.COMPLEX_TRANSFORM:
+        "apply a complex, not first-principles-computable value "
+        "transformation",
+    Capability.TRANSLATION:
+        "translate attribute names and values between natural languages",
+    Capability.NULL_HANDLING:
+        "treat absent or empty values as proper NULLs in results",
+    Capability.INFERENCE:
+        "infer implicit attribute values from other attributes",
+    Capability.SEMANTIC_NULL:
+        "distinguish 'missing but possible' from 'cannot be present'",
+    Capability.RESTRUCTURE:
+        "locate the same attribute at different schema positions",
+    Capability.SET_HANDLING:
+        "reconcile set-valued attributes with per-element structures",
+    Capability.COLUMN_SEMANTICS:
+        "attach semantics to attributes whose names do not describe them",
+    Capability.DECOMPOSITION:
+        "decompose composite values into their components",
+}
+
+#: the paper's three heterogeneity groups (§3.1)
+ATTRIBUTE_HETEROGENEITIES = (
+    Capability.RENAME, Capability.VALUE_TRANSFORM, Capability.UNION_TYPE,
+    Capability.COMPLEX_TRANSFORM, Capability.TRANSLATION,
+)
+MISSING_DATA_HETEROGENEITIES = (
+    Capability.NULL_HANDLING, Capability.INFERENCE, Capability.SEMANTIC_NULL,
+)
+STRUCTURAL_HETEROGENEITIES = (
+    Capability.RESTRUCTURE, Capability.SET_HANDLING,
+    Capability.COLUMN_SEMANTICS, Capability.DECOMPOSITION,
+)
+
+
+def capability_for_query(number: int) -> Capability:
+    """The capability exercised by benchmark query *number* (1-12)."""
+    for capability in Capability:
+        if capability.value == number:
+            return capability
+    raise ValueError(f"benchmark queries are numbered 1-12, got {number}")

@@ -1,0 +1,119 @@
+"""Data cleansing for integrated results.
+
+IWIZ's mediator is "capable of merging and cleansing heterogeneous data
+from multiple sources" (§4.2), and the paper's related work cites Rahm &
+Do's data-cleaning survey (ref. [14]). This module provides the cleansing
+pass the mediator applies to integrated :class:`GlobalCourse` records:
+
+* **instructor-name normalization** — the testbed renders the same person
+  as ``Singh, H.`` (UMD's comma-initial style) and ``H. Singh`` or plain
+  ``Singh`` elsewhere; cleansing canonicalizes to ``surname, initial``
+  where an initial is known and bare ``surname`` otherwise;
+* **whitespace / punctuation repair** — stray semicolons, doubled spaces,
+  non-breaking spaces from scraped HTML;
+* **duplicate collapse** — one record per (source, code), merging field
+  values with non-null-wins semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+
+from .globalschema import GlobalCourse
+from .nulls import is_null
+
+_COMMA_NAME_RE = re.compile(
+    r"^(?P<surname>[^,]+),\s*(?P<initial>[A-Za-z])\.?$")
+_INITIAL_FIRST_RE = re.compile(
+    r"^(?P<initial>[A-Za-z])\.\s+(?P<surname>\S+)$")
+_NBSP = " "
+
+
+def normalize_name(name: str) -> str:
+    """Canonical instructor form: ``surname, I.`` or bare ``surname``.
+
+    >>> normalize_name("Singh, H")
+    'Singh, H.'
+    >>> normalize_name("H. Singh")
+    'Singh, H.'
+    >>> normalize_name("  Ailamaki ")
+    'Ailamaki'
+    """
+    cleaned = clean_text(name)
+    match = _COMMA_NAME_RE.match(cleaned)
+    if match:
+        return f"{match.group('surname').strip()}, " \
+               f"{match.group('initial').upper()}."
+    match = _INITIAL_FIRST_RE.match(cleaned)
+    if match:
+        return f"{match.group('surname').strip()}, " \
+               f"{match.group('initial').upper()}."
+    return cleaned
+
+
+def clean_text(value: str) -> str:
+    """Whitespace/punctuation repair for one scraped value."""
+    text = value.replace(_NBSP, " ")
+    text = " ".join(text.split())
+    return text.strip(" ;").strip()
+
+
+def _merge_values(first, second):
+    """Non-null-wins merge of one field across duplicate records."""
+    if first is None or is_null(first):
+        return second if second is not None else first
+    if isinstance(first, tuple) and isinstance(second, tuple):
+        merged = list(first)
+        for item in second:
+            if item not in merged:
+                merged.append(item)
+        return tuple(merged)
+    return first
+
+
+def merge_duplicates(courses: list[GlobalCourse]) -> list[GlobalCourse]:
+    """Collapse records sharing a (source, code) key, order-preserving."""
+    merged: dict[tuple[str, str], GlobalCourse] = {}
+    order: list[tuple[str, str]] = []
+    for course in courses:
+        if course.key not in merged:
+            merged[course.key] = course
+            order.append(course.key)
+            continue
+        existing = merged[course.key]
+        merged[course.key] = replace(
+            existing,
+            title=existing.title or course.title,
+            instructors=_merge_values(existing.instructors,
+                                      course.instructors),
+            rooms=_merge_values(existing.rooms, course.rooms),
+            units=_merge_values(existing.units, course.units),
+            textbook=_merge_values(existing.textbook, course.textbook),
+            entry_level=(existing.entry_level
+                         if existing.entry_level is not None
+                         else course.entry_level),
+            open_to=_merge_values(existing.open_to, course.open_to),
+            start_minute=(existing.start_minute
+                          if existing.start_minute is not None
+                          else course.start_minute),
+            end_minute=(existing.end_minute
+                        if existing.end_minute is not None
+                        else course.end_minute),
+        )
+    return [merged[key] for key in order]
+
+
+def cleanse(courses: list[GlobalCourse]) -> list[GlobalCourse]:
+    """The full cleansing pass: per-record repair, then duplicate merge."""
+    repaired = []
+    for course in courses:
+        repaired.append(replace(
+            course,
+            title=clean_text(course.title),
+            instructors=tuple(normalize_name(name)
+                              for name in course.instructors),
+            rooms=(tuple(clean_text(room) for room in course.rooms)
+                   if isinstance(course.rooms, tuple) else course.rooms),
+        ))
+    return merge_duplicates(repaired)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the integration framework."""
+
+from __future__ import annotations
+
+
+class IntegrationError(Exception):
+    """Base class for all integration framework errors."""
+
+
+class MappingError(IntegrationError):
+    """Raised when a mapping operator cannot be applied to a record."""
+
+    def __init__(self, message: str, source: str | None = None) -> None:
+        if source:
+            message = f"[{source}] {message}"
+        super().__init__(message)
+        self.source = source
+
+
+class UnsupportedCapabilityError(IntegrationError):
+    """Raised when a system is asked to exercise a capability it lacks.
+
+    This is the mechanized form of the paper's "no easy way to deal with
+    this" verdicts in §4.2.
+    """
+
+    def __init__(self, system: str, capability: str) -> None:
+        super().__init__(
+            f"{system} does not support the {capability} capability")
+        self.system = system
+        self.capability = capability
+
+
+class TimeParseError(IntegrationError):
+    """Raised when a meeting-time string cannot be interpreted."""

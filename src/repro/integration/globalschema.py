@@ -1,0 +1,218 @@
+"""The integrated (global) schema.
+
+Following Cohera's and IWIZ's architecture, users query one *global schema*
+and per-source mappings populate it. :class:`GlobalCourse` is the global
+schema's single entity: one course, with every attribute either a concrete
+value or one of the two NULL kinds from :mod:`repro.integration.nulls`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xmlmodel import XmlElement, element
+from .nulls import INAPPLICABLE, MISSING, Null, is_null
+from .timeparse import to_24h
+from .translate import DEFAULT_LEXICON, Lexicon
+
+
+@dataclass
+class GlobalCourse:
+    """One course in the integrated schema.
+
+    ``source`` and ``code`` identify the record; everything else may be a
+    value, ``None`` (the mapping produced nothing and no null policy
+    applied) or a :class:`Null` marker carrying the reason.
+    """
+
+    source: str
+    code: str
+    title: str
+    language: str = "en"
+    title_url: str | None = None
+    instructors: tuple[str, ...] = ()
+    days: str | None = None
+    start_minute: int | None = None
+    end_minute: int | None = None
+    rooms: tuple[str, ...] | Null = ()
+    units: float | Null | None = None
+    entry_level: bool | Null | None = None
+    textbook: str | Null | None = None
+    open_to: tuple[str, ...] | Null = ()
+    description: str = ""
+    extras: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.source, self.code)
+
+    # -- matching helpers (used by the semantic benchmark queries) -------- #
+
+    def title_matches(self, english_term: str,
+                      lexicon: Lexicon | None = None) -> bool:
+        """Substring match against the title, translation-aware.
+
+        For an English-language source this is a plain case-insensitive
+        substring test; for a German source the lexicon's equivalents are
+        consulted too (the Q5 rule).
+        """
+        active = lexicon if lexicon is not None else DEFAULT_LEXICON
+        if self.language == "en":
+            return english_term.lower() in self.title.lower()
+        return active.text_matches_term(self.title, english_term)
+
+    def taught_by(self, name: str) -> bool:
+        """True when *name* is one of the instructors (exact, trimmed)."""
+        wanted = name.strip()
+        return any(instr.strip() == wanted for instr in self.instructors)
+
+    def meets_at(self, minute: int) -> bool:
+        return self.start_minute == minute
+
+    def open_to_classification(self, classification: str) -> bool | Null:
+        """Membership test that propagates NULL kinds (the Q8 rule)."""
+        if is_null(self.open_to):
+            assert isinstance(self.open_to, Null)
+            return self.open_to
+        return classification in self.open_to
+
+    # -- rendering --------------------------------------------------------#
+
+    def time_range_24h(self) -> str | None:
+        if self.start_minute is None or self.end_minute is None:
+            return None
+        return f"{to_24h(self.start_minute)}-{to_24h(self.end_minute)}"
+
+    def to_xml(self) -> XmlElement:
+        """Render as an integrated-result element (sample-solution style).
+
+        The rendering is lossless for every global-schema field:
+        :meth:`from_xml` inverts it, which lets the warehouse materialize
+        integrated XML and reconstruct records from query results.
+        """
+        node = element("Course", source=self.source, code=self.code)
+        if self.language != "en":
+            node.set("language", self.language)
+        title = element("Title", self.title)
+        if self.title_url:
+            title.set("url", self.title_url)
+        node.append(title)
+        for instructor in self.instructors:
+            node.append(element("Instructor", instructor))
+        if self.days:
+            node.append(element("Days", self.days))
+        time_range = self.time_range_24h()
+        if time_range:
+            node.append(element("Time", time_range))
+        rooms = self._value_element("Rooms", self.rooms, multi="Room")
+        if rooms is not None:
+            node.append(rooms)
+        for name, value in (("Units", self.units),
+                            ("EntryLevel", self.entry_level),
+                            ("Textbook", self.textbook)):
+            rendered = self._value_element(name, value)
+            if rendered is not None:
+                node.append(rendered)
+        open_to = self._value_element("OpenTo", self.open_to,
+                                      multi="Classification")
+        if open_to is not None:
+            node.append(open_to)
+        if self.description:
+            node.append(element("Description", self.description))
+        for key in sorted(self.extras):
+            node.append(element("Extra", self.extras[key], name=key))
+        return node
+
+    @classmethod
+    def from_xml(cls, node: XmlElement) -> "GlobalCourse":
+        """Reconstruct a record from its :meth:`to_xml` rendering."""
+        if node.tag != "Course" or node.get("source") is None \
+                or node.get("code") is None:
+            raise ValueError(f"not a global Course element: {node!r}")
+        title_node = node.find("Title")
+        start_minute = end_minute = None
+        time_text = node.findtext("Time")
+        if time_text:
+            from .timeparse import parse_time_range
+            # The rendering is zero-padded 24h; the academic heuristic
+            # must stay off ("01:30" is half past midnight here).
+            start_minute, end_minute = parse_time_range(
+                time_text, assume_academic=False)
+        return cls(
+            source=node.get("source"),
+            code=node.get("code"),
+            title=title_node.normalized_text if title_node is not None
+            else "",
+            language=node.get("language") or "en",
+            title_url=(title_node.get("url")
+                       if title_node is not None else None),
+            instructors=tuple(i.normalized_text
+                              for i in node.findall("Instructor")),
+            days=node.findtext("Days"),
+            start_minute=start_minute,
+            end_minute=end_minute,
+            rooms=cls._parse_multi(node.find("Rooms"), "Room"),
+            units=cls._parse_scalar(node.find("Units"), numeric=True),
+            entry_level=cls._parse_scalar(node.find("EntryLevel"),
+                                          boolean=True),
+            textbook=cls._parse_scalar(node.find("Textbook")),
+            open_to=cls._parse_multi(node.find("OpenTo"),
+                                     "Classification"),
+            description=node.findtext("Description") or "",
+            extras={extra.get("name"): extra.normalized_text
+                    for extra in node.findall("Extra")},
+        )
+
+    @staticmethod
+    def _parse_multi(container: XmlElement | None, item_tag: str):
+        if container is None:
+            return ()
+        null_node = container.find("null")
+        if null_node is not None:
+            return Null.from_xml(null_node)
+        return tuple(item.normalized_text
+                     for item in container.findall(item_tag))
+
+    @staticmethod
+    def _parse_scalar(container: XmlElement | None,
+                      numeric: bool = False, boolean: bool = False):
+        if container is None:
+            return None
+        null_node = container.find("null")
+        if null_node is not None:
+            return Null.from_xml(null_node)
+        text = container.normalized_text
+        if numeric:
+            return float(text)
+        if boolean:
+            return text == "true"
+        return text
+
+    @staticmethod
+    def _value_element(name: str, value: object,
+                       multi: str | None = None) -> XmlElement | None:
+        if value is None:
+            return None
+        node = XmlElement(name)
+        if is_null(value):
+            assert isinstance(value, Null)
+            node.append(value.to_xml())
+            return node
+        if isinstance(value, tuple):
+            if not value:
+                return None
+            assert multi is not None
+            for item in value:
+                node.append(element(multi, str(item)))
+            return node
+        if isinstance(value, bool):
+            node.append("true" if value else "false")
+            return node
+        if isinstance(value, float) and value == int(value):
+            node.append(str(int(value)))
+            return node
+        node.append(str(value))
+        return node
+
+
+__all__ = ["GlobalCourse", "MISSING", "INAPPLICABLE"]

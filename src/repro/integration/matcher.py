@@ -1,0 +1,212 @@
+"""Automatic schema matching: a 2004-vintage baseline.
+
+The paper's related work points at the schema-matching literature (Rahm &
+Bernstein's survey, ref. [13]) as the automated alternative to hand-written
+mappings. This module implements that baseline: a *name-based matcher*
+that inspects a source's extracted XML, matches its element tags against a
+synonym vocabulary (plus edit-distance similarity), and emits a
+:class:`~repro.integration.mediator.SourceMapping` with zero human input.
+
+The point of running it against THALIA (see
+``benchmarks/bench_ext_automatch.py``) is the paper's own: name-level
+matching resolves the *renaming* family cheaply, and then runs headlong
+into everything value-level and structural.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+from ..xmlmodel import XmlDocument
+from .mappings import (
+    ClassificationList,
+    CopyInstructor,
+    CopyRoom,
+    CopyText,
+    EntryLevelExplicit,
+    MappingOp,
+    NullableField,
+    NumericUnits,
+    ParseTimeRange,
+)
+from .mediator import SourceMapping
+from .nulls import MISSING
+
+#: global field -> lowercase tag names that denote it across the testbed
+FIELD_SYNONYMS: dict[str, frozenset[str]] = {
+    "code": frozenset({
+        "coursenum", "coursenumber", "courseno", "courseid", "coursecode",
+        "code", "number", "nummer", "nr", "crn", "ccn", "listing",
+        "callnumber", "callno", "uniqueno", "kennung", "lva-nr", "index",
+        "classnbr", "catalog", "mnemonic", "abbrev", "designator",
+        "unitcode", "modulecode", "paperno", "vaknummer", "subject",
+    }),
+    "title": frozenset({
+        "title", "coursetitle", "coursename", "name", "titel",
+        "veranstaltung", "longtitle", "long_title", "descr", "course",
+        "unitname", "moduletitle", "vaknaam",
+    }),
+    "instructor": frozenset({
+        "instructor", "lecturer", "teacher", "professor", "staff",
+        "faculty", "dozent", "taught_by", "organiser", "tutor",
+        "coordinator", "professeur", "vortragende", "docent",
+    }),
+    "time": frozenset({
+        "time", "times", "schedule", "meetingtime", "meets", "meeting",
+        "daytime", "daystime", "pattern", "sessions", "session", "zeit",
+        "termin", "horaire", "timetable", "slot", "period", "mtgtime",
+        "days_times", "timeplace", "tijdstip",
+    }),
+    "room": frozenset({
+        "room", "location", "where", "building", "facility", "venue",
+        "place", "bldg", "ort", "raum", "salle", "zaal", "hall",
+        "gebäude", "hörsaal", "college", "annex", "roomno", "mtgloc",
+        "locatie",
+    }),
+    "units": frozenset({
+        "units", "credits", "credit", "hours", "points", "credithours",
+        "credithrs", "umfang", "sws", "wochenstunden", "creditpoints",
+        "modularcredits", "ects",
+    }),
+    "textbook": frozenset({"textbook", "text", "book"}),
+    "prerequisite": frozenset({"prerequisite", "prereq", "prerequisites"}),
+    "restriction": frozenset({"restricted", "restrictions", "opento"}),
+}
+
+SIMILARITY_THRESHOLD = 0.8
+
+
+@dataclass(frozen=True)
+class TagMatch:
+    """One matched source tag."""
+
+    tag: str
+    target: str          # global field name
+    confidence: float    # 1.0 for exact synonym hits
+    method: str          # "synonym" | "similarity"
+
+
+@dataclass
+class MatchReport:
+    """Outcome of matching one source."""
+
+    source: str
+    record_path: str
+    matches: list[TagMatch]
+    unmatched: list[str]
+
+    def target_of(self, tag: str) -> str | None:
+        for match in self.matches:
+            if match.tag == tag:
+                return match.target
+        return None
+
+    def tag_for(self, target: str) -> str | None:
+        for match in self.matches:
+            if match.target == target:
+                return match.tag
+        return None
+
+
+def observed_tags(document: XmlDocument,
+                  record_path: str | None = None) -> tuple[str, list[str]]:
+    """Infer the record tag and the union of per-record child tags."""
+    root = document.root
+    if record_path is None:
+        counts: dict[str, int] = {}
+        for child in root.element_children:
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+        if not counts:
+            return "Course", []
+        record_path = max(counts, key=lambda tag: counts[tag])
+    tags: list[str] = []
+    for record in root.findall(record_path):
+        for child in record.element_children:
+            if child.tag not in tags:
+                tags.append(child.tag)
+    return record_path, tags
+
+
+def _match_one(tag: str) -> tuple[str, float, str] | None:
+    """Best (target, confidence, method) for one tag, or None."""
+    needle = tag.lower()
+    for target, synonyms in FIELD_SYNONYMS.items():
+        if needle in synonyms:
+            return target, 1.0, "synonym"
+    best: tuple[str, float] | None = None
+    for target, synonyms in FIELD_SYNONYMS.items():
+        for synonym in synonyms:
+            ratio = difflib.SequenceMatcher(None, needle, synonym).ratio()
+            if ratio >= SIMILARITY_THRESHOLD and \
+                    (best is None or ratio > best[1]):
+                best = (target, ratio)
+    if best is None:
+        return None
+    return best[0], best[1], "similarity"
+
+
+def match_source(document: XmlDocument,
+                 source: str | None = None) -> MatchReport:
+    """Match one extracted document's tags against the global schema.
+
+    Each global field is claimed by at most one tag (the highest-
+    confidence candidate wins; document order breaks ties).
+    """
+    slug = source or document.source_name or "unknown"
+    record_path, tags = observed_tags(document)
+    candidates: list[tuple[str, str, float, str]] = []
+    unmatched: list[str] = []
+    for tag in tags:
+        result = _match_one(tag)
+        if result is None:
+            unmatched.append(tag)
+        else:
+            target, confidence, method = result
+            candidates.append((tag, target, confidence, method))
+    claimed: dict[str, TagMatch] = {}
+    for tag, target, confidence, method in candidates:
+        existing = claimed.get(target)
+        if existing is None or confidence > existing.confidence:
+            if existing is not None:
+                unmatched.append(existing.tag)
+            claimed[target] = TagMatch(tag, target, confidence, method)
+        else:
+            unmatched.append(tag)
+    return MatchReport(source=slug, record_path=record_path,
+                       matches=list(claimed.values()), unmatched=unmatched)
+
+
+def mapping_from_report(report: MatchReport) -> SourceMapping:
+    """Turn a match report into a runnable SourceMapping.
+
+    Ops are *lenient*: an automatic matcher has no business crashing on a
+    value it merely misunderstands (ETH's ``2V1U`` units simply produce no
+    numeric value).
+    """
+    ops: list[MappingOp] = []
+    builders = {
+        "title": lambda tag: CopyText(tag, "title", rstrip=";"),
+        "instructor": CopyInstructor,
+        "time": lambda tag: ParseTimeRange(tag, lenient=True),
+        "room": CopyRoom,
+        "units": lambda tag: NumericUnits(tag, lenient=True),
+        "textbook": lambda tag: NullableField("textbook", tag, MISSING),
+        "prerequisite": EntryLevelExplicit,
+        "restriction": ClassificationList,
+    }
+    for target, builder in builders.items():
+        tag = report.tag_for(target)
+        if tag is not None:
+            ops.append(builder(tag))
+    if report.tag_for("textbook") is None:
+        ops.append(NullableField("textbook", None, MISSING))
+    code_tag = report.tag_for("code") or "CourseNum"
+    return SourceMapping(report.source, report.record_path, ops,
+                         code_path=code_tag)
+
+
+def auto_match(document: XmlDocument,
+               source: str | None = None) -> SourceMapping:
+    """One-shot: match a document and build its mapping."""
+    return mapping_from_report(match_source(document, source))

@@ -1,0 +1,69 @@
+"""Two-kind NULL semantics.
+
+Benchmark Query 8's challenge text is explicit: "one must distinguish
+'data missing but could be present' (see case 6) from 'data missing and
+cannot be present'". This module provides the two distinguishable markers:
+
+* :data:`MISSING` — the schema has (or could have) the attribute, but this
+  record carries no value (Toronto's empty textbook element, or a CMU
+  course in a schema with no textbook field that *could* exist).
+* :data:`INAPPLICABLE` — the modeled real-world concept does not exist at
+  the source (American student classifications at ETH).
+
+Both are falsy, compare equal only to themselves, and survive a round trip
+through the XML rendering of integrated results (``<null kind="..."/>``).
+"""
+
+from __future__ import annotations
+
+from ..xmlmodel import XmlElement
+
+
+class Null:
+    """One NULL kind. Instances are interned: use the module constants."""
+
+    __slots__ = ("kind",)
+    _registry: dict[str, "Null"] = {}
+
+    def __new__(cls, kind: str) -> "Null":
+        if kind not in ("missing", "inapplicable"):
+            raise ValueError(f"unknown null kind {kind!r}")
+        if kind not in cls._registry:
+            instance = super().__new__(cls)
+            instance.kind = kind
+            cls._registry[kind] = instance
+        return cls._registry[kind]
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"<NULL:{self.kind}>"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(("Null", self.kind))
+
+    def to_xml(self) -> XmlElement:
+        """Render as ``<null kind="missing"/>`` for integrated results."""
+        return XmlElement("null", {"kind": self.kind})
+
+    @classmethod
+    def from_xml(cls, node: XmlElement) -> "Null":
+        kind = node.get("kind")
+        if node.tag != "null" or kind is None:
+            raise ValueError(f"not a null element: {node!r}")
+        return cls(kind)
+
+
+#: data missing but could be present (Benchmark Query 6)
+MISSING = Null("missing")
+#: data missing and cannot be present (Benchmark Query 8)
+INAPPLICABLE = Null("inapplicable")
+
+
+def is_null(value: object) -> bool:
+    """True when *value* is one of the two NULL markers."""
+    return isinstance(value, Null)

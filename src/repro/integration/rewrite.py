@@ -1,0 +1,256 @@
+"""Schema-aware query rewriting.
+
+§3.2 of the paper: "If necessary the benchmark queries may need to be
+translated into the native language of the integration system first."
+This module does the inverse translation the *renaming* family of
+heterogeneities admits: given the synonym/translation correspondence
+between a reference schema and a challenge schema, it rewrites a reference
+XQuery into one that runs directly against the challenge source —
+mechanizing the "supportable by the local to global schema mapping" rows
+of the paper's §4.2 tables.
+
+Only name-level rewrites are expressible (element renamings, document
+retargeting, LIKE-pattern value translation); structural and value-level
+heterogeneities are exactly the cases where rewriting is *not* enough and
+a mediator is required, which is the boundary the benchmark probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xquery.ast import (
+    Arithmetic,
+    Comparison,
+    ContextItem,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    Logical,
+    Not,
+    OrderSpec,
+    PathExpr,
+    Quantified,
+    Sequence,
+    Step,
+    VarRef,
+)
+from ..xquery.parser import parse_query
+from ..xquery.unparse import unparse
+from .translate import DEFAULT_LEXICON, Lexicon
+
+
+@dataclass
+class RewriteRules:
+    """What the rewriter may change.
+
+    ``tag_map`` renames element-step names (``Instructor`` → ``Lecturer``);
+    ``doc_map`` retargets ``doc()`` calls (``gatech.xml`` → ``cmu.xml``);
+    ``translate_patterns`` additionally rewrites LIKE string literals with
+    the lexicon's German equivalents (one rewritten query per equivalent —
+    use :meth:`QueryRewriter.rewrite_all`).
+    """
+
+    tag_map: dict[str, str] = field(default_factory=dict)
+    doc_map: dict[str, str] = field(default_factory=dict)
+    translate_patterns: bool = False
+
+    def map_tag(self, name: str) -> str:
+        return self.tag_map.get(name, name)
+
+    def map_doc(self, name: str) -> str:
+        key = name[:-4] if name.endswith(".xml") else name
+        if key in self.doc_map:
+            target = self.doc_map[key]
+            return f"{target}.xml" if name.endswith(".xml") else target
+        return self.doc_map.get(name, name)
+
+
+class QueryRewriter:
+    """Rewrites reference queries for a challenge schema."""
+
+    def __init__(self, rules: RewriteRules,
+                 lexicon: Lexicon | None = None) -> None:
+        self.rules = rules
+        self.lexicon = lexicon if lexicon is not None else DEFAULT_LEXICON
+
+    # ------------------------------------------------------------------ #
+
+    def rewrite(self, source: str) -> str:
+        """Rewrite query text; returns the first variant's text."""
+        return self.rewrite_all(source)[0]
+
+    def rewrite_all(self, source: str) -> list[str]:
+        """All rewrite variants (several when patterns are translated).
+
+        Pattern translation fans out: an English LIKE literal with N
+        German equivalents yields N variants, because a substring match
+        cannot union alternatives in a single literal.
+        """
+        ast = parse_query(source)
+        variants = [self._rewrite_expr(ast, substitution=None)]
+        if self.rules.translate_patterns:
+            for substitution in self._pattern_substitutions(ast):
+                variants.append(self._rewrite_expr(ast, substitution))
+        return [unparse(variant) for variant in variants]
+
+    # ------------------------------------------------------------------ #
+
+    def _pattern_substitutions(self, ast: Expr) -> list[dict[str, str]]:
+        """One substitution map per German equivalent of any LIKE term."""
+        patterns: list[str] = []
+        _collect_like_patterns(ast, patterns)
+        substitutions: list[dict[str, str]] = []
+        for pattern in patterns:
+            term = pattern.strip("%").strip()
+            for german in self.lexicon.german_equivalents(term):
+                substitutions.append({pattern: f"%{german}%"})
+        return substitutions
+
+    def _rewrite_expr(self, node: Expr,
+                      substitution: dict[str, str] | None) -> Expr:
+        recurse = lambda child: self._rewrite_expr(child, substitution)  # noqa: E731
+        if isinstance(node, Literal):
+            if substitution and isinstance(node.value, str) \
+                    and node.value in substitution:
+                return Literal(substitution[node.value])
+            return node
+        if isinstance(node, (VarRef, ContextItem)):
+            return node
+        if isinstance(node, FunctionCall):
+            args = tuple(recurse(arg) for arg in node.args)
+            if node.name in ("doc", "fn:doc") and args \
+                    and isinstance(args[0], Literal) \
+                    and isinstance(args[0].value, str):
+                args = (Literal(self.rules.map_doc(args[0].value)),) \
+                    + args[1:]
+            return FunctionCall(node.name, args)
+        if isinstance(node, PathExpr):
+            return PathExpr(recurse(node.base),
+                            tuple(self._rewrite_step(step, substitution)
+                                  for step in node.steps))
+        if isinstance(node, Comparison):
+            return Comparison(node.op, recurse(node.left),
+                              recurse(node.right))
+        if isinstance(node, Arithmetic):
+            return Arithmetic(node.op, recurse(node.left),
+                              recurse(node.right))
+        if isinstance(node, Logical):
+            return Logical(node.op, recurse(node.left), recurse(node.right))
+        if isinstance(node, Not):
+            return Not(recurse(node.operand))
+        if isinstance(node, Sequence):
+            return Sequence(tuple(recurse(item) for item in node.items))
+        if isinstance(node, FLWOR):
+            clauses = []
+            for clause in node.clauses:
+                if isinstance(clause, ForClause):
+                    clauses.append(ForClause(clause.variable,
+                                             recurse(clause.source)))
+                else:
+                    assert isinstance(clause, LetClause)
+                    clauses.append(LetClause(clause.variable,
+                                             recurse(clause.value)))
+            where = recurse(node.where) if node.where is not None else None
+            order_specs = tuple(
+                OrderSpec(recurse(spec.key), spec.descending)
+                for spec in node.order_specs)
+            return FLWOR(tuple(clauses), where, recurse(node.returns),
+                         order_specs)
+        if isinstance(node, Quantified):
+            bindings = tuple(
+                ForClause(clause.variable, recurse(clause.source))
+                for clause in node.bindings)
+            return Quantified(node.kind, bindings, recurse(node.condition))
+        if isinstance(node, IfExpr):
+            return IfExpr(recurse(node.condition),
+                          recurse(node.then_branch),
+                          recurse(node.else_branch))
+        if isinstance(node, ElementConstructor):
+            content = recurse(node.content) \
+                if node.content is not None else None
+            return ElementConstructor(node.name, content)
+        raise TypeError(  # pragma: no cover - all node types handled
+            f"cannot rewrite {type(node).__name__}")
+
+    def _rewrite_step(self, step: Step,
+                      substitution: dict[str, str] | None) -> Step:
+        name = step.name
+        if step.kind == "element" and name != "*":
+            name = self.rules.map_tag(name)
+        elif step.kind == "attribute":
+            name = self.rules.map_tag(name)
+        predicates = tuple(self._rewrite_expr(p, substitution)
+                           for p in step.predicates)
+        return Step(step.axis, step.kind, name, predicates)
+
+
+def _collect_like_patterns(node: Expr, out: list[str]) -> None:
+    if isinstance(node, Literal):
+        if isinstance(node.value, str) and "%" in node.value:
+            out.append(node.value)
+        return
+    if isinstance(node, (VarRef, ContextItem)):
+        return
+    if isinstance(node, FunctionCall):
+        for arg in node.args:
+            _collect_like_patterns(arg, out)
+    elif isinstance(node, PathExpr):
+        _collect_like_patterns(node.base, out)
+        for step in node.steps:
+            for predicate in step.predicates:
+                _collect_like_patterns(predicate, out)
+    elif isinstance(node, (Comparison, Arithmetic, Logical)):
+        _collect_like_patterns(node.left, out)
+        _collect_like_patterns(node.right, out)
+    elif isinstance(node, Not):
+        _collect_like_patterns(node.operand, out)
+    elif isinstance(node, Sequence):
+        for item in node.items:
+            _collect_like_patterns(item, out)
+    elif isinstance(node, FLWOR):
+        for clause in node.clauses:
+            source = clause.source if isinstance(clause, ForClause) \
+                else clause.value
+            _collect_like_patterns(source, out)
+        if node.where is not None:
+            _collect_like_patterns(node.where, out)
+        for spec in node.order_specs:
+            _collect_like_patterns(spec.key, out)
+        _collect_like_patterns(node.returns, out)
+    elif isinstance(node, Quantified):
+        for clause in node.bindings:
+            _collect_like_patterns(clause.source, out)
+        _collect_like_patterns(node.condition, out)
+    elif isinstance(node, IfExpr):
+        _collect_like_patterns(node.condition, out)
+        _collect_like_patterns(node.then_branch, out)
+        _collect_like_patterns(node.else_branch, out)
+    elif isinstance(node, ElementConstructor):
+        if node.content is not None:
+            _collect_like_patterns(node.content, out)
+
+
+# --------------------------------------------------------------------------- #
+# Canned rule sets for the benchmark's rename-style query pairs
+# --------------------------------------------------------------------------- #
+
+def q1_rules() -> RewriteRules:
+    """Q1: Georgia Tech → CMU (Instructor ↦ Lecturer)."""
+    return RewriteRules(tag_map={"Instructor": "Lecturer",
+                                 "gatech": "cmu"},
+                        doc_map={"gatech": "cmu"})
+
+
+def q5_rules() -> RewriteRules:
+    """Q5: UMD → ETH (English tags ↦ German tags, patterns translated)."""
+    return RewriteRules(
+        tag_map={"Course": "Vorlesung", "CourseName": "Titel",
+                 "umd": "eth"},
+        doc_map={"umd": "eth"},
+        translate_patterns=True)

@@ -1,0 +1,190 @@
+"""The standard THALIA mapping set: one SourceMapping per testbed source.
+
+This is the configuration the full THALIA mediator runs with — the
+"better solution" the paper's conclusion solicits. Each paper-pinned source
+gets a hand-written mapping exercising exactly the capabilities its
+heterogeneities demand; generic sources get mappings derived from their
+:class:`~repro.catalogs.universities.generic.GenericSpec`.
+"""
+
+from __future__ import annotations
+
+from ..catalogs.universities import GenericUniversity, UniversityProfile
+from .mappings import (
+    ClassificationList,
+    CodeFromTitle,
+    CopyInstructor,
+    CopyRoom,
+    CopyText,
+    DecomposeCompositeTitle,
+    EntryLevelExplicit,
+    EntryLevelFromComment,
+    FlattenUnionTitle,
+    GermanSource,
+    InstructorsFromSectionTitles,
+    InstructorsFromTermColumns,
+    NullableField,
+    NumericUnits,
+    ParseTimeRange,
+    RoomFromText,
+    SectionStructure,
+    SplitInstructors,
+    WorkloadUnits,
+)
+from .mediator import Mediator, SourceMapping
+from .nulls import INAPPLICABLE, MISSING
+from .translate import DEFAULT_LEXICON, Lexicon
+
+
+def cmu_mapping() -> SourceMapping:
+    return SourceMapping("cmu", "Course", [
+        CopyText("CourseTitle", "title"),
+        SplitInstructors("Lecturer"),
+        NumericUnits("Units"),
+        ParseTimeRange("Time", clock="12h", days_path="Day"),
+        CopyRoom("Room"),
+        EntryLevelFromComment("Comment"),
+        NullableField("textbook", None, MISSING),
+    ])
+
+
+def brown_mapping() -> SourceMapping:
+    return SourceMapping("brown", "Course", [
+        FlattenUnionTitle("Title"),
+        DecomposeCompositeTitle("Title"),
+        CopyInstructor("Instructor"),
+        CopyRoom("Room"),
+        NullableField("textbook", None, MISSING),
+    ])
+
+
+def umd_mapping() -> SourceMapping:
+    return SourceMapping("umd", "Course", [
+        CopyText("CourseName", "title", rstrip=";"),
+        SectionStructure("Sections/Section/time"),
+        InstructorsFromSectionTitles("Sections/Section/title"),
+        NullableField("textbook", None, MISSING),
+    ])
+
+
+def gatech_mapping() -> SourceMapping:
+    return SourceMapping("gatech", "Course", [
+        CopyText("Title", "title"),
+        CopyInstructor("Instructor"),
+        ParseTimeRange("Time", clock="12h"),
+        CopyRoom("Room"),
+        ClassificationList("Restricted"),
+        NullableField("textbook", None, MISSING),
+    ])
+
+
+def eth_mapping() -> SourceMapping:
+    return SourceMapping("eth", "Vorlesung", [
+        GermanSource(),
+        CopyText("Titel", "title"),
+        CopyInstructor("Dozent"),
+        ParseTimeRange("Zeit", clock="24h"),
+        CopyRoom("Ort"),
+        WorkloadUnits("Umfang"),
+        NullableField("open_to", None, INAPPLICABLE),
+        NullableField("textbook", None, MISSING),
+    ], code_path="Nummer")
+
+
+def umich_mapping() -> SourceMapping:
+    return SourceMapping("umich", "Course", [
+        CodeFromTitle("title"),
+        EntryLevelExplicit("prerequisite"),
+        CopyInstructor("instructor"),
+        ParseTimeRange("meets", clock="12h"),
+        RoomFromText("meets"),
+        NullableField("textbook", None, MISSING),
+    ], code_path="title")
+
+
+def toronto_mapping() -> SourceMapping:
+    return SourceMapping("toronto", "course", [
+        CopyText("title", "title"),
+        CopyInstructor("instructor"),
+        NullableField("textbook", "text", MISSING),
+    ], code_path="code")
+
+
+def umass_mapping() -> SourceMapping:
+    return SourceMapping("umass", "Course", [
+        CopyText("Name", "title"),
+        CopyInstructor("Instructor"),
+        ParseTimeRange("Time", clock="24h", days_path="Days"),
+        CopyRoom("Room"),
+        NullableField("textbook", None, MISSING),
+    ])
+
+
+def ucsd_mapping() -> SourceMapping:
+    return SourceMapping("ucsd", "Course", [
+        CopyText("CourseTitle", "title"),
+        InstructorsFromTermColumns(("Fall2003", "Winter2004", "Spring2004")),
+        NullableField("textbook", None, MISSING),
+    ])
+
+
+PAPER_MAPPINGS = {
+    "cmu": cmu_mapping,
+    "brown": brown_mapping,
+    "umd": umd_mapping,
+    "gatech": gatech_mapping,
+    "eth": eth_mapping,
+    "umich": umich_mapping,
+    "toronto": toronto_mapping,
+    "umass": umass_mapping,
+    "ucsd": ucsd_mapping,
+}
+
+
+def generic_mapping(profile: GenericUniversity) -> SourceMapping:
+    """Derive a mapping from a generic source's spec."""
+    spec = profile.spec
+    ops = []
+    if spec.german:
+        ops.append(GermanSource())
+    ops.extend([
+        CopyText(spec.title_tag, "title"),
+        CopyInstructor(spec.instructor_tag),
+        ParseTimeRange(spec.time_tag,
+                       clock="24h" if spec.clock == "24h" else "12h"),
+        CopyRoom(spec.room_tag),
+    ])
+    if spec.units_tag is not None:
+        if spec.german:
+            ops.append(WorkloadUnits(spec.units_tag))
+        else:
+            ops.append(NumericUnits(spec.units_tag))
+    if spec.german:
+        ops.append(NullableField("open_to", None, INAPPLICABLE))
+    ops.append(NullableField("textbook", None, MISSING))
+    return SourceMapping(spec.slug, "Course", ops, code_path=spec.code_tag)
+
+
+def standard_mappings(
+        profiles: list[UniversityProfile]) -> dict[str, SourceMapping]:
+    """Mappings for every given profile (paper-pinned or generic)."""
+    mappings: dict[str, SourceMapping] = {}
+    for profile in profiles:
+        if profile.slug in PAPER_MAPPINGS:
+            mappings[profile.slug] = PAPER_MAPPINGS[profile.slug]()
+        elif isinstance(profile, GenericUniversity):
+            mappings[profile.slug] = generic_mapping(profile)
+        else:
+            raise KeyError(
+                f"no standard mapping for source {profile.slug!r}")
+    return mappings
+
+
+def standard_mediator(profiles: list[UniversityProfile] | None = None,
+                      lexicon: Lexicon | None = None) -> Mediator:
+    """The fully-configured THALIA mediator."""
+    from ..catalogs import all_universities
+
+    chosen = profiles if profiles is not None else all_universities()
+    return Mediator(standard_mappings(chosen),
+                    lexicon if lexicon is not None else DEFAULT_LEXICON)

@@ -1,0 +1,92 @@
+"""Meeting-time parsing: the Q2 value transformation, both directions.
+
+The testbed's sources render times three ways:
+
+* CMU/Georgia Tech/Michigan: 12-hour without am/pm (``1:30 - 2:50``);
+* UMD: 12-hour with suffix (``10:00am-11:15am``);
+* UMass/ETH and the 24-hour generics: ``13:30-14:45``;
+* Brown: terse 12-hour inside the composite title (``3-5:30``).
+
+Twelve-hour times without a suffix are disambiguated with the *academic
+hours* heuristic: an hour below 8 is read as afternoon (no course meets at
+1:30 in the night). The heuristic is part of the documented mapping, not a
+guess buried in code — Benchmark Query 2 depends on it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import TimeParseError
+
+_TIME_RE = re.compile(
+    r"^\s*(?P<hour>\d{1,2})(?::(?P<minute>\d{2}))?\s*"
+    r"(?P<suffix>am|pm|AM|PM)?\s*$")
+_RANGE_SPLIT_RE = re.compile(r"\s*-\s*")
+
+ACADEMIC_DAY_START_HOUR = 8
+
+
+def parse_time(text: str, assume_academic: bool = True) -> int:
+    """Parse one time string to minutes since midnight.
+
+    Handles ``13:30``, ``1:30``, ``1:30pm``, ``3`` and ``11``. Without an
+    am/pm suffix, hours below :data:`ACADEMIC_DAY_START_HOUR` are shifted
+    to the afternoon when *assume_academic* is set.
+
+    Raises:
+        TimeParseError: when the text is not a time.
+    """
+    match = _TIME_RE.match(text)
+    if match is None:
+        raise TimeParseError(f"unparseable time {text!r}")
+    hour = int(match.group("hour"))
+    minute = int(match.group("minute") or 0)
+    suffix = (match.group("suffix") or "").lower()
+    if hour > 24 or minute > 59 or (suffix and hour > 12):
+        raise TimeParseError(f"time out of range: {text!r}")
+    if suffix == "pm" and hour != 12:
+        hour += 12
+    elif suffix == "am" and hour == 12:
+        hour = 0
+    elif not suffix and assume_academic and hour < ACADEMIC_DAY_START_HOUR:
+        hour += 12
+    return hour * 60 + minute
+
+
+def parse_time_range(text: str,
+                     assume_academic: bool = True) -> tuple[int, int]:
+    """Parse ``start-end`` / ``start - end`` into a minute pair.
+
+    The end time inherits the start's half of the day when it would
+    otherwise precede it (``11-12:15`` does not wrap to midnight, and
+    ``3-5:30`` stays in the afternoon).
+    """
+    parts = _RANGE_SPLIT_RE.split(text.strip())
+    if len(parts) != 2:
+        raise TimeParseError(f"unparseable time range {text!r}")
+    start = parse_time(parts[0], assume_academic)
+    end = parse_time(parts[1], assume_academic)
+    if end <= start:
+        end += 12 * 60
+        if end <= start or end > 24 * 60:
+            raise TimeParseError(
+                f"range {text!r} ends before it starts")
+    return start, end
+
+
+def to_24h(minute: int) -> str:
+    """Render minutes since midnight as ``HH:MM`` on a 24-hour clock."""
+    if not 0 <= minute < 24 * 60:
+        raise TimeParseError(f"minute {minute} out of range")
+    return f"{minute // 60:02d}:{minute % 60:02d}"
+
+
+def to_12h(minute: int) -> str:
+    """Render minutes since midnight as ``H:MM[am|pm]``."""
+    if not 0 <= minute < 24 * 60:
+        raise TimeParseError(f"minute {minute} out of range")
+    hour = minute // 60
+    suffix = "am" if hour < 12 else "pm"
+    hour12 = hour % 12 or 12
+    return f"{hour12}:{minute % 60:02d}{suffix}"

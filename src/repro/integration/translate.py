@@ -1,0 +1,103 @@
+"""English↔German lexicon: the Q5 language-expression capability.
+
+The paper's Q5 challenge: "Convert the English course title 'Database' into
+its German counterpart 'Datenbank' or 'Datenbanksystem' and retrieve those
+courses from ETH that contain that substring." The lexicon holds both the
+value vocabulary (topic terms) and the schema vocabulary (German element
+names → their global-schema counterparts).
+"""
+
+from __future__ import annotations
+
+#: English term -> German equivalents (all matched as substrings,
+#: case-insensitively, with German compound morphology in mind)
+_VALUE_LEXICON: dict[str, tuple[str, ...]] = {
+    "database": ("Datenbank", "Datenbanken", "Datenbanksystem",
+                 "Datenbanksysteme"),
+    "data structures": ("Datenstrukturen",),
+    "operating systems": ("Betriebssysteme",),
+    "computer networks": ("Rechnernetze", "Rechnernetzwerke"),
+    "networked systems": ("Vernetzte Systeme",),
+    "software engineering": ("Softwaretechnik", "Software-Engineering"),
+    "verification": ("Verifikation",),
+    "algorithms": ("Algorithmen",),
+    "artificial intelligence": ("Künstliche Intelligenz",),
+    "distributed systems": ("Verteilte Systeme",),
+    "compiler construction": ("Compilerbau",),
+    "cryptography": ("Kryptographie",),
+    "computer graphics": ("Computergrafik",),
+    "machine learning": ("Maschinelles Lernen",),
+    "theory of computation": ("Theoretische Informatik",),
+    "computer architecture": ("Rechnerarchitektur",),
+    "xml": ("XML",),
+}
+
+#: German schema element name -> global-schema field name
+_TAG_LEXICON: dict[str, str] = {
+    "Vorlesung": "Course",
+    "Veranstaltung": "Course",
+    "Nummer": "CourseNum",
+    "Nr": "CourseNum",
+    "Titel": "Title",
+    "Dozent": "Instructor",
+    "Zeit": "Time",
+    "Termin": "Time",
+    "Ort": "Room",
+    "Raum": "Room",
+    "Umfang": "Units",
+    "SWS": "Units",
+}
+
+
+class Lexicon:
+    """Bidirectional EN↔DE term lookup plus schema-tag translation."""
+
+    def __init__(self,
+                 values: dict[str, tuple[str, ...]] | None = None,
+                 tags: dict[str, str] | None = None) -> None:
+        self._values = dict(_VALUE_LEXICON if values is None else values)
+        self._tags = dict(_TAG_LEXICON if tags is None else tags)
+
+    # -- value vocabulary -------------------------------------------------#
+
+    def german_equivalents(self, english_term: str) -> tuple[str, ...]:
+        """German equivalents of an English term (empty when unknown)."""
+        return self._values.get(english_term.strip().lower(), ())
+
+    def english_equivalent(self, german_term: str) -> str | None:
+        """English term for a German word, by substring containment."""
+        needle = german_term.strip().lower()
+        for english, germans in self._values.items():
+            for german in germans:
+                if german.lower() in needle or needle in german.lower():
+                    return english
+        return None
+
+    def text_matches_term(self, text: str, english_term: str) -> bool:
+        """True when *text* contains the term in English **or** German.
+
+        This is the Q5 matching rule: ``'XML und Datenbanken'`` matches the
+        English term ``database`` through its equivalent ``Datenbanken``.
+        """
+        haystack = text.lower()
+        if english_term.strip().lower() in haystack:
+            return True
+        return any(german.lower() in haystack
+                   for german in self.german_equivalents(english_term))
+
+    def add_term(self, english: str, *german: str) -> None:
+        """Extend the value vocabulary (used by tests and examples)."""
+        existing = self._values.get(english.strip().lower(), ())
+        self._values[english.strip().lower()] = existing + tuple(german)
+
+    # -- schema vocabulary -------------------------------------------------#
+
+    def translate_tag(self, tag: str) -> str:
+        """Global-schema name for a (possibly German) element name."""
+        return self._tags.get(tag, tag)
+
+    def known_terms(self) -> list[str]:
+        return sorted(self._values)
+
+
+DEFAULT_LEXICON = Lexicon()

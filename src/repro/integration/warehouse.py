@@ -1,0 +1,106 @@
+"""The integration warehouse — IWIZ's architecture, materialized.
+
+IWIZ "combines the data warehousing and mediation approaches": wrappers
+translate local data into the global schema at build time, and "queries
+that can be satisfied using the contents of the IWIZ warehouse are
+answered quickly and efficiently without connecting to the sources."
+
+:class:`Warehouse` does exactly that: the mediator integrates every source
+once, the result is materialized as one global-schema XML document, and
+arbitrary XQuery runs against it (with the UDF library pre-registered, so
+translation-aware predicates like ``udf:matches-term($c/Title,
+'database')`` work). Query results that are Course elements can be lifted
+back into :class:`GlobalCourse` records via
+:meth:`~repro.integration.globalschema.GlobalCourse.from_xml`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..xmlmodel import XmlDocument, XmlElement
+from ..xquery import FunctionRegistry, Query, Seq
+from .cleansing import cleanse
+from .globalschema import GlobalCourse
+from .mediator import Mediator
+from .udfs import udf_registry
+
+WAREHOUSE_DOC_NAME = "warehouse"
+
+
+class Warehouse:
+    """Materialized global-schema store over a set of sources."""
+
+    def __init__(self, mediator: Mediator,
+                 documents: Mapping[str, XmlDocument],
+                 apply_cleansing: bool = True) -> None:
+        self.mediator = mediator
+        self.apply_cleansing = apply_cleansing
+        self._documents = dict(documents)
+        self._courses: list[GlobalCourse] = []
+        self._materialized: XmlDocument | None = None
+        self._functions: FunctionRegistry = udf_registry(
+            lexicon=mediator.lexicon)
+        self.refresh()
+
+    # ------------------------------------------------------------------ #
+    # Build
+    # ------------------------------------------------------------------ #
+
+    def refresh(self,
+                documents: Mapping[str, XmlDocument] | None = None) -> None:
+        """(Re)build the warehouse from the sources.
+
+        This is the only step that "connects to the sources"; afterwards
+        every query runs against the materialized document.
+        """
+        if documents is not None:
+            self._documents = dict(documents)
+        courses = self.mediator.integrate(self._documents)
+        if self.apply_cleansing:
+            courses = cleanse(courses)
+        self._courses = courses
+        root = XmlElement("warehouse",
+                          {"sources": str(len(self._documents))})
+        for course in courses:
+            root.append(course.to_xml())
+        self._materialized = XmlDocument(root,
+                                         source_name=WAREHOUSE_DOC_NAME)
+
+    @property
+    def document(self) -> XmlDocument:
+        """The materialized global-schema document."""
+        assert self._materialized is not None
+        return self._materialized
+
+    @property
+    def courses(self) -> list[GlobalCourse]:
+        """The integrated records backing the materialization."""
+        return list(self._courses)
+
+    def __len__(self) -> int:
+        return len(self._courses)
+
+    # ------------------------------------------------------------------ #
+    # Query
+    # ------------------------------------------------------------------ #
+
+    def query(self, source: str) -> Seq:
+        """Run XQuery against ``doc("warehouse")`` with the UDF library."""
+        return Query(source).run(
+            documents={WAREHOUSE_DOC_NAME: self.document},
+            functions=self._functions)
+
+    def query_courses(self, source: str) -> list[GlobalCourse]:
+        """Like :meth:`query`, lifting Course elements back to records.
+
+        Raises:
+            ValueError: if the query returned non-Course items.
+        """
+        lifted: list[GlobalCourse] = []
+        for item in self.query(source):
+            if not isinstance(item, XmlElement):
+                raise ValueError(
+                    f"query returned a non-element item: {item!r}")
+            lifted.append(GlobalCourse.from_xml(item))
+        return lifted

@@ -1,0 +1,30 @@
+"""Integration systems evaluated by the benchmark.
+
+* :func:`cohera` — §4.2's projection of the Cohera federated DBMS;
+* :func:`iwiz` — §4.2's Integration Wizard (warehouse + mediator);
+* :func:`thalia_mediator` — this repository's full mediator (all twelve
+  capabilities), the "better solution" the paper's conclusion solicits.
+"""
+
+from .automatch import AutoMatchSystem, automatch
+from .base import CapabilityModelSystem, IntegrationSystem, SystemAnswer
+from .cohera import COHERA_PROFILE, cohera
+from .iwiz import IWIZ_PROFILE, iwiz
+from .naive import NaiveXQuerySystem, naive_xquery
+from .thalia import THALIA_PROFILE, thalia_mediator
+
+__all__ = [
+    "AutoMatchSystem",
+    "COHERA_PROFILE",
+    "CapabilityModelSystem",
+    "IWIZ_PROFILE",
+    "IntegrationSystem",
+    "NaiveXQuerySystem",
+    "SystemAnswer",
+    "THALIA_PROFILE",
+    "automatch",
+    "cohera",
+    "iwiz",
+    "naive_xquery",
+    "thalia_mediator",
+]

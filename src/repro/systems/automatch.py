@@ -1,0 +1,52 @@
+"""AutoMatch — a fully automatic name-based schema matcher as a system.
+
+Unlike the Cohera/IWIZ capability models, AutoMatch actually *derives* its
+mappings from the data: it inspects each query's two source documents,
+matches tags by name (see :mod:`repro.integration.matcher`) and integrates
+with the resulting mappings. No human-declared capabilities, no custom
+code — so every answered query is charged ``Effort.NONE``.
+
+Its score quantifies the paper's implicit claim about automation: name-
+level matching alone buys the renaming-family queries and little else.
+"""
+
+from __future__ import annotations
+
+from ..catalogs import Testbed
+from ..core.queries import BenchmarkQuery
+from ..integration import DEFAULT_LEXICON, Effort, Mediator
+from ..integration.matcher import auto_match
+from .base import IntegrationSystem, SystemAnswer
+
+
+class AutoMatchSystem(IntegrationSystem):
+    """Integration driven entirely by automatic name matching."""
+
+    name = "AutoMatch"
+
+    def __init__(self) -> None:
+        self._mapping_cache: dict[int, Mediator] = {}
+
+    def _mediator_for(self, testbed: Testbed) -> Mediator:
+        key = id(testbed)
+        if key not in self._mapping_cache:
+            mediator = Mediator(lexicon=DEFAULT_LEXICON)
+            for bundle in testbed:
+                mediator.register(auto_match(bundle.document))
+            self._mapping_cache[key] = mediator
+        return self._mapping_cache[key]
+
+    def answer(self, query: BenchmarkQuery, testbed: Testbed) -> SystemAnswer:
+        mediator = self._mediator_for(testbed)
+        courses = mediator.integrate(testbed.documents, list(query.sources))
+        produced = query.evaluate(courses, mediator.lexicon)
+        return SystemAnswer(
+            answer=produced,
+            supported=True,          # it always *tries*, automatically
+            effort=Effort.NONE,      # and never writes custom code
+            note="mappings derived automatically by name matching")
+
+
+def automatch() -> AutoMatchSystem:
+    """The automatic-matcher baseline system."""
+    return AutoMatchSystem()

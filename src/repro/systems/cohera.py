@@ -1,0 +1,45 @@
+"""Cohera Content Integration System — capability model from §4.2.
+
+Cohera (the commercial Mariposa descendant) "was purchased in 2001, and is
+not available currently, it is impossible to actually run the benchmark";
+the paper therefore *projects* its performance from its architecture:
+local→global schema mappings, a flexible web-site wrapper, and the full
+power of Postgres — including user-defined functions in C — for
+transformations. The profile below encodes the paper's per-query verdicts:
+
+* Q1 renaming, Q6 nulls, Q9 restructuring, Q10 sets — supported by the
+  built-in local→global mapping / native Postgres nulls: **no code**;
+* Q2 — user-defined function, **small** amount of code;
+* Q3, Q7, Q11, Q12 — union types and friends, **moderate** code;
+* Q4 complex mappings, Q5 language, Q8 semantic incompatibility —
+  "no easy way to deal with this".
+"""
+
+from __future__ import annotations
+
+from ..integration import Capability, Effort
+from .base import CapabilityModelSystem
+
+COHERA_PROFILE = {
+    Capability.RENAME: Effort.NONE,
+    Capability.VALUE_TRANSFORM: Effort.LOW,
+    Capability.UNION_TYPE: Effort.MEDIUM,
+    Capability.NULL_HANDLING: Effort.NONE,
+    Capability.INFERENCE: Effort.MEDIUM,
+    Capability.RESTRUCTURE: Effort.NONE,
+    Capability.SET_HANDLING: Effort.NONE,
+    Capability.COLUMN_SEMANTICS: Effort.MEDIUM,
+    Capability.DECOMPOSITION: Effort.MEDIUM,
+    # COMPLEX_TRANSFORM, TRANSLATION, SEMANTIC_NULL: not supported.
+}
+
+
+def cohera() -> CapabilityModelSystem:
+    """The simulated Cohera federated DBMS."""
+    return CapabilityModelSystem(
+        name="Cohera",
+        profile=COHERA_PROFILE,
+        description=(
+            "Federated DBMS: local and global schemas, web-site wrapper, "
+            "Postgres user-defined functions for transformations."),
+    )

@@ -1,0 +1,44 @@
+"""Integration Wizard (IWIZ) — capability model from §4.2.
+
+IWIZ (University of Florida) combines data warehousing and mediation over
+XML: wrappers translate local schemas into the global IWIZ schema via a
+4GL specified at build time; the mediator merges and cleanses. It has *no
+user-defined functions per se* and *no direct support for nulls* — hence,
+relative to Cohera, nothing lands at "no code" and Q6 costs moderate custom
+code. The per-query verdicts of §4.2:
+
+* Q1, Q2, Q9, Q10 — local→global mapping / special-purpose function,
+  **small** amount of code;
+* Q3, Q6, Q7, Q11, Q12 — **moderate** custom code;
+* Q4, Q5, Q8 — cannot be answered.
+"""
+
+from __future__ import annotations
+
+from ..integration import Capability, Effort
+from .base import CapabilityModelSystem
+
+IWIZ_PROFILE = {
+    Capability.RENAME: Effort.LOW,
+    Capability.VALUE_TRANSFORM: Effort.LOW,
+    Capability.UNION_TYPE: Effort.MEDIUM,
+    Capability.NULL_HANDLING: Effort.MEDIUM,
+    Capability.INFERENCE: Effort.MEDIUM,
+    Capability.RESTRUCTURE: Effort.LOW,
+    Capability.SET_HANDLING: Effort.LOW,
+    Capability.COLUMN_SEMANTICS: Effort.MEDIUM,
+    Capability.DECOMPOSITION: Effort.MEDIUM,
+    # COMPLEX_TRANSFORM, TRANSLATION, SEMANTIC_NULL: not supported.
+}
+
+
+def iwiz() -> CapabilityModelSystem:
+    """The simulated IWIZ warehouse/mediator."""
+    return CapabilityModelSystem(
+        name="IWIZ",
+        profile=IWIZ_PROFILE,
+        description=(
+            "Warehouse + mediator over XML: build-time 4GL wrappers, "
+            "mediator-side cleansing, no user-defined functions, no "
+            "direct null support."),
+    )

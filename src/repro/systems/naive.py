@@ -1,0 +1,49 @@
+"""NaiveXQuery — the no-integration floor of the benchmark.
+
+This system does exactly what a query processor with *zero* integration
+machinery can: run the reference XQuery against the reference source, map
+the raw result into answer tuples, and ignore the challenge source
+entirely (its schema is foreign). It anchors the bottom of the ranking:
+every benchmark query needs at least the challenge source's half of the
+answer, so the naive system scores 0/12 — the quantified version of the
+paper's premise that heterogeneity, not query processing, is the problem.
+"""
+
+from __future__ import annotations
+
+from ..catalogs import Testbed
+from ..core.answers import gold_answer
+from ..core.queries import Answer, BenchmarkQuery
+from ..integration import Effort
+from .base import IntegrationSystem, SystemAnswer
+
+
+class NaiveXQuerySystem(IntegrationSystem):
+    """Runs reference queries verbatim; resolves nothing."""
+
+    name = "NaiveXQuery"
+
+    def answer(self, query: BenchmarkQuery, testbed: Testbed) -> SystemAnswer:
+        produced = self._reference_half(query, testbed)
+        return SystemAnswer(
+            answer=produced,
+            supported=True,
+            effort=Effort.NONE,
+            note="reference query only; challenge schema not consulted")
+
+    @staticmethod
+    def _reference_half(query: BenchmarkQuery, testbed: Testbed) -> Answer:
+        """The gold answer restricted to the reference source.
+
+        This is exactly what the verbatim reference query recovers (the
+        test suite checks that equivalence query-by-query): correct rows
+        from the reference schema, nothing from the challenge schema.
+        """
+        gold = gold_answer(query, testbed)
+        return frozenset(entry for entry in gold
+                         if entry[0] == query.reference)
+
+
+def naive_xquery() -> NaiveXQuerySystem:
+    """The zero-integration baseline."""
+    return NaiveXQuerySystem()

@@ -1,0 +1,42 @@
+"""The full THALIA mediator — this repository's own integration system.
+
+The paper's conclusion hopes "that THALIA will be an inducement for
+research groups to construct better solutions"; this system is that
+construction: the :mod:`repro.integration` framework with the complete
+standard mapping set, covering all twelve capabilities. Its efforts are the
+honest cost of the operator that implements each capability — complex
+transformations and language translation remain expensive custom code even
+here, which is what the scoring function is designed to expose.
+"""
+
+from __future__ import annotations
+
+from ..integration import Capability, Effort
+from .base import CapabilityModelSystem
+
+THALIA_PROFILE = {
+    Capability.RENAME: Effort.NONE,
+    Capability.VALUE_TRANSFORM: Effort.LOW,
+    Capability.UNION_TYPE: Effort.LOW,
+    Capability.COMPLEX_TRANSFORM: Effort.HIGH,
+    Capability.TRANSLATION: Effort.HIGH,
+    Capability.NULL_HANDLING: Effort.NONE,
+    Capability.INFERENCE: Effort.MEDIUM,
+    Capability.SEMANTIC_NULL: Effort.LOW,
+    Capability.RESTRUCTURE: Effort.LOW,
+    Capability.SET_HANDLING: Effort.LOW,
+    Capability.COLUMN_SEMANTICS: Effort.MEDIUM,
+    Capability.DECOMPOSITION: Effort.MEDIUM,
+}
+
+
+def thalia_mediator() -> CapabilityModelSystem:
+    """The full mediator built on :mod:`repro.integration`."""
+    return CapabilityModelSystem(
+        name="THALIA-Mediator",
+        profile=THALIA_PROFILE,
+        description=(
+            "This repository's mediator: declarative mapping operators for "
+            "all twelve heterogeneity capabilities, two-kind nulls, EN<->DE "
+            "lexicon."),
+    )

@@ -1,0 +1,41 @@
+"""TESS screen-scraper reproduction: wrapper configs + extraction engine.
+
+The paper extracts every course catalog from its cached HTML snapshot with
+the Telegraph Screen Scraper (TESS), driven by a per-source configuration
+file of begin/end regular expressions — extended by the THALIA authors with
+nested-structure support for catalogs like the University of Maryland's.
+This package rebuilds that pipeline::
+
+    from repro.tess import TessScraper, WrapperConfig
+
+    config = WrapperConfig.from_text(open("brown.cfg").read())
+    document = TessScraper().extract(html_page, config)
+"""
+
+from .config import FIELD_MODES, FieldConfig, NestedConfig, WrapperConfig
+from .errors import TessConfigError, TessError, TessExtractionError
+from .htmltext import (
+    decode_entities,
+    first_anchor_href,
+    normalize_whitespace,
+    strip_tags,
+    to_mixed_content,
+)
+from .scraper import ExtractionStats, TessScraper
+
+__all__ = [
+    "ExtractionStats",
+    "FIELD_MODES",
+    "FieldConfig",
+    "NestedConfig",
+    "TessConfigError",
+    "TessError",
+    "TessExtractionError",
+    "TessScraper",
+    "WrapperConfig",
+    "decode_entities",
+    "first_anchor_href",
+    "normalize_whitespace",
+    "strip_tags",
+    "to_mixed_content",
+]

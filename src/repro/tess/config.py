@@ -1,0 +1,238 @@
+"""Wrapper configuration model for the TESS reproduction.
+
+A :class:`WrapperConfig` tells the extraction engine, for one source:
+
+* which slice of the page holds the catalog (*region* begin/end regexes);
+* how to delimit each course *record* (begin/end regexes);
+* for every *field*: a name, begin/end regexes locating the value inside the
+  record blob, how to post-process the raw match (``text``, ``mixed``,
+  ``href`` or ``raw`` mode), whether the field repeats, whether it lands as
+  an attribute, and — the paper's University-of-Maryland extension —
+  an optional *nested* structure with its own record delimiters and
+  sub-fields.
+
+Configs can be built programmatically or parsed from the INI-style text
+format produced by :meth:`WrapperConfig.to_text`, mirroring the paper's
+statement that "for each source, a configuration file specifies which
+fields TESS should extract; beginning and ending points for each field are
+identified using regular expressions."
+"""
+
+from __future__ import annotations
+
+import configparser
+import io
+import re
+from dataclasses import dataclass, field
+
+from .errors import TessConfigError
+
+FIELD_MODES = ("text", "mixed", "href", "raw")
+
+
+@dataclass
+class FieldConfig:
+    """Extraction rule for one field of a record."""
+
+    name: str
+    begin: str
+    end: str
+    mode: str = "text"
+    repeat: bool = False
+    as_attribute: bool = False
+    nested: "NestedConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in FIELD_MODES:
+            raise TessConfigError(
+                f"field {self.name!r}: unknown mode {self.mode!r} "
+                f"(expected one of {', '.join(FIELD_MODES)})")
+        if self.as_attribute and (self.nested or self.repeat):
+            raise TessConfigError(
+                f"field {self.name!r}: attribute fields cannot repeat "
+                "or nest")
+        for label, pattern in (("begin", self.begin), ("end", self.end)):
+            _compile_or_raise(pattern, f"field {self.name!r} {label}")
+
+
+@dataclass
+class NestedConfig:
+    """Sub-structure of a nested field (e.g. UMD's per-section rows)."""
+
+    record_tag: str
+    begin: str
+    end: str
+    fields: list[FieldConfig] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        _compile_or_raise(self.begin, f"nested {self.record_tag!r} begin")
+        _compile_or_raise(self.end, f"nested {self.record_tag!r} end")
+
+
+@dataclass
+class WrapperConfig:
+    """Complete wrapper configuration for one testbed source."""
+
+    source: str
+    root_tag: str
+    record_tag: str
+    record_begin: str
+    record_end: str
+    fields: list[FieldConfig] = field(default_factory=list)
+    region_begin: str | None = None
+    region_end: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.fields_ok():
+            raise TessConfigError(
+                f"wrapper {self.source!r}: duplicate field names")
+        _compile_or_raise(self.record_begin,
+                          f"wrapper {self.source!r} record begin")
+        _compile_or_raise(self.record_end,
+                          f"wrapper {self.source!r} record end")
+        if self.region_begin is not None:
+            _compile_or_raise(self.region_begin,
+                              f"wrapper {self.source!r} region begin")
+        if self.region_end is not None:
+            _compile_or_raise(self.region_end,
+                              f"wrapper {self.source!r} region end")
+
+    def fields_ok(self) -> bool:
+        names = [f.name for f in self.fields]
+        return len(names) == len(set(names))
+
+    @property
+    def has_nested_fields(self) -> bool:
+        return any(f.nested is not None for f in self.fields)
+
+    # ------------------------------------------------------------------ #
+    # Text round-trip
+    # ------------------------------------------------------------------ #
+
+    def to_text(self) -> str:
+        """Render as the INI-style configuration file format."""
+        parser = configparser.ConfigParser(interpolation=None)
+        parser.optionxform = str  # preserve case in option names
+        parser["wrapper"] = {
+            "source": self.source,
+            "root_tag": self.root_tag,
+            "record_tag": self.record_tag,
+            "record_begin": self.record_begin,
+            "record_end": self.record_end,
+        }
+        if self.region_begin is not None:
+            parser["wrapper"]["region_begin"] = self.region_begin
+        if self.region_end is not None:
+            parser["wrapper"]["region_end"] = self.region_end
+        for field_config in self.fields:
+            section = f"field {field_config.name}"
+            parser[section] = {
+                "begin": field_config.begin,
+                "end": field_config.end,
+                "mode": field_config.mode,
+            }
+            if field_config.repeat:
+                parser[section]["repeat"] = "true"
+            if field_config.as_attribute:
+                parser[section]["attribute"] = "true"
+            nested = field_config.nested
+            if nested is not None:
+                nested_section = f"nested {field_config.name}"
+                parser[nested_section] = {
+                    "record_tag": nested.record_tag,
+                    "begin": nested.begin,
+                    "end": nested.end,
+                }
+                for sub in nested.fields:
+                    parser[f"nested-field {field_config.name}.{sub.name}"] = {
+                        "begin": sub.begin,
+                        "end": sub.end,
+                        "mode": sub.mode,
+                        **({"repeat": "true"} if sub.repeat else {}),
+                        **({"attribute": "true"} if sub.as_attribute else {}),
+                    }
+        buffer = io.StringIO()
+        parser.write(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_text(cls, text: str) -> "WrapperConfig":
+        """Parse the INI-style configuration file format."""
+        parser = configparser.ConfigParser(interpolation=None)
+        parser.optionxform = str
+        try:
+            parser.read_string(text)
+        except configparser.Error as exc:
+            raise TessConfigError(f"unparseable wrapper config: {exc}") from exc
+        if "wrapper" not in parser:
+            raise TessConfigError("missing [wrapper] section")
+        wrapper = parser["wrapper"]
+        for key in ("source", "root_tag", "record_tag",
+                    "record_begin", "record_end"):
+            if key not in wrapper:
+                raise TessConfigError(f"[wrapper] missing {key!r}")
+
+        fields: dict[str, FieldConfig] = {}
+        order: list[str] = []
+        for section in parser.sections():
+            if section.startswith("field "):
+                name = section[len("field "):].strip()
+                fields[name] = _parse_field(name, parser[section])
+                order.append(name)
+        for section in parser.sections():
+            if section.startswith("nested "):
+                owner = section[len("nested "):].strip()
+                if owner not in fields:
+                    raise TessConfigError(
+                        f"[{section}] refers to unknown field {owner!r}")
+                body = parser[section]
+                for key in ("record_tag", "begin", "end"):
+                    if key not in body:
+                        raise TessConfigError(f"[{section}] missing {key!r}")
+                fields[owner].nested = NestedConfig(
+                    record_tag=body["record_tag"],
+                    begin=body["begin"],
+                    end=body["end"],
+                )
+        for section in parser.sections():
+            if section.startswith("nested-field "):
+                dotted = section[len("nested-field "):].strip()
+                owner, _, sub_name = dotted.partition(".")
+                if owner not in fields or fields[owner].nested is None:
+                    raise TessConfigError(
+                        f"[{section}] refers to unknown nested field "
+                        f"{owner!r}")
+                fields[owner].nested.fields.append(
+                    _parse_field(sub_name, parser[section]))
+        return cls(
+            source=wrapper["source"],
+            root_tag=wrapper["root_tag"],
+            record_tag=wrapper["record_tag"],
+            record_begin=wrapper["record_begin"],
+            record_end=wrapper["record_end"],
+            region_begin=wrapper.get("region_begin"),
+            region_end=wrapper.get("region_end"),
+            fields=[fields[name] for name in order],
+        )
+
+
+def _parse_field(name: str, body: configparser.SectionProxy) -> FieldConfig:
+    for key in ("begin", "end"):
+        if key not in body:
+            raise TessConfigError(f"field {name!r} missing {key!r}")
+    return FieldConfig(
+        name=name,
+        begin=body["begin"],
+        end=body["end"],
+        mode=body.get("mode", "text"),
+        repeat=body.getboolean("repeat", fallback=False),
+        as_attribute=body.getboolean("attribute", fallback=False),
+    )
+
+
+def _compile_or_raise(pattern: str, what: str) -> None:
+    try:
+        re.compile(pattern)
+    except re.error as exc:
+        raise TessConfigError(f"{what}: invalid regex {pattern!r}: {exc}") \
+            from exc

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the TESS screen-scraper reproduction."""
+
+from __future__ import annotations
+
+
+class TessError(Exception):
+    """Base class for all scraper errors."""
+
+
+class TessConfigError(TessError):
+    """Raised when a wrapper configuration file is malformed."""
+
+
+class TessExtractionError(TessError):
+    """Raised when extraction fails structurally.
+
+    Examples: the configured region is absent from the page, a record's end
+    marker never appears, or a nested-structure field is extracted with an
+    engine that does not support nesting (the paper's original-TESS
+    limitation exercised by the University of Maryland catalog).
+    """
+
+    def __init__(self, message: str, source: str | None = None) -> None:
+        if source:
+            message = f"[{source}] {message}"
+        super().__init__(message)
+        self.source = source

@@ -1,0 +1,85 @@
+"""HTML text utilities for the scraper.
+
+TESS operates on raw page text with regular expressions rather than a DOM,
+so these helpers do the minimal HTML-aware post-processing a field value
+needs: entity decoding, tag stripping, whitespace normalization, and —
+because THALIA must *preserve* the union-type heterogeneity of hyperlinked
+fields — conversion of ``<a href>`` anchors into XML subelements instead of
+discarding them.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+
+from ..xmlmodel import Child, XmlElement
+
+_TAG_RE = re.compile(r"<[^>]+>")
+_ANCHOR_RE = re.compile(
+    r"<a\s[^>]*href\s*=\s*(?P<quote>['\"])(?P<href>.*?)(?P=quote)[^>]*>"
+    r"(?P<label>.*?)</a>",
+    re.IGNORECASE | re.DOTALL,
+)
+_BREAK_RE = re.compile(r"<br\s*/?>", re.IGNORECASE)
+
+
+def decode_entities(text: str) -> str:
+    """Decode HTML character references (``&amp;`` → ``&``)."""
+    return _html.unescape(text)
+
+
+def strip_tags(text: str) -> str:
+    """Remove all markup, decode entities, collapse whitespace."""
+    text = _BREAK_RE.sub(" ", text)
+    text = _TAG_RE.sub(" ", text)
+    return normalize_whitespace(decode_entities(text))
+
+
+def normalize_whitespace(text: str) -> str:
+    """Collapse runs of whitespace to single spaces and trim."""
+    return " ".join(text.split())
+
+
+def to_mixed_content(fragment: str) -> list[Child]:
+    """Convert an HTML fragment into XML mixed content, preserving anchors.
+
+    ``<a href="U">label</a> tail`` becomes ``[<a href="U">label</a>, " tail"]``
+    where the anchor is an :class:`XmlElement`. All other markup is
+    stripped. This is how the testbed keeps Brown's link-plus-string title
+    values (Benchmark Query 3's union type) in the extracted XML.
+    """
+    children: list[Child] = []
+    cursor = 0
+    for match in _ANCHOR_RE.finditer(fragment):
+        before = strip_tags(fragment[cursor:match.start()])
+        if before:
+            children.append(before + " ")
+        anchor = XmlElement("a", {"href": decode_entities(match.group("href"))})
+        label = strip_tags(match.group("label"))
+        if label:
+            anchor.append(label)
+        children.append(anchor)
+        cursor = match.end()
+    tail = strip_tags(fragment[cursor:])
+    if tail:
+        if children and isinstance(children[-1], XmlElement):
+            children.append(" " + tail)
+        else:
+            children.append(tail)
+    if not children:
+        return []
+    return children
+
+
+def first_anchor_href(fragment: str) -> str | None:
+    """URL of the first anchor in the fragment, or None.
+
+    The paper's TESS "returns the URL of the link (instead of the contents
+    of the linked page) as the extracted value" for linked continuations
+    such as instructor home pages; this helper implements that rule.
+    """
+    match = _ANCHOR_RE.search(fragment)
+    if match is None:
+        return None
+    return decode_entities(match.group("href"))

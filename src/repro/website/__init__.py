@@ -1,0 +1,27 @@
+"""THALIA web site reproduction: static pages + download bundles (Fig. 4)."""
+
+from .bundles import (
+    CATALOGS_BUNDLE,
+    QUERIES_BUNDLE,
+    SOLUTIONS_BUNDLE,
+    build_all_bundles,
+    build_catalogs_bundle,
+    build_queries_bundle,
+    build_solutions_bundle,
+    solution_document,
+    verify_solution_bundle,
+)
+from .sitegen import SiteGenerator
+
+__all__ = [
+    "CATALOGS_BUNDLE",
+    "QUERIES_BUNDLE",
+    "SOLUTIONS_BUNDLE",
+    "SiteGenerator",
+    "build_all_bundles",
+    "build_catalogs_bundle",
+    "build_queries_bundle",
+    "build_solutions_bundle",
+    "solution_document",
+    "verify_solution_bundle",
+]

@@ -1,0 +1,130 @@
+"""Download bundles: the three zips behind the 'Run Benchmark' button.
+
+Paper §2.2 describes exactly three downloads:
+
+1. XML + XML Schema files of all available course catalogs;
+2. the twelve benchmark queries plus their test data sources;
+3. sample solutions to each benchmark query, including an XML Schema for
+   the integrated result.
+
+:func:`build_all_bundles` writes all three into a directory.
+"""
+
+from __future__ import annotations
+
+import io
+import zipfile
+from pathlib import Path
+
+from ..catalogs import Testbed
+from ..core import QUERIES, gold_answer
+from ..integration import standard_mediator
+from ..xmlmodel import XmlDocument, XmlElement, element, infer_schema, \
+    serialize_pretty
+
+CATALOGS_BUNDLE = "thalia_catalogs.zip"
+QUERIES_BUNDLE = "thalia_benchmark_queries.zip"
+SOLUTIONS_BUNDLE = "thalia_sample_solutions.zip"
+
+
+def _zip_bytes(entries: dict[str, str]) -> bytes:
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name in sorted(entries):
+            archive.writestr(name, entries[name])
+    return buffer.getvalue()
+
+
+def build_catalogs_bundle(testbed: Testbed) -> bytes:
+    """Download option 1: every catalog's XML and XSD."""
+    entries: dict[str, str] = {}
+    for bundle in testbed:
+        entries[f"{bundle.slug}/{bundle.slug}.xml"] = \
+            serialize_pretty(bundle.document)
+        entries[f"{bundle.slug}/{bundle.slug}.xsd"] = \
+            serialize_pretty(bundle.schema.to_xsd())
+    return _zip_bytes(entries)
+
+
+def build_queries_bundle(testbed: Testbed) -> bytes:
+    """Download option 2: the twelve queries + their two test sources each."""
+    entries: dict[str, str] = {}
+    for query in QUERIES:
+        prefix = f"query{query.number:02d}"
+        entries[f"{prefix}/query.xq"] = query.xquery + "\n"
+        entries[f"{prefix}/README.txt"] = (
+            f"Benchmark Query {query.number}: {query.name}\n"
+            f"Group: {query.group}\n"
+            f"Reference schema:  {query.reference}\n"
+            f"Challenge schema:  {query.challenge}\n\n"
+            f"Challenge: {query.challenge_description}\n")
+        for slug in query.sources:
+            bundle = testbed.source(slug)
+            entries[f"{prefix}/{slug}.xml"] = \
+                serialize_pretty(bundle.document)
+            entries[f"{prefix}/{slug}.xsd"] = \
+                serialize_pretty(bundle.schema.to_xsd())
+    return _zip_bytes(entries)
+
+
+def solution_document(query_number: int, testbed: Testbed) -> XmlDocument:
+    """The sample solution for one query as an integrated XML document.
+
+    Solutions are produced by the full THALIA mediator; a result schema is
+    inferred alongside (download option 3 ships both).
+    """
+    query = next(q for q in QUERIES if q.number == query_number)
+    mediator = standard_mediator()
+    courses = mediator.integrate(testbed.documents, list(query.sources))
+    answer = query.evaluate(courses, mediator.lexicon)
+    by_key = {course.key: course for course in courses}
+    root = element("result", query=str(query.number))
+    for entry in sorted(answer, key=lambda item: (item[0], item[1])):
+        source, code = entry[0], entry[1]
+        course = by_key[(source, code)]
+        rendered = course.to_xml()
+        if len(entry) > 2:
+            projection = XmlElement("Projection")
+            projection.append(" | ".join(str(part) for part in entry[2:]))
+            rendered.append(projection)
+        root.append(rendered)
+    return XmlDocument(root, source_name=f"solution-q{query_number}")
+
+
+def build_solutions_bundle(testbed: Testbed) -> bytes:
+    """Download option 3: sample solutions + integrated-result schemas."""
+    entries: dict[str, str] = {}
+    for query in QUERIES:
+        document = solution_document(query.number, testbed)
+        prefix = f"query{query.number:02d}"
+        entries[f"{prefix}/solution.xml"] = serialize_pretty(document)
+        entries[f"{prefix}/solution.xsd"] = serialize_pretty(
+            infer_schema(document).to_xsd())
+    return _zip_bytes(entries)
+
+
+def build_all_bundles(testbed: Testbed, directory: str | Path) -> list[Path]:
+    """Write the three download zips under *directory*."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, builder in ((CATALOGS_BUNDLE, build_catalogs_bundle),
+                          (QUERIES_BUNDLE, build_queries_bundle),
+                          (SOLUTIONS_BUNDLE, build_solutions_bundle)):
+        path = target / name
+        path.write_bytes(builder(testbed))
+        written.append(path)
+    return written
+
+
+def verify_solution_bundle(testbed: Testbed) -> bool:
+    """Cross-check: every sample solution covers its gold answer's keys."""
+    for query in QUERIES:
+        document = solution_document(query.number, testbed)
+        keys = {(c.get("source"), c.get("code"))
+                for c in document.root.findall("Course")}
+        gold_keys = {(entry[0], entry[1])
+                     for entry in gold_answer(query, testbed)}
+        if keys != gold_keys:
+            return False
+    return True

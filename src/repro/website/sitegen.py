@@ -1,0 +1,240 @@
+"""Static-site generator reproducing THALIA's web interface (paper Fig. 4).
+
+The generated site mirrors the options in the home page's left-hand frame:
+
+* **University Course Catalogs** — browse the cached HTML snapshots;
+* **Browse Data and Schema** — view each source's extracted XML and XSD;
+* **Run Benchmark** — the three download bundles plus per-query pages;
+* **Upload Your Scores / Honor Roll** — the ranked score table (static
+  rendering of an :class:`~repro.core.honor_roll.HonorRoll`).
+
+Everything is plain HTML written to a directory; open ``index.html`` in a
+browser. The look is deliberately period-correct.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..catalogs import Testbed
+from ..core import QUERIES, HonorRoll
+from ..core.report import query_short_name
+from ..xmlmodel import escape_text, serialize_pretty
+from .bundles import (
+    CATALOGS_BUNDLE,
+    QUERIES_BUNDLE,
+    SOLUTIONS_BUNDLE,
+    build_all_bundles,
+    solution_document,
+)
+
+_STYLE = """
+body { font-family: Verdana, Arial, sans-serif; margin: 0; }
+.layout { display: flex; }
+.nav { background: #003366; color: white; min-width: 220px;
+       min-height: 100vh; padding: 12px; }
+.nav a { color: #ffffff; display: block; margin: 8px 0;
+         text-decoration: none; font-weight: bold; }
+.nav a:hover { text-decoration: underline; }
+.main { padding: 20px; max-width: 900px; }
+h1 { color: #003366; }
+pre { background: #f4f4f4; border: 1px solid #cccccc; padding: 10px;
+      overflow-x: auto; }
+table.listing { border-collapse: collapse; }
+table.listing td, table.listing th { border: 1px solid #999999;
+      padding: 4px 10px; }
+.snapshot-frame { border: 1px solid #999999; padding: 10px; }
+"""
+
+
+def _esc(text: str) -> str:
+    return escape_text(text)
+
+
+def _page(title: str, body: str, depth: int = 0) -> str:
+    prefix = "../" * depth
+    nav = "\n".join([
+        f'<a href="{prefix}index.html">Home</a>',
+        f'<a href="{prefix}catalogs/index.html">University Course '
+        "Catalogs</a>",
+        f'<a href="{prefix}data/index.html">Browse Data and Schema</a>',
+        f'<a href="{prefix}benchmark/index.html">Run Benchmark</a>',
+        f'<a href="{prefix}classification.html">Heterogeneity '
+        "Classification</a>",
+        f'<a href="{prefix}honor_roll.html">Honor Roll</a>',
+    ])
+    return (
+        "<!DOCTYPE html>\n<html>\n<head>\n"
+        f"<title>THALIA &#8212; {_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        '<div class="layout">\n'
+        f'<div class="nav">\n<h2>THALIA</h2>\n{nav}\n</div>\n'
+        f'<div class="main">\n<h1>{_esc(title)}</h1>\n{body}\n</div>\n'
+        "</div>\n</body>\n</html>\n"
+    )
+
+
+class SiteGenerator:
+    """Writes the full THALIA site for one testbed build."""
+
+    def __init__(self, testbed: Testbed,
+                 honor_roll: HonorRoll | None = None) -> None:
+        self.testbed = testbed
+        self.honor_roll = honor_roll if honor_roll is not None else HonorRoll()
+
+    # ------------------------------------------------------------------ #
+
+    def build(self, directory: str | Path) -> Path:
+        """Generate the whole site under *directory*; returns its root."""
+        root = Path(directory)
+        for sub in ("catalogs", "data", "benchmark", "downloads"):
+            (root / sub).mkdir(parents=True, exist_ok=True)
+        (root / "index.html").write_text(self._home(), encoding="utf-8")
+        (root / "honor_roll.html").write_text(
+            self._honor_roll_page(), encoding="utf-8")
+        (root / "classification.html").write_text(
+            self._classification_page(), encoding="utf-8")
+        self._write_catalog_pages(root / "catalogs")
+        self._write_data_pages(root / "data")
+        self._write_benchmark_pages(root / "benchmark")
+        build_all_bundles(self.testbed, root / "downloads")
+        return root
+
+    # ------------------------------------------------------------------ #
+
+    def _home(self) -> str:
+        body = (
+            "<p>THALIA (<i>Test Harness for the Assessment of Legacy "
+            "information Integration Approaches</i>) provides researchers "
+            "with a collection of downloadable data sources representing "
+            "University course catalogs, a set of twelve benchmark "
+            "queries, as well as a scoring function for ranking the "
+            "performance of an integration system.</p>"
+            f"<p>The testbed currently provides access to course "
+            f"information from <b>{len(self.testbed)}</b> computer science "
+            "departments at Universities around the world. Snapshots are "
+            "cached: up-to-dateness of the catalog data is much less "
+            "important than its availability.</p>"
+            "<ul>"
+            '<li><a href="catalogs/index.html">Browse the original '
+            "course catalogs</a></li>"
+            '<li><a href="data/index.html">Browse extracted XML data '
+            "and schemas</a></li>"
+            '<li><a href="benchmark/index.html">Run the benchmark '
+            "(downloads &amp; queries)</a></li>"
+            '<li><a href="honor_roll.html">Honor roll</a></li>'
+            "</ul>")
+        return _page("Test Harness for the Assessment of Legacy "
+                     "information Integration Approaches", body)
+
+    def _write_catalog_pages(self, directory: Path) -> None:
+        rows = []
+        for bundle in self.testbed:
+            profile = bundle.profile
+            rows.append(
+                f'<tr><td><a href="{bundle.slug}.html">'
+                f"{_esc(profile.name)}</a></td>"
+                f"<td>{_esc(profile.country)}</td>"
+                f"<td>{bundle.stats.records}</td></tr>")
+        body = ('<table class="listing"><tr><th>University</th>'
+                "<th>Country</th><th>Courses</th></tr>"
+                + "".join(rows) + "</table>")
+        (directory / "index.html").write_text(
+            _page("University Course Catalogs", body, depth=1),
+            encoding="utf-8")
+        for bundle in self.testbed:
+            snapshot = ('<div class="snapshot-frame">'
+                        + bundle.snapshot + "</div>")
+            (directory / f"{bundle.slug}.html").write_text(
+                _page(f"Catalog snapshot: {bundle.profile.name}",
+                      snapshot, depth=1),
+                encoding="utf-8")
+
+    def _write_data_pages(self, directory: Path) -> None:
+        rows = []
+        for bundle in self.testbed:
+            rows.append(
+                f"<tr><td>{_esc(bundle.profile.name)}</td>"
+                f'<td><a href="{bundle.slug}_xml.html">XML</a></td>'
+                f'<td><a href="{bundle.slug}_xsd.html">Schema</a></td>'
+                "</tr>")
+        body = ('<table class="listing"><tr><th>University</th>'
+                "<th>Data</th><th>Schema</th></tr>"
+                + "".join(rows) + "</table>")
+        (directory / "index.html").write_text(
+            _page("Browse Data and Schema", body, depth=1),
+            encoding="utf-8")
+        for bundle in self.testbed:
+            xml_text = serialize_pretty(bundle.document)
+            (directory / f"{bundle.slug}_xml.html").write_text(
+                _page(f"{bundle.slug}.xml",
+                      f"<pre>{_esc(xml_text)}</pre>", depth=1),
+                encoding="utf-8")
+            xsd_text = serialize_pretty(bundle.schema.to_xsd())
+            (directory / f"{bundle.slug}_xsd.html").write_text(
+                _page(f"{bundle.slug}.xsd",
+                      f"<pre>{_esc(xsd_text)}</pre>", depth=1),
+                encoding="utf-8")
+
+    def _write_benchmark_pages(self, directory: Path) -> None:
+        items = []
+        for query in QUERIES:
+            items.append(
+                f'<li><a href="query{query.number:02d}.html">'
+                f"Query {query.number}: {_esc(query.name)}</a> "
+                f"<i>({_esc(query_short_name(query.number))})</i></li>")
+        body = (
+            "<p>Three downloads are available:</p><ol>"
+            f'<li><a href="../downloads/{CATALOGS_BUNDLE}">XML and XML '
+            "Schema files of all available course catalogs</a></li>"
+            f'<li><a href="../downloads/{QUERIES_BUNDLE}">The twelve '
+            "benchmark queries and corresponding test data "
+            "sources</a></li>"
+            f'<li><a href="../downloads/{SOLUTIONS_BUNDLE}">Sample '
+            "solutions including integrated-result schemas</a></li>"
+            "</ol><h2>The twelve benchmark queries</h2><ul>"
+            + "".join(items) + "</ul>")
+        (directory / "index.html").write_text(
+            _page("Run Benchmark", body, depth=1), encoding="utf-8")
+        for query in QUERIES:
+            solution = solution_document(query.number, self.testbed)
+            body = (
+                f"<p><b>Group:</b> {_esc(query.group)}<br>"
+                f"<b>Reference schema:</b> {_esc(query.reference)}<br>"
+                f"<b>Challenge schema:</b> {_esc(query.challenge)}</p>"
+                f"<h2>Query</h2><pre>{_esc(query.xquery)}</pre>"
+                f"<h2>Challenge</h2><p>"
+                f"{_esc(query.challenge_description)}</p>"
+                f"<h2>Sample solution</h2>"
+                f"<pre>{_esc(serialize_pretty(solution))}</pre>")
+            (directory / f"query{query.number:02d}.html").write_text(
+                _page(f"Benchmark Query {query.number}: {query.name}",
+                      body, depth=1),
+                encoding="utf-8")
+
+    def _classification_page(self) -> str:
+        from ..core.taxonomy import render_taxonomy
+
+        body = ("<p>The twelve heterogeneity cases (paper §3), with "
+                "sample elements regenerated live from this testbed "
+                "build.</p>"
+                f"<pre>{_esc(render_taxonomy(self.testbed))}</pre>")
+        return _page("Heterogeneity Classification", body)
+
+    def _honor_roll_page(self) -> str:
+        rows = []
+        for position, entry in enumerate(self.honor_roll.ranked(), start=1):
+            card = entry.card
+            rows.append(
+                f"<tr><td>{position}</td><td>{_esc(card.system)}</td>"
+                f"<td>{card.correct_count}/12</td>"
+                f"<td>{card.complexity_score}</td>"
+                f"<td>{_esc(entry.submitter)}</td>"
+                f"<td>{_esc(entry.date)}</td></tr>")
+        if not rows:
+            rows.append('<tr><td colspan="6"><i>No scores uploaded '
+                        "yet.</i></td></tr>")
+        body = ('<table class="listing"><tr><th>#</th><th>System</th>'
+                "<th>Correct</th><th>Complexity</th><th>Submitted by</th>"
+                "<th>Date</th></tr>" + "".join(rows) + "</table>")
+        return _page("Honor Roll", body)

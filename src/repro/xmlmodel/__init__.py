@@ -1,0 +1,54 @@
+"""XML substrate: document model, parser, serializer, paths and XSD subset.
+
+This package is the foundation the testbed, the scraper and the XQuery engine
+are built on. Public surface:
+
+* :class:`XmlElement`, :class:`XmlDocument`, :func:`element` — the tree model.
+* :func:`parse_xml`, :func:`parse_element` — expat-backed parsing.
+* :func:`serialize`, :func:`serialize_pretty` — exact and indented output.
+* :func:`select`, :func:`select_elements`, :func:`select_first`,
+  :func:`select_text` — the simple-path engine.
+* :func:`infer_schema`, :class:`XmlSchema`, :class:`ElementDecl` — XSD subset.
+"""
+
+from .element import Child, XmlDocument, XmlElement, element, is_valid_name
+from .errors import (
+    XmlError,
+    XmlParseError,
+    XmlPathError,
+    XmlSchemaError,
+    XmlValidationError,
+)
+from .parser import parse_element, parse_xml
+from .paths import parse_path, select, select_elements, select_first, select_text
+from .schema import UNBOUNDED, ElementDecl, XmlSchema, infer_schema, parse_xsd
+from .serializer import escape_attr, escape_text, serialize, serialize_pretty
+
+__all__ = [
+    "Child",
+    "ElementDecl",
+    "UNBOUNDED",
+    "XmlDocument",
+    "XmlElement",
+    "XmlError",
+    "XmlParseError",
+    "XmlPathError",
+    "XmlSchema",
+    "XmlSchemaError",
+    "XmlValidationError",
+    "element",
+    "escape_attr",
+    "escape_text",
+    "infer_schema",
+    "is_valid_name",
+    "parse_element",
+    "parse_path",
+    "parse_xsd",
+    "parse_xml",
+    "select",
+    "select_elements",
+    "select_first",
+    "select_text",
+    "serialize",
+    "serialize_pretty",
+]

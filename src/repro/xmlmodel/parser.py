@@ -1,0 +1,87 @@
+"""Expat-backed parser producing :class:`~repro.xmlmodel.element.XmlElement` trees.
+
+The parser preserves mixed content and document order, which the testbed
+relies on (hyperlink-plus-text fields, nested section tables). Whitespace-only
+text between elements is kept by default so that serialization round-trips;
+callers that want a tidy tree can pass ``strip_whitespace=True``.
+"""
+
+from __future__ import annotations
+
+import xml.parsers.expat as _expat
+
+from .element import XmlDocument, XmlElement
+from .errors import XmlParseError
+
+
+class _TreeBuilder:
+    """Accumulates expat callbacks into an XmlElement tree."""
+
+    def __init__(self, strip_whitespace: bool) -> None:
+        self._strip = strip_whitespace
+        self._stack: list[XmlElement] = []
+        self.root: XmlElement | None = None
+
+    def start(self, tag: str, attrib: dict[str, str]) -> None:
+        node = XmlElement(tag, attrib)
+        if self._stack:
+            self._stack[-1].append(node)
+        elif self.root is None:
+            self.root = node
+        else:  # pragma: no cover - expat rejects multiple roots itself
+            raise XmlParseError("multiple root elements")
+        self._stack.append(node)
+
+    def end(self, tag: str) -> None:
+        node = self._stack.pop()
+        if node.tag != tag:  # pragma: no cover - expat guarantees nesting
+            raise XmlParseError(f"mismatched end tag {tag!r}")
+
+    def data(self, text: str) -> None:
+        if not self._stack:
+            return  # ignore text outside the root (prolog whitespace)
+        if self._strip and not text.strip():
+            return
+        parent = self._stack[-1]
+        if parent.children and isinstance(parent.children[-1], str):
+            parent.children[-1] += text
+        else:
+            parent.append(text)
+
+
+def parse_xml(payload: str | bytes, source_name: str | None = None,
+              strip_whitespace: bool = False) -> XmlDocument:
+    """Parse *payload* into an :class:`XmlDocument`.
+
+    Args:
+        payload: XML text or UTF-8 bytes.
+        source_name: optional testbed source name recorded on the document.
+        strip_whitespace: drop whitespace-only text runs (useful when the
+            caller only cares about element structure).
+
+    Raises:
+        XmlParseError: if the payload is not well-formed XML.
+    """
+    builder = _TreeBuilder(strip_whitespace)
+    parser = _expat.ParserCreate()
+    parser.buffer_text = True
+    parser.StartElementHandler = builder.start
+    parser.EndElementHandler = builder.end
+    parser.CharacterDataHandler = builder.data
+    try:
+        if isinstance(payload, str):
+            payload = payload.encode("utf-8")
+        parser.Parse(payload, True)
+    except _expat.ExpatError as exc:
+        raise XmlParseError(
+            _expat.errors.messages[exc.code],
+            line=exc.lineno, column=exc.offset + 1,
+        ) from exc
+    if builder.root is None:
+        raise XmlParseError("document has no root element")
+    return XmlDocument(builder.root, source_name)
+
+
+def parse_element(payload: str | bytes, strip_whitespace: bool = False) -> XmlElement:
+    """Parse *payload* and return the root element directly."""
+    return parse_xml(payload, strip_whitespace=strip_whitespace).root

@@ -1,0 +1,238 @@
+"""A small, well-specified path engine over :class:`XmlElement` trees.
+
+This deliberately implements only the fragment of XPath the benchmark needs:
+
+* child steps by name: ``Course/Title``
+* wildcard steps: ``Course/*``
+* descendant-or-self: ``//Section`` or ``Course//Room``
+* positional predicates (1-based): ``Course[2]``
+* equality predicates on child text or attributes:
+  ``Course[Title='Databases']``, ``Course[@code='CS145']``
+* terminal attribute selection: ``Course/@code``
+* terminal ``text()`` step
+
+Grammar (informal)::
+
+    path      := ("//" | "/")? step ( "/" "/"? step )*
+    step      := "@" NAME | "text()" | node ("[" predicate "]")*
+    node      := NAME | "*"
+    predicate := INTEGER | NAME "=" STRING | "@" NAME "=" STRING
+
+Results preserve document order and are deduplicated.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .element import XmlElement
+from .errors import XmlPathError
+
+_STEP_RE = re.compile(r"^(?P<axis>@)?(?P<name>[\w.·:-]+|\*|text\(\))"
+                      r"(?P<preds>(\[[^\]]*\])*)$")
+_PRED_RE = re.compile(r"\[([^\]]*)\]")
+_EQ_PRED_RE = re.compile(r"^(?P<attr>@)?(?P<name>[\w.·:-]+)\s*=\s*"
+                         r"(?P<quote>['\"])(?P<value>.*)(?P=quote)$")
+
+
+@dataclass(frozen=True)
+class _Predicate:
+    """One ``[...]`` filter on a step."""
+
+    position: int | None = None
+    name: str | None = None
+    value: str | None = None
+    is_attr: bool = False
+
+    def matches(self, node: XmlElement, position: int) -> bool:
+        if self.position is not None:
+            return position == self.position
+        assert self.name is not None and self.value is not None
+        if self.is_attr:
+            return node.get(self.name) == self.value
+        child = node.find(self.name)
+        return child is not None and child.normalized_text == self.value
+
+
+@dataclass(frozen=True)
+class _Step:
+    """One path step with its predicates."""
+
+    name: str                       # element name, '*', 'text()' or '@attr' name
+    kind: str                       # 'element' | 'attribute' | 'text'
+    descendant: bool = False        # preceded by '//'
+    predicates: tuple[_Predicate, ...] = field(default=())
+
+
+def _parse_predicate(raw: str) -> _Predicate:
+    raw = raw.strip()
+    if not raw:
+        raise XmlPathError("empty predicate '[]'")
+    if raw.isdigit():
+        position = int(raw)
+        if position < 1:
+            raise XmlPathError(f"positions are 1-based, got [{raw}]")
+        return _Predicate(position=position)
+    match = _EQ_PRED_RE.match(raw)
+    if not match:
+        raise XmlPathError(f"unsupported predicate: [{raw}]")
+    return _Predicate(name=match.group("name"), value=match.group("value"),
+                      is_attr=bool(match.group("attr")))
+
+
+def parse_path(path: str) -> tuple[_Step, ...]:
+    """Parse a path expression into a step tuple.
+
+    Raises:
+        XmlPathError: on any syntax problem.
+    """
+    if not path or not path.strip():
+        raise XmlPathError("empty path")
+    text = path.strip()
+    descendant_next = False
+    if text.startswith("//"):
+        descendant_next = True
+        text = text[2:]
+    elif text.startswith("/"):
+        text = text[1:]
+    steps: list[_Step] = []
+    for raw_step in _split_steps(text):
+        if raw_step == "":
+            # produced by '//': next step is a descendant step
+            descendant_next = True
+            continue
+        match = _STEP_RE.match(raw_step)
+        if not match:
+            raise XmlPathError(f"invalid step {raw_step!r} in path {path!r}")
+        preds = tuple(_parse_predicate(p.group(1))
+                      for p in _PRED_RE.finditer(match.group("preds") or ""))
+        name = match.group("name")
+        if match.group("axis"):
+            kind = "attribute"
+        elif name == "text()":
+            kind = "text"
+        else:
+            kind = "element"
+        if kind != "element" and preds:
+            raise XmlPathError(f"predicates not allowed on {raw_step!r}")
+        steps.append(_Step(name=name, kind=kind,
+                           descendant=descendant_next, predicates=preds))
+        descendant_next = False
+    if descendant_next:
+        raise XmlPathError(f"path may not end with '//': {path!r}")
+    if not steps:
+        raise XmlPathError(f"path has no steps: {path!r}")
+    for step in steps[:-1]:
+        if step.kind != "element":
+            raise XmlPathError(
+                f"'{step.name}' must be the final step in {path!r}")
+    return tuple(steps)
+
+
+def _split_steps(text: str) -> list[str]:
+    """Split on '/' that are not inside a predicate bracket."""
+    steps: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+            if depth < 0:
+                raise XmlPathError(f"unbalanced ']' in {text!r}")
+        if ch == "/" and depth == 0:
+            steps.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise XmlPathError(f"unbalanced '[' in {text!r}")
+    steps.append("".join(current))
+    return steps
+
+
+def _candidates(node: XmlElement, step: _Step) -> list[XmlElement]:
+    if step.descendant:
+        pool: list[XmlElement] = [
+            desc for child in node.element_children for desc in child.iter()
+        ]
+    else:
+        pool = node.element_children
+    if step.name != "*":
+        pool = [n for n in pool if n.tag == step.name]
+    if not step.predicates:
+        return pool
+    selected = pool
+    for pred in step.predicates:
+        selected = [n for i, n in enumerate(selected, start=1)
+                    if pred.matches(n, i)]
+    return selected
+
+
+def select(node: XmlElement, path: str) -> list[XmlElement | str]:
+    """Evaluate *path* relative to *node*.
+
+    Returns a document-ordered list of matched element nodes, or strings when
+    the final step is an attribute or ``text()`` selection. Missing
+    attributes simply contribute nothing (XPath semantics), they do not
+    raise.
+    """
+    steps = parse_path(path)
+    frontier: list[XmlElement] = [node]
+    for step in steps[:-1]:
+        next_frontier: list[XmlElement] = []
+        seen: set[int] = set()
+        for current in frontier:
+            for match in _candidates(current, step):
+                if id(match) not in seen:
+                    seen.add(id(match))
+                    next_frontier.append(match)
+        frontier = next_frontier
+    last = steps[-1]
+    if last.kind == "attribute":
+        results_attr: list[XmlElement | str] = []
+        for current in frontier:
+            value = current.get(last.name)
+            if value is not None:
+                results_attr.append(value)
+        return results_attr
+    if last.kind == "text":
+        return [current.text for current in frontier]
+    results: list[XmlElement | str] = []
+    seen = set()
+    for current in frontier:
+        for match in _candidates(current, last):
+            if id(match) not in seen:
+                seen.add(id(match))
+                results.append(match)
+    return results
+
+
+def select_elements(node: XmlElement, path: str) -> list[XmlElement]:
+    """Like :func:`select` but guarantees element results.
+
+    Raises:
+        XmlPathError: if the path's final step selects attributes or text.
+    """
+    steps = parse_path(path)
+    if steps[-1].kind != "element":
+        raise XmlPathError(f"path {path!r} does not select elements")
+    return [n for n in select(node, path) if isinstance(n, XmlElement)]
+
+
+def select_first(node: XmlElement, path: str) -> XmlElement | str | None:
+    """First match of *path* under *node*, or None."""
+    matches = select(node, path)
+    return matches[0] if matches else None
+
+
+def select_text(node: XmlElement, path: str, default: str = "") -> str:
+    """Normalized text of the first match, or *default*."""
+    first = select_first(node, path)
+    if first is None:
+        return default
+    if isinstance(first, str):
+        return " ".join(first.split())
+    return first.normalized_text

@@ -1,0 +1,292 @@
+"""XML Schema (XSD) subset: inference, rendering and validation.
+
+THALIA publishes, next to every extracted catalog, an XML Schema that mirrors
+the source's own structure (Fig. 3 of the paper). This module reproduces
+that: :func:`infer_schema` derives a schema from an extracted document,
+:meth:`XmlSchema.to_xsd` renders it as a ``xs:schema`` document, and
+:meth:`XmlSchema.validate` checks conformance.
+
+The supported XSD subset:
+
+* one global element declaration (the root);
+* ``xs:complexType`` with a child-element content model where each distinct
+  child tag carries ``minOccurs``/``maxOccurs`` bounds;
+* ``mixed="true"`` complex types for elements with both text and children;
+* ``xs:attribute`` declarations with ``use="required"|"optional"``;
+* ``xs:string`` as the simple type (course catalogs are textual data).
+
+Inference merges all occurrences of a tag at the same location: a child seen
+in only some instances gets ``minOccurs=0``; a child repeated within one
+parent gets ``maxOccurs="unbounded"``. The invariant the test suite enforces:
+every document validates against its own inferred schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .element import XmlDocument, XmlElement, element
+from .errors import XmlSchemaError, XmlValidationError
+
+UNBOUNDED = -1
+
+
+@dataclass
+class ElementDecl:
+    """Declaration of one element type within its parent's content model."""
+
+    name: str
+    min_occurs: int = 1
+    max_occurs: int = 1          # UNBOUNDED for unbounded
+    mixed: bool = False
+    has_text: bool = False
+    children: dict[str, "ElementDecl"] = field(default_factory=dict)
+    child_order: list[str] = field(default_factory=list)
+    attributes: dict[str, bool] = field(default_factory=dict)  # name -> required
+
+    def child(self, name: str) -> "ElementDecl":
+        try:
+            return self.children[name]
+        except KeyError:
+            raise XmlSchemaError(
+                f"element {self.name!r} declares no child {name!r}") from None
+
+    def declare_child(self, name: str) -> "ElementDecl":
+        if name not in self.children:
+            self.children[name] = ElementDecl(name)
+            self.child_order.append(name)
+        return self.children[name]
+
+    @property
+    def is_complex(self) -> bool:
+        return bool(self.children) or bool(self.attributes)
+
+
+@dataclass
+class XmlSchema:
+    """A schema for one testbed source: a single root element declaration."""
+
+    root: ElementDecl
+    source_name: str | None = None
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self, document: XmlDocument | XmlElement) -> None:
+        """Raise :class:`XmlValidationError` unless *document* conforms."""
+        node = document.root if isinstance(document, XmlDocument) else document
+        if node.tag != self.root.name:
+            raise XmlValidationError(
+                f"root element {node.tag!r} does not match declared root "
+                f"{self.root.name!r}", path=node.tag)
+        self._validate_node(node, self.root, node.tag)
+
+    def _validate_node(self, node: XmlElement, decl: ElementDecl,
+                       path: str) -> None:
+        for attr in node.attrib:
+            if attr not in decl.attributes:
+                raise XmlValidationError(
+                    f"undeclared attribute {attr!r}", path=path)
+        for attr, required in decl.attributes.items():
+            if required and attr not in node.attrib:
+                raise XmlValidationError(
+                    f"missing required attribute {attr!r}", path=path)
+        counts: dict[str, int] = {}
+        for child in node.element_children:
+            counts[child.tag] = counts.get(child.tag, 0) + 1
+            if child.tag not in decl.children:
+                raise XmlValidationError(
+                    f"undeclared element {child.tag!r}", path=path)
+            self._validate_node(child, decl.children[child.tag],
+                                f"{path}/{child.tag}")
+        for name, child_decl in decl.children.items():
+            count = counts.get(name, 0)
+            if count < child_decl.min_occurs:
+                raise XmlValidationError(
+                    f"element {name!r} occurs {count} time(s), "
+                    f"minOccurs is {child_decl.min_occurs}", path=path)
+            if child_decl.max_occurs != UNBOUNDED and count > child_decl.max_occurs:
+                raise XmlValidationError(
+                    f"element {name!r} occurs {count} time(s), "
+                    f"maxOccurs is {child_decl.max_occurs}", path=path)
+        if decl.is_complex and not decl.mixed and not decl.has_text:
+            stray = "".join(c for c in node.children if isinstance(c, str))
+            if stray.strip():
+                raise XmlValidationError(
+                    "text content in non-mixed complex element", path=path)
+
+    def is_valid(self, document: XmlDocument | XmlElement) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(document)
+        except XmlValidationError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # XSD rendering
+    # ------------------------------------------------------------------ #
+
+    def to_xsd(self) -> XmlDocument:
+        """Render as a ``xs:schema`` document in the paper's Fig. 3 style."""
+        schema = element(
+            "xs:schema",
+            self._render_decl(self.root, top_level=True),
+            **{"xmlns:xs": "http://www.w3.org/2001/XMLSchema"},
+        )
+        return XmlDocument(schema, source_name=self.source_name)
+
+    def _render_decl(self, decl: ElementDecl, top_level: bool = False) -> XmlElement:
+        attrs: dict[str, str] = {"name": decl.name}
+        if not top_level:
+            if decl.min_occurs != 1:
+                attrs["minOccurs"] = str(decl.min_occurs)
+            if decl.max_occurs == UNBOUNDED:
+                attrs["maxOccurs"] = "unbounded"
+            elif decl.max_occurs != 1:
+                attrs["maxOccurs"] = str(decl.max_occurs)
+        node = XmlElement("xs:element", attrs)
+        if not decl.is_complex:
+            node.set("type", "xs:string")
+            return node
+        complex_type = XmlElement("xs:complexType")
+        if decl.mixed or decl.has_text:
+            complex_type.set("mixed", "true")
+        if decl.children:
+            sequence = XmlElement("xs:sequence")
+            for name in decl.child_order:
+                sequence.append(self._render_decl(decl.children[name]))
+            complex_type.append(sequence)
+        for attr_name in sorted(decl.attributes):
+            required = decl.attributes[attr_name]
+            complex_type.append(element(
+                "xs:attribute", name=attr_name, type="xs:string",
+                use="required" if required else "optional"))
+        node.append(complex_type)
+        return node
+
+
+def parse_xsd(document: XmlDocument | XmlElement,
+              source_name: str | None = None) -> XmlSchema:
+    """Load a schema from its ``xs:schema`` rendering.
+
+    Inverse of :meth:`XmlSchema.to_xsd` over the supported subset, so the
+    XSD files shipped in the download bundles can be consumed
+    programmatically: ``parse_xsd(parse_xml(path.read_text()))``.
+
+    Raises:
+        XmlSchemaError: when the document is not a subset-conformant
+            ``xs:schema``.
+    """
+    root = document.root if isinstance(document, XmlDocument) else document
+    if source_name is None and isinstance(document, XmlDocument):
+        source_name = document.source_name
+    if root.tag != "xs:schema":
+        raise XmlSchemaError(f"expected xs:schema, found {root.tag!r}")
+    declarations = root.findall("xs:element")
+    if len(declarations) != 1:
+        raise XmlSchemaError(
+            f"expected exactly one global element declaration, "
+            f"found {len(declarations)}")
+    return XmlSchema(_parse_element_decl(declarations[0], top_level=True),
+                     source_name)
+
+
+def _parse_occurs(node: XmlElement) -> tuple[int, int]:
+    min_occurs = int(node.get("minOccurs", "1"))
+    max_attr = node.get("maxOccurs", "1")
+    max_occurs = UNBOUNDED if max_attr == "unbounded" else int(max_attr)
+    return min_occurs, max_occurs
+
+
+def _parse_element_decl(node: XmlElement,
+                        top_level: bool = False) -> ElementDecl:
+    name = node.get("name")
+    if not name:
+        raise XmlSchemaError("xs:element without a name")
+    decl = ElementDecl(name)
+    if not top_level:
+        decl.min_occurs, decl.max_occurs = _parse_occurs(node)
+    complex_type = node.find("xs:complexType")
+    if complex_type is None:
+        if node.get("type") not in (None, "xs:string"):
+            raise XmlSchemaError(
+                f"unsupported simple type {node.get('type')!r} "
+                f"on element {name!r}")
+        return decl
+    if complex_type.get("mixed") == "true":
+        decl.mixed = True
+        decl.has_text = True
+    sequence = complex_type.find("xs:sequence")
+    if sequence is not None:
+        for child in sequence.findall("xs:element"):
+            child_decl = _parse_element_decl(child)
+            decl.children[child_decl.name] = child_decl
+            decl.child_order.append(child_decl.name)
+    for attribute in complex_type.findall("xs:attribute"):
+        attr_name = attribute.get("name")
+        if not attr_name:
+            raise XmlSchemaError(f"xs:attribute without a name "
+                                 f"on element {name!r}")
+        decl.attributes[attr_name] = attribute.get("use") == "required"
+    return decl
+
+
+def infer_schema(document: XmlDocument | XmlElement,
+                 source_name: str | None = None) -> XmlSchema:
+    """Infer an :class:`XmlSchema` that the given document conforms to.
+
+    The inferred schema is the tightest one in the supported subset: element
+    sets, occurrence bounds and attribute requiredness all reflect exactly
+    what the document exhibits, merged across sibling instances of the same
+    tag (all ``Course`` rows contribute to one ``Course`` declaration).
+    """
+    node = document.root if isinstance(document, XmlDocument) else document
+    if source_name is None and isinstance(document, XmlDocument):
+        source_name = document.source_name
+    root_decl = ElementDecl(node.tag)
+    _merge_instances(root_decl, [node])
+    return XmlSchema(root_decl, source_name)
+
+
+def _merge_instances(decl: ElementDecl, instances: list[XmlElement]) -> None:
+    """Merge every instance of one element type into its declaration."""
+    attr_counts: dict[str, int] = {}
+    child_groups: dict[str, list[XmlElement]] = {}
+    min_counts: dict[str, int] = {}
+    max_counts: dict[str, int] = {}
+    for instance in instances:
+        for attr in instance.attrib:
+            attr_counts[attr] = attr_counts.get(attr, 0) + 1
+        text = "".join(c for c in instance.children if isinstance(c, str))
+        if text.strip():
+            decl.has_text = True
+            if instance.has_element_children():
+                decl.mixed = True
+        local_counts: dict[str, int] = {}
+        for child in instance.element_children:
+            local_counts[child.tag] = local_counts.get(child.tag, 0) + 1
+            child_groups.setdefault(child.tag, []).append(child)
+        for tag in set(child_groups) | set(local_counts):
+            count = local_counts.get(tag, 0)
+            if tag in min_counts:
+                min_counts[tag] = min(min_counts[tag], count)
+            else:
+                min_counts[tag] = count if tag in local_counts else 0
+            max_counts[tag] = max(max_counts.get(tag, 0), count)
+    # A tag absent from some earlier instance must also be optional.
+    for tag in child_groups:
+        appearances = sum(
+            1 for instance in instances
+            if any(c.tag == tag for c in instance.element_children))
+        if appearances < len(instances):
+            min_counts[tag] = 0
+    for attr, count in attr_counts.items():
+        decl.attributes[attr] = count == len(instances)
+    for tag, group in child_groups.items():
+        child_decl = decl.declare_child(tag)
+        child_decl.min_occurs = min_counts.get(tag, 0)
+        max_count = max_counts.get(tag, 1)
+        child_decl.max_occurs = UNBOUNDED if max_count > 1 else 1
+        _merge_instances(child_decl, group)

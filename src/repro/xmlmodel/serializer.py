@@ -1,0 +1,92 @@
+"""Serialization of XmlElement trees back to XML text.
+
+Two modes are provided:
+
+* :func:`serialize` — exact serialization preserving mixed content and all
+  whitespace, guaranteeing ``parse(serialize(doc)) == doc``.
+* :func:`serialize_pretty` — indented output for schemas, sample solutions
+  and the generated web site, where human readability matters more than
+  byte-exact round trips.
+"""
+
+from __future__ import annotations
+
+from .element import XmlDocument, XmlElement
+
+_XML_DECLARATION = '<?xml version="1.0" encoding="UTF-8"?>'
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace(">", "&gt;"))
+
+
+def escape_attr(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (escape_text(value)
+            .replace('"', "&quot;")
+            .replace("\n", "&#10;")
+            .replace("\t", "&#9;"))
+
+
+def _open_tag(node: XmlElement, self_closing: bool) -> str:
+    attrs = "".join(
+        f' {key}="{escape_attr(value)}"' for key, value in node.attrib.items()
+    )
+    return f"<{node.tag}{attrs}{'/' if self_closing else ''}>"
+
+
+def _serialize_node(node: XmlElement, parts: list[str]) -> None:
+    if not node.children:
+        parts.append(_open_tag(node, self_closing=True))
+        return
+    parts.append(_open_tag(node, self_closing=False))
+    for child in node.children:
+        if isinstance(child, str):
+            parts.append(escape_text(child))
+        else:
+            _serialize_node(child, parts)
+    parts.append(f"</{node.tag}>")
+
+
+def serialize(node: XmlElement | XmlDocument, xml_declaration: bool = False) -> str:
+    """Serialize exactly, preserving all text runs and document order."""
+    root = node.root if isinstance(node, XmlDocument) else node
+    parts: list[str] = [_XML_DECLARATION + "\n"] if xml_declaration else []
+    _serialize_node(root, parts)
+    return "".join(parts)
+
+
+def _serialize_pretty_node(node: XmlElement, parts: list[str],
+                           depth: int, indent: str) -> None:
+    pad = indent * depth
+    if not node.children:
+        parts.append(f"{pad}{_open_tag(node, self_closing=True)}")
+        return
+    if not node.has_element_children():
+        # Text-only element: keep content inline.
+        text = escape_text(node.text)
+        parts.append(f"{pad}{_open_tag(node, False)}{text}</{node.tag}>")
+        return
+    # Mixed or element content: children each on their own line; text runs
+    # are emitted trimmed (pretty mode is explicitly lossy about whitespace).
+    parts.append(f"{pad}{_open_tag(node, False)}")
+    for child in node.children:
+        if isinstance(child, str):
+            stripped = child.strip()
+            if stripped:
+                parts.append(f"{pad}{indent}{escape_text(stripped)}")
+        else:
+            _serialize_pretty_node(child, parts, depth + 1, indent)
+    parts.append(f"{pad}</{node.tag}>")
+
+
+def serialize_pretty(node: XmlElement | XmlDocument, indent: str = "  ",
+                     xml_declaration: bool = True) -> str:
+    """Human-readable indented serialization (whitespace-lossy)."""
+    root = node.root if isinstance(node, XmlDocument) else node
+    parts: list[str] = [_XML_DECLARATION] if xml_declaration else []
+    _serialize_pretty_node(root, parts, 0, indent)
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,174 @@
+"""AST node definitions for the XQuery subset.
+
+Nodes are frozen dataclasses so compiled queries are immutable and safely
+shareable between benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+Expr = Union[
+    "Literal", "VarRef", "ContextItem", "FunctionCall", "PathExpr",
+    "Comparison", "Arithmetic", "Logical", "Not", "Sequence", "FLWOR",
+    "IfExpr", "ElementConstructor", "Quantified",
+]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal."""
+
+    value: str | float
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """Reference to a bound variable, e.g. ``$b``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ContextItem:
+    """The context item ``.`` inside a path predicate."""
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A function call, e.g. ``doc("cmu.xml")`` or ``contains($t, 'DB')``."""
+
+    name: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step.
+
+    ``axis`` is ``child`` or ``descendant``; ``kind`` is ``element`` (name or
+    ``*`` test), ``attribute`` or ``text``. ``predicates`` are full
+    expressions evaluated with a focus (context item + position).
+    """
+
+    axis: str
+    kind: str
+    name: str
+    predicates: tuple["Expr", ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A base expression followed by one or more steps."""
+
+    base: "Expr"
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """General comparison; ``op`` in ``= != < <= > >=``.
+
+    Follows XQuery's existential semantics over sequences, with one THALIA
+    extension: when a string operand of ``=``/``!=`` contains ``%`` the
+    comparison degrades to a SQL-LIKE pattern match, because the paper's
+    benchmark queries are written in that idiom
+    (``WHERE $b/CourseName='%Data Structures%'``).
+    """
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Arithmetic:
+    """Binary ``+`` or ``-`` over numbers."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Logical:
+    """``and`` / ``or`` over effective boolean values."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class Not:
+    """``not`` applied to an effective boolean value."""
+
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """Comma (or return-clause juxtaposition) sequence constructor."""
+
+    items: tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """``for $var in expr``."""
+
+    variable: str
+    source: "Expr"
+
+
+@dataclass(frozen=True)
+class LetClause:
+    """``let $var := expr``."""
+
+    variable: str
+    value: "Expr"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ``order by`` key: an expression plus direction."""
+
+    key: "Expr"
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class FLWOR:
+    """A FLWOR expression: for/let, optional where/order by, return."""
+
+    clauses: tuple[ForClause | LetClause, ...]
+    where: "Expr | None"
+    returns: "Expr"
+    order_specs: tuple[OrderSpec, ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class Quantified:
+    """``some $x in e satisfies c`` / ``every $x in e satisfies c``."""
+
+    kind: str                                  # "some" | "every"
+    bindings: tuple[ForClause, ...]
+    condition: "Expr"
+
+
+@dataclass(frozen=True)
+class IfExpr:
+    """``if (cond) then a else b``."""
+
+    condition: "Expr"
+    then_branch: "Expr"
+    else_branch: "Expr"
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """Computed element constructor: ``element Name { content }``."""
+
+    name: str
+    content: "Expr | None"

@@ -1,0 +1,139 @@
+"""Evaluation contexts for the XQuery subset engine.
+
+The *dynamic context* carries variable bindings, the function registry, the
+document resolver (``doc()``) and the focus (context item + position) used
+inside path predicates. Contexts are immutable from the evaluator's point of
+view: binding a variable or shifting the focus produces a child context, so
+nested FLWOR iterations cannot leak bindings into one another.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from ..xmlmodel import XmlDocument, XmlElement
+from .errors import XQueryNameError
+from .functions import FunctionRegistry, builtin_registry
+from .runtime import Item, Seq
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+
+class DocumentNode(XmlElement):
+    """The document node ``doc()`` returns.
+
+    XQuery's ``doc("cmu.xml")/cmu/Course`` first steps *to* the root
+    element, so ``doc()`` must yield a node whose single child is the root
+    — not the root itself. The reserved ``#document`` tag never collides
+    with a real element name (names cannot start with ``#``); the slots are
+    assigned directly because the tag deliberately fails name validation.
+    """
+
+    def __init__(self, root: XmlElement) -> None:
+        self.tag = "#document"
+        self.attrib = {}
+        self.children = [root]
+
+
+class DocumentResolver:
+    """Resolves ``doc("name")`` URIs against a set of testbed documents.
+
+    Names are matched with and without an ``.xml`` suffix, so the paper's
+    ``doc("cmu.xml")`` and the terser ``doc("cmu")`` both work.
+    """
+
+    def __init__(self, documents: Mapping[str, XmlDocument] | None = None) -> None:
+        self._documents: dict[str, XmlDocument] = {}
+        self._nodes: dict[str, DocumentNode] = {}
+        if documents:
+            for name, document in documents.items():
+                self.add(name, document)
+
+    def add(self, name: str, document: XmlDocument) -> None:
+        key = self._normalize(name)
+        self._documents[key] = document
+        self._nodes[key] = DocumentNode(document.root)
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        name = name.strip().lower()
+        if name.endswith(".xml"):
+            name = name[:-4]
+        return name
+
+    def resolve(self, name: str) -> XmlElement:
+        key = self._normalize(name)
+        try:
+            return self._nodes[key]
+        except KeyError:
+            known = ", ".join(sorted(self._documents)) or "<none>"
+            raise XQueryNameError(
+                f"unknown document {name!r}; known documents: {known}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return self._normalize(name) in self._documents
+
+
+class DynamicContext:
+    """Variable bindings + focus + document resolver + functions."""
+
+    __slots__ = ("_variables", "functions", "documents",
+                 "context_item", "context_position", "context_size")
+
+    def __init__(self,
+                 documents: DocumentResolver | Mapping[str, XmlDocument] | None = None,
+                 functions: FunctionRegistry | None = None,
+                 variables: Mapping[str, Seq] | None = None) -> None:
+        if isinstance(documents, DocumentResolver):
+            self.documents = documents
+        else:
+            self.documents = DocumentResolver(documents)
+        self.functions = functions if functions is not None else builtin_registry()
+        self._variables: dict[str, Seq] = dict(variables) if variables else {}
+        self.context_item: Item | None = None
+        self.context_position: int = 0
+        self.context_size: int = 0
+
+    # -- variables ------------------------------------------------------- #
+
+    def bind(self, name: str, value: Seq) -> "DynamicContext":
+        """Child context with *name* bound to *value*."""
+        child = self._clone()
+        child._variables[name] = value
+        return child
+
+    def lookup(self, name: str) -> Seq:
+        try:
+            return self._variables[name]
+        except KeyError:
+            raise XQueryNameError(f"unbound variable ${name}") from None
+
+    # -- focus ----------------------------------------------------------- #
+
+    def with_focus(self, item: Item, position: int, size: int) -> "DynamicContext":
+        """Child context focused on *item* (for predicate evaluation)."""
+        child = self._clone()
+        child.context_item = item
+        child.context_position = position
+        child.context_size = size
+        return child
+
+    # -- documents --------------------------------------------------------#
+
+    def resolve_document(self, name: str) -> XmlElement:
+        return self.documents.resolve(name)
+
+    def _clone(self) -> "DynamicContext":
+        child = DynamicContext.__new__(DynamicContext)
+        child.documents = self.documents
+        child.functions = self.functions
+        child._variables = dict(self._variables)
+        child.context_item = self.context_item
+        child.context_position = self.context_position
+        child.context_size = self.context_size
+        return child

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the XQuery subset engine."""
+
+from __future__ import annotations
+
+
+class XQueryError(Exception):
+    """Base class for all XQuery engine errors."""
+
+
+class XQuerySyntaxError(XQueryError):
+    """Raised by the lexer or parser on malformed query text.
+
+    Attributes:
+        position: 0-based character offset of the offending token.
+        line: 1-based line number, derived from the offset.
+    """
+
+    def __init__(self, message: str, source: str = "",
+                 position: int | None = None) -> None:
+        self.position = position
+        self.line = None
+        if position is not None and source:
+            self.line = source.count("\n", 0, position) + 1
+            message = f"{message} (line {self.line}, offset {position})"
+        super().__init__(message)
+
+
+class XQueryTypeError(XQueryError):
+    """Raised when a value cannot be used where the operation requires.
+
+    The benchmark harness treats this as a *visible integration failure*:
+    e.g. comparing ETH's textual ``Umfang`` value ("2V1U") with the number
+    10 raises here, exactly the situation Benchmark Query 4 is designed to
+    expose.
+    """
+
+
+class XQueryNameError(XQueryError):
+    """Raised for unbound variables, unknown functions or unknown documents."""

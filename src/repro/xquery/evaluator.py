@@ -1,0 +1,412 @@
+"""Evaluator for the XQuery subset.
+
+Semantics follow XQuery 1.0 where the subset overlaps, with two documented
+divergences tailored to the THALIA benchmark text:
+
+* **SQL-LIKE comparisons.** When one operand of ``=``/``!=`` is a *string
+  literal* containing ``%``, the comparison becomes a case-insensitive LIKE
+  match (``%`` = any run, ``_`` = any character). The paper writes its
+  queries this way (``WHERE $b/CourseName='%Data Structures%'``).
+* **Whitespace-normalized atomization.** Element string values are
+  whitespace-normalized (see :mod:`repro.xquery.runtime`).
+
+Numeric comparison against non-numeric text raises
+:class:`~repro.xquery.errors.XQueryTypeError` — deliberately, because that is
+the visible symptom of an unresolved heterogeneity (e.g. Benchmark Query 4's
+``Units > 10`` against ETH's textual ``Umfang``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..xmlmodel import XmlElement
+from .ast import (
+    Arithmetic,
+    Comparison,
+    ContextItem,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    Logical,
+    Not,
+    PathExpr,
+    Quantified,
+    Sequence,
+    Step,
+    VarRef,
+)
+from .context import DynamicContext
+from .errors import XQueryTypeError
+from .runtime import (
+    Seq,
+    atomize,
+    effective_boolean_value,
+    singleton,
+    string_value,
+    to_number,
+)
+
+
+def evaluate(node: Expr, context: DynamicContext) -> Seq:
+    """Evaluate an AST node to a sequence."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:  # pragma: no cover - parser only emits known nodes
+        raise TypeError(f"no handler for AST node {type(node).__name__}")
+    return handler(node, context)
+
+
+# --------------------------------------------------------------------------- #
+# Simple nodes
+# --------------------------------------------------------------------------- #
+
+def _eval_literal(node: Literal, context: DynamicContext) -> Seq:
+    return [node.value]
+
+
+def _eval_varref(node: VarRef, context: DynamicContext) -> Seq:
+    return context.lookup(node.name)
+
+
+def _eval_context_item(node: ContextItem, context: DynamicContext) -> Seq:
+    if context.context_item is None:
+        raise XQueryTypeError("'.' used outside a predicate focus")
+    return [context.context_item]
+
+
+def _eval_function_call(node: FunctionCall, context: DynamicContext) -> Seq:
+    args = [evaluate(arg, context) for arg in node.args]
+    return context.functions.call(context, node.name, args)
+
+
+def _eval_sequence(node: Sequence, context: DynamicContext) -> Seq:
+    result: Seq = []
+    for item in node.items:
+        result.extend(evaluate(item, context))
+    return result
+
+
+def _eval_if(node: IfExpr, context: DynamicContext) -> Seq:
+    if effective_boolean_value(evaluate(node.condition, context)):
+        return evaluate(node.then_branch, context)
+    return evaluate(node.else_branch, context)
+
+
+def _eval_logical(node: Logical, context: DynamicContext) -> Seq:
+    left = effective_boolean_value(evaluate(node.left, context))
+    if node.op == "and":
+        if not left:
+            return [False]
+        return [effective_boolean_value(evaluate(node.right, context))]
+    if left:
+        return [True]
+    return [effective_boolean_value(evaluate(node.right, context))]
+
+
+def _eval_not(node: Not, context: DynamicContext) -> Seq:
+    return [not effective_boolean_value(evaluate(node.operand, context))]
+
+
+def _eval_arithmetic(node: Arithmetic, context: DynamicContext) -> Seq:
+    left_seq = evaluate(node.left, context)
+    right_seq = evaluate(node.right, context)
+    if not left_seq or not right_seq:
+        return []
+    left = to_number(singleton(left_seq, "arithmetic"))
+    right = to_number(singleton(right_seq, "arithmetic"))
+    return [left + right if node.op == "+" else left - right]
+
+
+# --------------------------------------------------------------------------- #
+# Paths
+# --------------------------------------------------------------------------- #
+
+def _eval_path(node: PathExpr, context: DynamicContext) -> Seq:
+    current = evaluate(node.base, context)
+    for step in node.steps:
+        current = _apply_step(step, current, context)
+    return current
+
+
+def _apply_step(step: Step, sequence: Seq, context: DynamicContext) -> Seq:
+    result: Seq = []
+    seen: set[int] = set()
+    for item in sequence:
+        if not isinstance(item, XmlElement):
+            raise XQueryTypeError(
+                f"path step '{step.name}' applied to atomic value "
+                f"{string_value(item)!r}")
+        for produced in _step_candidates(step, item):
+            if isinstance(produced, XmlElement):
+                if id(produced) in seen:
+                    continue
+                seen.add(id(produced))
+            result.append(produced)
+    for predicate in step.predicates:
+        result = _filter_by_predicate(predicate, result, context)
+    return result
+
+
+def _step_candidates(step: Step, item: XmlElement) -> Seq:
+    if step.axis == "descendant":
+        pool = [node for child in item.element_children
+                for node in child.iter()]
+    else:
+        pool = item.element_children
+    if step.kind == "element":
+        if step.name == "*":
+            return list(pool)
+        return [node for node in pool if node.tag == step.name]
+    if step.kind == "attribute":
+        values: Seq = []
+        targets = [item] if step.axis == "child" else pool
+        for target in targets:
+            value = target.get(step.name)
+            if value is not None:
+                values.append(value)
+        return values
+    # text(): direct text runs of the item (child axis) or of descendants.
+    targets = [item] if step.axis == "child" else pool
+    texts: Seq = []
+    for target in targets:
+        direct = "".join(c for c in target.children if isinstance(c, str))
+        if direct:
+            texts.append(direct)
+    return texts
+
+
+def _filter_by_predicate(predicate: Expr, sequence: Seq,
+                         context: DynamicContext) -> Seq:
+    size = len(sequence)
+    kept: Seq = []
+    for position, item in enumerate(sequence, start=1):
+        focused = context.with_focus(item, position, size)
+        value = evaluate(predicate, focused)
+        if len(value) == 1 and isinstance(value[0], float):
+            if value[0] == position:
+                kept.append(item)
+        elif effective_boolean_value(value):
+            kept.append(item)
+    return kept
+
+
+# --------------------------------------------------------------------------- #
+# Comparisons (incl. the paper's LIKE idiom)
+# --------------------------------------------------------------------------- #
+
+def _like_pattern(pattern: str) -> re.Pattern[str]:
+    parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            parts.append(".*")
+        elif ch == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def _literal_like(node: Expr) -> str | None:
+    """The LIKE pattern if *node* is a string literal containing '%'."""
+    if isinstance(node, Literal) and isinstance(node.value, str) \
+            and "%" in node.value:
+        return node.value
+    return None
+
+
+def _compare_atomic(op: str, left: object, right: object) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        left_b = effective_boolean_value([left])
+        right_b = effective_boolean_value([right])
+        if op == "=":
+            return left_b == right_b
+        if op == "!=":
+            return left_b != right_b
+        raise XQueryTypeError(f"operator {op} not defined for booleans")
+    if isinstance(left, float) or isinstance(right, float):
+        left_n = left if isinstance(left, float) else to_number(left)  # type: ignore[arg-type]
+        right_n = right if isinstance(right, float) else to_number(right)  # type: ignore[arg-type]
+        return _ordered(op, left_n, right_n)
+    return _ordered(op, str(left), str(right))
+
+
+def _ordered(op: str, left, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _eval_comparison(node: Comparison, context: DynamicContext) -> Seq:
+    left_seq = atomize(evaluate(node.left, context))
+    right_seq = atomize(evaluate(node.right, context))
+
+    if node.op in ("=", "!="):
+        pattern_text = _literal_like(node.right)
+        values = left_seq
+        if pattern_text is None:
+            pattern_text = _literal_like(node.left)
+            values = right_seq
+        if pattern_text is not None:
+            pattern = _like_pattern(pattern_text)
+            if node.op == "=":
+                return [any(pattern.match(str(v)) for v in values)]
+            return [any(not pattern.match(str(v)) for v in values)]
+
+    result = any(
+        _compare_atomic(node.op, left, right)
+        for left in left_seq for right in right_seq)
+    return [result]
+
+
+# --------------------------------------------------------------------------- #
+# FLWOR
+# --------------------------------------------------------------------------- #
+
+def _order_key(value: Seq) -> tuple:
+    """A totally-ordered sort key for one ``order by`` key value.
+
+    Empty sequences sort first (XQuery's "empty least" default); numbers
+    sort before strings; multi-item keys are a type error.
+    """
+    if not value:
+        return (0, 0.0, "")
+    item = singleton(value, "order by key")
+    if isinstance(item, bool):
+        return (1, 1.0 if item else 0.0, "")
+    if isinstance(item, float):
+        return (1, item, "")
+    return (2, 0.0, string_value(item))
+
+
+def _eval_flwor(node: FLWOR, context: DynamicContext) -> Seq:
+    ordered: list[tuple[tuple, Seq]] = []
+
+    def emit(scope: DynamicContext) -> None:
+        produced = evaluate(node.returns, scope)
+        if node.order_specs:
+            keys = []
+            for spec in node.order_specs:
+                key = _order_key(evaluate(spec.key, scope))
+                if spec.descending:
+                    key = tuple(_invert(part) for part in key)
+                keys.append(key)
+            ordered.append((tuple(keys), produced))
+        else:
+            ordered.append(((), produced))
+
+    def recurse(index: int, scope: DynamicContext) -> None:
+        if index == len(node.clauses):
+            if node.where is not None:
+                if not effective_boolean_value(evaluate(node.where, scope)):
+                    return
+            emit(scope)
+            return
+        clause = node.clauses[index]
+        if isinstance(clause, ForClause):
+            for item in evaluate(clause.source, scope):
+                recurse(index + 1, scope.bind(clause.variable, [item]))
+        else:
+            assert isinstance(clause, LetClause)
+            value = evaluate(clause.value, scope)
+            recurse(index + 1, scope.bind(clause.variable, value))
+
+    recurse(0, context)
+    if node.order_specs:
+        ordered.sort(key=lambda entry: entry[0])
+    results: Seq = []
+    for _, produced in ordered:
+        results.extend(produced)
+    return results
+
+
+class _Inverted:
+    """Wrapper reversing the order of one key component (descending)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Inverted") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Inverted) and self.value == other.value
+
+
+def _invert(part):
+    return _Inverted(part)
+
+
+def _eval_quantified(node: Quantified, context: DynamicContext) -> Seq:
+    outcomes: list[bool] = []
+
+    def recurse(index: int, scope: DynamicContext) -> None:
+        if index == len(node.bindings):
+            outcomes.append(
+                effective_boolean_value(evaluate(node.condition, scope)))
+            return
+        binding = node.bindings[index]
+        for item in evaluate(binding.source, scope):
+            recurse(index + 1, scope.bind(binding.variable, [item]))
+
+    recurse(0, context)
+    if node.kind == "some":
+        return [any(outcomes)]
+    return [all(outcomes)]
+
+
+# --------------------------------------------------------------------------- #
+# Constructors
+# --------------------------------------------------------------------------- #
+
+def _eval_element_constructor(node: ElementConstructor,
+                              context: DynamicContext) -> Seq:
+    constructed = XmlElement(node.name)
+    if node.content is not None:
+        pending_atomics: list[str] = []
+
+        def flush() -> None:
+            if pending_atomics:
+                constructed.append(" ".join(pending_atomics))
+                pending_atomics.clear()
+
+        for item in evaluate(node.content, context):
+            if isinstance(item, XmlElement):
+                flush()
+                constructed.append(item.copy())
+            else:
+                pending_atomics.append(string_value(item))
+        flush()
+    return [constructed]
+
+
+_HANDLERS = {
+    Literal: _eval_literal,
+    VarRef: _eval_varref,
+    ContextItem: _eval_context_item,
+    FunctionCall: _eval_function_call,
+    Sequence: _eval_sequence,
+    IfExpr: _eval_if,
+    Logical: _eval_logical,
+    Not: _eval_not,
+    Arithmetic: _eval_arithmetic,
+    PathExpr: _eval_path,
+    Comparison: _eval_comparison,
+    FLWOR: _eval_flwor,
+    Quantified: _eval_quantified,
+    ElementConstructor: _eval_element_constructor,
+}

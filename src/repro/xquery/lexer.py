@@ -1,0 +1,158 @@
+"""Hand-written lexer for the XQuery subset.
+
+Keywords are recognized case-insensitively because the THALIA paper prints
+its benchmark queries with uppercase clause keywords (``FOR``/``WHERE``/
+``RETURN``) while XQuery proper is lowercase; accepting both lets the paper
+text run verbatim.
+
+Names may contain a single namespace colon (``fn:contains``, ``udf:to-24h``)
+and the characters needed for the catalog element names (dots and hyphens).
+"""
+
+from __future__ import annotations
+
+from .errors import XQuerySyntaxError
+from .tokens import (
+    EOF,
+    KEYWORD,
+    KEYWORDS,
+    NAME,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    SYMBOLS,
+    VARIABLE,
+    Token,
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CONT = _NAME_START | set("0123456789.-")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, returning a token list terminated by EOF.
+
+    Raises:
+        XQuerySyntaxError: on unterminated strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(" and source.startswith("(:", i):
+            i = _skip_comment(source, i)
+            continue
+        if ch in "'\"":
+            token, i = _read_string(source, i)
+            tokens.append(token)
+            continue
+        if ch == "$":
+            token, i = _read_variable(source, i)
+            tokens.append(token)
+            continue
+        if ch.isdigit():
+            token, i = _read_number(source, i)
+            tokens.append(token)
+            continue
+        if ch in _NAME_START:
+            token, i = _read_name(source, i)
+            tokens.append(token)
+            continue
+        symbol = _match_symbol(source, i)
+        if symbol is not None:
+            tokens.append(Token(SYMBOL, symbol, i))
+            i += len(symbol)
+            continue
+        raise XQuerySyntaxError(f"unexpected character {ch!r}", source, i)
+    tokens.append(Token(EOF, "", length))
+    return tokens
+
+
+def _skip_comment(source: str, start: int) -> int:
+    """Skip a possibly nested ``(: ... :)`` comment; return the new offset."""
+    depth = 0
+    i = start
+    while i < len(source):
+        if source.startswith("(:", i):
+            depth += 1
+            i += 2
+        elif source.startswith(":)", i):
+            depth -= 1
+            i += 2
+            if depth == 0:
+                return i
+        else:
+            i += 1
+    raise XQuerySyntaxError("unterminated comment", source, start)
+
+
+def _read_string(source: str, start: int) -> tuple[Token, int]:
+    quote = source[start]
+    i = start + 1
+    parts: list[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == quote:
+            # XQuery escapes a quote by doubling it.
+            if i + 1 < len(source) and source[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return Token(STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise XQuerySyntaxError("unterminated string literal", source, start)
+
+
+def _read_variable(source: str, start: int) -> tuple[Token, int]:
+    i = start + 1
+    if i >= len(source) or source[i] not in _NAME_START:
+        raise XQuerySyntaxError("'$' must be followed by a name", source, start)
+    begin = i
+    while i < len(source) and source[i] in _NAME_CONT:
+        i += 1
+    return Token(VARIABLE, source[begin:i], start), i
+
+
+def _read_number(source: str, start: int) -> tuple[Token, int]:
+    i = start
+    seen_dot = False
+    while i < len(source):
+        ch = source[i]
+        if ch.isdigit():
+            i += 1
+        elif (ch == "." and not seen_dot and i + 1 < len(source)
+              and source[i + 1].isdigit()):
+            seen_dot = True
+            i += 1
+        else:
+            break
+    return Token(NUMBER, source[start:i], start), i
+
+
+def _read_name(source: str, start: int) -> tuple[Token, int]:
+    i = start
+    while i < len(source) and source[i] in _NAME_CONT:
+        i += 1
+    # Allow one namespace colon if directly followed by a name character
+    # and not part of the ':=' symbol.
+    if (i < len(source) and source[i] == ":"
+            and i + 1 < len(source) and source[i + 1] in _NAME_START):
+        i += 1
+        while i < len(source) and source[i] in _NAME_CONT:
+            i += 1
+    word = source[start:i]
+    if word.lower() in KEYWORDS and ":" not in word:
+        return Token(KEYWORD, word.lower(), start), i
+    return Token(NAME, word, start), i
+
+
+def _match_symbol(source: str, i: int) -> str | None:
+    for symbol in SYMBOLS:
+        if source.startswith(symbol, i):
+            return symbol
+    return None

@@ -1,0 +1,178 @@
+"""AST → source text for the XQuery subset.
+
+Round-trip guarantee (checked by the test suite): for any query ``q`` the
+engine accepts, ``parse(unparse(parse(q)))`` equals ``parse(q)``. The
+query rewriter (:mod:`repro.integration.rewrite`) relies on this to turn a
+transformed AST back into runnable query text.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    Arithmetic,
+    Comparison,
+    ContextItem,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    Logical,
+    Not,
+    PathExpr,
+    Quantified,
+    Sequence,
+    Step,
+    VarRef,
+)
+from .runtime import format_number
+
+
+def unparse(node: Expr) -> str:
+    """Render an AST node as parseable XQuery text."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:  # pragma: no cover - all node types are covered
+        raise TypeError(f"cannot unparse {type(node).__name__}")
+    return handler(node)
+
+
+def _literal(node: Literal) -> str:
+    if isinstance(node.value, float):
+        return format_number(node.value)
+    escaped = node.value.replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _varref(node: VarRef) -> str:
+    return f"${node.name}"
+
+
+def _context_item(node: ContextItem) -> str:
+    return "."
+
+
+def _function_call(node: FunctionCall) -> str:
+    args = ", ".join(unparse(arg) for arg in node.args)
+    return f"{node.name}({args})"
+
+
+def _step(step: Step) -> str:
+    axis = "//" if step.axis == "descendant" else "/"
+    if step.kind == "attribute":
+        return f"{axis}@{step.name}"
+    if step.kind == "text":
+        return f"{axis}text()"
+    rendered = f"{axis}{step.name}"
+    for predicate in step.predicates:
+        rendered += f"[{unparse(predicate)}]"
+    return rendered
+
+
+def _path(node: PathExpr) -> str:
+    if isinstance(node.base, ContextItem):
+        # Relative paths render without the leading dot: Course[...]
+        base = ""
+        steps = "".join(_step(s) for s in node.steps).lstrip("/")
+        return base + steps if steps else "."
+    base = unparse(node.base)
+    return base + "".join(_step(s) for s in node.steps)
+
+
+def _wrap_operand(node: Expr) -> str:
+    """Parenthesize operands whose precedence is below comparison."""
+    if isinstance(node, (FLWOR, IfExpr, Logical, Sequence)):
+        return f"({unparse(node)})"
+    return unparse(node)
+
+
+def _comparison(node: Comparison) -> str:
+    return f"{_wrap_operand(node.left)} {node.op} {_wrap_operand(node.right)}"
+
+
+def _arithmetic(node: Arithmetic) -> str:
+    return f"{_wrap_operand(node.left)} {node.op} {_wrap_operand(node.right)}"
+
+
+def _logical(node: Logical) -> str:
+    left = unparse(node.left)
+    right = unparse(node.right)
+    if isinstance(node.left, (FLWOR, IfExpr, Sequence)):
+        left = f"({left})"
+    if isinstance(node.right, (FLWOR, IfExpr, Sequence)) or (
+            node.op == "and" and isinstance(node.right, Logical)
+            and node.right.op == "or"):
+        right = f"({right})"
+    if node.op == "and" and isinstance(node.left, Logical) \
+            and node.left.op == "or":
+        left = f"({left})"
+    return f"{left} {node.op} {right}"
+
+
+def _not(node: Not) -> str:
+    return f"not {_wrap_operand(node.operand)}"
+
+
+def _sequence(node: Sequence) -> str:
+    if not node.items:
+        return "()"
+    return "(" + ", ".join(unparse(item) for item in node.items) + ")"
+
+
+def _flwor(node: FLWOR) -> str:
+    parts: list[str] = []
+    for clause in node.clauses:
+        if isinstance(clause, ForClause):
+            parts.append(f"for ${clause.variable} in "
+                         f"{unparse(clause.source)}")
+        else:
+            assert isinstance(clause, LetClause)
+            parts.append(f"let ${clause.variable} := "
+                         f"{unparse(clause.value)}")
+    if node.where is not None:
+        parts.append(f"where {unparse(node.where)}")
+    if node.order_specs:
+        keys = ", ".join(
+            unparse(spec.key) + (" descending" if spec.descending else "")
+            for spec in node.order_specs)
+        parts.append(f"order by {keys}")
+    parts.append(f"return {unparse(node.returns)}")
+    return "\n".join(parts)
+
+
+def _quantified(node) -> str:
+    bindings = ", ".join(
+        f"${clause.variable} in {unparse(clause.source)}"
+        for clause in node.bindings)
+    return f"{node.kind} {bindings} satisfies {unparse(node.condition)}"
+
+
+def _if(node: IfExpr) -> str:
+    return (f"if ({unparse(node.condition)}) "
+            f"then {unparse(node.then_branch)} "
+            f"else {unparse(node.else_branch)}")
+
+
+def _element_constructor(node: ElementConstructor) -> str:
+    content = unparse(node.content) if node.content is not None else ""
+    return f"element {node.name} {{ {content} }}".replace("{  }", "{}")
+
+
+_HANDLERS = {
+    Literal: _literal,
+    VarRef: _varref,
+    ContextItem: _context_item,
+    FunctionCall: _function_call,
+    PathExpr: _path,
+    Comparison: _comparison,
+    Arithmetic: _arithmetic,
+    Logical: _logical,
+    Not: _not,
+    Sequence: _sequence,
+    FLWOR: _flwor,
+    IfExpr: _if,
+    ElementConstructor: _element_constructor,
+    Quantified: _quantified,
+}

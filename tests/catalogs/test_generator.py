@@ -1,0 +1,93 @@
+"""Filler-course generator tests."""
+
+import pytest
+
+from repro.catalogs import CourseFactory, FillerStyle, INSTRUCTOR_SURNAMES
+
+
+class TestDeterminism:
+    def test_same_seed_same_courses(self):
+        a = CourseFactory("mit", 2004).fill(8)
+        b = CourseFactory("mit", 2004).fill(8)
+        assert [c.key for c in a] == [c.key for c in b]
+        assert [c.title for c in a] == [c.title for c in b]
+        assert [c.meeting for c in a] == [c.meeting for c in b]
+
+    def test_different_seed_differs(self):
+        a = CourseFactory("mit", 2004).fill(8)
+        b = CourseFactory("mit", 2005).fill(8)
+        assert [c.title for c in a] != [c.title for c in b]
+
+    def test_different_university_differs(self):
+        a = CourseFactory("mit", 2004).fill(8)
+        b = CourseFactory("stanford", 2004).fill(8)
+        assert [c.title for c in a] != [c.title for c in b]
+
+
+class TestGuards:
+    def test_no_filler_instructor_named_mark(self):
+        # Q1's gold answer depends on pinned "Mark" courses only.
+        assert "Mark" not in INSTRUCTOR_SURNAMES
+
+    def test_exclusion_respected(self):
+        courses = CourseFactory("cmu", 2004).fill(
+            10, exclude_topics={"verification"})
+        assert all("Verification" not in c.title for c in courses)
+
+    def test_no_database_topic_exists(self):
+        # The filler pool must never produce a title matching '%Database%'.
+        courses = CourseFactory("any", 1).fill(20)
+        assert all("Database" not in c.title for c in courses)
+        assert all("Data Structures" not in c.title for c in courses)
+
+    def test_topics_not_repeated_within_factory(self):
+        factory = CourseFactory("mit", 2004)
+        first = factory.fill(10)
+        second = factory.fill(10)
+        titles = [c.title for c in first + second]
+        assert len(titles) == len(set(titles))
+
+    def test_over_requesting_raises(self):
+        with pytest.raises(ValueError, match="only"):
+            CourseFactory("mit", 2004).fill(100)
+
+
+class TestStyles:
+    def test_code_prefix_and_step(self):
+        style = FillerStyle(code_prefix="CS", code_start=100, code_step=10)
+        courses = CourseFactory("x", 1, style).fill(3)
+        assert [c.code for c in courses] == ["CS100", "CS110", "CS120"]
+
+    def test_german_style_sets_title_and_workload(self):
+        style = FillerStyle(german=True, units_choices=(9,))
+        course = CourseFactory("eth", 1, style).fill(1)[0]
+        assert course.title_de is not None
+        assert course.workload == "2V1U"
+
+    def test_english_style_has_no_german_fields(self):
+        course = CourseFactory("mit", 1).fill(1)[0]
+        assert course.title_de is None
+        assert course.workload is None
+
+    def test_sections_style(self):
+        style = FillerStyle(with_sections=True)
+        courses = CourseFactory("umd", 1, style).fill(5)
+        assert all(c.sections for c in courses)
+        # Lead section always taught by the course's instructor.
+        assert all(c.sections[0].instructor == c.instructors[0]
+                   for c in courses)
+
+    def test_classification_style(self):
+        style = FillerStyle(with_classification=True)
+        courses = CourseFactory("gatech", 7, style).fill(10)
+        assert any(c.open_to for c in courses)
+
+    def test_textbook_style(self):
+        style = FillerStyle(with_textbooks=True)
+        courses = CourseFactory("toronto", 3, style).fill(10)
+        assert any(c.textbook for c in courses)
+
+    def test_units_choices_respected(self):
+        style = FillerStyle(units_choices=(9, 12))
+        courses = CourseFactory("cmu", 1, style).fill(10)
+        assert set(c.units for c in courses) <= {9, 12}

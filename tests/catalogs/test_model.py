@@ -1,0 +1,111 @@
+"""Canonical model tests: meetings, time formatting, workload mapping."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalogs import (
+    CanonicalCourse,
+    Meeting,
+    SectionInfo,
+    fmt_12h,
+    fmt_24h,
+    fmt_range_12h,
+    fmt_range_24h,
+    units_to_workload,
+    workload_to_units,
+)
+
+
+class TestMeeting:
+    def test_valid_meeting(self):
+        meeting = Meeting(("M", "W", "F"), 11 * 60, 12 * 60)
+        assert meeting.day_string == "MWF"
+
+    def test_rejects_unknown_day(self):
+        with pytest.raises(ValueError, match="unknown day"):
+            Meeting(("X",), 600, 660)
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ValueError):
+            Meeting(("M",), 660, 600)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            Meeting(("M",), -5, 600)
+
+
+class TestTimeFormatting:
+    def test_fmt_12h_afternoon(self):
+        assert fmt_12h(13 * 60 + 30) == "1:30"
+
+    def test_fmt_12h_with_suffix(self):
+        assert fmt_12h(13 * 60 + 30, with_suffix=True) == "1:30pm"
+        assert fmt_12h(9 * 60, with_suffix=True) == "9:00am"
+
+    def test_fmt_12h_noon_and_midnight(self):
+        assert fmt_12h(12 * 60, with_suffix=True) == "12:00pm"
+        assert fmt_12h(0, with_suffix=True) == "12:00am"
+
+    def test_fmt_24h(self):
+        assert fmt_24h(13 * 60 + 30) == "13:30"
+        assert fmt_24h(16 * 60) == "16:00"
+
+    def test_ranges_match_paper_samples(self):
+        cmu = Meeting(("T", "Th"), 13 * 60 + 30, 14 * 60 + 50)
+        assert fmt_range_12h(cmu) == "1:30 - 2:50"
+        umass = Meeting(("M", "W", "F"), 16 * 60, 17 * 60 + 15)
+        assert fmt_range_24h(umass) == "16:00-17:15"
+
+
+class TestWorkloadMapping:
+    def test_paper_sample(self):
+        # "XML und Datenbanken" carries Umfang 2V1U in the paper.
+        assert units_to_workload(9) == "2V1U"
+        assert workload_to_units("2V1U") == 9
+
+    def test_lecture_only(self):
+        assert units_to_workload(6) == "2V"
+        assert workload_to_units("2V") == 6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units_to_workload(0)
+
+    def test_rejects_garbage_workload(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            workload_to_units("viele Stunden")
+
+    @given(st.integers(min_value=1, max_value=10).map(lambda k: 3 * k))
+    def test_round_trip_on_multiples_of_three(self, units):
+        assert workload_to_units(units_to_workload(units)) == units
+
+
+class TestCanonicalCourse:
+    def _course(self, **overrides):
+        params = dict(
+            university="cmu", code="15-415", title="Databases",
+            instructors=("Ailamaki",),
+            meeting=Meeting(("T",), 600, 660), room="WEH", units=12)
+        params.update(overrides)
+        return CanonicalCourse(**params)
+
+    def test_key(self):
+        assert self._course().key == ("cmu", "15-415")
+
+    def test_entry_level(self):
+        assert self._course().is_entry_level
+        assert not self._course(prerequisites=("15-213",)).is_entry_level
+
+    def test_instructor_names_plain(self):
+        course = self._course(instructors=("Song", "Wing"))
+        assert course.instructor_names() == ("Song", "Wing")
+
+    def test_instructor_names_from_sections(self):
+        sections = (
+            SectionInfo("0101", "Singh, H.", Meeting(("M",), 600, 660), "A"),
+            SectionInfo("0201", "Memon, A.", Meeting(("T",), 600, 660), "B"),
+            SectionInfo("0301", "Singh, H.", Meeting(("W",), 600, 660), "C"),
+        )
+        course = self._course(sections=sections)
+        assert course.instructor_names() == ("Singh, H.", "Memon, A.")

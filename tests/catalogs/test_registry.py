@@ -1,0 +1,87 @@
+"""Registry tests: the 25-source testbed and the 45-source roadmap."""
+
+import pytest
+
+from repro.catalogs import (
+    all_universities,
+    build_testbed,
+    extended_universities,
+    future_universities,
+    generic_universities,
+    get_university,
+    paper_universities,
+)
+
+
+class TestRegistry:
+    def test_paper_sources(self):
+        slugs = [p.slug for p in paper_universities()]
+        assert len(slugs) == 9
+        for required in ("brown", "cmu", "eth", "gatech", "umich",
+                         "toronto", "ucsd", "umd", "umass"):
+            assert required in slugs
+
+    def test_twenty_five_sources(self):
+        profiles = all_universities()
+        assert len(profiles) == 25
+        assert len({p.slug for p in profiles}) == 25
+
+    def test_roadmap_reaches_forty_five(self):
+        """Footnote 3: 'Expected to reach 45 sources by August 2004.'"""
+        profiles = extended_universities()
+        assert len(profiles) == 45
+        assert len({p.slug for p in profiles}) == 45
+
+    def test_future_sources_are_generic(self):
+        from repro.catalogs.universities import GenericUniversity
+        assert len(future_universities()) == 20
+        assert all(isinstance(p, GenericUniversity)
+                   for p in future_universities())
+
+    def test_international_coverage(self):
+        countries = {p.country for p in extended_universities()}
+        assert {"USA", "Canada", "Germany", "Switzerland", "UK",
+                "Austria", "Australia", "Singapore", "Israel"} <= countries
+
+    def test_german_sources_exist(self):
+        german = [p for p in extended_universities() if p.language == "de"]
+        assert len(german) >= 4
+
+    def test_get_university_covers_extended(self):
+        assert get_university("vienna").country == "Austria"
+        assert get_university("cmu").name == "Carnegie Mellon University"
+
+    def test_get_university_unknown(self):
+        with pytest.raises(KeyError):
+            get_university("hogwarts")
+
+    def test_generic_vocabulary_variety(self):
+        """The synonym surface the matcher must handle is genuinely wide."""
+        tags = {p.spec.instructor_tag for p in generic_universities()}
+        assert len(tags) >= 6
+
+
+class TestExtendedBuild:
+    def test_forty_five_source_testbed_builds_and_validates(self):
+        testbed = build_testbed(universities=extended_universities())
+        assert len(testbed) == 45
+        for bundle in testbed:
+            assert bundle.stats.records >= 8, bundle.slug
+            bundle.schema.validate(bundle.document)
+
+    def test_extended_mediator_integrates_everything(self):
+        from repro.integration import standard_mediator
+        profiles = extended_universities()
+        testbed = build_testbed(universities=profiles)
+        mediator = standard_mediator(profiles)
+        courses = mediator.integrate(testbed.documents)
+        assert {c.source for c in courses} == set(testbed.slugs)
+        assert all(not r.errors for r in mediator.last_reports)
+
+    def test_gold_answers_unchanged_by_extension(self):
+        """Growing the testbed must not disturb the benchmark queries."""
+        from repro.core import QUERIES, gold_answer
+        small = build_testbed(universities=paper_universities())
+        large = build_testbed(universities=extended_universities())
+        for query in QUERIES:
+            assert gold_answer(query, small) == gold_answer(query, large)

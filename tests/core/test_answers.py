@@ -1,0 +1,103 @@
+"""Gold-answer tests: the expected integrated results per query."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import QUERIES, get_query, gold_answer
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+class TestGoldAnswers:
+    def test_q1_mark_courses(self, testbed):
+        assert gold_answer(1, testbed) == {
+            ("gatech", "20381"), ("cmu", "15-567*")}
+
+    def test_q2_database_at_one_thirty(self, testbed):
+        assert gold_answer(2, testbed) == {
+            ("cmu", "15-415"), ("umass", "CS445")}
+
+    def test_q3_data_structures(self, testbed):
+        assert gold_answer(3, testbed) == {
+            ("umd", "CMSC420"), ("brown", "CS016")}
+
+    def test_q4_units_above_ten(self, testbed):
+        assert gold_answer(4, testbed) == {
+            ("cmu", "15-415"), ("eth", "251-0312")}
+
+    def test_q5_database_titles(self, testbed):
+        assert gold_answer(5, testbed) == {
+            ("umd", "CMSC424"), ("eth", "251-0317"), ("eth", "251-0312")}
+
+    def test_q6_textbooks_with_null_kinds(self, testbed):
+        gold = gold_answer(6, testbed)
+        assert ("toronto", "CSC410",
+                "'Model Checking', by Clarke, Grumberg, Peled, 1999, "
+                "MIT Press.") in gold
+        assert ("toronto", "CSC465", "null", "missing") in gold
+        assert ("cmu", "15-817", "null", "missing") in gold
+        assert len(gold) == 3
+
+    def test_q7_entry_level_database(self, testbed):
+        assert gold_answer(7, testbed) == {
+            ("umich", "EECS484"), ("cmu", "15-415")}
+
+    def test_q8_juniors_with_inapplicable(self, testbed):
+        gold = gold_answer(8, testbed)
+        assert ("gatech", "20422", "open") in gold
+        assert ("eth", "251-0317", "inapplicable") in gold
+        assert ("eth", "251-0312", "inapplicable") in gold
+        # the SR-only gatech course must not appear
+        assert not any(key[1] == "20461" for key in gold)
+
+    def test_q9_software_engineering_rooms(self, testbed):
+        assert gold_answer(9, testbed) == {
+            ("brown", "CS032", "CIT 165, Labs in Sunlab"),
+            ("umd", "CMSC435", "CHM 1407"),
+            ("umd", "CMSC435", "EGR 2154")}
+
+    def test_q10_software_instructors(self, testbed):
+        gold = gold_answer(10, testbed)
+        assert ("cmu", "15-610", "Song") in gold
+        assert ("cmu", "15-610", "Wing") in gold
+        assert ("umd", "CMSC435", "Singh, H.") in gold
+        assert ("umd", "CMSC435", "Memon, A.") in gold
+
+    def test_q11_database_instructors(self, testbed):
+        assert gold_answer(11, testbed) == {
+            ("cmu", "15-415", "Ailamaki"),
+            ("ucsd", "CSE232", "Yannis"),
+            ("ucsd", "CSE232", "Deutsch")}
+
+    def test_q12_networks_title_day_time(self, testbed):
+        assert gold_answer(12, testbed) == {
+            ("cmu", "15-744", "Computer Networks", "F", "15:30-16:50"),
+            ("brown", "CS168", "Computer Networks", "M", "15:00-17:30")}
+
+    def test_every_gold_answer_nonempty(self, testbed):
+        for query in QUERIES:
+            assert gold_answer(query, testbed), f"Q{query.number} gold empty"
+
+    def test_every_gold_answer_spans_both_sources(self, testbed):
+        """Each query's answer draws on reference AND challenge source —
+        otherwise the heterogeneity would be untested."""
+        for query in QUERIES:
+            sources = {entry[0] for entry in gold_answer(query, testbed)}
+            assert sources == set(query.sources), f"Q{query.number}"
+
+    def test_accepts_query_object_or_number(self, testbed):
+        assert gold_answer(3, testbed) == gold_answer(get_query(3), testbed)
+
+    def test_gold_stable_across_seeds(self):
+        """Filler never contaminates the gold answers."""
+        for seed in (1, 99):
+            bed = build_testbed(seed=seed,
+                                universities=paper_universities())
+            assert gold_answer(1, bed) == {
+                ("gatech", "20381"), ("cmu", "15-567*")}
+            assert gold_answer(12, bed) == {
+                ("cmu", "15-744", "Computer Networks", "F", "15:30-16:50"),
+                ("brown", "CS168", "Computer Networks", "M", "15:00-17:30")}

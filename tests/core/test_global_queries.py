@@ -1,0 +1,68 @@
+"""Global-schema query tests: the warehouse route through the benchmark."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import QUERIES, gold_answer
+from repro.core.global_queries import (
+    global_query_text,
+    run_global_query,
+    selected_keys,
+)
+from repro.integration import Warehouse, standard_mediator
+from repro.xquery import parse_query
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+@pytest.fixture(scope="module")
+def warehouse(testbed):
+    return Warehouse(standard_mediator(paper_universities()),
+                     testbed.documents)
+
+
+class TestGlobalQueryTexts:
+    def test_all_parse(self):
+        for query in QUERIES:
+            parse_query(global_query_text(query))
+
+    def test_restricted_to_query_sources(self):
+        text = global_query_text(4)
+        assert "'cmu'" in text and "'eth'" in text
+        assert "'brown'" not in text
+
+    def test_deterministic_ordering_clause(self):
+        assert "order by" in global_query_text(1)
+
+
+class TestSelectionInvariant:
+    @pytest.mark.parametrize("number", range(1, 13))
+    def test_xquery_selects_exactly_the_gold_keys(self, number, testbed,
+                                                  warehouse):
+        """The global-schema predicates alone pick the right records —
+        this is real query processing, not post-hoc filtering."""
+        gold_keys = frozenset(
+            (entry[0], entry[1])
+            for entry in gold_answer(number, testbed))
+        assert selected_keys(number, warehouse) == gold_keys
+
+
+class TestAnswers:
+    @pytest.mark.parametrize("number", range(1, 13))
+    def test_warehouse_answer_equals_gold(self, number, testbed,
+                                          warehouse):
+        assert run_global_query(number, warehouse) == \
+            gold_answer(number, testbed)
+
+    def test_q6_null_annotations_survive_the_warehouse(self, warehouse,
+                                                       testbed):
+        answer = run_global_query(6, warehouse)
+        assert ("cmu", "15-817", "null", "missing") in answer
+        assert ("toronto", "CSC465", "null", "missing") in answer
+
+    def test_q8_inapplicable_annotation_survives(self, warehouse):
+        answer = run_global_query(8, warehouse)
+        assert ("eth", "251-0317", "inapplicable") in answer

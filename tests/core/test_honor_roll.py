@@ -1,0 +1,89 @@
+"""Honor-roll persistence and ranking tests."""
+
+import pytest
+
+from repro.core import HonorRoll, QueryOutcome, ScoreCard
+from repro.integration import Effort
+
+
+def make_card(name, correct, effort=Effort.LOW):
+    card = ScoreCard(system=name)
+    for number in range(1, 13):
+        is_correct = number <= correct
+        card.outcomes.append(QueryOutcome(
+            number=number, supported=is_correct, correct=is_correct,
+            effort=effort if is_correct else None,
+            note="test"))
+    return card
+
+
+class TestSubmission:
+    def test_submit_and_rank(self):
+        roll = HonorRoll()
+        roll.submit(make_card("weak", 3), "alice")
+        roll.submit(make_card("strong", 11), "bob")
+        ranked = roll.ranked()
+        assert [e.card.system for e in ranked] == ["strong", "weak"]
+
+    def test_resubmission_replaces(self):
+        roll = HonorRoll()
+        roll.submit(make_card("sys", 3), "alice")
+        roll.submit(make_card("sys", 10), "alice")
+        assert len(roll) == 1
+        assert roll.ranked()[0].card.correct_count == 10
+
+    def test_complexity_tie_break(self):
+        roll = HonorRoll()
+        roll.submit(make_card("costly", 6, effort=Effort.HIGH), "a")
+        roll.submit(make_card("cheap", 6, effort=Effort.NONE), "b")
+        assert [e.card.system for e in roll.ranked()] == \
+            ["cheap", "costly"]
+
+    def test_render_empty(self):
+        assert "no scores uploaded yet" in HonorRoll().render()
+
+    def test_render_positions(self):
+        roll = HonorRoll()
+        roll.submit(make_card("first", 12), "a", date="2004-06-01")
+        roll.submit(make_card("second", 6), "b", date="2004-07-01")
+        text = roll.render()
+        assert text.index("first") < text.index("second")
+        assert "2004-06-01" in text
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        roll = HonorRoll()
+        roll.submit(make_card("sys-a", 9, effort=Effort.MEDIUM), "alice",
+                    date="2004-05-05")
+        roll.submit(make_card("sys-b", 12, effort=Effort.LOW), "bob")
+        path = roll.save(tmp_path / "roll.json")
+        loaded = HonorRoll.load(path)
+        assert len(loaded) == 2
+        assert [e.card.system for e in loaded.ranked()] == \
+            [e.card.system for e in roll.ranked()]
+        entry = loaded.ranked()[1]
+        assert entry.submitter == "alice"
+        assert entry.date == "2004-05-05"
+        assert entry.card.complexity_score == \
+            roll.ranked()[1].card.complexity_score
+
+    def test_loaded_outcomes_preserve_effort_and_notes(self, tmp_path):
+        roll = HonorRoll()
+        roll.submit(make_card("sys", 2, effort=Effort.HIGH), "x")
+        loaded = HonorRoll.load(roll.save(tmp_path / "r.json"))
+        outcome = loaded.ranked()[0].card.outcome(1)
+        assert outcome.effort == Effort.HIGH
+        assert outcome.note == "test"
+
+    def test_unsupported_outcomes_round_trip(self, tmp_path):
+        roll = HonorRoll()
+        roll.submit(make_card("sys", 0), "x")
+        loaded = HonorRoll.load(roll.save(tmp_path / "r.json"))
+        outcome = loaded.ranked()[0].card.outcome(12)
+        assert not outcome.supported
+        assert outcome.effort is None
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            HonorRoll.load(tmp_path / "absent.json")

@@ -1,0 +1,101 @@
+"""Benchmark-query definition tests."""
+
+import pytest
+
+from repro.core import QUERIES, get_query
+from repro.integration import Capability
+from repro.xquery import parse_query
+
+
+class TestDefinitions:
+    def test_twelve_queries(self):
+        assert len(QUERIES) == 12
+        assert [q.number for q in QUERIES] == list(range(1, 13))
+
+    def test_capability_alignment(self):
+        for query in QUERIES:
+            assert query.capability.query_number == query.number
+
+    def test_groups_match_paper_taxonomy(self):
+        groups = {q.number: q.group for q in QUERIES}
+        assert all(groups[n] == "attribute" for n in range(1, 6))
+        assert all(groups[n] == "missing-data" for n in range(6, 9))
+        assert all(groups[n] == "structural" for n in range(9, 13))
+
+    def test_paper_source_pairings(self):
+        pairings = {q.number: q.sources for q in QUERIES}
+        assert pairings[1] == ("gatech", "cmu")
+        assert pairings[2] == ("cmu", "umass")
+        assert pairings[3] == ("umd", "brown")
+        assert pairings[4] == ("cmu", "eth")
+        assert pairings[5] == ("umd", "eth")
+        assert pairings[6] == ("toronto", "cmu")
+        assert pairings[7] == ("umich", "cmu")
+        assert pairings[8] == ("gatech", "eth")
+        assert pairings[9] == ("brown", "umd")
+        assert pairings[10] == ("cmu", "umd")
+        assert pairings[11] == ("cmu", "ucsd")
+        assert pairings[12] == ("cmu", "brown")
+
+    def test_q3_notes_secondary_synonym(self):
+        assert Capability.RENAME in get_query(3).secondary_capabilities
+
+    def test_cleaned_xquery_texts_parse(self):
+        for query in QUERIES:
+            parse_query(query.xquery)
+
+    def test_get_query_bounds(self):
+        with pytest.raises(ValueError):
+            get_query(0)
+        with pytest.raises(ValueError):
+            get_query(13)
+
+    def test_every_query_has_challenge_description(self):
+        assert all(q.challenge_description for q in QUERIES)
+
+    def test_repr(self):
+        assert "Q1" in repr(get_query(1))
+
+
+class TestRunnableOnTestbed:
+    """The cleaned reference queries actually run on the extracted XML."""
+
+    @pytest.fixture(scope="class")
+    def documents(self):
+        from repro.catalogs import build_testbed, paper_universities
+        return build_testbed(universities=paper_universities()).documents
+
+    def test_q1_reference_results(self, documents):
+        from repro.xquery import run_query
+        results = run_query(get_query(1).xquery, documents)
+        assert len(results) == 1
+        assert results[0].findtext("CourseNum") == "20381"
+
+    def test_q1_naive_on_challenge_finds_nothing(self, documents):
+        """The heterogeneity is real: the reference query, repointed at the
+        challenge source, returns nothing (Lecturer, not Instructor)."""
+        from repro.xquery import run_query
+        naive = get_query(1).xquery.replace("gatech.xml", "cmu.xml") \
+            .replace("/gatech/", "/cmu/")
+        assert run_query(naive, documents) == []
+
+    def test_q4_naive_on_challenge_type_error(self, documents):
+        """Units > 10 against ETH's textual Umfang raises — the visible
+        integration failure Q4 is designed to expose."""
+        from repro.xquery import XQueryTypeError, run_query
+        naive = ("FOR $b in doc('eth.xml')/eth/Vorlesung "
+                 "WHERE $b/Umfang > 10 RETURN $b")
+        with pytest.raises(XQueryTypeError):
+            run_query(naive, documents)
+
+    def test_q6_reference_returns_textbooks(self, documents):
+        from repro.xquery import run_query
+        results = run_query(get_query(6).xquery, documents)
+        texts = [r.normalized_text for r in results]
+        assert any("Model Checking" in t for t in texts)
+
+    def test_all_reference_queries_return_nonempty(self, documents):
+        from repro.xquery import run_query
+        for query in QUERIES:
+            results = run_query(query.xquery, documents)
+            assert results, f"Q{query.number} returned nothing"

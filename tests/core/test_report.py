@@ -1,0 +1,85 @@
+"""Report rendering tests."""
+
+import pytest
+
+from repro.core import QueryOutcome, ScoreCard, query_short_name
+from repro.core.report import (
+    render_query_description,
+    render_query_matrix,
+    render_scoreboard,
+    render_system_table,
+)
+from repro.integration import Effort
+
+
+def full_card(name, correct_numbers, effort=Effort.LOW):
+    card = ScoreCard(system=name)
+    for number in range(1, 13):
+        correct = number in correct_numbers
+        card.outcomes.append(QueryOutcome(
+            number=number, supported=correct, correct=correct,
+            effort=effort if correct else None))
+    return card
+
+
+class TestShortNames:
+    def test_paper_labels(self):
+        assert query_short_name(1) == "renaming columns"
+        assert query_short_name(4) == "meaning of credits"
+        assert query_short_name(12) == "run on columns"
+
+    def test_unknown_number_raises(self):
+        with pytest.raises(KeyError):
+            query_short_name(13)
+
+
+class TestSystemTable:
+    def test_lists_all_queries(self):
+        text = render_system_table(full_card("sys", {1, 2, 3}))
+        for number in range(1, 13):
+            assert f"Query {number:>2}" in text
+
+    def test_verdicts(self):
+        text = render_system_table(full_card("sys", {1}))
+        assert "Query  1 (renaming columns): small amount of code -> " \
+            "correct" in text
+        assert "Query  2 (24 hour clock): not supported -> incorrect" \
+            in text
+
+    def test_summary_line(self):
+        text = render_system_table(full_card("sys", set(range(1, 10))))
+        assert "sys: 9/12 correct" in text
+
+
+class TestScoreboard:
+    def test_ranked_order(self):
+        text = render_scoreboard([
+            full_card("low", {1}),
+            full_card("high", set(range(1, 13))),
+        ])
+        assert text.index("high") < text.index("low")
+
+    def test_columns(self):
+        text = render_scoreboard([full_card("sys", {1, 2})])
+        assert "correct" in text and "complexity" in text
+        assert "2/12" in text
+
+
+class TestQueryMatrix:
+    def test_cells(self):
+        text = render_query_matrix([full_card("sys", {1})])
+        row = text.splitlines()[-1]
+        assert "+" in row and "x" in row
+
+    def test_header_lists_queries(self):
+        text = render_query_matrix([full_card("sys", set())])
+        assert "Q1" in text and "Q12" in text
+
+
+class TestQueryDescription:
+    def test_contains_query_text_and_sources(self):
+        text = render_query_description(4)
+        assert "Complex Mappings" in text
+        assert "cmu" in text and "eth" in text
+        assert "Units > 10" in text
+        assert "COMPLEX_TRANSFORM" in text

@@ -1,0 +1,39 @@
+"""Runner module tests."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import QUERIES, get_query
+from repro.core.runner import run_all, run_benchmark, run_query
+from repro.systems import thalia_mediator
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+class TestRunner:
+    def test_run_query_outcome_fields(self, testbed):
+        outcome = run_query(thalia_mediator(), get_query(1), testbed)
+        assert outcome.number == 1
+        assert outcome.supported and outcome.correct
+        assert "no code" in outcome.note
+
+    def test_run_benchmark_covers_all_queries(self, testbed):
+        card = run_benchmark(thalia_mediator(), testbed)
+        assert sorted(o.number for o in card.outcomes) == \
+            list(range(1, 13))
+
+    def test_run_benchmark_query_subset(self, testbed):
+        card = run_benchmark(thalia_mediator(), testbed,
+                             queries=[get_query(3), get_query(7)])
+        assert sorted(o.number for o in card.outcomes) == [3, 7]
+
+    def test_run_all_shares_one_testbed(self, testbed):
+        cards = run_all([thalia_mediator(), thalia_mediator()], testbed)
+        assert len(cards) == 2
+        assert all(card.correct_count == 12 for card in cards)
+
+    def test_queries_constant_is_complete(self):
+        assert len(QUERIES) == 12

@@ -1,0 +1,127 @@
+"""Scoring-function tests, including the monotonicity properties."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import QueryOutcome, ScoreCard, rank
+from repro.integration import Effort
+
+
+def outcome(number, correct=True, effort=Effort.NONE, supported=True):
+    return QueryOutcome(number=number, supported=supported,
+                        correct=correct, effort=effort)
+
+
+def card(name, outcomes):
+    result = ScoreCard(system=name)
+    result.outcomes.extend(outcomes)
+    return result
+
+
+class TestScoreCard:
+    def test_correct_count(self):
+        c = card("s", [outcome(1), outcome(2, correct=False), outcome(3)])
+        assert c.correct_count == 2
+
+    def test_complexity_counts_only_correct(self):
+        c = card("s", [outcome(1, effort=Effort.HIGH),
+                       outcome(2, correct=False, effort=Effort.HIGH)])
+        assert c.complexity_score == 3
+
+    def test_unsupported_charges_nothing(self):
+        c = card("s", [outcome(1, correct=False, supported=False,
+                               effort=None)])
+        assert c.complexity_score == 0
+        assert c.unsupported_numbers == [1]
+
+    def test_no_code_count(self):
+        c = card("s", [outcome(1, effort=Effort.NONE),
+                       outcome(2, effort=Effort.LOW)])
+        assert c.no_code_count == 1
+
+    def test_effort_labels(self):
+        assert outcome(1, effort=Effort.NONE).effort_label == "no code"
+        assert outcome(1, supported=False, effort=None).effort_label == \
+            "not supported"
+
+    def test_outcome_lookup(self):
+        c = card("s", [outcome(3)])
+        assert c.outcome(3).number == 3
+
+    def test_summary_format(self):
+        c = card("sys", [outcome(n) for n in range(1, 13)])
+        assert "12/12" in c.summary()
+
+
+class TestRanking:
+    def test_more_correct_wins(self):
+        better = card("better", [outcome(n) for n in range(1, 11)])
+        worse = card("worse", [outcome(n) for n in range(1, 9)])
+        assert rank([worse, better])[0].system == "better"
+
+    def test_ties_broken_by_complexity(self):
+        cheap = card("cheap", [outcome(1, effort=Effort.NONE)])
+        costly = card("costly", [outcome(1, effort=Effort.HIGH)])
+        assert rank([costly, cheap])[0].system == "cheap"
+
+    def test_paper_scenario(self):
+        """Cohera and IWIZ both at 9 correct; Cohera's lower complexity
+        ranks it first (§3.2's tie-break rule)."""
+        cohera = card("Cohera", [
+            outcome(n, effort=Effort.NONE) for n in (1, 6, 9, 10)
+        ] + [outcome(2, effort=Effort.LOW)] + [
+            outcome(n, effort=Effort.MEDIUM) for n in (3, 7, 11, 12)
+        ] + [outcome(n, correct=False, supported=False, effort=None)
+             for n in (4, 5, 8)])
+        iwiz = card("IWIZ", [
+            outcome(n, effort=Effort.LOW) for n in (1, 2, 9, 10)
+        ] + [outcome(n, effort=Effort.MEDIUM) for n in (3, 6, 7, 11, 12)
+             ] + [outcome(n, correct=False, supported=False, effort=None)
+                  for n in (4, 5, 8)])
+        assert cohera.correct_count == iwiz.correct_count == 9
+        assert cohera.complexity_score == 9
+        assert iwiz.complexity_score == 14
+        assert [c.system for c in rank([iwiz, cohera])] == \
+            ["Cohera", "IWIZ"]
+
+
+# --------------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------------- #
+
+_outcomes = st.lists(
+    st.builds(
+        QueryOutcome,
+        number=st.integers(1, 12),
+        supported=st.booleans(),
+        correct=st.booleans(),
+        effort=st.sampled_from(list(Effort)),
+    ),
+    min_size=0, max_size=12)
+
+
+class TestScoringProperties:
+    @given(_outcomes)
+    def test_adding_a_correct_answer_never_lowers_rank(self, outcomes):
+        base = card("base", outcomes)
+        extended = card("extended", outcomes + [
+            QueryOutcome(number=99, supported=True, correct=True,
+                         effort=Effort.HIGH)])
+        ranked = rank([base, extended])
+        assert ranked[0].system == "extended"
+
+    @given(_outcomes)
+    def test_complexity_never_negative(self, outcomes):
+        assert card("c", outcomes).complexity_score >= 0
+
+    @given(_outcomes)
+    def test_correct_bounded_by_outcomes(self, outcomes):
+        c = card("c", outcomes)
+        assert 0 <= c.correct_count <= len(outcomes)
+
+    @given(_outcomes, _outcomes)
+    def test_rank_is_total_and_stable(self, first, second):
+        cards = [card("a", first), card("b", second)]
+        ranked = rank(cards)
+        assert {c.system for c in ranked} == {"a", "b"}
+        assert ranked[0].sort_key <= ranked[1].sort_key

@@ -1,0 +1,74 @@
+"""Taxonomy rendering tests (the §3 classification artifact)."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import all_cases, render_case, render_taxonomy
+from repro.integration import Capability
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+class TestCases:
+    def test_twelve_cases_in_paper_order(self):
+        cases = all_cases()
+        assert [case.number for case in cases] == list(range(1, 13))
+
+    def test_group_assignment(self):
+        cases = {case.number: case for case in all_cases()}
+        assert cases[1].group == "Attribute Heterogeneities"
+        assert cases[6].group == "Missing Data"
+        assert cases[9].group == "Structural Heterogeneities"
+
+    def test_case_binds_query_and_capability(self):
+        case = all_cases()[3]
+        assert case.capability is Capability.COMPLEX_TRANSFORM
+        assert case.query.number == 4
+        assert "Umfang" in case.challenge
+
+
+class TestRendering:
+    def test_render_without_samples(self):
+        text = render_taxonomy()
+        assert "Synonyms" in text
+        assert "Attribute Heterogeneities" in text
+        assert "Sample element" not in text
+
+    def test_render_with_live_samples(self, testbed):
+        text = render_taxonomy(testbed)
+        # The paper's own sample values appear, regenerated live.
+        assert "<Lecturer>Mark</Lecturer>" in text
+        assert "<Time>1:30 - 2:50</Time>" in text
+        assert "<Umfang>2V1U</Umfang>" in text
+        assert "0101(13795) Singh, H." in text
+
+    def test_sample_matches_the_query_answer(self, testbed):
+        case = [c for c in all_cases() if c.number == 1][0]
+        text = render_case(case, testbed)
+        # Q1's samples are the gatech/cmu "Mark" courses, not arbitrary
+        # records.
+        assert "20381" in text
+        assert "15-567*" in text
+
+    def test_every_case_renders_both_samples(self, testbed):
+        for case in all_cases():
+            text = render_case(case, testbed)
+            assert f"Reference sample element ({case.query.reference})" \
+                in text
+            assert f"Challenge sample element ({case.query.challenge})" \
+                in text
+
+    def test_cli_taxonomy(self, capsys):
+        from repro.cli import main
+        assert main(["taxonomy", "5", "--no-samples"]) == 0
+        out = capsys.readouterr().out
+        assert "Language Expression" in out
+
+    def test_cli_taxonomy_full(self, capsys):
+        from repro.cli import main
+        assert main(["taxonomy", "--no-samples"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("challenge:") >= 12

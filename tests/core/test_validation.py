@@ -1,0 +1,86 @@
+"""Benchmark self-check tests."""
+
+import pytest
+
+from repro.catalogs import (
+    build_testbed,
+    extended_universities,
+    paper_universities,
+)
+from repro.core import validate_benchmark
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+class TestHealthyTestbed:
+    def test_paper_testbed_validates(self, testbed):
+        result = validate_benchmark(testbed)
+        assert result.ok, result.render()
+        assert result.checks_run >= 49
+
+    def test_extended_testbed_validates(self):
+        result = validate_benchmark(
+            build_testbed(universities=extended_universities()))
+        assert result.ok, result.render()
+
+    def test_alternate_seed_validates(self):
+        result = validate_benchmark(
+            build_testbed(seed=777, universities=paper_universities()))
+        assert result.ok, result.render()
+
+    def test_render_mentions_all_clear(self, testbed):
+        assert "all invariants hold" in validate_benchmark(testbed).render()
+
+
+class TestBrokenTestbedDetected:
+    def test_missing_source_reported(self):
+        partial = build_testbed(
+            universities=[p for p in paper_universities()
+                          if p.slug != "eth"])
+        result = validate_benchmark(partial)
+        assert not result.ok
+        checks = {issue.check for issue in result.issues}
+        assert "sources" in checks
+
+    def test_uncovered_heterogeneity_reported(self):
+        # Dropping both Q8 sources leaves the case with no exhibitor.
+        partial = build_testbed(
+            universities=[p for p in paper_universities()
+                          if p.slug not in ("eth", "gatech")])
+        result = validate_benchmark(partial)
+        assert any(issue.check == "coverage" and issue.query == 8
+                   for issue in result.issues)
+
+    def test_issue_names_the_query(self):
+        partial = build_testbed(
+            universities=[p for p in paper_universities()
+                          if p.slug != "ucsd"])
+        result = validate_benchmark(partial)
+        affected = {issue.query for issue in result.issues
+                    if issue.check == "sources"}
+        assert 11 in affected
+
+    def test_corrupted_document_reported(self, testbed):
+        import copy
+        broken = copy.deepcopy(testbed)
+        # Corrupt CMU's extracted data: drop every Lecturer element, which
+        # breaks Q1's gold reproduction by the mediator.
+        root = broken.source("cmu").document.root
+        for course in root.findall("Course"):
+            course.children = [c for c in course.children
+                               if not (hasattr(c, "tag")
+                                       and c.tag == "Lecturer")]
+        result = validate_benchmark(broken)
+        assert not result.ok
+        assert any(issue.check == "solvable" and issue.query == 1
+                   for issue in result.issues)
+
+    def test_issue_str_format(self):
+        from repro.core import ValidationIssue
+        issue = ValidationIssue("gold", 3, "empty")
+        assert str(issue) == "[gold] Q3: empty"
+        testbed_issue = ValidationIssue("coverage", None, "x")
+        assert "testbed" in str(testbed_issue)

@@ -1,0 +1,110 @@
+"""Cleansing-pass tests."""
+
+from repro.integration import GlobalCourse, INAPPLICABLE, MISSING
+from repro.integration.cleansing import (
+    clean_text,
+    cleanse,
+    merge_duplicates,
+    normalize_name,
+)
+
+
+def course(code="C1", **overrides):
+    params = dict(source="s", code=code, title="Databases")
+    params.update(overrides)
+    return GlobalCourse(**params)
+
+
+class TestNameNormalization:
+    def test_comma_initial_kept(self):
+        assert normalize_name("Singh, H.") == "Singh, H."
+
+    def test_comma_initial_without_dot(self):
+        assert normalize_name("Singh, H") == "Singh, H."
+
+    def test_initial_first_flipped(self):
+        assert normalize_name("H. Singh") == "Singh, H."
+
+    def test_bare_surname(self):
+        assert normalize_name("Ailamaki") == "Ailamaki"
+
+    def test_lowercase_initial_uppercased(self):
+        assert normalize_name("memon, a") == "memon, A."
+
+    def test_whitespace_stripped(self):
+        assert normalize_name("  Klein  ") == "Klein"
+
+
+class TestCleanText:
+    def test_trailing_semicolon(self):
+        assert clean_text("Data Structures;") == "Data Structures"
+
+    def test_collapsed_whitespace(self):
+        assert clean_text("Database   Design") == "Database Design"
+
+    def test_already_clean(self):
+        assert clean_text("Computer Networks") == "Computer Networks"
+
+
+class TestMergeDuplicates:
+    def test_distinct_records_untouched(self):
+        courses = [course("A"), course("B")]
+        assert merge_duplicates(courses) == courses
+
+    def test_duplicate_collapsed(self):
+        merged = merge_duplicates([course("A"), course("A")])
+        assert len(merged) == 1
+
+    def test_non_null_wins(self):
+        first = course("A", textbook=MISSING)
+        second = course("A", textbook="'Model Checking'")
+        merged = merge_duplicates([first, second])[0]
+        assert merged.textbook == "'Model Checking'"
+
+    def test_null_preserved_when_no_value_exists(self):
+        merged = merge_duplicates(
+            [course("A", open_to=INAPPLICABLE),
+             course("A", open_to=INAPPLICABLE)])[0]
+        assert merged.open_to is INAPPLICABLE
+
+    def test_tuples_unioned_in_order(self):
+        first = course("A", instructors=("Song",))
+        second = course("A", instructors=("Wing", "Song"))
+        merged = merge_duplicates([first, second])[0]
+        assert merged.instructors == ("Song", "Wing")
+
+    def test_times_filled_from_later_record(self):
+        first = course("A")
+        second = course("A", start_minute=600, end_minute=660)
+        merged = merge_duplicates([first, second])[0]
+        assert merged.start_minute == 600
+
+    def test_order_preserved(self):
+        merged = merge_duplicates([course("B"), course("A"), course("B")])
+        assert [c.code for c in merged] == ["B", "A"]
+
+
+class TestCleansePass:
+    def test_full_pass(self):
+        dirty = [
+            course("A", title="Data Structures;",
+                   instructors=("H. Singh", "Memon, A")),
+            course("A", rooms=("CHM  1407 ",)),
+        ]
+        cleaned = cleanse(dirty)
+        assert len(cleaned) == 1
+        record = cleaned[0]
+        assert record.title == "Data Structures"
+        assert record.instructors == ("Singh, H.", "Memon, A.")
+        assert record.rooms == ("CHM 1407",)
+
+    def test_cleanse_on_real_integration(self):
+        from repro.catalogs import build_testbed, paper_universities
+        from repro.integration import standard_mediator
+        testbed = build_testbed(universities=paper_universities())
+        mediator = standard_mediator(paper_universities())
+        courses = mediator.integrate(testbed.documents, ["umd"])
+        cleaned = cleanse(courses)
+        assert len(cleaned) == len(courses)
+        software = [c for c in cleaned if c.code == "CMSC435"][0]
+        assert software.instructors == ("Singh, H.", "Memon, A.")

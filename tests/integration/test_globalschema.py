@@ -1,0 +1,84 @@
+"""Global schema (GlobalCourse) tests."""
+
+from repro.integration import GlobalCourse, INAPPLICABLE, MISSING
+from repro.xmlmodel import serialize
+
+
+def course(**overrides):
+    params = dict(source="cmu", code="15-415", title="Database Systems")
+    params.update(overrides)
+    return GlobalCourse(**params)
+
+
+class TestMatching:
+    def test_title_matches_english(self):
+        assert course().title_matches("database")
+        assert not course().title_matches("compiler")
+
+    def test_title_matches_german_when_language_de(self):
+        c = course(title="XML und Datenbanken", language="de")
+        assert c.title_matches("database")
+
+    def test_german_not_consulted_for_english_sources(self):
+        c = course(title="XML und Datenbanken", language="en")
+        assert not c.title_matches("database")
+
+    def test_taught_by(self):
+        c = course(instructors=("Song", "Wing"))
+        assert c.taught_by("Wing")
+        assert not c.taught_by("Ailamaki")
+
+    def test_meets_at(self):
+        c = course(start_minute=810, end_minute=890)
+        assert c.meets_at(810)
+        assert not c.meets_at(811)
+
+    def test_open_to_classification_value(self):
+        c = course(open_to=("JR", "SR"))
+        assert c.open_to_classification("JR") is True
+        assert c.open_to_classification("FR") is False
+
+    def test_open_to_classification_null_propagates(self):
+        c = course(open_to=INAPPLICABLE)
+        assert c.open_to_classification("JR") is INAPPLICABLE
+
+
+class TestRendering:
+    def test_time_range(self):
+        c = course(start_minute=810, end_minute=890)
+        assert c.time_range_24h() == "13:30-14:50"
+
+    def test_time_range_none_when_unknown(self):
+        assert course().time_range_24h() is None
+
+    def test_to_xml_basics(self):
+        c = course(instructors=("Ailamaki",), days="TTh",
+                   start_minute=810, end_minute=890,
+                   rooms=("WEH 7500",), units=12.0)
+        xml = serialize(c.to_xml())
+        assert '<Course source="cmu" code="15-415">' in xml
+        assert "<Instructor>Ailamaki</Instructor>" in xml
+        assert "<Time>13:30-14:50</Time>" in xml
+        assert "<Units>12</Units>" in xml
+
+    def test_to_xml_null_marker(self):
+        c = course(textbook=MISSING)
+        xml = serialize(c.to_xml())
+        assert '<Textbook><null kind="missing"/></Textbook>' in xml
+
+    def test_to_xml_inapplicable_open_to(self):
+        c = course(open_to=INAPPLICABLE)
+        xml = serialize(c.to_xml())
+        assert '<OpenTo><null kind="inapplicable"/></OpenTo>' in xml
+
+    def test_to_xml_boolean(self):
+        xml = serialize(course(entry_level=True).to_xml())
+        assert "<EntryLevel>true</EntryLevel>" in xml
+
+    def test_to_xml_omits_unknowns(self):
+        xml = serialize(course().to_xml())
+        assert "Units" not in xml
+        assert "Textbook" not in xml
+
+    def test_key(self):
+        assert course().key == ("cmu", "15-415")

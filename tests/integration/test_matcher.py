@@ -1,0 +1,142 @@
+"""Automatic schema matcher tests."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.integration import (
+    MISSING,
+    Mediator,
+    auto_match,
+    match_source,
+    observed_tags,
+)
+from repro.integration.matcher import mapping_from_report
+from repro.xmlmodel import XmlDocument, element
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+class TestObservedTags:
+    def test_infers_record_tag_and_child_union(self, testbed):
+        record_path, tags = observed_tags(testbed.source("cmu").document)
+        assert record_path == "Course"
+        assert "CourseTitle" in tags
+        assert "Comment" in tags  # present on some records only
+
+    def test_eth_record_tag(self, testbed):
+        record_path, tags = observed_tags(testbed.source("eth").document)
+        assert record_path == "Vorlesung"
+        assert "Titel" in tags
+
+    def test_empty_document(self):
+        record_path, tags = observed_tags(XmlDocument(element("empty")))
+        assert tags == []
+
+
+class TestMatching:
+    def test_cmu_synonyms(self, testbed):
+        report = match_source(testbed.source("cmu").document)
+        assert report.target_of("Lecturer") == "instructor"
+        assert report.target_of("CourseTitle") == "title"
+        assert report.target_of("Units") == "units"
+        assert report.target_of("CourseNum") == "code"
+
+    def test_gatech_instructor(self, testbed):
+        report = match_source(testbed.source("gatech").document)
+        assert report.target_of("Instructor") == "instructor"
+        assert report.target_of("Restricted") == "restriction"
+
+    def test_eth_german_tags_match(self, testbed):
+        report = match_source(testbed.source("eth").document)
+        assert report.target_of("Titel") == "title"
+        assert report.target_of("Dozent") == "instructor"
+        assert report.target_of("Umfang") == "units"
+
+    def test_umd_sections_unmatched(self, testbed):
+        """The structural heterogeneity is invisible to name matching."""
+        report = match_source(testbed.source("umd").document)
+        assert "Sections" in report.unmatched
+
+    def test_ucsd_term_columns_unmatched(self, testbed):
+        report = match_source(testbed.source("ucsd").document)
+        assert "Fall2003" in report.unmatched
+        assert "Winter2004" in report.unmatched
+
+    def test_each_target_claimed_once(self, testbed):
+        for slug in testbed.slugs:
+            report = match_source(testbed.source(slug).document)
+            targets = [m.target for m in report.matches]
+            assert len(targets) == len(set(targets)), slug
+
+    def test_similarity_matching(self):
+        doc = XmlDocument(
+            element("u", element("Course",
+                                 element("Lecturers", "X"),
+                                 element("CourseNum", "1"))),
+            source_name="u")
+        report = match_source(doc)
+        match = [m for m in report.matches if m.tag == "Lecturers"][0]
+        assert match.target == "instructor"
+        assert match.method == "similarity"
+        assert match.confidence < 1.0
+
+
+class TestGeneratedMapping:
+    def test_toronto_textbook_null_policy(self, testbed):
+        mapping = auto_match(testbed.source("toronto").document)
+        mediator = Mediator({"toronto": mapping})
+        courses = mediator.integrate_document(
+            testbed.source("toronto").document)
+        by_code = {c.code: c for c in courses}
+        assert by_code["CSC410"].textbook.startswith("'Model Checking'")
+        assert by_code["CSC465"].textbook is MISSING
+
+    def test_cmu_time_parsed(self, testbed):
+        mapping = auto_match(testbed.source("cmu").document)
+        mediator = Mediator({"cmu": mapping})
+        courses = mediator.integrate_document(
+            testbed.source("cmu").document)
+        db = [c for c in courses if c.code == "15-415"][0]
+        assert db.start_minute == 13 * 60 + 30
+
+    def test_eth_units_lenient(self, testbed):
+        """'2V1U' is not numeric: the auto mapping yields no units
+        rather than crashing (the honest automatic behavior)."""
+        mapping = auto_match(testbed.source("eth").document)
+        mediator = Mediator({"eth": mapping})
+        courses = mediator.integrate_document(
+            testbed.source("eth").document)
+        assert all(c.units is None for c in courses)
+        assert mediator.last_reports[-1].errors == []
+
+    def test_missing_textbook_tag_gets_schema_wide_null(self, testbed):
+        mapping = auto_match(testbed.source("cmu").document)
+        mediator = Mediator({"cmu": mapping})
+        courses = mediator.integrate_document(
+            testbed.source("cmu").document)
+        assert all(c.textbook is MISSING for c in courses)
+
+    def test_mapping_from_report_uses_code_tag(self, testbed):
+        report = match_source(testbed.source("eth").document)
+        mapping = mapping_from_report(report)
+        assert mapping.code_path == "Nummer"
+
+
+class TestAutoMatchSystem:
+    def test_scores_exactly_the_name_level_queries(self, testbed):
+        from repro.core import run_benchmark
+        from repro.systems import automatch
+        card = run_benchmark(automatch(), testbed)
+        correct = sorted(o.number for o in card.outcomes if o.correct)
+        assert correct == [1, 2, 3, 6]
+        assert card.complexity_score == 0
+
+    def test_ranks_below_cohera_and_iwiz(self, testbed):
+        from repro.core import rank, run_all
+        from repro.systems import automatch, cohera, iwiz
+        cards = run_all([automatch(), cohera(), iwiz()], testbed)
+        ordered = [card.system for card in rank(cards)]
+        assert ordered.index("AutoMatch") == 2

@@ -1,0 +1,175 @@
+"""Mediator and standard-mapping integration tests."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.integration import (
+    Capability,
+    CopyText,
+    INAPPLICABLE,
+    MISSING,
+    MappingError,
+    Mediator,
+    SourceMapping,
+    is_null,
+    standard_mediator,
+)
+from repro.xmlmodel import XmlDocument, element
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+@pytest.fixture(scope="module")
+def integrated(testbed):
+    mediator = standard_mediator(paper_universities())
+    return mediator.integrate(testbed.documents)
+
+
+def by_key(courses, source, code):
+    for course in courses:
+        if course.key == (source, code):
+            return course
+    raise AssertionError(f"({source}, {code}) not integrated")
+
+
+class TestMediatorMechanics:
+    def test_unregistered_source_raises(self):
+        mediator = Mediator()
+        doc = XmlDocument(element("x"), source_name="x")
+        with pytest.raises(MappingError, match="no mapping"):
+            mediator.integrate_document(doc)
+
+    def test_document_without_source_name(self):
+        mediator = Mediator()
+        with pytest.raises(MappingError, match="no source name"):
+            mediator.integrate_document(XmlDocument(element("x")))
+
+    def test_missing_document_raises(self, testbed):
+        mediator = standard_mediator(paper_universities())
+        with pytest.raises(MappingError, match="not provided"):
+            mediator.integrate({}, ["cmu"])
+
+    def test_record_errors_reported_not_fatal(self):
+        mapping = SourceMapping("x", "Course", [
+            CopyText("Title", "title")])
+        mediator = Mediator({"x": mapping})
+        doc = XmlDocument(element(
+            "x",
+            element("Course", element("Title", "ok"),
+                    element("CourseNum", "1")),
+        ), source_name="x")
+        courses = mediator.integrate_document(doc)
+        assert len(courses) == 1
+        assert mediator.last_reports[-1].errors == []
+
+    def test_fallback_code_when_unidentifiable(self):
+        mapping = SourceMapping("x", "Course", [CopyText("Title", "title")])
+        mediator = Mediator({"x": mapping})
+        doc = XmlDocument(
+            element("x", element("Course", element("Title", "t"))),
+            source_name="x")
+        course = mediator.integrate_document(doc)[0]
+        assert course.code == "x-0"
+
+    def test_capabilities_of_mapping(self):
+        from repro.integration.standard import cmu_mapping
+        caps = cmu_mapping().capabilities
+        assert Capability.VALUE_TRANSFORM in caps
+        assert Capability.SET_HANDLING in caps
+        assert Capability.COLUMN_SEMANTICS not in caps
+
+    def test_without_capability_removes_ops(self):
+        from repro.integration.standard import cmu_mapping
+        ablated = cmu_mapping().without_capability(
+            Capability.VALUE_TRANSFORM)
+        assert Capability.VALUE_TRANSFORM not in ablated.capabilities
+
+    def test_mediator_without_capability_is_new_instance(self):
+        mediator = standard_mediator(paper_universities())
+        ablated = mediator.without_capability(Capability.TRANSLATION)
+        assert ablated is not mediator
+        assert Capability.TRANSLATION not in \
+            ablated.mapping_for("eth").capabilities
+        assert Capability.TRANSLATION in \
+            mediator.mapping_for("eth").capabilities
+
+
+class TestStandardIntegration:
+    def test_all_paper_sources_integrate_cleanly(self, testbed):
+        mediator = standard_mediator(paper_universities())
+        mediator.integrate(testbed.documents)
+        assert all(not report.errors for report in mediator.last_reports)
+
+    def test_cmu_database_course(self, integrated):
+        course = by_key(integrated, "cmu", "15-415")
+        assert course.title == "Database System Design and Implementation"
+        assert course.units == 12.0
+        assert course.start_minute == 810
+        assert course.entry_level is True
+        assert course.textbook is MISSING
+
+    def test_brown_decomposed_composite(self, integrated):
+        course = by_key(integrated, "brown", "CS168")
+        assert course.title == "Computer Networks"
+        assert course.days == "M"
+        assert course.time_range_24h() == "15:00-17:30"
+
+    def test_brown_union_title_url(self, integrated):
+        course = by_key(integrated, "brown", "CS016")
+        assert course.title_url == "http://www.cs.brown.edu/courses/cs016/"
+        assert "Data Structures" in course.title
+
+    def test_umd_sections(self, integrated):
+        course = by_key(integrated, "umd", "CMSC435")
+        assert course.title == "Software Engineering"
+        assert course.instructors == ("Singh, H.", "Memon, A.")
+        assert course.rooms == ("CHM 1407", "EGR 2154")
+
+    def test_eth_language_and_units(self, integrated):
+        course = by_key(integrated, "eth", "251-0317")
+        assert course.language == "de"
+        assert course.title == "XML und Datenbanken"
+        assert course.units == 9.0
+        assert course.open_to is INAPPLICABLE
+        assert course.title_matches("database")
+
+    def test_gatech_classification(self, integrated):
+        course = by_key(integrated, "gatech", "20422")
+        assert course.open_to == ("JR", "SR")
+
+    def test_umich_code_split(self, integrated):
+        course = by_key(integrated, "umich", "EECS484")
+        assert course.title == "Database Management Systems"
+        assert course.entry_level is True
+        assert course.rooms == ("1013 DOW",)
+
+    def test_toronto_null_kinds(self, integrated):
+        with_book = by_key(integrated, "toronto", "CSC410")
+        assert isinstance(with_book.textbook, str)
+        empty = by_key(integrated, "toronto", "CSC465")
+        assert empty.textbook is MISSING
+
+    def test_umass_24h_time(self, integrated):
+        course = by_key(integrated, "umass", "CS445")
+        assert course.start_minute == 13 * 60 + 30
+
+    def test_ucsd_term_instructors(self, integrated):
+        course = by_key(integrated, "ucsd", "CSE232")
+        assert course.instructors == ("Yannis", "Deutsch")
+
+    def test_every_integrated_course_has_identity(self, integrated):
+        assert all(c.source and c.code for c in integrated)
+
+    def test_textbook_policy_is_universal(self, integrated):
+        assert all(c.textbook is not None or is_null(c.textbook)
+                   for c in integrated)
+
+    def test_full_testbed_mediator_covers_all_sources(self):
+        testbed = build_testbed()
+        mediator = standard_mediator()
+        courses = mediator.integrate(testbed.documents)
+        assert {c.source for c in courses} == set(testbed.slugs)
+        assert all(not r.errors for r in mediator.last_reports)

@@ -1,0 +1,62 @@
+"""Two-kind NULL semantics tests."""
+
+import pytest
+
+from repro.integration import INAPPLICABLE, MISSING, Null, is_null
+
+
+class TestNullKinds:
+    def test_interned(self):
+        assert Null("missing") is MISSING
+        assert Null("inapplicable") is INAPPLICABLE
+
+    def test_kinds_distinct(self):
+        assert MISSING != INAPPLICABLE
+        assert MISSING is not INAPPLICABLE
+
+    def test_falsy(self):
+        assert not MISSING
+        assert not INAPPLICABLE
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Null("unknown")
+
+    def test_is_null(self):
+        assert is_null(MISSING)
+        assert is_null(INAPPLICABLE)
+        assert not is_null(None)
+        assert not is_null("")
+        assert not is_null(0)
+
+    def test_repr(self):
+        assert repr(MISSING) == "<NULL:missing>"
+
+    def test_equality_only_with_self(self):
+        assert MISSING == MISSING
+        assert MISSING != "missing"
+        assert MISSING != None  # noqa: E711 - deliberate comparison
+
+    def test_hashable(self):
+        assert len({MISSING, INAPPLICABLE, MISSING}) == 2
+
+
+class TestXmlRoundTrip:
+    def test_to_xml(self):
+        node = INAPPLICABLE.to_xml()
+        assert node.tag == "null"
+        assert node.get("kind") == "inapplicable"
+
+    def test_round_trip(self):
+        for null in (MISSING, INAPPLICABLE):
+            assert Null.from_xml(null.to_xml()) is null
+
+    def test_from_xml_rejects_other_elements(self):
+        from repro.xmlmodel import element
+        with pytest.raises(ValueError):
+            Null.from_xml(element("Course"))
+
+    def test_from_xml_rejects_missing_kind(self):
+        from repro.xmlmodel import element
+        with pytest.raises(ValueError):
+            Null.from_xml(element("null"))

@@ -1,0 +1,109 @@
+"""Query-rewriter tests: reference queries retargeted at challenge schemas."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import get_query
+from repro.integration import QueryRewriter, RewriteRules, q1_rules, q5_rules
+from repro.xquery import run_query
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return build_testbed(universities=paper_universities()).documents
+
+
+class TestRules:
+    def test_tag_map(self):
+        rules = RewriteRules(tag_map={"Instructor": "Lecturer"})
+        assert rules.map_tag("Instructor") == "Lecturer"
+        assert rules.map_tag("Title") == "Title"
+
+    def test_doc_map_with_and_without_extension(self):
+        rules = RewriteRules(doc_map={"gatech": "cmu"})
+        assert rules.map_doc("gatech.xml") == "cmu.xml"
+        assert rules.map_doc("gatech") == "cmu"
+        assert rules.map_doc("brown.xml") == "brown.xml"
+
+
+class TestQ1Rewrite:
+    """Q1 (synonyms) is exactly the rename-rewritable case."""
+
+    def test_rewritten_query_targets_cmu(self):
+        rewritten = QueryRewriter(q1_rules()).rewrite(get_query(1).xquery)
+        assert "cmu.xml" in rewritten
+        assert "Lecturer" in rewritten
+        assert "Instructor" not in rewritten
+
+    def test_rewritten_query_finds_the_cmu_course(self, documents):
+        rewritten = QueryRewriter(q1_rules()).rewrite(get_query(1).xquery)
+        results = run_query(rewritten, documents)
+        assert len(results) == 1
+        assert results[0].findtext("CourseNum") == "15-567*"
+
+    def test_union_of_original_and_rewritten_is_the_gold_answer(
+            self, documents):
+        from repro.core import gold_answer
+        testbed = build_testbed(universities=paper_universities())
+        original = run_query(get_query(1).xquery, documents)
+        rewritten = run_query(
+            QueryRewriter(q1_rules()).rewrite(get_query(1).xquery),
+            documents)
+        keys = {("gatech", c.findtext("CourseNum")) for c in original} | \
+               {("cmu", c.findtext("CourseNum")) for c in rewritten}
+        assert keys == gold_answer(1, testbed)
+
+
+class TestQ5Rewrite:
+    """Q5 (language) needs tag translation *and* pattern translation."""
+
+    def test_variants_cover_german_equivalents(self):
+        variants = QueryRewriter(q5_rules()).rewrite_all(
+            get_query(5).xquery)
+        assert len(variants) >= 3  # untranslated + Datenbank forms
+        assert any("%Datenbank%" in v for v in variants)
+        assert all("Vorlesung" in v for v in variants)
+        assert all("Titel" in v for v in variants)
+
+    def test_translated_variant_finds_eth_courses(self, documents):
+        variants = QueryRewriter(q5_rules()).rewrite_all(
+            get_query(5).xquery)
+        found = set()
+        for variant in variants:
+            for result in run_query(variant, documents):
+                found.add(result.findtext("Nummer"))
+        assert found == {"251-0317", "251-0312"}
+
+    def test_untranslated_pattern_finds_nothing(self, documents):
+        first = QueryRewriter(q5_rules()).rewrite(get_query(5).xquery)
+        assert "%Database%" in first
+        assert run_query(first, documents) == []
+
+
+class TestRewritePreservesStructure:
+    def test_predicates_rewritten(self):
+        rules = RewriteRules(tag_map={"Title": "Titel"})
+        rewritten = QueryRewriter(rules).rewrite(
+            "$b/Course[Title = 'X']/Title")
+        assert rewritten == "$b/Course[Titel = 'X']/Titel"
+
+    def test_attributes_rewritten(self):
+        rules = RewriteRules(tag_map={"code": "Kennung"})
+        assert QueryRewriter(rules).rewrite("$b/@code") == "$b/@Kennung"
+
+    def test_wildcards_untouched(self):
+        rules = RewriteRules(tag_map={"Course": "Vorlesung"})
+        assert QueryRewriter(rules).rewrite("$b/*") == "$b/*"
+
+    def test_non_doc_functions_untouched(self):
+        rules = RewriteRules(doc_map={"x": "y"})
+        assert QueryRewriter(rules).rewrite("contains('x', 'y')") == \
+            "contains('x', 'y')"
+
+    def test_if_and_let_survive(self):
+        rules = RewriteRules(tag_map={"A": "B"})
+        source = "let $t := $c/A return if (empty($t)) then 'n' else $t"
+        rewritten = QueryRewriter(rules).rewrite(source)
+        assert "$c/B" in rewritten
+        from repro.xquery import parse_query
+        parse_query(rewritten)

@@ -1,0 +1,106 @@
+"""Meeting-time parsing tests, including the round-trip property."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.integration import (
+    TimeParseError,
+    parse_time,
+    parse_time_range,
+    to_12h,
+    to_24h,
+)
+
+
+class TestParseTime:
+    def test_24h(self):
+        assert parse_time("13:30") == 13 * 60 + 30
+        assert parse_time("16:00") == 16 * 60
+
+    def test_12h_with_suffix(self):
+        assert parse_time("1:30pm") == 13 * 60 + 30
+        assert parse_time("9:00am") == 9 * 60
+
+    def test_noon_midnight(self):
+        assert parse_time("12:00pm") == 12 * 60
+        assert parse_time("12:00am") == 0
+
+    def test_academic_heuristic(self):
+        # 1:30 without a suffix is an afternoon class.
+        assert parse_time("1:30") == 13 * 60 + 30
+        # 9:00 without a suffix stays morning.
+        assert parse_time("9:00") == 9 * 60
+
+    def test_academic_heuristic_disabled(self):
+        assert parse_time("1:30", assume_academic=False) == 90
+
+    def test_bare_hour(self):
+        assert parse_time("3") == 15 * 60
+        assert parse_time("11") == 11 * 60
+
+    def test_garbage_rejected(self):
+        for bad in ("", "mittags", "25:00", "9:75", "13pm"):
+            with pytest.raises(TimeParseError):
+                parse_time(bad)
+
+
+class TestParseRange:
+    def test_cmu_style(self):
+        assert parse_time_range("1:30 - 2:50") == (810, 890)
+
+    def test_umass_style(self):
+        assert parse_time_range("16:00-17:15") == (960, 1035)
+
+    def test_umd_style(self):
+        assert parse_time_range("10:00am-11:15am") == (600, 675)
+
+    def test_brown_style(self):
+        assert parse_time_range("3-5:30") == (900, 1050)
+        assert parse_time_range("11-12") == (660, 720)
+        assert parse_time_range("2:30-4") == (870, 960)
+
+    def test_end_inherits_afternoon(self):
+        # 11-12:15 must not wrap to midnight.
+        assert parse_time_range("11-12:15") == (660, 735)
+
+    def test_single_time_rejected(self):
+        with pytest.raises(TimeParseError):
+            parse_time_range("1:30")
+
+    def test_impossible_range_rejected(self):
+        with pytest.raises(TimeParseError):
+            parse_time_range("23:00-23:00")
+
+
+class TestRendering:
+    def test_to_24h(self):
+        assert to_24h(13 * 60 + 30) == "13:30"
+        assert to_24h(0) == "00:00"
+
+    def test_to_12h(self):
+        assert to_12h(13 * 60 + 30) == "1:30pm"
+        assert to_12h(0) == "12:00am"
+        assert to_12h(12 * 60) == "12:00pm"
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TimeParseError):
+            to_24h(-1)
+        with pytest.raises(TimeParseError):
+            to_12h(24 * 60)
+
+
+class TestRoundTripProperty:
+    @given(st.integers(min_value=0, max_value=24 * 60 - 1))
+    def test_24h_round_trip(self, minute):
+        assert parse_time(to_24h(minute), assume_academic=False) == minute
+
+    @given(st.integers(min_value=0, max_value=24 * 60 - 1))
+    def test_12h_round_trip(self, minute):
+        assert parse_time(to_12h(minute)) == minute
+
+    @given(st.integers(min_value=8 * 60, max_value=19 * 60))
+    def test_q2_transformation(self, minute):
+        """The Q2 mapping: a 12h rendering equals its 24h rendering."""
+        twelve = to_12h(minute).replace("am", "").replace("pm", "")
+        assert parse_time(twelve) == parse_time(to_24h(minute))

@@ -1,0 +1,73 @@
+"""EN↔DE lexicon tests (the Q5 capability)."""
+
+from repro.integration import DEFAULT_LEXICON, Lexicon
+
+
+class TestValueLexicon:
+    def test_paper_example(self):
+        germans = DEFAULT_LEXICON.german_equivalents("database")
+        assert "Datenbank" in germans
+        assert "Datenbanksystem" in germans
+
+    def test_unknown_term_is_empty(self):
+        assert DEFAULT_LEXICON.german_equivalents("underwater basket") == ()
+
+    def test_case_insensitive_lookup(self):
+        assert DEFAULT_LEXICON.german_equivalents("Database") != ()
+
+    def test_english_equivalent(self):
+        assert DEFAULT_LEXICON.english_equivalent("Datenbanken") == "database"
+
+    def test_english_equivalent_by_compound(self):
+        assert DEFAULT_LEXICON.english_equivalent(
+            "Datenbanksysteme") == "database"
+
+    def test_english_equivalent_unknown(self):
+        assert DEFAULT_LEXICON.english_equivalent("Quatsch") is None
+
+
+class TestMatching:
+    def test_matches_english_directly(self):
+        assert DEFAULT_LEXICON.text_matches_term(
+            "Database Design", "database")
+
+    def test_matches_german_via_lexicon(self):
+        # The Q5 example: 'XML und Datenbanken' matches 'database'.
+        assert DEFAULT_LEXICON.text_matches_term(
+            "XML und Datenbanken", "database")
+
+    def test_matches_compound(self):
+        assert DEFAULT_LEXICON.text_matches_term(
+            "Datenbanksysteme", "database")
+
+    def test_no_match(self):
+        assert not DEFAULT_LEXICON.text_matches_term(
+            "Vernetzte Systeme", "database")
+
+    def test_case_insensitive_match(self):
+        assert DEFAULT_LEXICON.text_matches_term(
+            "EINFÜHRUNG IN DATENBANKEN", "database")
+
+
+class TestTagLexicon:
+    def test_eth_tags(self):
+        assert DEFAULT_LEXICON.translate_tag("Titel") == "Title"
+        assert DEFAULT_LEXICON.translate_tag("Dozent") == "Instructor"
+        assert DEFAULT_LEXICON.translate_tag("Umfang") == "Units"
+        assert DEFAULT_LEXICON.translate_tag("Vorlesung") == "Course"
+
+    def test_unknown_tag_passes_through(self):
+        assert DEFAULT_LEXICON.translate_tag("CourseNum") == "CourseNum"
+
+
+class TestExtension:
+    def test_add_term(self):
+        lexicon = Lexicon()
+        lexicon.add_term("quantum computing", "Quantenrechnen")
+        assert lexicon.text_matches_term(
+            "Einführung in Quantenrechnen", "quantum computing")
+
+    def test_known_terms_sorted(self):
+        terms = DEFAULT_LEXICON.known_terms()
+        assert terms == sorted(terms)
+        assert "database" in terms

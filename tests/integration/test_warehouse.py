@@ -1,0 +1,149 @@
+"""Warehouse tests + GlobalCourse XML round-trip property."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.integration import (
+    GlobalCourse,
+    INAPPLICABLE,
+    MISSING,
+    Warehouse,
+    standard_mediator,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+@pytest.fixture(scope="module")
+def warehouse(testbed):
+    return Warehouse(standard_mediator(paper_universities()),
+                     testbed.documents)
+
+
+class TestMaterialization:
+    def test_one_course_element_per_record(self, warehouse, testbed):
+        total = sum(len(testbed.courses(slug)) for slug in testbed.slugs)
+        assert len(warehouse) == total
+        assert len(warehouse.document.root.findall("Course")) == total
+
+    def test_document_name(self, warehouse):
+        assert warehouse.document.source_name == "warehouse"
+
+    def test_cleansing_applied(self, warehouse):
+        umd = [c for c in warehouse.courses
+               if c.key == ("umd", "CMSC435")][0]
+        assert umd.instructors == ("Singh, H.", "Memon, A.")
+        assert umd.title == "Software Engineering"
+
+    def test_cleansing_can_be_disabled(self, testbed):
+        raw = Warehouse(standard_mediator(paper_universities()),
+                        testbed.documents, apply_cleansing=False)
+        assert len(raw) == len(raw.courses)
+
+    def test_refresh_rebuilds(self, testbed):
+        wh = Warehouse(standard_mediator(paper_universities()),
+                       {"cmu": testbed.source("cmu").document})
+        first = len(wh)
+        wh.refresh(testbed.documents)
+        assert len(wh) > first
+
+
+class TestQuerying:
+    def test_plain_xquery(self, warehouse):
+        result = warehouse.query(
+            "count(doc('warehouse')/warehouse/Course)")
+        assert result == [float(len(warehouse))]
+
+    def test_udfs_preregistered(self, warehouse):
+        result = warehouse.query(
+            "for $c in doc('warehouse')/warehouse/Course "
+            "where udf:matches-term($c/Title, 'database') "
+            "and $c/@source = 'eth' return $c/@code")
+        assert sorted(result) == ["251-0312", "251-0317"]
+
+    def test_query_courses_lifts_records(self, warehouse):
+        courses = warehouse.query_courses(
+            "for $c in doc('warehouse')/warehouse/Course "
+            "where $c/@code = '15-415' return $c")
+        assert len(courses) == 1
+        course = courses[0]
+        assert isinstance(course, GlobalCourse)
+        assert course.units == 12.0
+        assert course.start_minute == 810
+
+    def test_query_courses_rejects_atomics(self, warehouse):
+        with pytest.raises(ValueError, match="non-element"):
+            warehouse.query_courses(
+                "doc('warehouse')/warehouse/Course[1]/Title/text()")
+
+    def test_null_kinds_queryable(self, warehouse):
+        kinds = warehouse.query(
+            "for $c in doc('warehouse')/warehouse/Course "
+            "where $c/@source = 'eth' "
+            "return $c/OpenTo/null/@kind")
+        assert set(kinds) == {"inapplicable"}
+
+
+# --------------------------------------------------------------------------- #
+# GlobalCourse XML round-trip
+# --------------------------------------------------------------------------- #
+
+# Lifting goes through whitespace-normalized text, so generated values are
+# normalized up front (the documented lossy dimension of the rendering).
+_names = st.text(alphabet="abcdefgh ÄÖü,.", min_size=1, max_size=12) \
+    .map(lambda s: " ".join(s.split())).filter(bool)
+_nullable_text = st.one_of(st.none(), st.just(MISSING), _names)
+
+
+@st.composite
+def _global_courses(draw):
+    start = draw(st.one_of(st.none(),
+                           st.integers(min_value=0, max_value=1300)))
+    end = None if start is None else \
+        draw(st.integers(min_value=start + 1, max_value=1439))
+    return GlobalCourse(
+        source=draw(st.sampled_from(["cmu", "eth", "umd"])),
+        code=draw(st.from_regex(r"[A-Z]{2}[0-9]{2,3}", fullmatch=True)),
+        title=draw(_names),
+        language=draw(st.sampled_from(["en", "de"])),
+        title_url=draw(st.one_of(st.none(), st.just("http://x/y"))),
+        instructors=tuple(draw(st.lists(_names, max_size=3))),
+        days=draw(st.one_of(st.none(), st.sampled_from(["MWF", "TTh"]))),
+        start_minute=start,
+        end_minute=end,
+        rooms=draw(st.one_of(st.just(INAPPLICABLE),
+                             st.lists(_names, max_size=2).map(tuple))),
+        units=draw(st.one_of(st.none(), st.just(MISSING),
+                             st.integers(1, 18).map(float))),
+        entry_level=draw(st.one_of(st.none(), st.booleans(),
+                                   st.just(MISSING))),
+        textbook=draw(_nullable_text),
+        open_to=draw(st.one_of(st.just(INAPPLICABLE),
+                               st.sampled_from([(), ("JR", "SR")]))),
+        description=draw(st.one_of(st.just(""), _names)),
+        extras=draw(st.dictionaries(
+            st.sampled_from(["hour_block", "note"]), _names, max_size=2)),
+    )
+
+
+class TestXmlRoundTripProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(_global_courses())
+    def test_round_trip(self, course):
+        lifted = GlobalCourse.from_xml(course.to_xml())
+        assert lifted == course
+
+    def test_from_xml_rejects_foreign_elements(self):
+        from repro.xmlmodel import element
+        with pytest.raises(ValueError):
+            GlobalCourse.from_xml(element("NotACourse"))
+
+    def test_every_warehouse_element_lifts(self, warehouse):
+        for node in warehouse.document.root.findall("Course"):
+            lifted = GlobalCourse.from_xml(node)
+            assert lifted.source and lifted.code

@@ -1,0 +1,78 @@
+"""Naive-baseline tests: the zero-integration floor."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import QUERIES, get_query, rank, run_all, run_benchmark
+from repro.systems import (
+    automatch,
+    cohera,
+    iwiz,
+    naive_xquery,
+    thalia_mediator,
+)
+from repro.xquery import run_query
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+class TestNaiveFloor:
+    def test_scores_zero(self, testbed):
+        card = run_benchmark(naive_xquery(), testbed)
+        assert card.correct_count == 0
+
+    def test_every_answer_misses_the_challenge_half(self, testbed):
+        system = naive_xquery()
+        for query in QUERIES:
+            attempt = system.answer(query, testbed)
+            sources = {entry[0] for entry in attempt.answer}
+            assert query.challenge not in sources, f"Q{query.number}"
+
+    def test_reference_half_is_nonempty(self, testbed):
+        """The naive system is not a strawman: it does answer the
+        reference side correctly on every query."""
+        system = naive_xquery()
+        for query in QUERIES:
+            attempt = system.answer(query, testbed)
+            assert attempt.answer, f"Q{query.number}"
+
+    @pytest.mark.parametrize("number", [1, 2, 3, 4, 5, 7, 8])
+    def test_reference_half_matches_verbatim_xquery(self, testbed, number):
+        """For whole-record queries, the claimed reference half is exactly
+        what the verbatim reference XQuery returns."""
+        query = get_query(number)
+        raw = run_query(query.xquery, testbed.documents)
+        code_tags = ("CourseNum", "Nummer", "code", "title")
+        raw_codes = set()
+        for item in raw:
+            for tag in code_tags:
+                value = item.findtext(tag)
+                if value:
+                    raw_codes.add(value.split()[0].strip())
+                    break
+        claimed = {entry[1] for entry in
+                   naive_xquery().answer(query, testbed).answer}
+        assert raw_codes == claimed
+
+
+class TestFullSpectrum:
+    def test_the_five_system_ranking(self, testbed):
+        """Naive 0 < AutoMatch 4 < IWIZ 9 ≤ Cohera 9 < THALIA 12."""
+        cards = run_all(
+            [naive_xquery(), automatch(), cohera(), iwiz(),
+             thalia_mediator()], testbed)
+        ordered = [card.system for card in rank(cards)]
+        assert ordered == ["THALIA-Mediator", "Cohera", "IWIZ",
+                           "AutoMatch", "NaiveXQuery"]
+
+    def test_correctness_strictly_increases_up_the_spectrum(self, testbed):
+        cards = {card.system: card for card in run_all(
+            [naive_xquery(), automatch(), cohera(), thalia_mediator()],
+            testbed)}
+        assert cards["NaiveXQuery"].correct_count \
+            < cards["AutoMatch"].correct_count \
+            < cards["Cohera"].correct_count \
+            < cards["THALIA-Mediator"].correct_count

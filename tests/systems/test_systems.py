@@ -1,0 +1,152 @@
+"""System evaluation tests: the §4.2 reproduction.
+
+These are the repository's headline assertions: the per-query outcomes of
+Cohera and IWIZ fall out of their capability profiles, and match the
+paper's verdicts in shape — who answers what, at what effort, and which
+three queries defeat both.
+"""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import get_query, gold_answer, run_all, run_benchmark
+from repro.integration import Capability, Effort
+from repro.systems import (
+    CapabilityModelSystem,
+    cohera,
+    iwiz,
+    thalia_mediator,
+)
+
+HARD_TRIPLE = (4, 5, 8)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+@pytest.fixture(scope="module")
+def cards(testbed):
+    return {card.system: card
+            for card in run_all([cohera(), iwiz(), thalia_mediator()],
+                                testbed)}
+
+
+class TestCohera(object):
+    def test_nine_correct(self, cards):
+        assert cards["Cohera"].correct_count == 9
+
+    def test_four_queries_with_no_code(self, cards):
+        """Paper: 'Cohera could do 4 queries with no code'."""
+        card = cards["Cohera"]
+        no_code = [o.number for o in card.outcomes
+                   if o.correct and o.effort == Effort.NONE]
+        assert sorted(no_code) == [1, 6, 9, 10]
+
+    def test_five_queries_with_user_code(self, cards):
+        """Paper: 'another 5 with varying amounts of user-defined code'."""
+        card = cards["Cohera"]
+        coded = [o.number for o in card.outcomes
+                 if o.correct and o.effort != Effort.NONE]
+        assert sorted(coded) == [2, 3, 7, 11, 12]
+
+    def test_hard_triple_unsupported(self, cards):
+        assert sorted(cards["Cohera"].unsupported_numbers) == \
+            list(HARD_TRIPLE)
+
+    def test_q2_is_small_code(self, cards):
+        assert cards["Cohera"].outcome(2).effort == Effort.LOW
+
+    def test_q3_is_moderate_code(self, cards):
+        assert cards["Cohera"].outcome(3).effort == Effort.MEDIUM
+
+
+class TestIwiz(object):
+    def test_nine_correct(self, cards):
+        assert cards["IWIZ"].correct_count == 9
+
+    def test_no_query_is_free(self, cards):
+        """IWIZ has no UDFs: everything needs at least small code."""
+        card = cards["IWIZ"]
+        assert all(o.effort != Effort.NONE
+                   for o in card.outcomes if o.correct)
+
+    def test_small_code_queries(self, cards):
+        card = cards["IWIZ"]
+        small = [o.number for o in card.outcomes
+                 if o.correct and o.effort == Effort.LOW]
+        assert sorted(small) == [1, 2, 9, 10]
+
+    def test_nulls_cost_moderate_code(self, cards):
+        """Paper: 'no direct support for nulls; requires moderate amount
+        of custom code'."""
+        assert cards["IWIZ"].outcome(6).effort == Effort.MEDIUM
+
+    def test_hard_triple_unsupported(self, cards):
+        assert sorted(cards["IWIZ"].unsupported_numbers) == \
+            list(HARD_TRIPLE)
+
+    def test_more_custom_code_than_cohera(self, cards):
+        assert cards["IWIZ"].complexity_score > \
+            cards["Cohera"].complexity_score
+
+
+class TestThaliaMediator(object):
+    def test_twelve_correct(self, cards):
+        assert cards["THALIA-Mediator"].correct_count == 12
+
+    def test_no_unsupported(self, cards):
+        assert cards["THALIA-Mediator"].unsupported_numbers == []
+
+    def test_hard_queries_cost_high_effort(self, cards):
+        card = cards["THALIA-Mediator"]
+        assert card.outcome(4).effort == Effort.HIGH
+        assert card.outcome(5).effort == Effort.HIGH
+
+
+class TestMechanization(object):
+    """Outcomes are *computed*, not hard-coded."""
+
+    def test_unsupported_answers_degrade_not_vanish(self, testbed):
+        """Cohera on Q4 still finds the CMU course; it loses ETH's because
+        the Umfang transform is missing. Partial ≠ correct."""
+        system = cohera()
+        attempt = system.answer(get_query(4), testbed)
+        assert ("cmu", "15-415") in attempt.answer
+        assert not any(key[0] == "eth" for key in attempt.answer)
+        assert attempt.answer != gold_answer(4, testbed)
+
+    def test_q5_degradation_is_the_language_gap(self, testbed):
+        attempt = iwiz().answer(get_query(5), testbed)
+        assert attempt.answer == {("umd", "CMSC424")}
+
+    def test_q8_degradation_loses_annotations(self, testbed):
+        attempt = cohera().answer(get_query(8), testbed)
+        assert attempt.answer == {("gatech", "20422", "open")}
+
+    def test_thalia_answers_equal_gold_everywhere(self, testbed):
+        system = thalia_mediator()
+        for number in range(1, 13):
+            query = get_query(number)
+            attempt = system.answer(query, testbed)
+            assert attempt.answer == gold_answer(query, testbed), \
+                f"Q{number}"
+
+    def test_custom_profile_system(self, testbed):
+        """A hypothetical rename-only system answers exactly Q1."""
+        minimal = CapabilityModelSystem(
+            "Rename-Only", {Capability.RENAME: Effort.NONE})
+        card = run_benchmark(minimal, testbed)
+        correct = [o.number for o in card.outcomes if o.correct]
+        assert correct == [1]
+
+    def test_empty_profile_system_scores_zero(self, testbed):
+        nothing = CapabilityModelSystem("Nothing", {})
+        card = run_benchmark(nothing, testbed)
+        assert card.correct_count == 0
+        assert len(card.unsupported_numbers) == 12
+
+    def test_note_mentions_missing_capability(self, testbed):
+        attempt = cohera().answer(get_query(5), testbed)
+        assert "TRANSLATION" in attempt.note

@@ -1,0 +1,139 @@
+"""Wrapper configuration model tests."""
+
+import pytest
+
+from repro.tess import (
+    FieldConfig,
+    NestedConfig,
+    TessConfigError,
+    WrapperConfig,
+)
+
+
+def _simple_config():
+    return WrapperConfig(
+        source="brown",
+        root_tag="brown",
+        record_tag="Course",
+        record_begin=r"<tr class=.course.>",
+        record_end=r"</tr>",
+        fields=[
+            FieldConfig("CourseNum", r'<td class="num">', r"</td>"),
+            FieldConfig("Title", r'<td class="title">', r"</td>",
+                        mode="mixed"),
+        ],
+    )
+
+
+def _nested_config():
+    return WrapperConfig(
+        source="umd",
+        root_tag="umd",
+        record_tag="Course",
+        record_begin=r"<div class=.course.>",
+        record_end=r"</div>",
+        fields=[
+            FieldConfig("CourseName", r'<span class="name">', r"</span>"),
+            FieldConfig(
+                "Sections", r'<table class="sections">', r"</table>",
+                nested=NestedConfig(
+                    record_tag="Section",
+                    begin=r"<tr>",
+                    end=r"</tr>",
+                    fields=[
+                        FieldConfig("id", r'<td class="id">', r"</td>"),
+                        FieldConfig("time", r'<td class="time">', r"</td>"),
+                    ],
+                )),
+        ],
+    )
+
+
+class TestValidation:
+    def test_valid_config_constructs(self):
+        assert _simple_config().source == "brown"
+
+    def test_invalid_regex_rejected(self):
+        with pytest.raises(TessConfigError, match="invalid regex"):
+            WrapperConfig("x", "x", "Course", "(", "</tr>")
+
+    def test_invalid_field_regex_rejected(self):
+        with pytest.raises(TessConfigError):
+            FieldConfig("f", "[", "</td>")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TessConfigError, match="unknown mode"):
+            FieldConfig("f", "a", "b", mode="fancy")
+
+    def test_attribute_field_cannot_repeat(self):
+        with pytest.raises(TessConfigError):
+            FieldConfig("f", "a", "b", repeat=True, as_attribute=True)
+
+    def test_duplicate_field_names_rejected(self):
+        with pytest.raises(TessConfigError, match="duplicate"):
+            WrapperConfig(
+                "x", "x", "Course", "<tr>", "</tr>",
+                fields=[FieldConfig("A", "a", "b"),
+                        FieldConfig("A", "c", "d")])
+
+    def test_has_nested_fields(self):
+        assert _nested_config().has_nested_fields
+        assert not _simple_config().has_nested_fields
+
+
+class TestTextRoundTrip:
+    def test_simple_round_trip(self):
+        config = _simple_config()
+        parsed = WrapperConfig.from_text(config.to_text())
+        assert parsed.source == config.source
+        assert parsed.record_begin == config.record_begin
+        assert [f.name for f in parsed.fields] == ["CourseNum", "Title"]
+        assert parsed.fields[1].mode == "mixed"
+
+    def test_nested_round_trip(self):
+        config = _nested_config()
+        parsed = WrapperConfig.from_text(config.to_text())
+        nested = parsed.fields[1].nested
+        assert nested is not None
+        assert nested.record_tag == "Section"
+        assert [f.name for f in nested.fields] == ["id", "time"]
+
+    def test_region_round_trip(self):
+        config = _simple_config()
+        config.region_begin = r"<table id=.catalog.>"
+        config.region_end = r"</table>"
+        parsed = WrapperConfig.from_text(config.to_text())
+        assert parsed.region_begin == config.region_begin
+        assert parsed.region_end == config.region_end
+
+    def test_missing_wrapper_section(self):
+        with pytest.raises(TessConfigError, match="wrapper"):
+            WrapperConfig.from_text("[field X]\nbegin = a\nend = b\n")
+
+    def test_missing_required_key(self):
+        with pytest.raises(TessConfigError, match="record_begin"):
+            WrapperConfig.from_text(
+                "[wrapper]\nsource = x\nroot_tag = x\nrecord_tag = C\n"
+                "record_end = e\n")
+
+    def test_field_missing_begin(self):
+        with pytest.raises(TessConfigError, match="begin"):
+            WrapperConfig.from_text(
+                "[wrapper]\nsource = x\nroot_tag = x\nrecord_tag = C\n"
+                "record_begin = b\nrecord_end = e\n"
+                "[field F]\nend = z\n")
+
+    def test_nested_for_unknown_field(self):
+        with pytest.raises(TessConfigError, match="unknown field"):
+            WrapperConfig.from_text(
+                "[wrapper]\nsource = x\nroot_tag = x\nrecord_tag = C\n"
+                "record_begin = b\nrecord_end = e\n"
+                "[nested Ghost]\nrecord_tag = S\nbegin = b\nend = e\n")
+
+    def test_unparseable_text(self):
+        with pytest.raises(TessConfigError, match="unparseable"):
+            WrapperConfig.from_text("not an ini file at all [")
+
+    def test_case_preserved_in_field_names(self):
+        parsed = WrapperConfig.from_text(_simple_config().to_text())
+        assert parsed.fields[0].name == "CourseNum"

@@ -1,0 +1,98 @@
+"""Failure-injection tests: the scraper under broken or drifting pages.
+
+The paper notes the whole approach "only works as long as the source
+remains unchanged. Any syntactic changes to the underlying source must
+also be reflected in the configuration file" — these tests pin down what
+happens when they are not.
+"""
+
+import pytest
+
+from repro.catalogs import get_university
+from repro.tess import FieldConfig, TessExtractionError, TessScraper, \
+    WrapperConfig
+
+
+@pytest.fixture()
+def brown():
+    profile = get_university("brown")
+    courses = profile.build_courses(seed=2004)
+    return profile, profile.render(courses), profile.wrapper_config()
+
+
+class TestSnapshotDrift:
+    def test_renamed_row_class_extracts_nothing(self, brown):
+        """A silent page redesign: records stop matching, yielding an
+        empty catalog rather than wrong data."""
+        profile, page, config = brown
+        drifted = page.replace('class="course"', 'class="courserow"')
+        scraper = TessScraper()
+        document = scraper.extract(drifted, config)
+        assert document.root.findall("Course") == []
+        assert scraper.last_stats.records == 0
+
+    def test_renamed_field_class_yields_missing_fields(self, brown):
+        profile, page, config = brown
+        drifted = page.replace('class="room"', 'class="location"')
+        scraper = TessScraper()
+        document = scraper.extract(drifted, config)
+        assert all(c.find("Room") is None
+                   for c in document.root.findall("Course"))
+        assert scraper.last_stats.fields_missing > 0
+
+    def test_truncated_page_raises(self, brown):
+        """A half-downloaded snapshot: a record begins but never ends."""
+        profile, page, config = brown
+        start = page.index('<tr class="course">')
+        truncated = page[:start + 40]
+        with pytest.raises(TessExtractionError, match="no end marker"):
+            TessScraper().extract(truncated, config)
+
+    def test_extra_noise_between_records_is_ignored(self, brown):
+        profile, page, config = brown
+        noisy = page.replace(
+            "</tr>", "</tr><!-- advertisement banner -->", 1)
+        document = TessScraper().extract(noisy, config)
+        assert len(document.root.findall("Course")) == 12
+
+    def test_reordered_columns_still_extract(self, brown):
+        """Class-anchored regexes survive column reordering (position-
+        anchored ones would not) — the wrapper's robustness choice."""
+        profile, page, config = brown
+        document = TessScraper().extract(page, config)
+        baseline = document.root.find("Course").findtext("CourseNum")
+        assert baseline == "CS016"
+
+
+class TestConfigDrift:
+    def test_config_for_wrong_site_mostly_misses(self, brown):
+        """Pointing CMU's wrapper at Brown's page yields records with the
+        bulk of the fields missing — visible in the stats, not silent."""
+        profile, page, __ = brown
+        cmu_config = get_university("cmu").wrapper_config()
+        scraper = TessScraper()
+        document = scraper.extract(page, cmu_config)
+        assert all(c.find("CourseTitle") is None
+                   for c in document.root.findall("Course"))
+        stats = scraper.last_stats
+        assert stats.fields_missing > stats.fields_extracted
+
+    def test_stale_config_detectable_via_stats(self, brown):
+        """Operationally, drift is detected by stats deltas: the paper
+        expects catalogs to turn over 2-3 times a year."""
+        profile, page, config = brown
+        scraper = TessScraper()
+        scraper.extract(page, config)
+        healthy = scraper.last_stats
+        drifted_page = page.replace('class="titletime"', 'class="tt"')
+        scraper.extract(drifted_page, config)
+        drifted = scraper.last_stats
+        assert drifted.fields_missing > healthy.fields_missing
+
+    def test_catastrophic_regex_rejected_at_config_time(self):
+        from repro.tess import TessConfigError
+        with pytest.raises(TessConfigError):
+            WrapperConfig(
+                source="x", root_tag="x", record_tag="Course",
+                record_begin="(", record_end="</tr>",
+                fields=[FieldConfig("F", "a", "b")])

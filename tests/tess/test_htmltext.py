@@ -1,0 +1,81 @@
+"""HTML text utility tests."""
+
+from repro.tess import (
+    decode_entities,
+    first_anchor_href,
+    normalize_whitespace,
+    strip_tags,
+    to_mixed_content,
+)
+from repro.xmlmodel import XmlElement
+
+
+class TestBasics:
+    def test_decode_entities(self):
+        assert decode_entities("Algorithms &amp; Data") == "Algorithms & Data"
+
+    def test_decode_numeric_entities(self):
+        assert decode_entities("Z&#252;rich") == "Zürich"
+
+    def test_normalize_whitespace(self):
+        assert normalize_whitespace("  a \n b\t\tc ") == "a b c"
+
+    def test_strip_tags(self):
+        assert strip_tags("<td><b>CS016</b></td>") == "CS016"
+
+    def test_strip_tags_inserts_spaces(self):
+        assert strip_tags("<td>a</td><td>b</td>") == "a b"
+
+    def test_strip_br_becomes_space(self):
+        assert strip_tags("line1<br/>line2") == "line1 line2"
+
+    def test_strip_tags_decodes(self):
+        assert strip_tags("<i>A &amp; B</i>") == "A & B"
+
+
+class TestMixedContent:
+    def test_anchor_preserved_as_element(self):
+        children = to_mixed_content(
+            '<a href="http://cs.brown.edu/cs016">Intro to Algorithms</a>'
+            ' D hr. MWF 11-12')
+        assert isinstance(children[0], XmlElement)
+        assert children[0].tag == "a"
+        assert children[0].get("href") == "http://cs.brown.edu/cs016"
+        assert children[0].text == "Intro to Algorithms"
+        assert children[1].strip() == "D hr. MWF 11-12"
+
+    def test_text_before_anchor(self):
+        children = to_mixed_content('prefix <a href="u">label</a>')
+        assert children[0].strip() == "prefix"
+        assert isinstance(children[1], XmlElement)
+
+    def test_plain_text_only(self):
+        assert to_mixed_content("<b>just text</b>") == ["just text"]
+
+    def test_empty_fragment(self):
+        assert to_mixed_content("   ") == []
+
+    def test_multiple_anchors(self):
+        children = to_mixed_content(
+            '<a href="u1">one</a> and <a href="u2">two</a>')
+        anchors = [c for c in children if isinstance(c, XmlElement)]
+        assert [a.get("href") for a in anchors] == ["u1", "u2"]
+
+    def test_single_quoted_href(self):
+        children = to_mixed_content("<a href='u'>x</a>")
+        assert children[0].get("href") == "u"
+
+    def test_entities_in_href_and_label(self):
+        children = to_mixed_content(
+            '<a href="u?a=1&amp;b=2">A &amp; B</a>')
+        assert children[0].get("href") == "u?a=1&b=2"
+        assert children[0].text == "A & B"
+
+
+class TestFirstAnchor:
+    def test_returns_first_href(self):
+        assert first_anchor_href(
+            '<a href="page1">x</a><a href="page2">y</a>') == "page1"
+
+    def test_none_when_absent(self):
+        assert first_anchor_href("no links here") is None

@@ -1,0 +1,265 @@
+"""Extraction engine tests, including the nested-structure (UMD) case."""
+
+import pytest
+
+from repro.tess import (
+    FieldConfig,
+    NestedConfig,
+    TessExtractionError,
+    TessScraper,
+    WrapperConfig,
+)
+
+SIMPLE_PAGE = """
+<html><body>
+<h1>Course Catalog</h1>
+<table id="catalog">
+<tr class="course"><td class="num">CS016</td>
+  <td class="title"><a href="http://cs.brown.edu/cs016">Intro to
+  Algorithms &amp; Data Structures</a> D hr. MWF 11-12</td>
+  <td class="room">CIT 165, Labs in Sunlab</td></tr>
+<tr class="course"><td class="num">CS127</td>
+  <td class="title">Databases B hr. TTh 2:30</td>
+  <td class="room">CIT 368</td></tr>
+</table>
+<p>footer noise</p>
+</body></html>
+"""
+
+
+def simple_config(**overrides):
+    params = dict(
+        source="brown",
+        root_tag="brown",
+        record_tag="Course",
+        record_begin=r'<tr class="course">',
+        record_end=r"</tr>",
+        region_begin=r'<table id="catalog">',
+        region_end=r"</table>",
+        fields=[
+            FieldConfig("CourseNum", r'<td class="num">', r"</td>"),
+            FieldConfig("Title", r'<td class="title">', r"</td>",
+                        mode="mixed"),
+            FieldConfig("Room", r'<td class="room">', r"</td>"),
+        ],
+    )
+    params.update(overrides)
+    return WrapperConfig(**params)
+
+
+NESTED_PAGE = """
+<div class="course"><span class="name">Software Engineering;</span>
+  <table class="sections">
+  <tr><td class="id">0101(13795)</td><td class="inst">Singh, H.</td>
+      <td class="time">MW 10:00 CHM 1407</td></tr>
+  <tr><td class="id">0201(13796)</td><td class="inst">Memon, A.</td>
+      <td class="time">TT 14:00 EGR 2154</td></tr>
+  </table>
+</div>
+<div class="course"><span class="name">Data Structures;</span>
+  <table class="sections">
+  <tr><td class="id">0101</td><td class="inst">Shankar, A.</td>
+      <td class="time">F 9:00 CSI 2117</td></tr>
+  </table>
+</div>
+"""
+
+
+def nested_config():
+    return WrapperConfig(
+        source="umd",
+        root_tag="umd",
+        record_tag="Course",
+        record_begin=r'<div class="course">',
+        record_end=r"</div>",
+        fields=[
+            FieldConfig("CourseName", r'<span class="name">', r"</span>"),
+            FieldConfig(
+                "Sections", r'<table class="sections">', r"</table>",
+                nested=NestedConfig(
+                    record_tag="Section",
+                    begin=r"<tr>",
+                    end=r"</tr>",
+                    fields=[
+                        FieldConfig("id", r'<td class="id">', r"</td>"),
+                        FieldConfig("instructor", r'<td class="inst">',
+                                    r"</td>"),
+                        FieldConfig("time", r'<td class="time">', r"</td>"),
+                    ],
+                )),
+        ],
+    )
+
+
+class TestSimpleExtraction:
+    def test_record_count(self):
+        doc = TessScraper().extract(SIMPLE_PAGE, simple_config())
+        assert len(doc.root.findall("Course")) == 2
+
+    def test_root_and_source(self):
+        doc = TessScraper().extract(SIMPLE_PAGE, simple_config())
+        assert doc.root.tag == "brown"
+        assert doc.source_name == "brown"
+
+    def test_text_field_stripped(self):
+        doc = TessScraper().extract(SIMPLE_PAGE, simple_config())
+        first = doc.root.find("Course")
+        assert first.findtext("CourseNum") == "CS016"
+        assert first.findtext("Room") == "CIT 165, Labs in Sunlab"
+
+    def test_mixed_field_preserves_anchor(self):
+        doc = TessScraper().extract(SIMPLE_PAGE, simple_config())
+        title = doc.root.find("Course").find("Title")
+        anchor = title.find("a")
+        assert anchor is not None
+        assert anchor.get("href") == "http://cs.brown.edu/cs016"
+        assert "D hr. MWF 11-12" in title.text
+
+    def test_mixed_field_entity_decoded(self):
+        doc = TessScraper().extract(SIMPLE_PAGE, simple_config())
+        title = doc.root.find("Course").find("Title")
+        assert "Algorithms & Data Structures" in title.normalized_text
+
+    def test_region_excludes_footer(self):
+        config = simple_config(
+            fields=[FieldConfig("Noise", r"<p>", r"</p>")])
+        doc = TessScraper().extract(SIMPLE_PAGE, config)
+        assert all(c.find("Noise") is None
+                   for c in doc.root.findall("Course"))
+
+    def test_missing_region_raises(self):
+        config = simple_config(region_begin=r'<table id="nope">')
+        with pytest.raises(TessExtractionError, match="region begin"):
+            TessScraper().extract(SIMPLE_PAGE, config)
+
+    def test_missing_region_end_raises(self):
+        config = simple_config(region_end=r"</never>")
+        with pytest.raises(TessExtractionError, match="region end"):
+            TessScraper().extract(SIMPLE_PAGE, config)
+
+    def test_record_without_end_marker_raises(self):
+        config = simple_config(record_end=r"</xx>")
+        with pytest.raises(TessExtractionError, match="no\\s+end marker"):
+            TessScraper().extract(SIMPLE_PAGE, config)
+
+    def test_missing_field_omitted(self):
+        config = simple_config(fields=[
+            FieldConfig("CourseNum", r'<td class="num">', r"</td>"),
+            FieldConfig("Textbook", r'<td class="book">', r"</td>"),
+        ])
+        doc = TessScraper().extract(SIMPLE_PAGE, config)
+        assert doc.root.find("Course").find("Textbook") is None
+
+    def test_stats_recorded(self):
+        scraper = TessScraper()
+        scraper.extract(SIMPLE_PAGE, simple_config())
+        stats = scraper.last_stats
+        assert stats.records == 2
+        assert stats.fields_extracted == 6
+        assert stats.fields_missing == 0
+
+    def test_stats_count_missing(self):
+        scraper = TessScraper()
+        config = simple_config(fields=[
+            FieldConfig("Textbook", r'<td class="book">', r"</td>")])
+        scraper.extract(SIMPLE_PAGE, config)
+        assert scraper.last_stats.fields_missing == 2
+
+    def test_href_mode_returns_url(self):
+        config = simple_config(fields=[
+            FieldConfig("TitleLink", r'<td class="title">', r"</td>",
+                        mode="href")])
+        doc = TessScraper().extract(SIMPLE_PAGE, config)
+        assert doc.root.find("Course").findtext("TitleLink") == \
+            "http://cs.brown.edu/cs016"
+
+    def test_href_mode_falls_back_to_text(self):
+        config = simple_config(fields=[
+            FieldConfig("RoomLink", r'<td class="room">', r"</td>",
+                        mode="href")])
+        doc = TessScraper().extract(SIMPLE_PAGE, config)
+        assert doc.root.find("Course").findtext("RoomLink") == \
+            "CIT 165, Labs in Sunlab"
+
+    def test_raw_mode_keeps_markup(self):
+        config = simple_config(fields=[
+            FieldConfig("RawTitle", r'<td class="title">', r"</td>",
+                        mode="raw")])
+        doc = TessScraper().extract(SIMPLE_PAGE, config)
+        assert "<a href=" in doc.root.find("Course").findtext("RawTitle")
+
+    def test_attribute_field(self):
+        config = simple_config(fields=[
+            FieldConfig("num", r'<td class="num">', r"</td>",
+                        as_attribute=True)])
+        doc = TessScraper().extract(SIMPLE_PAGE, config)
+        assert doc.root.find("Course").get("num") == "CS016"
+
+    def test_field_without_end_runs_to_blob_end(self):
+        page = '<tr class="course"><td class="num">CS1</tr>'
+        config = simple_config(region_begin=None, region_end=None,
+                               fields=[FieldConfig(
+                                   "CourseNum", r'<td class="num">',
+                                   r"</td>")])
+        doc = TessScraper().extract(page, config)
+        assert doc.root.find("Course").findtext("CourseNum") == "CS1"
+
+    def test_empty_page_yields_empty_catalog(self):
+        config = simple_config(region_begin=None, region_end=None)
+        doc = TessScraper().extract("<html></html>", config)
+        assert doc.root.findall("Course") == []
+
+
+class TestNestedExtraction:
+    def test_sections_extracted(self):
+        doc = TessScraper().extract(NESTED_PAGE, nested_config())
+        first = doc.root.find("Course")
+        sections = first.find("Sections").findall("Section")
+        assert len(sections) == 2
+        assert sections[0].findtext("instructor") == "Singh, H."
+        assert sections[1].findtext("time") == "TT 14:00 EGR 2154"
+
+    def test_second_course_single_section(self):
+        doc = TessScraper().extract(NESTED_PAGE, nested_config())
+        second = doc.root.findall("Course")[1]
+        assert len(second.find("Sections").findall("Section")) == 1
+
+    def test_original_tess_rejects_nested_config(self):
+        original = TessScraper(supports_nesting=False)
+        with pytest.raises(TessExtractionError, match="nested-structure"):
+            original.extract(NESTED_PAGE, nested_config())
+
+    def test_original_tess_handles_flat_config(self):
+        original = TessScraper(supports_nesting=False)
+        doc = original.extract(SIMPLE_PAGE, simple_config())
+        assert len(doc.root.findall("Course")) == 2
+
+    def test_doubly_nested_rejected(self):
+        config = nested_config()
+        config.fields[1].nested.fields.append(
+            FieldConfig("deep", "a", "b",
+                        nested=NestedConfig("X", "c", "d")))
+        with pytest.raises(TessExtractionError, match="nest further"):
+            TessScraper().extract(NESTED_PAGE, config)
+
+    def test_repeat_field_collects_all(self):
+        page = ('<tr class="course"><td class="num">CS1</td>'
+                '<td class="inst">A</td><td class="inst">B</td></tr>')
+        config = simple_config(
+            region_begin=None, region_end=None,
+            fields=[FieldConfig("Instructor", r'<td class="inst">',
+                                r"</td>", repeat=True)])
+        doc = TessScraper().extract(page, config)
+        instructors = doc.root.find("Course").findall("Instructor")
+        assert [i.text for i in instructors] == ["A", "B"]
+
+    def test_non_repeat_field_takes_first(self):
+        page = ('<tr class="course"><td class="inst">A</td>'
+                '<td class="inst">B</td></tr>')
+        config = simple_config(
+            region_begin=None, region_end=None,
+            fields=[FieldConfig("Instructor", r'<td class="inst">',
+                                r"</td>")])
+        doc = TessScraper().extract(page, config)
+        assert [i.text for i in
+                doc.root.find("Course").findall("Instructor")] == ["A"]

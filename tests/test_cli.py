@@ -1,0 +1,100 @@
+"""CLI tests: every `thalia` subcommand end-to-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSources:
+    def test_lists_all_sources(self, capsys):
+        assert main(["sources"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 25
+        assert "cmu" in out
+        assert "Carnegie Mellon" in out
+
+    def test_pinned_sources_show_query_numbers(self, capsys):
+        main(["sources"])
+        out = capsys.readouterr().out
+        cmu_line = [line for line in out.splitlines()
+                    if line.startswith("cmu")][0]
+        assert "queries=1,2,4,6,7,10,11,12" in cmu_line
+
+
+class TestRunBenchmark:
+    def test_prints_scoreboard_and_honor_roll(self, capsys):
+        assert main(["run-benchmark"]) == 0
+        out = capsys.readouterr().out
+        assert "THALIA scoreboard" in out
+        assert "THALIA Honor Roll" in out
+        assert "Cohera" in out and "IWIZ" in out
+        assert "12/12" in out and "9/12" in out
+
+
+class TestQuery:
+    def test_describes_and_runs(self, capsys):
+        assert main(["query", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Synonyms" in out
+        assert "reference query returned 1 item(s)" in out
+        assert "Mark" in out
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(SystemExit):
+            main(["query", "13"])
+
+
+class TestBuildTestbed:
+    def test_writes_source_directories(self, tmp_path, capsys):
+        target = tmp_path / "testbed"
+        assert main(["build-testbed", str(target)]) == 0
+        assert "wrote 25 sources" in capsys.readouterr().out
+        assert (target / "eth" / "eth.xml").exists()
+        assert (target / "eth" / "wrapper.cfg").exists()
+
+
+class TestBundleAndSite:
+    def test_bundle(self, tmp_path, capsys):
+        assert main(["bundle", str(tmp_path / "dl")]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote") == 3
+        assert (tmp_path / "dl" / "thalia_catalogs.zip").exists()
+
+    def test_build_site(self, tmp_path, capsys):
+        target = tmp_path / "site"
+        assert main(["build-site", str(target)]) == 0
+        assert "site generated" in capsys.readouterr().out
+        assert (target / "index.html").exists()
+        assert (target / "honor_roll.html").exists()
+
+
+class TestSeedOption:
+    def test_seed_accepted(self, capsys):
+        assert main(["--seed", "7", "sources"]) == 0
+        assert "cmu" in capsys.readouterr().out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestSelfCheck:
+    def test_selfcheck_passes(self, capsys):
+        assert main(["selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out
+
+
+class TestScorePersistenceFlow:
+    def test_save_then_build_site_with_scores(self, tmp_path, capsys):
+        scores = tmp_path / "scores.json"
+        assert main(["run-benchmark", "--save-scores", str(scores)]) == 0
+        assert scores.exists()
+        capsys.readouterr()
+
+        site = tmp_path / "site"
+        assert main(["build-site", str(site), "--scores",
+                     str(scores)]) == 0
+        page = (site / "honor_roll.html").read_text()
+        assert "THALIA-Mediator" in page
+        assert "repro" in page

@@ -1,0 +1,63 @@
+"""Smoke tests: every shipped example runs cleanly."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, cwd: Path) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, cwd=cwd, timeout=300)
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        result = run_example("quickstart.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "mediator answer matches gold" in result.stdout
+
+    def test_evaluate_system(self, tmp_path):
+        result = run_example("evaluate_system.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "THALIA Honor Roll" in result.stdout
+        assert "SchemaMatcher2004" in result.stdout
+
+    def test_add_a_source(self, tmp_path):
+        result = run_example("add_a_source.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "tudelft" in result.stdout
+        assert "Integrated" in result.stdout
+
+    def test_build_site(self, tmp_path):
+        result = run_example("build_site.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert (tmp_path / "thalia_site" / "index.html").exists()
+
+    @pytest.mark.parametrize("name", [
+        "quickstart.py", "evaluate_system.py", "add_a_source.py",
+        "build_site.py"])
+    def test_examples_emit_no_stderr(self, name, tmp_path):
+        result = run_example(name, tmp_path)
+        assert result.stderr == "", result.stderr
+
+
+class TestRewriteUdfsExample:
+    def test_rewrite_and_udfs(self, tmp_path):
+        result = run_example("rewrite_and_udfs.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "15-567*" in result.stdout
+        assert "Datenbanksysteme" in result.stdout
+        assert "complexity charged" in result.stdout
+
+
+class TestWarehouseExample:
+    def test_warehouse_queries(self, tmp_path):
+        result = run_example("warehouse_queries.py", tmp_path)
+        assert result.returncode == 0, result.stderr
+        assert "matches gold" in result.stdout
+        assert "MISMATCH" not in result.stdout

@@ -1,0 +1,100 @@
+"""Download bundle tests."""
+
+import io
+import zipfile
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import QUERIES
+from repro.website import (
+    build_all_bundles,
+    build_catalogs_bundle,
+    build_queries_bundle,
+    build_solutions_bundle,
+    solution_document,
+    verify_solution_bundle,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+def names_in(data: bytes) -> list[str]:
+    with zipfile.ZipFile(io.BytesIO(data)) as archive:
+        return archive.namelist()
+
+
+class TestCatalogsBundle:
+    def test_xml_and_xsd_per_source(self, testbed):
+        names = names_in(build_catalogs_bundle(testbed))
+        for slug in testbed.slugs:
+            assert f"{slug}/{slug}.xml" in names
+            assert f"{slug}/{slug}.xsd" in names
+
+    def test_xml_content_parses(self, testbed):
+        from repro.xmlmodel import parse_xml
+        data = build_catalogs_bundle(testbed)
+        with zipfile.ZipFile(io.BytesIO(data)) as archive:
+            payload = archive.read("cmu/cmu.xml").decode("utf-8")
+        assert parse_xml(payload).root.tag == "cmu"
+
+
+class TestQueriesBundle:
+    def test_twelve_query_directories(self, testbed):
+        names = names_in(build_queries_bundle(testbed))
+        for query in QUERIES:
+            prefix = f"query{query.number:02d}"
+            assert f"{prefix}/query.xq" in names
+            assert f"{prefix}/README.txt" in names
+            for slug in query.sources:
+                assert f"{prefix}/{slug}.xml" in names
+
+    def test_query_text_is_runnable(self, testbed):
+        from repro.xquery import parse_query
+        data = build_queries_bundle(testbed)
+        with zipfile.ZipFile(io.BytesIO(data)) as archive:
+            for query in QUERIES:
+                source = archive.read(
+                    f"query{query.number:02d}/query.xq").decode("utf-8")
+                parse_query(source)
+
+
+class TestSolutionsBundle:
+    def test_solution_per_query(self, testbed):
+        names = names_in(build_solutions_bundle(testbed))
+        for query in QUERIES:
+            assert f"query{query.number:02d}/solution.xml" in names
+            assert f"query{query.number:02d}/solution.xsd" in names
+
+    def test_solution_document_covers_gold(self, testbed):
+        assert verify_solution_bundle(testbed)
+
+    def test_solution_document_structure(self, testbed):
+        document = solution_document(1, testbed)
+        assert document.root.tag == "result"
+        keys = {(c.get("source"), c.get("code"))
+                for c in document.root.findall("Course")}
+        assert keys == {("gatech", "20381"), ("cmu", "15-567*")}
+
+    def test_solution_includes_null_annotation(self, testbed):
+        from repro.xmlmodel import serialize
+        document = solution_document(8, testbed)
+        text = serialize(document)
+        assert "inapplicable" in text
+
+    def test_solution_validates_against_shipped_schema(self, testbed):
+        from repro.xmlmodel import infer_schema
+        for number in (1, 6, 9, 12):
+            document = solution_document(number, testbed)
+            infer_schema(document).validate(document)
+
+
+class TestAllBundles:
+    def test_writes_three_zips(self, testbed, tmp_path):
+        written = build_all_bundles(testbed, tmp_path)
+        assert len(written) == 3
+        assert all(path.exists() and path.stat().st_size > 0
+                   for path in written)

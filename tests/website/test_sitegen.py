@@ -1,0 +1,89 @@
+"""Static-site generator tests (the Fig. 4 reproduction)."""
+
+import pytest
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import HonorRoll, run_all
+from repro.systems import cohera, thalia_mediator
+from repro.website import SiteGenerator
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(universities=paper_universities())
+
+
+@pytest.fixture(scope="module")
+def site(testbed, tmp_path_factory):
+    roll = HonorRoll()
+    for card in run_all([cohera(), thalia_mediator()], testbed):
+        roll.submit(card, submitter="tester")
+    root = tmp_path_factory.mktemp("site")
+    return SiteGenerator(testbed, roll).build(root)
+
+
+class TestSiteStructure:
+    def test_home_page(self, site):
+        home = (site / "index.html").read_text()
+        assert "Test Harness for the Assessment" in home
+        assert "Run the benchmark" in home
+
+    def test_nav_sections_exist(self, site):
+        assert (site / "catalogs" / "index.html").exists()
+        assert (site / "data" / "index.html").exists()
+        assert (site / "benchmark" / "index.html").exists()
+        assert (site / "honor_roll.html").exists()
+
+    def test_catalog_snapshot_pages(self, site, testbed):
+        for slug in testbed.slugs:
+            page = (site / "catalogs" / f"{slug}.html").read_text()
+            assert "Cached snapshot" in page
+
+    def test_data_pages_contain_xml(self, site):
+        page = (site / "data" / "cmu_xml.html").read_text()
+        assert "CourseTitle" in page
+
+    def test_schema_pages_contain_xsd(self, site):
+        page = (site / "data" / "cmu_xsd.html").read_text()
+        assert "xs:schema" in page
+
+    def test_benchmark_index_lists_downloads(self, site):
+        page = (site / "benchmark" / "index.html").read_text()
+        assert "thalia_catalogs.zip" in page
+        assert "thalia_benchmark_queries.zip" in page
+        assert "thalia_sample_solutions.zip" in page
+
+    def test_per_query_pages(self, site):
+        for number in range(1, 13):
+            page = (site / "benchmark" / f"query{number:02d}.html")
+            assert page.exists(), number
+        q4 = (site / "benchmark" / "query04.html").read_text()
+        assert "Umfang" in q4
+
+    def test_download_zips_written(self, site):
+        downloads = site / "downloads"
+        assert len(list(downloads.glob("*.zip"))) == 3
+
+    def test_honor_roll_ranked(self, site):
+        page = (site / "honor_roll.html").read_text()
+        assert "THALIA-Mediator" in page
+        assert "Cohera" in page
+        # the 12/12 system is listed before the 9/12 one
+        assert page.index("THALIA-Mediator") < page.index("Cohera")
+
+    def test_empty_honor_roll_message(self, testbed, tmp_path):
+        root = SiteGenerator(testbed).build(tmp_path / "s2")
+        page = (root / "honor_roll.html").read_text()
+        assert "No scores uploaded yet" in page
+
+
+class TestClassificationPage:
+    def test_page_generated_with_live_samples(self, site):
+        page = (site / "classification.html").read_text()
+        assert "Heterogeneity Classification" in page
+        assert "Synonyms" in page
+        assert "2V1U" in page
+
+    def test_nav_links_to_classification(self, site):
+        home = (site / "index.html").read_text()
+        assert "classification.html" in home

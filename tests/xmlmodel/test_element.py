@@ -1,0 +1,166 @@
+"""Unit tests for the XmlElement / XmlDocument tree model."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, XmlElement, element, is_valid_name
+
+
+class TestNameValidation:
+    def test_plain_names_are_valid(self):
+        for name in ["Course", "CourseName", "a", "_hidden", "xs:element",
+                     "Title-Time", "room.2"]:
+            assert is_valid_name(name), name
+
+    def test_invalid_names_rejected(self):
+        for name in ["", "1course", " Course", "Co urse", "@attr", "a:", ":a",
+                     "<tag>"]:
+            assert not is_valid_name(name), name
+
+    def test_constructor_rejects_bad_tag(self):
+        with pytest.raises(ValueError):
+            XmlElement("9lives")
+
+    def test_set_rejects_bad_attribute_name(self):
+        with pytest.raises(ValueError):
+            XmlElement("a").set("bad name", "x")
+
+
+class TestConstruction:
+    def test_element_helper_builds_tree(self):
+        node = element("Course", element("Title", "Databases"), code="CS145")
+        assert node.tag == "Course"
+        assert node.get("code") == "CS145"
+        assert node.find("Title").text == "Databases"
+
+    def test_append_returns_self_for_chaining(self):
+        node = XmlElement("a")
+        assert node.append("x").append(XmlElement("b")) is node
+        assert len(node.children) == 2
+
+    def test_append_rejects_non_child(self):
+        with pytest.raises(TypeError):
+            XmlElement("a").append(42)
+
+    def test_extend(self):
+        node = XmlElement("a").extend(["x", XmlElement("b"), "y"])
+        assert node.text == "xy"
+        assert len(node.element_children) == 1
+
+    def test_attribute_values_coerced_to_str(self):
+        node = element("a", n=3)
+        assert node.get("n") == "3"
+
+
+class TestTextFlattening:
+    def test_text_concatenates_descendants_in_order(self):
+        node = element("Title",
+                       element("a", "Intro to Algorithms",
+                               href="http://x"), " D hr. MWF 11-12")
+        assert node.text == "Intro to Algorithms D hr. MWF 11-12"
+
+    def test_normalized_text_collapses_whitespace(self):
+        node = element("t", "  a \n  b\t c ")
+        assert node.normalized_text == "a b c"
+
+    def test_empty_element_text(self):
+        assert XmlElement("a").text == ""
+
+    def test_findtext_default(self):
+        node = element("Course")
+        assert node.findtext("Title") is None
+        assert node.findtext("Title", "n/a") == "n/a"
+
+
+class TestNavigation:
+    def _catalog(self):
+        return element(
+            "brown",
+            element("Course", element("Title", "Networks")),
+            element("Course", element("Title", "Databases")),
+            element("Note", "cached snapshot"),
+        )
+
+    def test_find_returns_first_match(self):
+        root = self._catalog()
+        assert root.find("Course").find("Title").text == "Networks"
+
+    def test_find_returns_none_when_absent(self):
+        assert self._catalog().find("Missing") is None
+
+    def test_findall_preserves_order(self):
+        titles = [c.find("Title").text
+                  for c in self._catalog().findall("Course")]
+        assert titles == ["Networks", "Databases"]
+
+    def test_iter_all_nodes(self):
+        tags = [n.tag for n in self._catalog().iter()]
+        assert tags == ["brown", "Course", "Title", "Course", "Title", "Note"]
+
+    def test_iter_filtered_by_tag(self):
+        assert len(list(self._catalog().iter("Title"))) == 2
+
+    def test_walk_with_predicate(self):
+        found = list(self._catalog().walk(
+            lambda n: n.tag == "Title" and "Data" in n.text))
+        assert len(found) == 1
+
+
+class TestEquality:
+    def test_equal_trees(self):
+        a = element("c", element("t", "x"), k="1")
+        b = element("c", element("t", "x"), k="1")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_adjacent_text_runs_merge_for_equality(self):
+        a = XmlElement("t").extend(["ab"])
+        b = XmlElement("t").extend(["a", "b"])
+        assert a == b
+
+    def test_empty_text_runs_ignored(self):
+        a = XmlElement("t").extend(["", "x", ""])
+        b = XmlElement("t").extend(["x"])
+        assert a == b
+
+    def test_tag_mismatch(self):
+        assert element("a") != element("b")
+
+    def test_attribute_mismatch(self):
+        assert element("a", k="1") != element("a", k="2")
+
+    def test_child_order_matters(self):
+        a = element("r", element("a"), element("b"))
+        b = element("r", element("b"), element("a"))
+        assert a != b
+
+    def test_not_equal_to_other_types(self):
+        assert element("a") != "a"
+
+    def test_copy_is_deep_and_equal(self):
+        a = element("c", element("t", "x"), k="1")
+        b = a.copy()
+        assert a == b
+        b.find("t").children[0] = "y"
+        assert a != b
+
+
+class TestDocument:
+    def test_document_requires_element_root(self):
+        with pytest.raises(TypeError):
+            XmlDocument("not an element")
+
+    def test_document_equality_ignores_source_name(self):
+        a = XmlDocument(element("r"), source_name="brown")
+        b = XmlDocument(element("r"), source_name="cmu")
+        assert a == b
+
+    def test_document_copy(self):
+        doc = XmlDocument(element("r", element("x")), source_name="brown")
+        dup = doc.copy()
+        assert dup == doc
+        assert dup.source_name == "brown"
+        assert dup.root is not doc.root
+
+    def test_repr_mentions_source(self):
+        doc = XmlDocument(element("r"), source_name="brown")
+        assert "brown" in repr(doc)

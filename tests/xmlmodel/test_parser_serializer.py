@@ -1,0 +1,153 @@
+"""Parser/serializer tests, including the hypothesis round-trip invariant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import (
+    XmlDocument,
+    XmlElement,
+    XmlParseError,
+    element,
+    parse_element,
+    parse_xml,
+    serialize,
+    serialize_pretty,
+)
+
+
+class TestParse:
+    def test_simple_document(self):
+        doc = parse_xml("<brown><Course><Title>DB</Title></Course></brown>",
+                        source_name="brown")
+        assert doc.source_name == "brown"
+        assert doc.root.find("Course").find("Title").text == "DB"
+
+    def test_attributes(self):
+        root = parse_element('<Course code="CS145" units="4"/>')
+        assert root.get("code") == "CS145"
+        assert root.get("units") == "4"
+
+    def test_mixed_content_preserved(self):
+        root = parse_element('<t><a href="u">Intro</a> D hr. MWF</t>')
+        assert root.text == "Intro D hr. MWF"
+        assert isinstance(root.children[0], XmlElement)
+        assert root.children[1] == " D hr. MWF"
+
+    def test_entities_decoded(self):
+        root = parse_element("<t>Algorithms &amp; Data &lt;Structures&gt;</t>")
+        assert root.text == "Algorithms & Data <Structures>"
+
+    def test_bytes_payload(self):
+        root = parse_element("<t>Zürich</t>".encode("utf-8"))
+        assert root.text == "Zürich"
+
+    def test_strip_whitespace(self):
+        root = parse_element("<r>\n  <a/>\n  <b/>\n</r>", strip_whitespace=True)
+        assert root.children == [XmlElement("a"), XmlElement("b")]
+
+    def test_whitespace_kept_by_default(self):
+        root = parse_element("<r> <a/> </r>")
+        assert root.children[0] == " "
+
+    def test_malformed_raises_with_location(self):
+        with pytest.raises(XmlParseError) as exc:
+            parse_xml("<a><b></a>")
+        assert exc.value.line == 1
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("<a>")
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(XmlParseError):
+            parse_xml("")
+
+    def test_xml_declaration_accepted(self):
+        doc = parse_xml('<?xml version="1.0" encoding="UTF-8"?><r/>')
+        assert doc.root.tag == "r"
+
+
+class TestSerialize:
+    def test_self_closing_empty_element(self):
+        assert serialize(element("a")) == "<a/>"
+
+    def test_attributes_escaped(self):
+        out = serialize(element("a", href='x"<&>'))
+        assert out == '<a href="x&quot;&lt;&amp;&gt;"/>'
+
+    def test_text_escaped(self):
+        assert serialize(element("a", "1 < 2 & 3 > 2")) == \
+            "<a>1 &lt; 2 &amp; 3 &gt; 2</a>"
+
+    def test_declaration(self):
+        assert serialize(element("a"), xml_declaration=True).startswith(
+            '<?xml version="1.0"')
+
+    def test_document_serialization(self):
+        doc = XmlDocument(element("r", element("x")))
+        assert serialize(doc) == "<r><x/></r>"
+
+    def test_pretty_text_only_inline(self):
+        out = serialize_pretty(element("r", element("t", "x")),
+                               xml_declaration=False)
+        assert "<t>x</t>" in out
+
+    def test_pretty_indents_children(self):
+        out = serialize_pretty(
+            element("r", element("Course", element("Title", "DB"))),
+            xml_declaration=False)
+        lines = out.strip().splitlines()
+        assert lines[0] == "<r>"
+        assert lines[1].startswith("  <Course>")
+        assert lines[2].startswith("    <Title>")
+
+    def test_pretty_parses_back(self):
+        node = element("r", element("Course", element("Title", "DB & more")))
+        reparsed = parse_element(serialize_pretty(node), strip_whitespace=True)
+        assert reparsed == node
+
+
+# --------------------------------------------------------------------------- #
+# Property-based round-trip
+# --------------------------------------------------------------------------- #
+
+_names = st.sampled_from(
+    ["Course", "Title", "Instructor", "Room", "Time", "Section", "a", "b2",
+     "Umfang", "Vorlesung"])
+_text = st.text(
+    alphabet=st.characters(codec="utf-8",
+                           exclude_categories=("Cs", "Cc", "Co")),
+    min_size=1, max_size=30)
+_attrs = st.dictionaries(_names, _text, max_size=3)
+
+
+@st.composite
+def _elements(draw, depth: int = 0):
+    tag = draw(_names)
+    attrib = draw(_attrs)
+    node = XmlElement(tag, attrib)
+    if depth < 3:
+        children = draw(st.lists(
+            st.one_of(_text, _elements(depth=depth + 1)), max_size=4))
+        node.extend(children)
+    else:
+        node.extend(draw(st.lists(_text, max_size=2)))
+    return node
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(_elements())
+    def test_parse_serialize_round_trip(self, node):
+        assert parse_element(serialize(node)) == node
+
+    @settings(max_examples=60, deadline=None)
+    @given(_elements())
+    def test_serialization_is_deterministic(self, node):
+        assert serialize(node) == serialize(node.copy())
+
+    @settings(max_examples=60, deadline=None)
+    @given(_elements())
+    def test_text_survives_round_trip(self, node):
+        assert parse_element(serialize(node)).text == node.text

@@ -1,0 +1,157 @@
+"""Unit tests for the simple-path engine."""
+
+import pytest
+
+from repro.xmlmodel import (
+    XmlPathError,
+    element,
+    parse_path,
+    select,
+    select_elements,
+    select_first,
+    select_text,
+)
+
+
+@pytest.fixture()
+def catalog():
+    return element(
+        "umd",
+        element(
+            "Course",
+            element("CourseName", "Software Engineering"),
+            element("Section",
+                    element("time", "MW 10:00", room="CHM 1407"),
+                    id="0101"),
+            element("Section",
+                    element("time", "TT 14:00", room="EGR 2154"),
+                    id="0201"),
+            code="CMSC435",
+        ),
+        element(
+            "Course",
+            element("CourseName", "Data Structures"),
+            element("Section", element("time", "F 9:00"), id="0101"),
+            code="CMSC420",
+        ),
+    )
+
+
+class TestParsePath:
+    def test_rejects_empty(self):
+        with pytest.raises(XmlPathError):
+            parse_path("")
+
+    def test_rejects_blank(self):
+        with pytest.raises(XmlPathError):
+            parse_path("   ")
+
+    def test_rejects_trailing_descendant(self):
+        with pytest.raises(XmlPathError):
+            parse_path("Course//")
+
+    def test_rejects_attribute_mid_path(self):
+        with pytest.raises(XmlPathError):
+            parse_path("@code/Section")
+
+    def test_rejects_unbalanced_brackets(self):
+        with pytest.raises(XmlPathError):
+            parse_path("Course[@code='x'")
+
+    def test_rejects_empty_predicate(self):
+        with pytest.raises(XmlPathError):
+            parse_path("Course[]")
+
+    def test_rejects_zero_position(self):
+        with pytest.raises(XmlPathError):
+            parse_path("Course[0]")
+
+    def test_rejects_garbage_predicate(self):
+        with pytest.raises(XmlPathError):
+            parse_path("Course[a b c]")
+
+    def test_rejects_predicate_on_text(self):
+        with pytest.raises(XmlPathError):
+            parse_path("Course/text()[1]")
+
+
+class TestSelect:
+    def test_child_step(self, catalog):
+        assert len(select(catalog, "Course")) == 2
+
+    def test_nested_steps(self, catalog):
+        sections = select(catalog, "Course/Section")
+        assert [s.get("id") for s in sections] == ["0101", "0201", "0101"]
+
+    def test_leading_slash_equivalent(self, catalog):
+        assert select(catalog, "/Course") == select(catalog, "Course")
+
+    def test_wildcard(self, catalog):
+        children = select(catalog.find("Course"), "*")
+        assert [c.tag for c in children] == \
+            ["CourseName", "Section", "Section"]
+
+    def test_descendant_axis(self, catalog):
+        times = select(catalog, "//time")
+        assert len(times) == 3
+
+    def test_descendant_mid_path(self, catalog):
+        rooms = select(catalog, "Course//time/@room")
+        assert rooms == ["CHM 1407", "EGR 2154"]
+
+    def test_position_predicate(self, catalog):
+        second = select(catalog, "Course[2]/CourseName")
+        assert second[0].text == "Data Structures"
+
+    def test_attribute_predicate(self, catalog):
+        matches = select(catalog, "Course[@code='CMSC420']")
+        assert len(matches) == 1
+
+    def test_child_text_predicate(self, catalog):
+        matches = select(catalog, "Course[CourseName='Data Structures']")
+        assert matches[0].get("code") == "CMSC420"
+
+    def test_attribute_selection(self, catalog):
+        codes = select(catalog, "Course/@code")
+        assert codes == ["CMSC435", "CMSC420"]
+
+    def test_missing_attribute_contributes_nothing(self, catalog):
+        assert select(catalog, "Course/Section/@missing") == []
+
+    def test_text_step(self, catalog):
+        names = select(catalog, "Course/CourseName/text()")
+        assert names == ["Software Engineering", "Data Structures"]
+
+    def test_no_match_returns_empty(self, catalog):
+        assert select(catalog, "Lecture") == []
+
+    def test_chained_predicates(self, catalog):
+        matches = select(
+            catalog, "Course[CourseName='Software Engineering']/Section[2]")
+        assert matches[0].get("id") == "0201"
+
+
+class TestHelpers:
+    def test_select_elements_rejects_attribute_paths(self, catalog):
+        with pytest.raises(XmlPathError):
+            select_elements(catalog, "Course/@code")
+
+    def test_select_elements(self, catalog):
+        assert len(select_elements(catalog, "Course")) == 2
+
+    def test_select_first(self, catalog):
+        first = select_first(catalog, "Course/CourseName")
+        assert first.text == "Software Engineering"
+
+    def test_select_first_none(self, catalog):
+        assert select_first(catalog, "Nope") is None
+
+    def test_select_text(self, catalog):
+        assert select_text(catalog, "Course/CourseName") == \
+            "Software Engineering"
+
+    def test_select_text_attribute(self, catalog):
+        assert select_text(catalog, "Course/@code") == "CMSC435"
+
+    def test_select_text_default(self, catalog):
+        assert select_text(catalog, "Nope", default="n/a") == "n/a"

@@ -1,0 +1,282 @@
+"""Schema inference, rendering and validation tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import (
+    UNBOUNDED,
+    XmlElement,
+    XmlSchemaError,
+    XmlValidationError,
+    element,
+    infer_schema,
+    serialize,
+)
+
+
+def _two_course_catalog():
+    return element(
+        "brown",
+        element("Course",
+                element("Title", "Networks"),
+                element("Room", "CIT 165"),
+                code="CS168"),
+        element("Course",
+                element("Title", "Databases"),
+                code="CS127"),
+    )
+
+
+class TestInference:
+    def test_root_declaration(self):
+        schema = infer_schema(_two_course_catalog())
+        assert schema.root.name == "brown"
+        course = schema.root.child("Course")
+        assert course.max_occurs == UNBOUNDED
+
+    def test_optional_child_detected(self):
+        schema = infer_schema(_two_course_catalog())
+        room = schema.root.child("Course").child("Room")
+        assert room.min_occurs == 0
+
+    def test_required_child_detected(self):
+        schema = infer_schema(_two_course_catalog())
+        title = schema.root.child("Course").child("Title")
+        assert title.min_occurs == 1
+
+    def test_optional_child_absent_in_earlier_instance(self):
+        root = element(
+            "r",
+            element("Course", element("Title", "A")),
+            element("Course", element("Title", "B"), element("Lab", "L1")),
+        )
+        schema = infer_schema(root)
+        assert schema.root.child("Course").child("Lab").min_occurs == 0
+
+    def test_required_attribute(self):
+        schema = infer_schema(_two_course_catalog())
+        assert schema.root.child("Course").attributes["code"] is True
+
+    def test_optional_attribute(self):
+        root = element("r", element("c", k="1"), element("c"))
+        schema = infer_schema(root)
+        assert schema.root.child("c").attributes["k"] is False
+
+    def test_mixed_content_detected(self):
+        root = element("r", element("t", element("a", "link"), " tail"))
+        schema = infer_schema(root)
+        assert schema.root.child("t").mixed
+
+    def test_unknown_child_lookup_raises(self):
+        schema = infer_schema(_two_course_catalog())
+        with pytest.raises(XmlSchemaError):
+            schema.root.child("Nope")
+
+    def test_source_name_carried_from_document(self):
+        from repro.xmlmodel import XmlDocument
+        doc = XmlDocument(_two_course_catalog(), source_name="brown")
+        assert infer_schema(doc).source_name == "brown"
+
+
+class TestValidation:
+    def test_document_validates_against_own_schema(self):
+        doc = _two_course_catalog()
+        infer_schema(doc).validate(doc)
+
+    def test_is_valid_boolean(self):
+        doc = _two_course_catalog()
+        assert infer_schema(doc).is_valid(doc)
+
+    def test_wrong_root_rejected(self):
+        schema = infer_schema(_two_course_catalog())
+        with pytest.raises(XmlValidationError):
+            schema.validate(element("cmu"))
+
+    def test_undeclared_element_rejected(self):
+        schema = infer_schema(_two_course_catalog())
+        bad = _two_course_catalog()
+        bad.find("Course").append(element("Surprise"))
+        with pytest.raises(XmlValidationError, match="Surprise"):
+            schema.validate(bad)
+
+    def test_missing_required_child_rejected(self):
+        schema = infer_schema(_two_course_catalog())
+        bad = element("brown", element("Course", code="X"))
+        with pytest.raises(XmlValidationError, match="Title"):
+            schema.validate(bad)
+
+    def test_occurrence_above_max_rejected(self):
+        root = element("r", element("c", element("t", "one")))
+        schema = infer_schema(root)
+        bad = element("r", element("c", element("t", "a"), element("t", "b")))
+        with pytest.raises(XmlValidationError, match="maxOccurs"):
+            schema.validate(bad)
+
+    def test_missing_required_attribute_rejected(self):
+        schema = infer_schema(_two_course_catalog())
+        bad = _two_course_catalog()
+        del bad.find("Course").attrib["code"]
+        with pytest.raises(XmlValidationError, match="code"):
+            schema.validate(bad)
+
+    def test_undeclared_attribute_rejected(self):
+        schema = infer_schema(_two_course_catalog())
+        bad = _two_course_catalog()
+        bad.find("Course").set("extra", "x")
+        with pytest.raises(XmlValidationError, match="extra"):
+            schema.validate(bad)
+
+    def test_text_in_non_mixed_complex_element_rejected(self):
+        schema = infer_schema(element("r", element("c", element("t", "x"))))
+        bad = element("r", element("c", element("t", "x"), "stray"))
+        with pytest.raises(XmlValidationError, match="mixed"):
+            schema.validate(bad)
+
+    def test_error_reports_path(self):
+        schema = infer_schema(_two_course_catalog())
+        bad = _two_course_catalog()
+        bad.find("Course").append(element("Surprise"))
+        with pytest.raises(XmlValidationError) as exc:
+            schema.validate(bad)
+        assert "brown/Course" in str(exc.value)
+
+
+class TestXsdRendering:
+    def test_renders_xs_schema_root(self):
+        xsd = infer_schema(_two_course_catalog()).to_xsd()
+        assert xsd.root.tag == "xs:schema"
+        assert xsd.root.get("xmlns:xs") == "http://www.w3.org/2001/XMLSchema"
+
+    def test_unbounded_rendered(self):
+        xsd = infer_schema(_two_course_catalog()).to_xsd()
+        text = serialize(xsd)
+        assert 'maxOccurs="unbounded"' in text
+
+    def test_optional_rendered(self):
+        xsd = infer_schema(_two_course_catalog()).to_xsd()
+        text = serialize(xsd)
+        assert 'minOccurs="0"' in text
+
+    def test_simple_elements_typed_as_string(self):
+        xsd = infer_schema(_two_course_catalog()).to_xsd()
+        assert 'type="xs:string"' in serialize(xsd)
+
+    def test_attribute_declared(self):
+        xsd = infer_schema(_two_course_catalog()).to_xsd()
+        text = serialize(xsd)
+        assert '<xs:attribute name="code" type="xs:string" use="required"/>' \
+            in text
+
+    def test_mixed_flag_rendered(self):
+        root = element("r", element("t", element("a", "x"), " tail"))
+        assert 'mixed="true"' in serialize(infer_schema(root).to_xsd())
+
+
+# --------------------------------------------------------------------------- #
+# Property: every generated document validates against its inferred schema
+# --------------------------------------------------------------------------- #
+
+_tag = st.sampled_from(["Course", "Title", "Section", "Room", "a", "b"])
+_txt = st.text(alphabet="abc äü", max_size=8)
+
+
+@st.composite
+def _docs(draw, depth: int = 0):
+    node = XmlElement(draw(_tag))
+    for key in draw(st.sets(st.sampled_from(["k", "code"]), max_size=2)):
+        node.set(key, draw(_txt))
+    if depth < 2:
+        node.extend(draw(st.lists(_docs(depth=depth + 1), max_size=3)))
+    if not node.element_children:
+        node.append(draw(_txt))
+    return node
+
+
+class TestSchemaProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(_docs())
+    def test_self_validation(self, doc):
+        infer_schema(doc).validate(doc)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_docs())
+    def test_xsd_is_well_formed(self, doc):
+        from repro.xmlmodel import parse_element
+        xsd = infer_schema(doc).to_xsd()
+        parse_element(serialize(xsd))
+
+
+class TestXsdParsing:
+    def test_round_trip_structural(self):
+        from repro.xmlmodel import parse_xsd, serialize
+        schema = infer_schema(_two_course_catalog())
+        parsed = parse_xsd(schema.to_xsd())
+        assert serialize(parsed.to_xsd()) == serialize(schema.to_xsd())
+
+    def test_parsed_schema_validates_original_document(self):
+        from repro.xmlmodel import parse_xsd
+        doc = _two_course_catalog()
+        parsed = parse_xsd(infer_schema(doc).to_xsd())
+        parsed.validate(doc)
+
+    def test_parse_from_serialized_text(self):
+        from repro.xmlmodel import parse_xml, parse_xsd, serialize_pretty
+        schema = infer_schema(_two_course_catalog())
+        text = serialize_pretty(schema.to_xsd())
+        parsed = parse_xsd(parse_xml(text, strip_whitespace=True))
+        parsed.validate(_two_course_catalog())
+
+    def test_occurrence_bounds_preserved(self):
+        from repro.xmlmodel import parse_xsd
+        schema = infer_schema(_two_course_catalog())
+        parsed = parse_xsd(schema.to_xsd())
+        course = parsed.root.child("Course")
+        assert course.max_occurs == UNBOUNDED
+        assert course.child("Room").min_occurs == 0
+        assert course.attributes["code"] is True
+
+    def test_mixed_flag_preserved(self):
+        from repro.xmlmodel import parse_xsd
+        root = element("r", element("t", element("a", "x"), " tail"))
+        parsed = parse_xsd(infer_schema(root).to_xsd())
+        assert parsed.root.child("t").mixed
+        parsed.validate(root)
+
+    def test_rejects_non_schema_root(self):
+        from repro.xmlmodel import parse_xsd
+        with pytest.raises(XmlSchemaError, match="xs:schema"):
+            parse_xsd(element("catalog"))
+
+    def test_rejects_multiple_roots(self):
+        from repro.xmlmodel import parse_xsd
+        bad = element("xs:schema",
+                      element("xs:element", name="a", type="xs:string"),
+                      element("xs:element", name="b", type="xs:string"))
+        with pytest.raises(XmlSchemaError, match="exactly one"):
+            parse_xsd(bad)
+
+    def test_rejects_unsupported_simple_type(self):
+        from repro.xmlmodel import parse_xsd
+        bad = element("xs:schema",
+                      element("xs:element", name="a", type="xs:integer"))
+        with pytest.raises(XmlSchemaError, match="unsupported"):
+            parse_xsd(bad)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_docs())
+    def test_round_trip_property(self, doc):
+        from repro.xmlmodel import parse_xsd, serialize
+        schema = infer_schema(doc)
+        parsed = parse_xsd(schema.to_xsd())
+        assert serialize(parsed.to_xsd()) == serialize(schema.to_xsd())
+        parsed.validate(doc)
+
+    def test_bundle_xsds_loadable(self):
+        """The shipped catalog XSDs are consumable by parse_xsd."""
+        from repro.catalogs import build_testbed, paper_universities
+        from repro.xmlmodel import parse_xsd
+        testbed = build_testbed(universities=paper_universities())
+        for bundle in testbed:
+            parsed = parse_xsd(bundle.schema.to_xsd())
+            parsed.validate(bundle.document)

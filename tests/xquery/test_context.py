@@ -1,0 +1,83 @@
+"""Context, document resolver and document-node tests."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xquery import XQueryNameError, run_query
+from repro.xquery.context import DocumentNode, DocumentResolver, \
+    DynamicContext
+
+
+class TestDocumentResolver:
+    def test_add_and_resolve(self):
+        resolver = DocumentResolver()
+        resolver.add("cmu", XmlDocument(element("cmu")))
+        node = resolver.resolve("cmu")
+        assert isinstance(node, DocumentNode)
+        assert node.children[0].tag == "cmu"
+
+    def test_xml_suffix_equivalence(self):
+        resolver = DocumentResolver({"cmu.xml": XmlDocument(element("cmu"))})
+        assert resolver.resolve("cmu") is resolver.resolve("CMU.xml")
+
+    def test_contains(self):
+        resolver = DocumentResolver({"brown": XmlDocument(element("brown"))})
+        assert "brown" in resolver
+        assert "brown.xml" in resolver
+        assert "mit" not in resolver
+
+    def test_names_sorted(self):
+        resolver = DocumentResolver({
+            "umd": XmlDocument(element("umd")),
+            "cmu": XmlDocument(element("cmu"))})
+        assert resolver.names() == ["cmu", "umd"]
+
+    def test_unknown_document_lists_known(self):
+        resolver = DocumentResolver({"cmu": XmlDocument(element("cmu"))})
+        with pytest.raises(XQueryNameError, match="cmu"):
+            resolver.resolve("mit")
+
+
+class TestDocumentNode:
+    def test_reserved_tag(self):
+        node = DocumentNode(element("root"))
+        assert node.tag == "#document"
+
+    def test_paper_style_path_steps_through_root(self):
+        docs = {"cmu": XmlDocument(element(
+            "cmu", element("Course", element("Title", "DB"))))}
+        result = run_query('doc("cmu.xml")/cmu/Course/Title', docs)
+        assert [r.text for r in result] == ["DB"]
+
+    def test_descendant_axis_from_document_node(self):
+        docs = {"cmu": XmlDocument(element(
+            "cmu", element("Course", element("Title", "DB"))))}
+        assert len(run_query('doc("cmu")//Title', docs)) == 1
+
+    def test_wrong_root_name_selects_nothing(self):
+        docs = {"cmu": XmlDocument(element("cmu", element("Course")))}
+        assert run_query('doc("cmu")/brown/Course', docs) == []
+
+    def test_document_node_text(self):
+        node = DocumentNode(element("r", "payload"))
+        assert node.text == "payload"
+
+
+class TestDynamicContext:
+    def test_bind_creates_child_scope(self):
+        parent = DynamicContext()
+        child = parent.bind("x", [1.0])
+        assert child.lookup("x") == [1.0]
+        with pytest.raises(XQueryNameError):
+            parent.lookup("x")
+
+    def test_focus_does_not_leak(self):
+        parent = DynamicContext()
+        focused = parent.with_focus("item", 2, 5)
+        assert focused.context_position == 2
+        assert focused.context_size == 5
+        assert parent.context_item is None
+
+    def test_unbound_variable_message(self):
+        with pytest.raises(XQueryNameError, match=r"\$ghost"):
+            DynamicContext().lookup("ghost")

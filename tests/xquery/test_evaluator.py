@@ -1,0 +1,264 @@
+"""Evaluator tests: paths, comparisons (incl. LIKE), FLWOR, constructors."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xquery import (
+    Query,
+    XQueryNameError,
+    XQueryTypeError,
+    run_query,
+)
+
+
+@pytest.fixture()
+def cmu_doc():
+    root = element(
+        "cmu",
+        element("Course",
+                element("CourseTitle", "Database System Design"),
+                element("Lecturer", "Ailamaki"),
+                element("Units", "12"),
+                element("Time", "1:30 - 2:50")),
+        element("Course",
+                element("CourseTitle", "Computer Networks"),
+                element("Lecturer", "Steenkiste"),
+                element("Units", "9"),
+                element("Time", "10:30 - 11:50")),
+        element("Course",
+                element("CourseTitle", "Secure Software Systems"),
+                element("Lecturer", "Song/Wing"),
+                element("Units", "12"),
+                element("Time", "3:00 - 4:20")),
+    )
+    return XmlDocument(root, source_name="cmu")
+
+
+@pytest.fixture()
+def docs(cmu_doc):
+    return {"cmu": cmu_doc}
+
+
+class TestPathEvaluation:
+    def test_doc_path(self, docs):
+        result = run_query('doc("cmu.xml")/cmu/Course', docs)
+        assert len(result) == 3
+
+    def test_doc_name_without_extension(self, docs):
+        assert len(run_query('doc("cmu")/cmu/Course', docs)) == 3
+
+    def test_unknown_doc_raises(self, docs):
+        with pytest.raises(XQueryNameError, match="unknown document"):
+            run_query('doc("mit")/Course', docs)
+
+    def test_nested_path(self, docs):
+        titles = run_query('doc("cmu")/cmu/Course/CourseTitle', docs)
+        assert [t.text for t in titles] == [
+            "Database System Design", "Computer Networks",
+            "Secure Software Systems"]
+
+    def test_descendant_path(self, docs):
+        assert len(run_query('doc("cmu")//Lecturer', docs)) == 3
+
+    def test_wildcard(self, docs):
+        children = run_query('doc("cmu")/cmu/Course[1]/*', docs)
+        assert [c.tag for c in children] == \
+            ["CourseTitle", "Lecturer", "Units", "Time"]
+
+    def test_positional_predicate(self, docs):
+        result = run_query('doc("cmu")/cmu/Course[2]/CourseTitle', docs)
+        assert result[0].text == "Computer Networks"
+
+    def test_comparison_predicate(self, docs):
+        result = run_query(
+            "doc('cmu')/cmu/Course[Units = 12]/CourseTitle", docs)
+        assert len(result) == 2
+
+    def test_attribute_step_missing_is_empty(self, docs):
+        assert run_query('doc("cmu")/cmu/Course/@nope', docs) == []
+
+    def test_path_over_atomic_raises(self, docs):
+        with pytest.raises(XQueryTypeError):
+            run_query("'text'/Course", docs)
+
+    def test_unbound_variable(self, docs):
+        with pytest.raises(XQueryNameError, match="unbound"):
+            run_query("$nope", docs)
+
+
+class TestComparisons:
+    def test_string_equality(self, docs):
+        assert run_query("'a' = 'a'", docs) == [True]
+
+    def test_existential_equality(self, docs):
+        result = run_query(
+            "doc('cmu')/cmu/Course/Lecturer = 'Ailamaki'", docs)
+        assert result == [True]
+
+    def test_numeric_comparison_over_elements(self, docs):
+        result = run_query(
+            "for $b in doc('cmu')/cmu/Course where $b/Units > 10 return $b",
+            docs)
+        assert len(result) == 2
+
+    def test_numeric_vs_text_raises(self, docs):
+        with pytest.raises(XQueryTypeError, match="2V1U"):
+            run_query("'2V1U' > 10", docs)
+
+    def test_like_contains(self, docs):
+        result = run_query(
+            "for $b in doc('cmu')/cmu/Course "
+            "where $b/CourseTitle = '%Database%' return $b", docs)
+        assert len(result) == 1
+
+    def test_like_case_insensitive(self, docs):
+        result = run_query(
+            "for $b in doc('cmu')/cmu/Course "
+            "where $b/CourseTitle = '%database%' return $b", docs)
+        assert len(result) == 1
+
+    def test_like_no_match(self, docs):
+        result = run_query(
+            "for $b in doc('cmu')/cmu/Course "
+            "where $b/CourseTitle = '%Datenbank%' return $b", docs)
+        assert result == []
+
+    def test_like_anchored_prefix(self, docs):
+        assert run_query("'Database Design' = 'Database%'", docs) == [True]
+        assert run_query("'Intro Database' = 'Database%'", docs) == [False]
+
+    def test_like_underscore(self, docs):
+        assert run_query("'CS145' = 'CS1_5%'", docs) == [True]
+
+    def test_like_negated(self, docs):
+        assert run_query("'Networks' != '%Database%'", docs) == [True]
+
+    def test_empty_sequence_comparison_false(self, docs):
+        result = run_query(
+            "doc('cmu')/cmu/Course/Nope = 'anything'", docs)
+        assert result == [False]
+
+    def test_boolean_comparison(self, docs):
+        assert run_query("true() = true()", docs) == [True]
+
+    def test_boolean_ordering_rejected(self, docs):
+        with pytest.raises(XQueryTypeError):
+            run_query("true() < false()", docs)
+
+
+class TestLogicAndArithmetic:
+    def test_and_short_circuit(self, docs):
+        # Right side would raise if evaluated.
+        assert run_query("false() and ('x' > 1)", docs) == [False]
+
+    def test_or_short_circuit(self, docs):
+        assert run_query("true() or ('x' > 1)", docs) == [True]
+
+    def test_not(self, docs):
+        assert run_query("not true()", docs) == [False]
+
+    def test_arithmetic(self, docs):
+        assert run_query("1 + 2 - 0.5", docs) == [2.5]
+
+    def test_unary_minus(self, docs):
+        assert run_query("- 3", docs) == [-3]
+
+    def test_arithmetic_empty_operand(self, docs):
+        assert run_query("doc('cmu')/cmu/Course/Nope + 1", docs) == []
+
+    def test_if_expression(self, docs):
+        assert run_query("if (1 = 1) then 'yes' else 'no'", docs) == ["yes"]
+        assert run_query("if (1 = 2) then 'yes' else 'no'", docs) == ["no"]
+
+
+class TestFLWOR:
+    def test_paper_query_shape(self, docs):
+        result = run_query(
+            "FOR $b in doc('cmu.xml')/cmu/Course "
+            "WHERE $b/CourseTitle = '%Software%' "
+            "RETURN $b/Lecturer", docs)
+        assert [r.text for r in result] == ["Song/Wing"]
+
+    def test_let_binding(self, docs):
+        result = run_query(
+            "for $b in doc('cmu')/cmu/Course "
+            "let $t := $b/CourseTitle "
+            "where contains($t, 'Networks') return $t", docs)
+        assert len(result) == 1
+
+    def test_cartesian_product(self, docs):
+        result = run_query(
+            "for $a in (1, 2), $b in (10, 20) return $a + $b", docs)
+        assert result == [11.0, 21.0, 12.0, 22.0]
+
+    def test_nested_flwor(self, docs):
+        result = run_query(
+            "for $c in doc('cmu')/cmu/Course return "
+            "for $l in $c/Lecturer return $l", docs)
+        assert len(result) == 3
+
+    def test_scoping_no_leak(self, docs):
+        with pytest.raises(XQueryNameError):
+            run_query(
+                "(for $x in (1) return $x), $x", docs)
+
+    def test_return_juxtaposition(self, docs):
+        result = run_query(
+            "for $b in doc('cmu')/cmu/Course "
+            "where $b/CourseTitle = '%Computer Networks%' "
+            "return $b/CourseTitle $b/Time", docs)
+        assert [r.text for r in result] == \
+            ["Computer Networks", "10:30 - 11:50"]
+
+
+class TestConstructorsAndFunctions:
+    def test_element_constructor_wraps_results(self, docs):
+        result = run_query(
+            "element result { doc('cmu')/cmu/Course[1]/CourseTitle }", docs)
+        assert result[0].tag == "result"
+        assert result[0].find("CourseTitle").text == "Database System Design"
+
+    def test_element_constructor_atomics_joined(self, docs):
+        result = run_query("element t { 'a', 'b' }", docs)
+        assert result[0].text == "a b"
+
+    def test_constructed_elements_are_copies(self, docs):
+        result = run_query(
+            "element r { doc('cmu')/cmu/Course[1]/Lecturer }", docs)
+        original = docs["cmu"].root.find("Course").find("Lecturer")
+        assert result[0].find("Lecturer") is not original
+
+    def test_count(self, docs):
+        assert run_query("count(doc('cmu')/cmu/Course)", docs) == [3.0]
+
+    def test_custom_function_registry(self, docs):
+        from repro.xquery import builtin_registry
+
+        registry = builtin_registry().copy()
+
+        def to_24h(context, args):
+            from repro.xquery import string_value
+            text = string_value(args[0][0])
+            hour, minute = text.replace("pm", "").split(":")
+            return [f"{int(hour) + 12}:{minute}"]
+
+        registry.register("udf:to-24h", to_24h, 1)
+        result = run_query("udf:to-24h('1:30pm')", docs,
+                           functions=registry)
+        assert result == ["13:30"]
+
+    def test_unknown_function(self, docs):
+        with pytest.raises(XQueryNameError, match="unknown function"):
+            run_query("frobnicate(1)", docs)
+
+    def test_fn_prefix_resolves(self, docs):
+        assert run_query("fn:contains('abc', 'b')", docs) == [True]
+
+    def test_query_object_reusable(self, docs):
+        query = Query("count(doc('cmu')/cmu/Course)")
+        assert query.run(docs) == [3.0]
+        assert query.run(docs) == [3.0]
+
+    def test_query_repr_truncates(self):
+        query = Query("for $b in (1,2,3,4,5,6,7,8,9,10) return $b + $b + $b")
+        assert len(repr(query)) < 90

@@ -1,0 +1,216 @@
+"""Function library tests."""
+
+import pytest
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xquery import XQueryTypeError, run_query
+
+
+@pytest.fixture()
+def docs():
+    root = element("u", element("c", element("t", "  Data   Bases ")))
+    return {"u": XmlDocument(root)}
+
+
+def q(source, docs=None):
+    return run_query(source, docs or {})
+
+
+class TestStringFunctions:
+    def test_contains_true_false(self):
+        assert q("contains('Database Design', 'base')") == [True]
+        assert q("contains('Database Design', 'zebra')") == [False]
+
+    def test_contains_empty_haystack(self, docs):
+        assert q("contains(doc('u')/u/c/nope, 'x')", docs) == [False]
+
+    def test_starts_ends_with(self):
+        assert q("starts-with('CS145', 'CS')") == [True]
+        assert q("ends-with('CS145', '45')") == [True]
+
+    def test_case_functions(self):
+        assert q("lower-case('DataBank')") == ["databank"]
+        assert q("upper-case('eth')") == ["ETH"]
+
+    def test_concat(self):
+        assert q("concat('a', 'b', 'c')") == ["abc"]
+
+    def test_concat_with_empty_sequence(self, docs):
+        assert q("concat('a', doc('u')/u/c/nope)", docs) == ["a"]
+
+    def test_string_join(self):
+        assert q("string-join(('a', 'b'), ', ')") == ["a, b"]
+
+    def test_normalize_space(self, docs):
+        assert q("normalize-space(doc('u')/u/c/t/text())", docs) == \
+            ["Data Bases"]
+
+    def test_string_length(self):
+        assert q("string-length('abc')") == [3.0]
+
+    def test_substring_before_after(self):
+        assert q("substring-before('1:30 - 2:50', ' - ')") == ["1:30"]
+        assert q("substring-after('1:30 - 2:50', ' - ')") == ["2:50"]
+
+    def test_substring_before_missing_marker(self):
+        assert q("substring-before('abc', 'x')") == [""]
+
+    def test_substring(self):
+        assert q("substring('Databases', 1, 4)") == ["Data"]
+        assert q("substring('Databases', 5)") == ["bases"]
+
+    def test_matches(self):
+        assert q("matches('CS145', '^CS[0-9]+$')") == [True]
+
+    def test_matches_bad_regex(self):
+        with pytest.raises(XQueryTypeError):
+            q("matches('x', '(')")
+
+    def test_replace(self):
+        assert q("replace('1:30pm', 'pm', '')") == ["1:30"]
+
+    def test_tokenize(self):
+        assert q("tokenize('Song/Wing', '/')") == ["Song", "Wing"]
+
+    def test_translate(self):
+        assert q("translate('abc', 'abc', 'xyz')") == ["xyz"]
+
+    def test_translate_deletes_unmapped(self):
+        assert q("translate('a-b-c', '-', '')") == ["abc"]
+
+
+class TestSequenceFunctions:
+    def test_count(self):
+        assert q("count((1, 2, 3))") == [3.0]
+        assert q("count(())") == [0.0]
+
+    def test_empty_exists(self):
+        assert q("empty(())") == [True]
+        assert q("exists((1))") == [True]
+
+    def test_distinct_values(self):
+        assert q("distinct-values(('a', 'b', 'a'))") == ["a", "b"]
+
+    def test_data_atomizes(self, docs):
+        assert q("data(doc('u')/u/c/t)", docs) == ["Data Bases"]
+
+    def test_name(self, docs):
+        assert q("name(doc('u')/u/c)", docs) == ["c"]
+
+    def test_name_on_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            q("name('x')")
+
+
+class TestConversionFunctions:
+    def test_string_of_number(self):
+        assert q("string(3)") == ["3"]
+
+    def test_string_of_empty(self):
+        assert q("string(())") == [""]
+
+    def test_number(self):
+        assert q("number('12')") == [12.0]
+
+    def test_number_failure(self):
+        with pytest.raises(XQueryTypeError):
+            q("number('2V1U')")
+
+    def test_boolean(self):
+        assert q("boolean(('x'))") == [True]
+        assert q("boolean(())") == [False]
+
+    def test_not_function(self):
+        assert q("not(())") == [True]
+
+
+class TestArityChecking:
+    def test_too_few_arguments(self):
+        with pytest.raises(XQueryTypeError, match="expects 2"):
+            q("contains('x')")
+
+    def test_too_many_arguments(self):
+        with pytest.raises(XQueryTypeError):
+            q("count((1), (2))")
+
+    def test_variadic_minimum(self):
+        with pytest.raises(XQueryTypeError, match="at least 2"):
+            q("concat('only-one')")
+
+    def test_range_arity(self):
+        assert q("substring('abc', 2)") == ["bc"]
+        assert q("substring('abc', 2, 1)") == ["b"]
+        with pytest.raises(XQueryTypeError):
+            q("substring('abc', 1, 2, 3)")
+
+
+class TestFocusFunctions:
+    def test_position_in_predicate(self, docs):
+        from repro.xmlmodel import XmlDocument, element
+        root = element("r", element("i", "a"), element("i", "b"),
+                       element("i", "c"))
+        result = run_query("doc('r')/r/i[position() = 2]",
+                           {"r": XmlDocument(root)})
+        assert [n.text for n in result] == ["b"]
+
+    def test_last_in_predicate(self):
+        from repro.xmlmodel import XmlDocument, element
+        root = element("r", element("i", "a"), element("i", "b"))
+        result = run_query("doc('r')/r/i[position() = last()]",
+                           {"r": XmlDocument(root)})
+        assert [n.text for n in result] == ["b"]
+
+    def test_last_as_positional_predicate(self):
+        from repro.xmlmodel import XmlDocument, element
+        root = element("r", element("i", "a"), element("i", "b"),
+                       element("i", "c"))
+        result = run_query("doc('r')/r/i[last()]",
+                           {"r": XmlDocument(root)})
+        assert [n.text for n in result] == ["c"]
+
+    def test_position_outside_focus_raises(self):
+        with pytest.raises(XQueryTypeError):
+            q("position()")
+
+    def test_last_outside_focus_raises(self):
+        with pytest.raises(XQueryTypeError):
+            q("last()")
+
+
+class TestAggregates:
+    def test_sum(self):
+        assert q("sum((1, 2, 3))") == [6.0]
+        assert q("sum(())") == [0.0]
+
+    def test_avg(self):
+        assert q("avg((2, 4))") == [3.0]
+        assert q("avg(())") == []
+
+    def test_min_max(self):
+        assert q("min((3, 1, 2))") == [1.0]
+        assert q("max((3, 1, 2))") == [3.0]
+        assert q("min(())") == []
+        assert q("max(())") == []
+
+    def test_aggregates_atomize_elements(self, docs):
+        from repro.xmlmodel import XmlDocument, element
+        root = element("r", element("u", "9"), element("u", "12"))
+        local = {"r": XmlDocument(root)}
+        assert q("sum(doc('r')/r/u)", local) == [21.0]
+        assert q("avg(doc('r')/r/u)", local) == [10.5]
+
+    def test_aggregate_over_warehouse_units(self):
+        """Ad-hoc analytics over the materialized global schema."""
+        from repro.catalogs import build_testbed, paper_universities
+        from repro.integration import Warehouse, standard_mediator
+        testbed = build_testbed(universities=paper_universities())
+        warehouse = Warehouse(standard_mediator(paper_universities()),
+                              testbed.documents)
+        result = warehouse.query(
+            "max(for $c in doc('warehouse')/warehouse/Course "
+            "where $c/@source = 'cmu' return $c/Units)")
+        assert result == [12.0]
+
+    def test_non_numeric_aggregate_raises(self):
+        with pytest.raises(XQueryTypeError):
+            q("sum(('a', 'b'))")

@@ -1,0 +1,143 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.xquery import XQuerySyntaxError, tokenize
+from repro.xquery.tokens import (
+    EOF,
+    KEYWORD,
+    NAME,
+    NUMBER,
+    STRING,
+    SYMBOL,
+    VARIABLE,
+)
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        assert kinds("") == [EOF]
+
+    def test_whitespace_only(self):
+        assert kinds("  \n\t ") == [EOF]
+
+    def test_variable(self):
+        token = tokenize("$b")[0]
+        assert token.kind == VARIABLE
+        assert token.value == "b"
+
+    def test_variable_requires_name(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("$ b")
+
+    def test_keywords_case_insensitive(self):
+        for text in ["for", "FOR", "For"]:
+            token = tokenize(text)[0]
+            assert token.kind == KEYWORD
+            assert token.value == "for"
+
+    def test_name_not_keyword(self):
+        token = tokenize("Course")[0]
+        assert token.kind == NAME
+
+    def test_namespaced_name(self):
+        token = tokenize("fn:contains")[0]
+        assert token.kind == NAME
+        assert token.value == "fn:contains"
+
+    def test_hyphenated_name(self):
+        assert tokenize("starts-with")[0].value == "starts-with"
+
+    def test_let_binding_symbol(self):
+        assert values("let $x := 1") == ["let", "x", ":=", "1"]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        token = tokenize("'Mark'")[0]
+        assert token.kind == STRING
+        assert token.value == "Mark"
+
+    def test_double_quoted(self):
+        assert tokenize('"cmu.xml"')[0].value == "cmu.xml"
+
+    def test_doubled_quote_escape(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_percent_preserved(self):
+        assert tokenize("'%Database%'")[0].value == "%Database%"
+
+    def test_unterminated_raises(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("'oops")
+
+    def test_unicode_content(self):
+        assert tokenize("'Datenbanken für Zürich'")[0].value == \
+            "Datenbanken für Zürich"
+
+
+class TestNumbers:
+    def test_integer(self):
+        token = tokenize("10")[0]
+        assert token.kind == NUMBER
+        assert token.value == "10"
+
+    def test_decimal(self):
+        assert tokenize("1.5")[0].value == "1.5"
+
+    def test_number_then_dot_symbol(self):
+        # '1.' is number 1 followed by '.' symbol (context-item dot).
+        toks = tokenize("1 .")
+        assert toks[0].kind == NUMBER
+        assert toks[1].kind == SYMBOL
+
+
+class TestSymbols:
+    def test_double_slash_single_token(self):
+        assert values("$a//b") == ["a", "//", "b"]
+
+    def test_comparison_operators(self):
+        assert values("<= >= != = < >") == \
+            ["<=", ">=", "!=", "=", "<", ">"]
+
+    def test_path_tokens(self):
+        assert values('doc("x")/y/@z') == \
+            ["doc", "(", "x", ")", "/", "y", "/", "@", "z"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("#")
+
+
+class TestComments:
+    def test_comment_skipped(self):
+        assert values("(: hello :) $x") == ["x"]
+
+    def test_nested_comment(self):
+        assert values("(: a (: b :) c :) 1") == ["1"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("(: oops")
+
+
+class TestPaperQueries:
+    def test_query_one_tokenizes(self):
+        source = ('FOR $b in doc("gatech.xml")/gatech/Course '
+                  'WHERE $b/Instructor = "Mark" RETURN $b')
+        toks = tokenize(source)
+        assert toks[0].is_keyword("for")
+        assert toks[-1].kind == EOF
+
+    def test_error_reports_line(self):
+        with pytest.raises(XQuerySyntaxError) as exc:
+            tokenize("$a\n'unterminated")
+        assert exc.value.line == 2

@@ -1,0 +1,160 @@
+"""Tests for order-by clauses and quantified expressions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xquery import (
+    XQuerySyntaxError,
+    parse_query,
+    run_query,
+    unparse,
+)
+from repro.xquery.ast import FLWOR, Quantified
+
+
+@pytest.fixture()
+def docs():
+    root = element(
+        "u",
+        element("c", element("t", "Gamma"), element("n", "3")),
+        element("c", element("t", "Alpha"), element("n", "1")),
+        element("c", element("t", "Beta"), element("n", "2")),
+    )
+    return {"u": XmlDocument(root)}
+
+
+class TestOrderByParsing:
+    def test_order_specs_recorded(self):
+        ast = parse_query(
+            "for $x in $s order by $x/a, $x/b descending return $x")
+        assert isinstance(ast, FLWOR)
+        assert len(ast.order_specs) == 2
+        assert not ast.order_specs[0].descending
+        assert ast.order_specs[1].descending
+
+    def test_ascending_keyword_accepted(self):
+        ast = parse_query("for $x in $s order by $x ascending return $x")
+        assert not ast.order_specs[0].descending
+
+    def test_order_requires_by(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("for $x in $s order $x return $x")
+
+    def test_order_before_return_only(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query("for $x in $s return $x order by $x")
+
+
+class TestOrderByEvaluation:
+    def test_string_sort(self, docs):
+        result = run_query(
+            "for $c in doc('u')/u/c order by $c/t return $c/t", docs)
+        assert [r.text for r in result] == ["Alpha", "Beta", "Gamma"]
+
+    def test_numeric_sort(self, docs):
+        result = run_query(
+            "for $c in doc('u')/u/c order by number($c/n) return $c/t",
+            docs)
+        assert [r.text for r in result] == ["Alpha", "Beta", "Gamma"]
+
+    def test_descending(self, docs):
+        result = run_query(
+            "for $c in doc('u')/u/c order by $c/t descending return $c/t",
+            docs)
+        assert [r.text for r in result] == ["Gamma", "Beta", "Alpha"]
+
+    def test_secondary_key(self):
+        result = run_query(
+            "for $x in (3, 1, 3, 2) order by $x descending, $x return $x",
+            {})
+        assert result == [3.0, 3.0, 2.0, 1.0]
+
+    def test_empty_key_sorts_first(self, docs):
+        root = element("u",
+                       element("c", element("t", "HasKey")),
+                       element("c"))
+        result = run_query(
+            "for $c in doc('u')/u/c order by $c/t return $c",
+            {"u": XmlDocument(root)})
+        assert result[0].find("t") is None
+
+    def test_sort_is_stable(self):
+        result = run_query(
+            "for $x in ('b1', 'a2', 'b2', 'a1') "
+            "order by substring($x, 1, 1) return $x", {})
+        assert result == ["a2", "a1", "b1", "b2"]
+
+    @given(st.lists(st.integers(-50, 50), max_size=8))
+    def test_order_by_matches_sorted(self, values):
+        literals = ", ".join(str(v) for v in values) or ""
+        result = run_query(
+            f"for $x in ({literals}) order by $x return $x", {})
+        assert result == sorted(float(v) for v in values)
+
+
+class TestQuantified:
+    def test_some_true_false(self):
+        assert run_query("some $x in (1, 2, 3) satisfies $x > 2", {}) == \
+            [True]
+        assert run_query("some $x in (1, 2, 3) satisfies $x > 5", {}) == \
+            [False]
+
+    def test_every(self):
+        assert run_query("every $x in (1, 2, 3) satisfies $x > 0", {}) == \
+            [True]
+        assert run_query("every $x in (1, 2, 3) satisfies $x > 1", {}) == \
+            [False]
+
+    def test_empty_domain(self):
+        assert run_query("some $x in () satisfies $x = 1", {}) == [False]
+        assert run_query("every $x in () satisfies $x = 1", {}) == [True]
+
+    def test_multiple_bindings(self):
+        assert run_query(
+            "some $x in (1, 2), $y in (2, 3) satisfies $x = $y", {}) == \
+            [True]
+
+    def test_over_documents(self, docs):
+        assert run_query(
+            "every $c in doc('u')/u/c satisfies exists($c/t)", docs) == \
+            [True]
+
+    def test_in_where_clause(self, docs):
+        result = run_query(
+            "for $c in doc('u')/u/c "
+            "where some $n in $c/n satisfies number($n) > 2 "
+            "return $c/t", docs)
+        assert [r.text for r in result] == ["Gamma"]
+
+    def test_missing_satisfies_rejected(self):
+        with pytest.raises(XQuerySyntaxError, match="satisfies"):
+            parse_query("some $x in (1) where $x = 1")
+
+
+class TestUnparseNewForms:
+    def test_order_by_round_trip(self):
+        source = ("for $x in $s where $x > 1 "
+                  "order by $x/k descending, $x return $x")
+        ast = parse_query(source)
+        assert parse_query(unparse(ast)) == ast
+
+    def test_quantified_round_trip(self):
+        ast = parse_query("every $x in $s satisfies contains($x, 'a')")
+        assert isinstance(ast, Quantified)
+        assert parse_query(unparse(ast)) == ast
+
+    def test_rewriter_preserves_order_by(self):
+        from repro.integration import QueryRewriter, RewriteRules
+        rules = RewriteRules(tag_map={"A": "B"})
+        rewritten = QueryRewriter(rules).rewrite(
+            "for $x in $s/A order by $x/A return $x")
+        assert "order by $x/B" in rewritten
+
+    def test_rewriter_handles_quantified(self):
+        from repro.integration import QueryRewriter, RewriteRules
+        rules = RewriteRules(tag_map={"A": "B"})
+        rewritten = QueryRewriter(rules).rewrite(
+            "some $x in $s/A satisfies $x/A = 'v'")
+        assert rewritten == "some $x in $s/B satisfies $x/B = 'v'"

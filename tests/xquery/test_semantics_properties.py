@@ -1,0 +1,109 @@
+"""Property tests for the evaluator's semantic laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import XmlDocument, element
+from repro.xquery import run_query
+
+_words = st.text(alphabet="abcdefg XYZ", min_size=0, max_size=10)
+_safe_words = _words.map(lambda s: s.replace("'", ""))
+_numbers = st.integers(min_value=-1000, max_value=1000)
+
+
+def _quote(text: str) -> str:
+    return "'" + text.replace("'", "''") + "'"
+
+
+class TestLikeSemantics:
+    @settings(max_examples=120, deadline=None)
+    @given(_safe_words, _safe_words)
+    def test_contains_pattern_equals_substring(self, haystack, needle):
+        """``s = '%n%'`` is case-insensitive substring containment
+        (documented THALIA extension), provided the needle has no
+        wildcard characters of its own."""
+        if "%" in needle or "_" in needle or "%" in haystack:
+            return
+        got = run_query(f"{_quote(haystack)} = {_quote('%' + needle + '%')}",
+                        {})
+        assert got == [needle.lower() in haystack.lower()]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_safe_words)
+    def test_universal_pattern_matches_everything(self, text):
+        if "%" in text:
+            return
+        assert run_query(f"{_quote(text)} = '%'", {}) == [True]
+
+    @settings(max_examples=60, deadline=None)
+    @given(_safe_words, _safe_words)
+    def test_negated_like_is_complement(self, haystack, needle):
+        if "%" in needle or "_" in needle or "%" in haystack:
+            return
+        pattern = _quote("%" + needle + "%")
+        eq = run_query(f"{_quote(haystack)} = {pattern}", {})
+        ne = run_query(f"{_quote(haystack)} != {pattern}", {})
+        assert eq == [not ne[0]]
+
+
+class TestComparisonLaws:
+    @settings(max_examples=80, deadline=None)
+    @given(_numbers, _numbers)
+    def test_numeric_comparison_agrees_with_python(self, a, b):
+        for op, expected in (("=", a == b), ("!=", a != b), ("<", a < b),
+                             ("<=", a <= b), (">", a > b), (">=", a >= b)):
+            assert run_query(f"{a} {op} {b}", {}) == [expected], op
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_numbers, max_size=6), _numbers)
+    def test_general_comparison_is_existential(self, values, probe):
+        literals = ", ".join(str(v) for v in values)
+        got = run_query(f"({literals}) = {probe}", {})
+        assert got == [probe in values]
+
+
+class TestFlworLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_numbers, max_size=8), _numbers)
+    def test_where_filter_equals_comprehension(self, values, threshold):
+        literals = ", ".join(str(v) for v in values)
+        got = run_query(
+            f"for $x in ({literals}) where $x > {threshold} return $x", {})
+        assert got == [float(v) for v in values if v > threshold]
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_numbers, min_size=1, max_size=8))
+    def test_descending_is_reverse_of_ascending(self, values):
+        literals = ", ".join(str(v) for v in values)
+        ascending = run_query(
+            f"for $x in ({literals}) order by $x return $x", {})
+        descending = run_query(
+            f"for $x in ({literals}) order by $x descending return $x", {})
+        assert descending == list(reversed(ascending))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_numbers, max_size=8), _numbers)
+    def test_some_iff_not_every_negation(self, values, threshold):
+        literals = ", ".join(str(v) for v in values)
+        some = run_query(
+            f"some $x in ({literals}) satisfies $x > {threshold}", {})
+        every_not = run_query(
+            f"every $x in ({literals}) satisfies not ($x > {threshold})",
+            {})
+        assert some == [not every_not[0]]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_numbers, max_size=5))
+    def test_count_agrees_with_len(self, values):
+        literals = ", ".join(str(v) for v in values)
+        assert run_query(f"count(({literals}))", {}) == \
+            [float(len(values))]
+
+
+class TestElementSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(_safe_words.filter(bool), min_size=1, max_size=5))
+    def test_path_selection_preserves_document_order(self, texts):
+        root = element("r", *[element("i", t) for t in texts])
+        result = run_query("doc('d')/r/i", {"d": XmlDocument(root)})
+        assert [node.text for node in result] == texts

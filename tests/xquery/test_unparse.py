@@ -1,0 +1,110 @@
+"""Unparser tests, including the parse∘unparse fixpoint property."""
+
+import pytest
+
+from repro.xquery import parse_query, unparse
+
+
+def round_trips(source: str) -> bool:
+    ast = parse_query(source)
+    return parse_query(unparse(ast)) == ast
+
+
+class TestBasics:
+    def test_literal_string(self):
+        assert unparse(parse_query("'Mark'")) == "'Mark'"
+
+    def test_literal_with_quote(self):
+        assert round_trips("'it''s'")
+
+    def test_integer_renders_without_decimal(self):
+        assert unparse(parse_query("10")) == "10"
+
+    def test_variable(self):
+        assert unparse(parse_query("$b")) == "$b"
+
+    def test_path(self):
+        assert unparse(parse_query("$b/Course/Title")) == "$b/Course/Title"
+
+    def test_attribute_and_text_steps(self):
+        assert unparse(parse_query("$b/@code")) == "$b/@code"
+        assert unparse(parse_query("$b/text()")) == "$b/text()"
+
+    def test_descendant_axis(self):
+        assert unparse(parse_query("$b//Section")) == "$b//Section"
+
+    def test_predicate(self):
+        assert round_trips("$b/Course[Title = 'DB']")
+
+    def test_relative_path_in_predicate(self):
+        text = unparse(parse_query("$b/Course[Title = 'DB']"))
+        assert "[Title = 'DB']" in text
+
+    def test_function_call(self):
+        assert unparse(parse_query("contains($t, 'DB')")) == \
+            "contains($t, 'DB')"
+
+    def test_empty_sequence(self):
+        assert unparse(parse_query("()")) == "()"
+
+    def test_element_constructor(self):
+        assert round_trips("element result { $b/Title }")
+
+    def test_empty_element_constructor(self):
+        assert round_trips("element empty {}")
+
+    def test_if_expression(self):
+        assert round_trips("if ($x = 1) then 'a' else 'b'")
+
+    def test_logical_precedence_preserved(self):
+        source = "($a = 1 or $b = 2) and $c = 3"
+        ast = parse_query(source)
+        assert parse_query(unparse(ast)) == ast
+
+    def test_arithmetic(self):
+        assert round_trips("1 + 2 - 3")
+
+    def test_not(self):
+        assert round_trips("not $x")
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("number", range(1, 13))
+    def test_all_benchmark_queries_round_trip(self, number):
+        from repro.core import get_query
+        assert round_trips(get_query(number).xquery)
+
+    def test_flwor_layout(self):
+        text = unparse(parse_query(
+            "for $b in doc('cmu.xml')/cmu/Course "
+            "where $b/Units > 10 return $b"))
+        lines = text.splitlines()
+        assert lines[0].startswith("for $b in")
+        assert lines[1].startswith("where")
+        assert lines[2].startswith("return")
+
+    def test_juxtaposed_return_renders_as_sequence(self):
+        ast = parse_query(
+            "for $b in $s return $b/Title $b/Day")
+        assert parse_query(unparse(ast)) == ast
+
+
+class TestFixpointProperty:
+    SOURCES = [
+        "for $a in (1, 2), $b in $a/x return $a + $b",
+        "let $t := $b/Title return contains($t, 'DB')",
+        "count(doc('cmu')/cmu/Course[Units = 12])",
+        "if (empty($x)) then element none {} else $x",
+        "for $c in $s where $c/@code = 'CS145' and not $c/Closed "
+        "return $c/Title, $c/Room",
+        "'%Database%' = $b/CourseName",
+        "$a//Section[2]/time/text()",
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_unparse_is_a_fixpoint(self, source):
+        ast = parse_query(source)
+        once = unparse(ast)
+        assert parse_query(once) == ast
+        # And unparse is idempotent on its own output.
+        assert unparse(parse_query(once)) == once
