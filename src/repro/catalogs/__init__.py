@@ -29,17 +29,29 @@ from .registry import (
     get_university,
     paper_universities,
 )
+from .pipeline import (
+    ArtifactCache,
+    BuildReport,
+    SourceBuildRecord,
+    build_testbed,
+    clear_shared_testbeds,
+    code_fingerprint,
+    profile_fingerprint,
+    shared_testbed,
+)
 from .stats import CoverageReport, SourceStats, coverage_report, source_stats
 from .testbed import (
     DEFAULT_SEED,
     SourceBundle,
     Testbed,
     build_source,
-    build_testbed,
+    load_testbed,
 )
 from .universities import UniversityProfile
 
 __all__ = [
+    "ArtifactCache",
+    "BuildReport",
     "CanonicalCourse",
     "CoverageReport",
     "CourseFactory",
@@ -49,6 +61,7 @@ __all__ = [
     "INSTRUCTOR_SURNAMES",
     "Meeting",
     "SectionInfo",
+    "SourceBuildRecord",
     "SourceBundle",
     "SourceStats",
     "TOPICS",
@@ -59,6 +72,8 @@ __all__ = [
     "extended_universities",
     "future_universities",
     "build_testbed",
+    "clear_shared_testbeds",
+    "code_fingerprint",
     "coverage_report",
     "fmt_12h",
     "fmt_24h",
@@ -66,7 +81,10 @@ __all__ = [
     "fmt_range_24h",
     "generic_universities",
     "get_university",
+    "load_testbed",
     "paper_universities",
+    "profile_fingerprint",
+    "shared_testbed",
     "source_stats",
     "units_to_workload",
     "workload_to_units",

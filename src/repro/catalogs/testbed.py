@@ -1,28 +1,40 @@
 """Testbed assembly: canonical data → HTML snapshots → extracted XML.
 
-:func:`build_testbed` runs the full pipeline for every registered source
-and returns a :class:`Testbed`, the object the rest of the system works
-against: the benchmark reads its documents, gold answers read its canonical
-courses, the web site generator reads its snapshots and schemas.
+:func:`repro.catalogs.pipeline.build_testbed` runs the full pipeline for
+every registered source and returns a :class:`Testbed`, the object the
+rest of the system works against: the benchmark reads its documents, gold
+answers read its canonical courses, the web site generator reads its
+snapshots and schemas.  This module holds the data side: the per-source
+:class:`SourceBundle`, the assembled :class:`Testbed` with its
+save/load round trip, and :func:`build_source`, the one-source pipeline.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..tess import ExtractionStats, TessScraper, WrapperConfig
 from ..xmlmodel import (
     XmlDocument,
     XmlSchema,
     infer_schema,
+    parse_xml,
+    parse_xsd,
+    serialize,
     serialize_pretty,
 )
 from .model import CanonicalCourse
-from .registry import all_universities
 from .universities import UniversityProfile
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .pipeline import BuildReport
+
 DEFAULT_SEED = 2004  # the paper's year; any seed yields a valid testbed
+
+MANIFEST_FILE = "testbed.json"
 
 
 @dataclass
@@ -48,6 +60,8 @@ class Testbed:
     def __init__(self, sources: list[SourceBundle], seed: int) -> None:
         self._sources = {bundle.slug: bundle for bundle in sources}
         self.seed = seed
+        #: set by the build pipeline; None for hand-assembled testbeds
+        self.build_report: "BuildReport | None" = None
 
     # -- access ---------------------------------------------------------- #
 
@@ -88,14 +102,19 @@ class Testbed:
     def save(self, directory: str | Path) -> Path:
         """Write snapshots, configs, XML and XSD files under *directory*.
 
-        Layout matches the web site's download bundles::
+        Layout matches the web site's download bundles, plus a manifest
+        and an exact (whitespace-preserving) serialization that make the
+        directory loadable again via :meth:`load`::
 
+            <dir>/testbed.json           manifest: seed, slugs, stats
             <dir>/<slug>/snapshot.html
             <dir>/<slug>/wrapper.cfg
-            <dir>/<slug>/<slug>.xml
+            <dir>/<slug>/<slug>.xml      pretty-printed (human-facing)
+            <dir>/<slug>/document.xml    exact (round-trips byte-for-byte)
             <dir>/<slug>/<slug>.xsd
         """
         root = Path(directory)
+        manifest: dict = {"seed": self.seed, "sources": {}}
         for bundle in self:
             source_dir = root / bundle.slug
             source_dir.mkdir(parents=True, exist_ok=True)
@@ -105,9 +124,62 @@ class Testbed:
                 bundle.config.to_text(), encoding="utf-8")
             (source_dir / f"{bundle.slug}.xml").write_text(
                 serialize_pretty(bundle.document), encoding="utf-8")
+            (source_dir / "document.xml").write_text(
+                serialize(bundle.document, xml_declaration=True),
+                encoding="utf-8")
             (source_dir / f"{bundle.slug}.xsd").write_text(
                 serialize_pretty(bundle.schema.to_xsd()), encoding="utf-8")
+            manifest["sources"][bundle.slug] = {
+                "records": bundle.stats.records,
+                "fields_extracted": bundle.stats.fields_extracted,
+                "fields_missing": bundle.stats.fields_missing,
+            }
+        (root / MANIFEST_FILE).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8")
         return root
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Testbed":
+        """Reload a testbed written by :meth:`save`.
+
+        Profiles are resolved by slug from the registry, canonical courses
+        are regenerated from the saved seed (the generator is
+        deterministic), and documents come from the exact serialization —
+        so ``Testbed.load(bed.save(d))`` round-trips every artifact
+        byte-for-byte.
+
+        Raises:
+            FileNotFoundError: when *directory* has no manifest.
+            KeyError: when a saved slug is not in the registry.
+        """
+        from .registry import get_university
+
+        root = Path(directory)
+        manifest = json.loads(
+            (root / MANIFEST_FILE).read_text(encoding="utf-8"))
+        seed = manifest["seed"]
+        bundles = []
+        for slug, stats in manifest["sources"].items():
+            profile = get_university(slug)
+            source_dir = root / slug
+            document = parse_xml(
+                (source_dir / "document.xml").read_text(encoding="utf-8"),
+                source_name=slug, trusted=True)
+            schema = parse_xsd(parse_xml(
+                (source_dir / f"{slug}.xsd").read_text(encoding="utf-8"),
+                source_name=slug, strip_whitespace=True, trusted=True))
+            bundles.append(SourceBundle(
+                profile=profile,
+                courses=profile.build_courses(seed),
+                snapshot=(source_dir / "snapshot.html").read_text(
+                    encoding="utf-8"),
+                config=WrapperConfig.from_text(
+                    (source_dir / "wrapper.cfg").read_text(encoding="utf-8")),
+                document=document,
+                schema=schema,
+                stats=ExtractionStats(source=slug, **stats),
+            ))
+        return cls(bundles, seed)
 
 
 def build_source(profile: UniversityProfile, seed: int,
@@ -125,10 +197,6 @@ def build_source(profile: UniversityProfile, seed: int,
         document=document, schema=schema, stats=engine.last_stats)
 
 
-def build_testbed(seed: int = DEFAULT_SEED,
-                  universities: list[UniversityProfile] | None = None,
-                  scraper: TessScraper | None = None) -> Testbed:
-    """Build the full testbed (all 25 sources unless a subset is given)."""
-    profiles = universities if universities is not None else all_universities()
-    bundles = [build_source(profile, seed, scraper) for profile in profiles]
-    return Testbed(bundles, seed)
+def load_testbed(directory: str | Path) -> Testbed:
+    """Module-level alias of :meth:`Testbed.load`."""
+    return Testbed.load(directory)

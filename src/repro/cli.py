@@ -2,7 +2,10 @@
 
 Commands:
 
-* ``build-testbed DIR`` — render all snapshots, extract XML, write the
+* ``testbed build [--out DIR]`` — run the build pipeline and print the
+  per-source :class:`~repro.catalogs.pipeline.BuildReport`; with
+  ``--out`` also write the per-source bundle to DIR.
+* ``build-testbed DIR`` — legacy spelling: build and write the
   per-source bundle (snapshot/wrapper/XML/XSD) under DIR.
 * ``run-benchmark`` — score Cohera, IWIZ and the THALIA mediator; print
   the §4.2-style tables and the scoreboard.
@@ -15,6 +18,12 @@ Commands:
 * ``selfcheck`` — verify every benchmark invariant over a fresh build.
 * ``taxonomy [N] [--no-samples]`` — the §3 heterogeneity classification,
   with live sample elements from the testbed.
+
+Global build options (before the command): ``--seed N``, ``--workers N``
+(parallel source builds), ``--cache-dir DIR`` (on-disk artifact cache)
+and ``--no-cache`` (bypass cache reads *and* writes).  Every command
+builds the testbed at most once per invocation; repeated implicit builds
+share one in-process instance.
 """
 
 from __future__ import annotations
@@ -23,7 +32,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .catalogs import build_testbed
+from .catalogs import build_testbed, shared_testbed
 from .core import (
     HonorRoll,
     get_query,
@@ -45,7 +54,25 @@ def _build_parser() -> argparse.ArgumentParser:
                     "information Integration Approaches (reproduction)")
     parser.add_argument("--seed", type=int, default=2004,
                         help="testbed generation seed (default 2004)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker threads for testbed builds (default 1)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="on-disk artifact cache root (default: no "
+                             "cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the artifact cache (no reads, no "
+                             "writes) even when --cache-dir is set")
     commands = parser.add_subparsers(dest="command", required=True)
+
+    testbed = commands.add_parser(
+        "testbed", help="testbed build pipeline")
+    testbed_commands = testbed.add_subparsers(dest="testbed_command",
+                                              required=True)
+    testbed_build = testbed_commands.add_parser(
+        "build", help="build the testbed and print the build report")
+    testbed_build.add_argument("--out", metavar="DIR", default=None,
+                               help="also write the per-source bundle "
+                                    "under DIR")
 
     build = commands.add_parser(
         "build-testbed", help="write snapshots, configs, XML and XSDs")
@@ -95,15 +122,36 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_testbed(args: argparse.Namespace, universities=None):
+    """Build (or fetch the shared) testbed per the global build options."""
+    if universities is not None:
+        return build_testbed(seed=args.seed, universities=universities,
+                             workers=args.workers, cache_dir=args.cache_dir,
+                             use_cache=not args.no_cache)
+    return shared_testbed(args.seed, workers=args.workers,
+                          cache_dir=args.cache_dir,
+                          use_cache=not args.no_cache)
+
+
+def _cmd_testbed(args: argparse.Namespace) -> int:
+    testbed = _make_testbed(args)
+    if args.out:
+        target = testbed.save(args.out)
+        print(f"wrote {len(testbed)} sources under {target}")
+    if testbed.build_report is not None:
+        print(testbed.build_report.render())
+    return 0
+
+
 def _cmd_build_testbed(args: argparse.Namespace) -> int:
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     target = testbed.save(args.directory)
     print(f"wrote {len(testbed)} sources under {target}")
     return 0
 
 
 def _cmd_run_benchmark(args: argparse.Namespace) -> int:
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     cards = run_all([cohera(), iwiz(), thalia_mediator()], testbed)
     for card in cards:
         print(render_system_table(card))
@@ -123,7 +171,7 @@ def _cmd_run_benchmark(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     query = get_query(args.number)
     print(render_query_description(query.number))
     print()
@@ -140,7 +188,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_build_site(args: argparse.Namespace) -> int:
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     if args.scores:
         roll = HonorRoll.load(args.scores)
     else:
@@ -154,14 +202,14 @@ def _cmd_build_site(args: argparse.Namespace) -> int:
 
 
 def _cmd_bundle(args: argparse.Namespace) -> int:
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     for path in build_all_bundles(testbed, args.directory):
         print(f"wrote {path}")
     return 0
 
 
 def _cmd_sources(args: argparse.Namespace) -> int:
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     for bundle in testbed:
         profile = bundle.profile
         queries = ",".join(str(n) for n in profile.heterogeneities) or "-"
@@ -174,7 +222,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .catalogs import coverage_report, extended_universities
 
     universities = extended_universities() if args.extended else None
-    testbed = build_testbed(seed=args.seed, universities=universities)
+    testbed = _make_testbed(args, universities=universities)
     report = coverage_report(testbed)
     print(report.render())
     if not report.fully_covered:
@@ -187,7 +235,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from .core import validate_benchmark
 
-    testbed = build_testbed(seed=args.seed)
+    testbed = _make_testbed(args)
     result = validate_benchmark(testbed)
     print(result.render())
     return 0 if result.ok else 1
@@ -196,7 +244,7 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
 def _cmd_taxonomy(args: argparse.Namespace) -> int:
     from .core import all_cases, render_case, render_taxonomy
 
-    testbed = None if args.no_samples else build_testbed(seed=args.seed)
+    testbed = None if args.no_samples else _make_testbed(args)
     if args.number is not None:
         case = [c for c in all_cases() if c.number == args.number][0]
         print(render_case(case, testbed))
@@ -206,6 +254,7 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "testbed": _cmd_testbed,
     "build-testbed": _cmd_build_testbed,
     "stats": _cmd_stats,
     "selfcheck": _cmd_selfcheck,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
-from ..catalogs import Testbed, build_testbed
+from ..catalogs import Testbed, shared_testbed
 from .answers import gold_answer
 from .queries import QUERIES, BenchmarkQuery
 from .scoring import QueryOutcome, ScoreCard
@@ -31,8 +31,13 @@ def run_benchmark(system: "IntegrationSystem",
                   testbed: Testbed | None = None,
                   queries: Iterable[BenchmarkQuery] | None = None
                   ) -> ScoreCard:
-    """Run a system through the (full, by default) benchmark."""
-    bed = testbed if testbed is not None else build_testbed()
+    """Run a system through the (full, by default) benchmark.
+
+    When no testbed is passed, the process-wide shared build is used, so
+    consecutive ``run_benchmark`` calls (and :func:`run_all`) pay for at
+    most one testbed build per process.
+    """
+    bed = testbed if testbed is not None else shared_testbed()
     chosen = list(queries) if queries is not None else list(QUERIES)
     card = ScoreCard(system=system.name)
     for query in chosen:
@@ -43,5 +48,5 @@ def run_benchmark(system: "IntegrationSystem",
 def run_all(systems: Iterable["IntegrationSystem"],
             testbed: Testbed | None = None) -> list[ScoreCard]:
     """Run several systems over one shared testbed build."""
-    bed = testbed if testbed is not None else build_testbed()
+    bed = testbed if testbed is not None else shared_testbed()
     return [run_benchmark(system, bed) for system in systems]

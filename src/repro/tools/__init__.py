@@ -1,0 +1,6 @@
+"""Maintenance tools that are part of the repo's workflow, not its API.
+
+* :mod:`repro.tools.regen_golden` — recompute the golden-snapshot
+  fingerprints the conformance suite pins (``python -m
+  repro.tools.regen_golden`` after an intentional pipeline change).
+"""

@@ -1,0 +1,85 @@
+"""Regenerate the golden-snapshot fingerprints.
+
+The golden conformance suite (``tests/golden/``) pins a sha256 per
+artifact — snapshot HTML, wrapper config, exact XML serialization,
+pretty XSD — for every source of the default-seed testbed.  Any change
+to rendering, scraping, serialization or schema inference shifts a
+fingerprint and fails the suite loudly.  When such a change is
+*intentional*, refresh the pins with::
+
+    PYTHONPATH=src python -m repro.tools.regen_golden
+
+and commit the updated ``tests/golden/fingerprints.json`` together with
+the change that caused it (the diff shows exactly which sources moved).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..catalogs import DEFAULT_SEED, Testbed, build_testbed
+from ..xmlmodel import serialize, serialize_pretty
+
+DEFAULT_TARGET = Path("tests") / "golden" / "fingerprints.json"
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def source_fingerprints(testbed: Testbed) -> dict[str, dict[str, str]]:
+    """Per-source sha256 of every artifact the pipeline produces."""
+    fingerprints: dict[str, dict[str, str]] = {}
+    for bundle in testbed:
+        fingerprints[bundle.slug] = {
+            "snapshot": _sha256(bundle.snapshot),
+            "config": _sha256(bundle.config.to_text()),
+            "xml": _sha256(serialize(bundle.document, xml_declaration=True)),
+            "xsd": _sha256(serialize_pretty(bundle.schema.to_xsd())),
+        }
+    return fingerprints
+
+
+def compute_golden(seed: int = DEFAULT_SEED) -> dict:
+    """The full golden document: seed + per-source fingerprints."""
+    testbed = build_testbed(seed=seed)
+    return {"seed": seed, "sources": source_fingerprints(testbed)}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.regen_golden",
+        description="recompute the golden-snapshot fingerprints")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help=f"testbed seed (default {DEFAULT_SEED})")
+    parser.add_argument("--out", type=Path, default=DEFAULT_TARGET,
+                        help=f"target JSON file (default {DEFAULT_TARGET})")
+    args = parser.parse_args(argv)
+
+    golden = compute_golden(seed=args.seed)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    previous = None
+    if args.out.exists():
+        previous = json.loads(args.out.read_text(encoding="utf-8"))
+    args.out.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    if previous is None:
+        print(f"wrote {args.out} ({len(golden['sources'])} sources)")
+    else:
+        moved = [slug for slug, prints in golden["sources"].items()
+                 if previous.get("sources", {}).get(slug) != prints]
+        if moved:
+            print(f"wrote {args.out}: {len(moved)} source(s) changed: "
+                  + ", ".join(sorted(moved)))
+        else:
+            print(f"wrote {args.out}: no fingerprint changes")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

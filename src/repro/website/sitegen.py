@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from ..catalogs import Testbed
+from ..catalogs import Testbed, shared_testbed
 from ..core import QUERIES, HonorRoll
 from ..core.report import query_short_name
 from ..xmlmodel import escape_text, serialize_pretty
@@ -77,9 +77,9 @@ def _page(title: str, body: str, depth: int = 0) -> str:
 class SiteGenerator:
     """Writes the full THALIA site for one testbed build."""
 
-    def __init__(self, testbed: Testbed,
+    def __init__(self, testbed: Testbed | None = None,
                  honor_roll: HonorRoll | None = None) -> None:
-        self.testbed = testbed
+        self.testbed = testbed if testbed is not None else shared_testbed()
         self.honor_roll = honor_roll if honor_roll is not None else HonorRoll()
 
     # ------------------------------------------------------------------ #

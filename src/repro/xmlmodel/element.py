@@ -69,6 +69,16 @@ class XmlElement:
         self.attrib: dict[str, str] = dict(attrib) if attrib else {}
         self.children: list[Child] = list(children) if children else []
 
+    @classmethod
+    def _unchecked(cls, tag: str, attrib: dict[str, str]) -> "XmlElement":
+        """Construct without name validation — for parsers whose input has
+        already passed a well-formedness check (expat); hot-path only."""
+        node = object.__new__(cls)
+        node.tag = tag
+        node.attrib = attrib
+        node.children = []
+        return node
+
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #

@@ -17,13 +17,17 @@ from .errors import XmlParseError
 class _TreeBuilder:
     """Accumulates expat callbacks into an XmlElement tree."""
 
-    def __init__(self, strip_whitespace: bool) -> None:
+    def __init__(self, strip_whitespace: bool, trusted: bool = False) -> None:
         self._strip = strip_whitespace
+        self._trusted = trusted
         self._stack: list[XmlElement] = []
         self.root: XmlElement | None = None
 
     def start(self, tag: str, attrib: dict[str, str]) -> None:
-        node = XmlElement(tag, attrib)
+        if self._trusted:
+            node = XmlElement._unchecked(tag, attrib)
+        else:
+            node = XmlElement(tag, attrib)
         if self._stack:
             self._stack[-1].append(node)
         elif self.root is None:
@@ -50,7 +54,8 @@ class _TreeBuilder:
 
 
 def parse_xml(payload: str | bytes, source_name: str | None = None,
-              strip_whitespace: bool = False) -> XmlDocument:
+              strip_whitespace: bool = False,
+              trusted: bool = False) -> XmlDocument:
     """Parse *payload* into an :class:`XmlDocument`.
 
     Args:
@@ -58,11 +63,14 @@ def parse_xml(payload: str | bytes, source_name: str | None = None,
         source_name: optional testbed source name recorded on the document.
         strip_whitespace: drop whitespace-only text runs (useful when the
             caller only cares about element structure).
+        trusted: skip the model's per-element name validation; for payloads
+            this library itself serialized (cache artifacts, saved
+            testbeds), where expat's well-formedness check suffices.
 
     Raises:
         XmlParseError: if the payload is not well-formed XML.
     """
-    builder = _TreeBuilder(strip_whitespace)
+    builder = _TreeBuilder(strip_whitespace, trusted)
     parser = _expat.ParserCreate()
     parser.buffer_text = True
     parser.StartElementHandler = builder.start

@@ -62,26 +62,24 @@ class TestRegistry:
 
 
 class TestExtendedBuild:
-    def test_forty_five_source_testbed_builds_and_validates(self):
-        testbed = build_testbed(universities=extended_universities())
-        assert len(testbed) == 45
-        for bundle in testbed:
+    def test_forty_five_source_testbed_builds_and_validates(
+            self, extended_testbed):
+        assert len(extended_testbed) == 45
+        for bundle in extended_testbed:
             assert bundle.stats.records >= 8, bundle.slug
             bundle.schema.validate(bundle.document)
 
-    def test_extended_mediator_integrates_everything(self):
+    def test_extended_mediator_integrates_everything(self, extended_testbed):
         from repro.integration import standard_mediator
-        profiles = extended_universities()
-        testbed = build_testbed(universities=profiles)
-        mediator = standard_mediator(profiles)
-        courses = mediator.integrate(testbed.documents)
-        assert {c.source for c in courses} == set(testbed.slugs)
+        mediator = standard_mediator(extended_universities())
+        courses = mediator.integrate(extended_testbed.documents)
+        assert {c.source for c in courses} == set(extended_testbed.slugs)
         assert all(not r.errors for r in mediator.last_reports)
 
-    def test_gold_answers_unchanged_by_extension(self):
+    def test_gold_answers_unchanged_by_extension(self, paper_testbed,
+                                                 extended_testbed):
         """Growing the testbed must not disturb the benchmark queries."""
         from repro.core import QUERIES, gold_answer
-        small = build_testbed(universities=paper_universities())
-        large = build_testbed(universities=extended_universities())
         for query in QUERIES:
-            assert gold_answer(query, small) == gold_answer(query, large)
+            assert gold_answer(query, paper_testbed) == \
+                gold_answer(query, extended_testbed)

@@ -10,11 +10,6 @@ from repro.catalogs import (
 )
 
 
-@pytest.fixture(scope="module")
-def testbed():
-    return build_testbed()
-
-
 class TestSourceStats:
     def test_cmu_numbers(self, testbed):
         stats = source_stats(testbed, "cmu")

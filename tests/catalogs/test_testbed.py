@@ -6,11 +6,6 @@ from repro.catalogs import build_testbed, paper_universities
 from repro.xmlmodel import select_text
 
 
-@pytest.fixture(scope="module")
-def testbed():
-    return build_testbed()
-
-
 class TestAssembly:
     def test_twenty_five_sources(self, testbed):
         assert len(testbed) == 25

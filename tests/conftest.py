@@ -1,0 +1,52 @@
+"""Shared session-scoped testbed builds.
+
+Most test modules only read the testbed, so they share one build per
+flavor instead of each paying for a module-scoped rebuild:
+
+* ``testbed`` — the full default 25-source build at ``DEFAULT_SEED``;
+* ``paper_testbed`` — the nine paper-pinned sources (what most modules
+  previously built for themselves);
+* ``extended_testbed`` — the 45-source roadmap build.
+
+All three are built serially without a cache directory, i.e. exactly the
+artifacts a plain ``build_testbed()`` produces.  Tests that mutate a
+testbed (none today, by convention) must build their own.
+"""
+
+import pytest
+
+from repro.catalogs import (
+    build_testbed,
+    extended_universities,
+    paper_universities,
+)
+
+
+@pytest.fixture(scope="session")
+def _full_build():
+    return build_testbed()
+
+
+@pytest.fixture(scope="session")
+def testbed(_full_build):
+    """Full default 25-source testbed, built once per test session."""
+    return _full_build
+
+
+@pytest.fixture(scope="session")
+def full_testbed(_full_build):
+    """Alias for modules whose local ``testbed`` fixture shadows the
+    session-scoped full build."""
+    return _full_build
+
+
+@pytest.fixture(scope="session")
+def paper_testbed():
+    """The nine paper-pinned sources, built once per test session."""
+    return build_testbed(universities=paper_universities())
+
+
+@pytest.fixture(scope="session")
+def extended_testbed():
+    """The 45-source roadmap testbed, built once per test session."""
+    return build_testbed(universities=extended_universities())

@@ -7,8 +7,8 @@ from repro.core import QUERIES, get_query, gold_answer
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 class TestGoldAnswers:

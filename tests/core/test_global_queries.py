@@ -14,8 +14,8 @@ from repro.xquery import parse_query
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 @pytest.fixture(scope="module")

@@ -61,9 +61,8 @@ class TestRunnableOnTestbed:
     """The cleaned reference queries actually run on the extracted XML."""
 
     @pytest.fixture(scope="class")
-    def documents(self):
-        from repro.catalogs import build_testbed, paper_universities
-        return build_testbed(universities=paper_universities()).documents
+    def documents(self, paper_testbed):
+        return paper_testbed.documents
 
     def test_q1_reference_results(self, documents):
         from repro.xquery import run_query

@@ -9,8 +9,8 @@ from repro.systems import thalia_mediator
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 class TestRunner:

@@ -8,8 +8,8 @@ from repro.integration import Capability
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 class TestCases:

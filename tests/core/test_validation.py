@@ -11,8 +11,8 @@ from repro.core import validate_benchmark
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 class TestHealthyTestbed:

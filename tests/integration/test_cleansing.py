@@ -98,12 +98,11 @@ class TestCleansePass:
         assert record.instructors == ("Singh, H.", "Memon, A.")
         assert record.rooms == ("CHM 1407",)
 
-    def test_cleanse_on_real_integration(self):
-        from repro.catalogs import build_testbed, paper_universities
+    def test_cleanse_on_real_integration(self, paper_testbed):
+        from repro.catalogs import paper_universities
         from repro.integration import standard_mediator
-        testbed = build_testbed(universities=paper_universities())
         mediator = standard_mediator(paper_universities())
-        courses = mediator.integrate(testbed.documents, ["umd"])
+        courses = mediator.integrate(paper_testbed.documents, ["umd"])
         cleaned = cleanse(courses)
         assert len(cleaned) == len(courses)
         software = [c for c in cleaned if c.code == "CMSC435"][0]

@@ -19,11 +19,6 @@ from repro.integration import is_null, standard_mediator
 
 
 @pytest.fixture(scope="module")
-def extended_testbed():
-    return build_testbed(universities=extended_universities())
-
-
-@pytest.fixture(scope="module")
 def integrated(extended_testbed):
     mediator = standard_mediator(extended_universities())
     courses = mediator.integrate(extended_testbed.documents)

@@ -15,8 +15,8 @@ from repro.xmlmodel import XmlDocument, element
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 class TestObservedTags:

@@ -18,8 +18,8 @@ from repro.xmlmodel import XmlDocument, element
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 @pytest.fixture(scope="module")
@@ -167,8 +167,8 @@ class TestStandardIntegration:
         assert all(c.textbook is not None or is_null(c.textbook)
                    for c in integrated)
 
-    def test_full_testbed_mediator_covers_all_sources(self):
-        testbed = build_testbed()
+    def test_full_testbed_mediator_covers_all_sources(self, full_testbed):
+        testbed = full_testbed
         mediator = standard_mediator()
         courses = mediator.integrate(testbed.documents)
         assert {c.source for c in courses} == set(testbed.slugs)

@@ -9,8 +9,8 @@ from repro.xquery import run_query
 
 
 @pytest.fixture(scope="module")
-def documents():
-    return build_testbed(universities=paper_universities()).documents
+def documents(paper_testbed):
+    return paper_testbed.documents
 
 
 class TestRules:

@@ -9,8 +9,8 @@ from repro.xquery import XQueryTypeError, run_query
 
 
 @pytest.fixture(scope="module")
-def documents():
-    return build_testbed(universities=paper_universities()).documents
+def documents(paper_testbed):
+    return paper_testbed.documents
 
 
 @pytest.fixture(scope="module")

@@ -15,8 +15,8 @@ from repro.xquery import run_query
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 class TestNaiveFloor:

@@ -22,8 +22,8 @@ HARD_TRIPLE = (4, 5, 8)
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 @pytest.fixture(scope="module")

@@ -1,54 +1,75 @@
-"""Smoke tests: every shipped example runs cleanly."""
+"""Smoke tests: every shipped example runs cleanly.
 
+The examples import ``repro`` as an installed package, but the test
+environment runs from a source checkout, so the child process gets
+``src`` prepended to its ``PYTHONPATH`` explicitly.  Each example runs
+in its own scratch directory and only once per session (several tests
+assert on the same run), so a failure in one example never masks the
+results of the others.
+"""
+
+import os
 import subprocess
 import sys
+import tempfile
 from pathlib import Path
 
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+_runs: dict[str, tuple[subprocess.CompletedProcess, Path]] = {}
 
 
-def run_example(name: str, cwd: Path) -> subprocess.CompletedProcess:
-    return subprocess.run(
-        [sys.executable, str(EXAMPLES / name)],
-        capture_output=True, text=True, cwd=cwd, timeout=300)
+def run_example(name: str) -> tuple[subprocess.CompletedProcess, Path]:
+    """Run one example once per session; returns (result, its cwd)."""
+    if name not in _runs:
+        cwd = Path(tempfile.mkdtemp(prefix=f"example-{Path(name).stem}-"))
+        env = os.environ.copy()
+        env["PYTHONPATH"] = str(SRC) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        _runs[name] = (subprocess.run(
+            [sys.executable, str(EXAMPLES / name)],
+            capture_output=True, text=True, cwd=cwd, env=env,
+            timeout=300), cwd)
+    return _runs[name]
 
 
 class TestExamples:
-    def test_quickstart(self, tmp_path):
-        result = run_example("quickstart.py", tmp_path)
+    def test_quickstart(self):
+        result, _ = run_example("quickstart.py")
         assert result.returncode == 0, result.stderr
         assert "mediator answer matches gold" in result.stdout
 
-    def test_evaluate_system(self, tmp_path):
-        result = run_example("evaluate_system.py", tmp_path)
+    def test_evaluate_system(self):
+        result, _ = run_example("evaluate_system.py")
         assert result.returncode == 0, result.stderr
         assert "THALIA Honor Roll" in result.stdout
         assert "SchemaMatcher2004" in result.stdout
 
-    def test_add_a_source(self, tmp_path):
-        result = run_example("add_a_source.py", tmp_path)
+    def test_add_a_source(self):
+        result, _ = run_example("add_a_source.py")
         assert result.returncode == 0, result.stderr
         assert "tudelft" in result.stdout
         assert "Integrated" in result.stdout
 
-    def test_build_site(self, tmp_path):
-        result = run_example("build_site.py", tmp_path)
+    def test_build_site(self):
+        result, cwd = run_example("build_site.py")
         assert result.returncode == 0, result.stderr
-        assert (tmp_path / "thalia_site" / "index.html").exists()
+        assert (cwd / "thalia_site" / "index.html").exists()
 
     @pytest.mark.parametrize("name", [
         "quickstart.py", "evaluate_system.py", "add_a_source.py",
         "build_site.py"])
-    def test_examples_emit_no_stderr(self, name, tmp_path):
-        result = run_example(name, tmp_path)
+    def test_examples_emit_no_stderr(self, name):
+        result, _ = run_example(name)
         assert result.stderr == "", result.stderr
 
 
 class TestRewriteUdfsExample:
-    def test_rewrite_and_udfs(self, tmp_path):
-        result = run_example("rewrite_and_udfs.py", tmp_path)
+    def test_rewrite_and_udfs(self):
+        result, _ = run_example("rewrite_and_udfs.py")
         assert result.returncode == 0, result.stderr
         assert "15-567*" in result.stdout
         assert "Datenbanksysteme" in result.stdout
@@ -56,8 +77,8 @@ class TestRewriteUdfsExample:
 
 
 class TestWarehouseExample:
-    def test_warehouse_queries(self, tmp_path):
-        result = run_example("warehouse_queries.py", tmp_path)
+    def test_warehouse_queries(self):
+        result, _ = run_example("warehouse_queries.py")
         assert result.returncode == 0, result.stderr
         assert "matches gold" in result.stdout
         assert "MISMATCH" not in result.stdout

@@ -18,8 +18,8 @@ from repro.website import (
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 def names_in(data: bytes) -> list[str]:

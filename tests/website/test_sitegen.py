@@ -9,8 +9,8 @@ from repro.website import SiteGenerator
 
 
 @pytest.fixture(scope="module")
-def testbed():
-    return build_testbed(universities=paper_universities())
+def testbed(paper_testbed):
+    return paper_testbed
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +87,10 @@ class TestClassificationPage:
     def test_nav_links_to_classification(self, site):
         home = (site / "index.html").read_text()
         assert "classification.html" in home
+
+
+class TestSharedBuildDefault:
+    def test_default_generator_uses_shared_testbed(self):
+        from repro.catalogs import shared_testbed
+        generator = SiteGenerator()
+        assert generator.testbed is shared_testbed()

@@ -272,11 +272,9 @@ class TestXsdParsing:
         assert serialize(parsed.to_xsd()) == serialize(schema.to_xsd())
         parsed.validate(doc)
 
-    def test_bundle_xsds_loadable(self):
+    def test_bundle_xsds_loadable(self, paper_testbed):
         """The shipped catalog XSDs are consumable by parse_xsd."""
-        from repro.catalogs import build_testbed, paper_universities
         from repro.xmlmodel import parse_xsd
-        testbed = build_testbed(universities=paper_universities())
-        for bundle in testbed:
+        for bundle in paper_testbed:
             parsed = parse_xsd(bundle.schema.to_xsd())
             parsed.validate(bundle.document)

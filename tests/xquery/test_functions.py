@@ -199,13 +199,12 @@ class TestAggregates:
         assert q("sum(doc('r')/r/u)", local) == [21.0]
         assert q("avg(doc('r')/r/u)", local) == [10.5]
 
-    def test_aggregate_over_warehouse_units(self):
+    def test_aggregate_over_warehouse_units(self, paper_testbed):
         """Ad-hoc analytics over the materialized global schema."""
-        from repro.catalogs import build_testbed, paper_universities
+        from repro.catalogs import paper_universities
         from repro.integration import Warehouse, standard_mediator
-        testbed = build_testbed(universities=paper_universities())
         warehouse = Warehouse(standard_mediator(paper_universities()),
-                              testbed.documents)
+                              paper_testbed.documents)
         result = warehouse.query(
             "max(for $c in doc('warehouse')/warehouse/Course "
             "where $c/@source = 'cmu' return $c/Units)")
