@@ -1,0 +1,112 @@
+"""Benchmark service under load: throughput and latency, cold vs warm.
+
+Boots the full benchmark service over the 25-source testbed and drives
+it with an in-process load generator — one persistent HTTP/1.1
+connection per client thread, round-robining over the service's
+representative endpoints.  Reports per-endpoint cold (first-request,
+cache-miss) latency against warm p50/p95 plus aggregate throughput, and
+asserts the content cache actually short-circuits rebuilds: the warm
+median must beat the cold first hit and the hit-rate must be ~1.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from http.client import HTTPConnection
+
+from repro.server import HonorRollStore, ThaliaApp, ThaliaServer
+from repro.server.metrics import percentile
+
+CLIENT_THREADS = 8
+ROUNDS_PER_THREAD = 20
+
+ENDPOINTS = [
+    ("home", "/"),
+    ("catalog page", "/catalogs/cmu.html"),
+    ("source xml", "/data/cmu.xml"),
+    ("query defs", "/api/queries"),
+    ("query page", "/benchmark/query04.html"),      # runs the mediator cold
+    ("solutions zip", "/downloads/thalia_sample_solutions.zip"),
+]
+
+
+def _get(connection: HTTPConnection, path: str) -> float:
+    start = time.perf_counter()
+    connection.request("GET", path)
+    response = connection.getresponse()
+    response.read()
+    assert response.status == 200, (path, response.status)
+    return time.perf_counter() - start
+
+
+def test_server_load(testbed, tmp_path_factory):
+    store = HonorRollStore(
+        tmp_path_factory.mktemp("bench-scores") / "roll.jsonl")
+    app = ThaliaApp(testbed=testbed, store=store)
+    with ThaliaServer(app, port=0, pool_size=CLIENT_THREADS) as server:
+        host, port = server.host, server.port
+
+        cold: dict[str, float] = {}
+        for name, path in ENDPOINTS:
+            connection = HTTPConnection(host, port)
+            cold[name] = _get(connection, path)
+            connection.close()
+
+        warm: dict[str, list[float]] = {name: [] for name, _ in ENDPOINTS}
+        lock = threading.Lock()
+
+        def client() -> None:
+            connection = HTTPConnection(host, port)
+            local: dict[str, list[float]] = {name: []
+                                             for name, _ in ENDPOINTS}
+            for _ in range(ROUNDS_PER_THREAD):
+                for name, path in ENDPOINTS:
+                    local[name].append(_get(connection, path))
+            connection.close()
+            with lock:
+                for name, samples in local.items():
+                    warm[name].extend(samples)
+
+        wall_start = time.perf_counter()
+        threads = [threading.Thread(target=client)
+                   for _ in range(CLIENT_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - wall_start
+
+        total = CLIENT_THREADS * ROUNDS_PER_THREAD * len(ENDPOINTS)
+        print(f"\n[server] {total} warm requests, {CLIENT_THREADS} client "
+              f"threads, {wall_s:.3f}s wall "
+              f"→ {total / wall_s:,.0f} req/s")
+        print(f"  {'endpoint':<14} {'cold ms':>9} {'warm p50':>9} "
+              f"{'warm p95':>9} {'speedup':>8}")
+        for name, _ in ENDPOINTS:
+            p50 = percentile(warm[name], 0.50)
+            p95 = percentile(warm[name], 0.95)
+            print(f"  {name:<14} {1000 * cold[name]:>9.3f} "
+                  f"{1000 * p50:>9.3f} {1000 * p95:>9.3f} "
+                  f"{cold[name] / p50 if p50 else float('inf'):>7.1f}x")
+
+        cache = app.cache.stats()
+        print(f"  content cache: {cache['entries']} entries, "
+              f"{cache['bytes'] / 1024:.0f} KiB, "
+              f"hit rate {cache['hit_rate']:.1%} "
+              f"({cache['builds']} builds for "
+              f"{cache['hits'] + cache['misses']} lookups)")
+
+        # Warm traffic must be pure cache replay...
+        assert cache["builds"] == len(ENDPOINTS)
+        assert cache["hit_rate"] > 0.95
+        # ...and replay must beat rebuilding wherever the build was the
+        # cost (cheap pages render in µs — there contention noise, not
+        # the cache, decides the comparison).
+        expensive = [name for name, _ in ENDPOINTS if cold[name] > 0.010]
+        assert expensive, "no endpoint had a measurable cold build"
+        for name in expensive:
+            assert percentile(warm[name], 0.50) < cold[name], name
+        snapshot = app.metrics.snapshot()
+        assert snapshot["totals"]["requests"] == total + len(ENDPOINTS)
+        assert snapshot["totals"]["errors"] == 0

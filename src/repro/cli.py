@@ -12,6 +12,8 @@ Commands:
 * ``query N`` — describe benchmark query N and run its reference XQuery
   against the testbed.
 * ``build-site DIR`` — generate the THALIA web site (Fig. 4) under DIR.
+* ``serve`` — run the live benchmark service (site + API + score
+  uploads) on a bounded worker-pool HTTP server.
 * ``bundle DIR`` — write the three download zips under DIR.
 * ``sources`` — list the testbed's sources.
 * ``stats [--extended]`` — testbed statistics and heterogeneity coverage.
@@ -95,6 +97,23 @@ def _build_parser() -> argparse.ArgumentParser:
     site.add_argument("--scores", metavar="FILE", default=None,
                       help="honor-roll JSON produced by run-benchmark "
                            "--save-scores")
+
+    serve = commands.add_parser(
+        "serve", help="run the live benchmark service (site + API)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8014,
+                       help="bind port; 0 picks an ephemeral port "
+                            "(default 8014)")
+    serve.add_argument("--scores", metavar="FILE",
+                       default=None,
+                       help="honor-roll JSON-lines store (default: "
+                            "thalia_honor_roll.jsonl in the working "
+                            "directory)")
+    serve.add_argument("--http-threads", type=int, default=8, metavar="N",
+                       help="worker threads answering requests "
+                            "(default 8); --workers keeps meaning build "
+                            "parallelism")
 
     bundle = commands.add_parser(
         "bundle", help="write the three download zips")
@@ -201,6 +220,32 @@ def _cmd_build_site(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .server import DEFAULT_SCORES_FILE, HonorRollStore, ThaliaApp, \
+        ThaliaServer
+
+    testbed = _make_testbed(args)   # global --workers/--cache-dir/--no-cache
+    store = HonorRollStore(args.scores or DEFAULT_SCORES_FILE)
+    app = ThaliaApp(testbed=testbed, store=store)
+    server = ThaliaServer(app, host=args.host, port=args.port,
+                          pool_size=args.http_threads)
+    print(f"serving THALIA benchmark service on {server.url} "
+          f"({len(testbed)} sources, {args.http_threads} worker threads, "
+          f"honor roll: {store.path})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down...", flush=True)
+    finally:
+        server.stop()
+    snapshot = app.metrics.snapshot()
+    totals = snapshot["totals"]
+    print(f"served {totals['requests']} request(s), "
+          f"{totals['errors']} error(s), cache hit-rate "
+          f"{totals['cache_hit_rate']:.0%}")
+    return 0
+
+
 def _cmd_bundle(args: argparse.Namespace) -> int:
     testbed = _make_testbed(args)
     for path in build_all_bundles(testbed, args.directory):
@@ -262,6 +307,7 @@ _COMMANDS = {
     "run-benchmark": _cmd_run_benchmark,
     "query": _cmd_query,
     "build-site": _cmd_build_site,
+    "serve": _cmd_serve,
     "bundle": _cmd_bundle,
     "sources": _cmd_sources,
 }

@@ -30,7 +30,13 @@ from .report import (
     render_system_table,
 )
 from .runner import run_all, run_benchmark, run_query
-from .scoring import MAX_CORRECT, QueryOutcome, ScoreCard, rank
+from .scoring import (
+    MAX_CORRECT,
+    QueryOutcome,
+    ScoreCard,
+    rank,
+    validate_claims,
+)
 from .taxonomy import HeterogeneityCase, all_cases, render_case, render_taxonomy
 from .validation import ValidationIssue, ValidationResult, validate_benchmark
 
@@ -61,4 +67,5 @@ __all__ = [
     "run_benchmark",
     "run_query",
     "validate_benchmark",
+    "validate_claims",
 ]

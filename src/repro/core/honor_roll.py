@@ -13,8 +13,7 @@ import json
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..integration import Effort
-from .scoring import QueryOutcome, ScoreCard, rank
+from .scoring import ScoreCard, rank
 
 
 @dataclass(frozen=True)
@@ -28,6 +27,20 @@ class HonorRollEntry:
     @property
     def rank_key(self):
         return self.card.sort_key
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.card.system,
+            "submitter": self.submitter,
+            "date": self.date,
+            "outcomes": [o.to_dict() for o in self.card.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "HonorRollEntry":
+        card = ScoreCard.from_dict(
+            {"system": raw["system"], "outcomes": raw["outcomes"]})
+        return cls(card=card, submitter=raw["submitter"], date=raw["date"])
 
 
 class HonorRoll:
@@ -56,25 +69,7 @@ class HonorRoll:
     # -- persistence ------------------------------------------------------#
 
     def save(self, path: str | Path) -> Path:
-        payload = [
-            {
-                "system": entry.card.system,
-                "submitter": entry.submitter,
-                "date": entry.date,
-                "outcomes": [
-                    {
-                        "number": o.number,
-                        "supported": o.supported,
-                        "correct": o.correct,
-                        "effort": o.effort.name if o.effort is not None
-                        else None,
-                        "note": o.note,
-                    }
-                    for o in entry.card.outcomes
-                ],
-            }
-            for entry in self._entries
-        ]
+        payload = [entry.to_dict() for entry in self._entries]
         target = Path(path)
         target.write_text(json.dumps(payload, indent=2), encoding="utf-8")
         return target
@@ -84,16 +79,8 @@ class HonorRoll:
         roll = cls()
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         for raw in payload:
-            card = ScoreCard(system=raw["system"])
-            for o in raw["outcomes"]:
-                card.outcomes.append(QueryOutcome(
-                    number=o["number"],
-                    supported=o["supported"],
-                    correct=o["correct"],
-                    effort=Effort[o["effort"]] if o["effort"] else None,
-                    note=o.get("note", ""),
-                ))
-            roll.submit(card, raw["submitter"], raw["date"])
+            entry = HonorRollEntry.from_dict(raw)
+            roll.submit(entry.card, entry.submitter, entry.date)
         return roll
 
     def render(self) -> str:

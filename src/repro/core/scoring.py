@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from ..integration import Effort
@@ -41,6 +42,43 @@ class QueryOutcome:
             return "not supported"
         assert self.effort is not None
         return self.effort.label
+
+    # -- (de)serialization ------------------------------------------------#
+
+    def to_dict(self) -> dict:
+        return {
+            "number": self.number,
+            "supported": self.supported,
+            "correct": self.correct,
+            "effort": self.effort.name if self.effort is not None else None,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "QueryOutcome":
+        number = raw["number"]
+        supported = raw["supported"]
+        correct = raw["correct"]
+        if not isinstance(number, int) or isinstance(number, bool):
+            raise ValueError(f"outcome number must be an int, got {number!r}")
+        if not isinstance(supported, bool) or not isinstance(correct, bool):
+            raise ValueError(
+                f"supported/correct must be booleans in outcome {number}")
+        effort_name = raw.get("effort")
+        if effort_name is None:
+            effort = None
+        else:
+            try:
+                effort = Effort[effort_name]
+            except (KeyError, TypeError):
+                raise ValueError(
+                    f"unknown effort {effort_name!r} in outcome {number}"
+                ) from None
+        note = raw.get("note", "")
+        if not isinstance(note, str):
+            raise ValueError(f"note must be a string in outcome {number}")
+        return cls(number=number, supported=supported, correct=correct,
+                   effort=effort, note=note)
 
 
 @dataclass
@@ -86,7 +124,85 @@ class ScoreCard:
                 f"complexity {self.complexity_score} "
                 f"({self.no_code_count} with no code)")
 
+    # -- (de)serialization ------------------------------------------------#
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ScoreCard":
+        if not isinstance(raw, dict):
+            raise ValueError("score card must be a JSON object")
+        system = raw.get("system")
+        if not isinstance(system, str) or not system:
+            raise ValueError("score card needs a non-empty 'system' string")
+        outcomes = raw.get("outcomes")
+        if not isinstance(outcomes, list):
+            raise ValueError("score card needs an 'outcomes' list")
+        card = cls(system=system)
+        for entry in outcomes:
+            if not isinstance(entry, dict):
+                raise ValueError("each outcome must be a JSON object")
+            card.outcomes.append(QueryOutcome.from_dict(entry))
+        return card
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScoreCard":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"score card is not valid JSON: {exc}") from None
+        return cls.from_dict(raw)
+
 
 def rank(cards: list[ScoreCard]) -> list[ScoreCard]:
     """Order score cards per the paper's ranking rule (stable)."""
     return sorted(cards, key=lambda card: card.sort_key)
+
+
+def validate_claims(card: ScoreCard,
+                    claimed_correct: int | None = None,
+                    claimed_complexity: int | None = None) -> list[str]:
+    """Server-side re-scoring hook: why an uploaded card must be rejected.
+
+    The honor-roll service cannot re-run a stranger's integration system,
+    but it *can* re-score the claimed per-query outcomes with the paper's
+    own scoring function and refuse cards whose structure is malformed or
+    whose claimed totals are inflated relative to that re-scoring.
+    Returns a list of problems; an empty list means the card is admissible.
+    """
+    problems: list[str] = []
+    numbers = [o.number for o in card.outcomes]
+    if not numbers:
+        problems.append("score card has no outcomes")
+    for number in numbers:
+        if not 1 <= number <= MAX_CORRECT:
+            problems.append(f"query number {number} out of range 1..12")
+    duplicates = sorted({n for n in numbers if numbers.count(n) > 1})
+    if duplicates:
+        problems.append(f"duplicate outcomes for queries {duplicates}")
+    for outcome in card.outcomes:
+        if outcome.correct and not outcome.supported:
+            problems.append(
+                f"query {outcome.number} claims correct but unsupported")
+        if outcome.supported and outcome.effort is None:
+            problems.append(
+                f"query {outcome.number} is supported but declares no "
+                "effort level")
+    if claimed_correct is not None and \
+            claimed_correct != card.correct_count:
+        problems.append(
+            f"claims {claimed_correct} correct but re-scores to "
+            f"{card.correct_count}")
+    if claimed_complexity is not None and \
+            claimed_complexity != card.complexity_score:
+        problems.append(
+            f"claims complexity {claimed_complexity} but re-scores to "
+            f"{card.complexity_score}")
+    return problems

@@ -1,0 +1,328 @@
+"""The benchmark service: application object and threaded HTTP server.
+
+:class:`ThaliaApp` is transport-independent — it turns a
+:class:`~repro.server.router.Request` into a
+:class:`~repro.server.router.Response`, applying the content cache,
+conditional-GET (``ETag`` / ``If-None-Match`` → 304), transfer gzip and
+per-endpoint metrics centrally so handlers stay tiny.  Tests can drive
+it without sockets; :class:`ThaliaServer` puts it behind a bounded
+worker-pool HTTP server with graceful shutdown for real traffic.
+"""
+
+from __future__ import annotations
+
+import gzip
+import logging
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, HTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from ..catalogs import Testbed, shared_testbed
+from ..website import SiteGenerator
+from .cache import CacheEntry, ContentCache
+from .handlers import build_router
+from .metrics import ServerMetrics
+from .router import Request, Response
+from .store import HonorRollStore
+
+logger = logging.getLogger(__name__)
+
+DEFAULT_SCORES_FILE = "thalia_honor_roll.jsonl"
+
+#: Bodies below this aren't worth a gzip round trip.
+GZIP_MIN_BYTES = 256
+
+_COMPRESSIBLE_PREFIXES = ("text/", "application/json", "application/xml")
+
+
+class ThaliaApp:
+    """Everything the service needs, wired to one testbed build."""
+
+    def __init__(self, testbed: Testbed | None = None,
+                 store: HonorRollStore | None = None,
+                 scores_path: str | Path = DEFAULT_SCORES_FILE) -> None:
+        self.testbed = testbed if testbed is not None else shared_testbed()
+        self.store = store if store is not None \
+            else HonorRollStore(scores_path)
+        # The static-site generator renders every HTML page; sharing the
+        # durable store means the live honor roll and a generated site
+        # agree byte-for-byte.
+        self.site = SiteGenerator(self.testbed, honor_roll=self.store)
+        self.cache = ContentCache()
+        self.metrics = ServerMetrics()
+        self.router = build_router()
+
+    # -- handler helpers -------------------------------------------------- #
+
+    def cached_response(self, key, builder) -> Response:
+        """Serve ``(body, content_type)`` from the content cache."""
+        entry, was_hit = self.cache.get_or_build(key, builder)
+        response = Response(body=entry.body, content_type=entry.content_type,
+                            etag=entry.etag, cache_hit=was_hit)
+        response._entry = entry  # transfer-gzip reuse in _finalize
+        return response
+
+    def page_response(self, relpath: str) -> Response:
+        """One site HTML page, rendered lazily and cached forever."""
+        try:
+            return self.cached_response(
+                ("page", relpath),
+                lambda: (self.site.render_page(relpath).encode("utf-8"),
+                         "text/html; charset=utf-8"))
+        except KeyError:
+            return Response.of_json(
+                {"error": f"no such page: /{relpath}"}, status=404)
+
+    def honor_roll_response(self) -> Response:
+        """The honor-roll page, cached per store revision: uploads
+        invalidate it immediately, everything else replays it."""
+        revision = str(self.store.revision)
+        response = self.cached_response(
+            ("honor_roll_html", revision),
+            lambda: (self.site.render_page("honor_roll.html").encode("utf-8"),
+                     "text/html; charset=utf-8"))
+        self.cache.prune_group("honor_roll_html", keep_variant=revision)
+        return response
+
+    def honor_roll_json_response(self) -> Response:
+        revision = str(self.store.revision)
+
+        def build():
+            payload = [{
+                "rank": position,
+                "system": entry.card.system,
+                "correct": entry.card.correct_count,
+                "complexity": entry.card.complexity_score,
+                "no_code": entry.card.no_code_count,
+                "submitter": entry.submitter,
+                "date": entry.date,
+            } for position, entry in enumerate(self.store.ranked(), start=1)]
+            return Response.of_json(payload).body, "application/json"
+
+        response = self.cached_response(("honor_roll_json", revision), build)
+        self.cache.prune_group("honor_roll_json", keep_variant=revision)
+        return response
+
+    # -- dispatch ---------------------------------------------------------- #
+
+    def handle(self, request: Request) -> Response:
+        """Route one request; never raises."""
+        started = time.perf_counter()
+        # HEAD routes like GET; the transport layer suppresses the body.
+        method = "GET" if request.method == "HEAD" else request.method
+        route, params, allowed = self.router.match(method, request.path)
+        if route is None:
+            if allowed:
+                response = Response.of_json(
+                    {"error": f"method {request.method} not allowed"},
+                    status=405,
+                    headers={"Allow": ", ".join(sorted(allowed))})
+            else:
+                response = Response.of_json(
+                    {"error": f"no such resource: {request.path}"},
+                    status=404)
+            name = "_unrouted"
+        else:
+            name = route.name
+            request.params = params
+            try:
+                response = route.handler(self, request)
+            except Exception:
+                logger.error("unhandled error on %s %s\n%s", request.method,
+                             request.path, traceback.format_exc())
+                response = Response.of_json(
+                    {"error": "internal server error"}, status=500)
+        response = self._finalize(request, response)
+        self.metrics.record(name, response.status,
+                            time.perf_counter() - started,
+                            response.cache_hit, len(response.body))
+        return response
+
+    def _finalize(self, request: Request, response: Response) -> Response:
+        """Apply conditional-GET and transfer-gzip uniformly."""
+        if response.etag:
+            response.headers.setdefault("ETag", response.etag)
+            if _etag_matches(request.headers.get("if-none-match", ""),
+                             response.etag):
+                return Response(status=304, body=b"",
+                                content_type=response.content_type,
+                                headers=dict(response.headers),
+                                etag=response.etag,
+                                cache_hit=response.cache_hit)
+        if response.no_store:
+            response.headers.setdefault("Cache-Control", "no-store")
+        if self._wants_gzip(request) and response.compressible \
+                and len(response.body) >= GZIP_MIN_BYTES \
+                and response.content_type.startswith(_COMPRESSIBLE_PREFIXES):
+            entry: CacheEntry | None = getattr(response, "_entry", None)
+            response.body = entry.gzipped() if entry is not None \
+                else gzip.compress(response.body, mtime=0)
+            response.headers["Content-Encoding"] = "gzip"
+            response.headers.setdefault("Vary", "Accept-Encoding")
+        return response
+
+    @staticmethod
+    def _wants_gzip(request: Request) -> bool:
+        accepted = request.headers.get("accept-encoding", "")
+        return any(token.split(";")[0].strip() == "gzip"
+                   for token in accepted.split(","))
+
+
+def _etag_matches(if_none_match: str, etag: str) -> bool:
+    if not if_none_match:
+        return False
+    if if_none_match.strip() == "*":
+        return True
+    candidates = {candidate.strip().removeprefix("W/")
+                  for candidate in if_none_match.split(",")}
+    return etag in candidates or etag.strip('"') in candidates
+
+
+# --------------------------------------------------------------------------- #
+# HTTP transport
+# --------------------------------------------------------------------------- #
+
+class _HttpHandler(BaseHTTPRequestHandler):
+    """Adapts ``http.server`` requests to :meth:`ThaliaApp.handle`."""
+
+    server_version = "ThaliaServer/1.0"
+    protocol_version = "HTTP/1.1"
+    # Headers and body go out as separate writes; without TCP_NODELAY,
+    # Nagle + delayed ACK stalls every keep-alive response by ~40ms.
+    disable_nagle_algorithm = True
+
+    def _dispatch(self, include_body: bool = True) -> None:
+        parsed = urlsplit(self.path)
+        length = int(self.headers.get("Content-Length") or 0)
+        request = Request(
+            method=self.command,
+            path=parsed.path,
+            query={key: values[-1] for key, values
+                   in parse_qs(parsed.query).items()},
+            headers={key.lower(): value for key, value
+                     in self.headers.items()},
+            body=self.rfile.read(length) if length else b"",
+        )
+        response = self.server.app.handle(request)  # type: ignore[attr-defined]
+        self.send_response(response.status)
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        if response.status != 304:
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+        if include_body and response.status != 304 and response.body:
+            self.end_headers()
+            self.wfile.write(response.body)
+        else:
+            self.end_headers()
+
+    def do_GET(self) -> None:            # noqa: N802 (http.server API)
+        self._dispatch()
+
+    def do_POST(self) -> None:           # noqa: N802
+        self._dispatch()
+
+    def do_HEAD(self) -> None:           # noqa: N802
+        self._dispatch(include_body=False)
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s %s", self.address_string(), format % args)
+
+
+class PooledHTTPServer(HTTPServer):
+    """An ``HTTPServer`` that answers requests on a bounded thread pool.
+
+    ``ThreadingHTTPServer`` spawns one thread per connection — unbounded
+    under heavy traffic.  Here the acceptor enqueues each connection on a
+    fixed-size :class:`ThreadPoolExecutor`; excess connections queue
+    instead of multiplying threads.
+    """
+
+    def __init__(self, address, handler_class, app: ThaliaApp,
+                 pool_size: int = 8) -> None:
+        super().__init__(address, handler_class)
+        self.app = app
+        self.pool_size = max(1, int(pool_size))
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.pool_size, thread_name_prefix="thalia-http")
+
+    def process_request(self, request, client_address) -> None:
+        self._pool.submit(self._work, request, client_address)
+
+    def _work(self, request, client_address) -> None:
+        try:
+            self.finish_request(request, client_address)
+        except Exception:
+            self.handle_error(request, client_address)
+        finally:
+            self.shutdown_request(request)
+
+    def handle_error(self, request, client_address) -> None:
+        logger.debug("connection error from %s\n%s", client_address,
+                     traceback.format_exc())
+
+    def drain(self, wait: bool = True) -> None:
+        """Stop accepting pool work and (optionally) finish in-flight
+        requests."""
+        self._pool.shutdown(wait=wait)
+
+
+class ThaliaServer:
+    """Lifecycle wrapper: bind, serve (blocking or background), stop.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port` after
+    :meth:`start`).  :meth:`stop` is graceful: the acceptor loop exits,
+    in-flight requests finish on the worker pool, then the socket closes.
+    """
+
+    def __init__(self, app: ThaliaApp | None = None, host: str = "127.0.0.1",
+                 port: int = 0, pool_size: int = 8) -> None:
+        self.app = app if app is not None else ThaliaApp()
+        self._server = PooledHTTPServer((host, port), _HttpHandler,
+                                        app=self.app, pool_size=pool_size)
+        self._thread: threading.Thread | None = None
+        self._stopped = False
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the CLI's foreground mode)."""
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ThaliaServer":
+        """Serve on a daemon thread; returns self once accepting."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="thalia-acceptor", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown; safe to call more than once."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._server.shutdown()            # acceptor loop exits
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._server.drain(wait=True)      # in-flight requests finish
+        self._server.server_close()
+
+    def __enter__(self) -> "ThaliaServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

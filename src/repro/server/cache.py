@@ -1,0 +1,114 @@
+"""In-memory content cache with sha256 ETags and memoized gzip variants.
+
+Everything the benchmark service serves is deterministic in the testbed
+build (pages, XML, XSDs, the three zip bundles) or in the honor-roll
+store's revision (the honor-roll views), so responses are rendered once
+and replayed from memory.  Each entry carries a strong ``ETag`` — the
+sha256 of the body — enabling conditional GETs, and lazily memoizes a
+deterministic gzip variant (``mtime=0``) for clients that accept it.
+
+Keys are ``(group, variant)`` pairs; :meth:`ContentCache.prune_group`
+drops superseded variants (old honor-roll revisions) so the cache stays
+bounded even under a stream of score uploads.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+Key = tuple[str, str]
+
+
+@dataclass
+class CacheEntry:
+    """One cached response body plus its derived representations."""
+
+    body: bytes
+    content_type: str
+    etag: str                       # quoted strong ETag: "<sha256>"
+    gzip_body: bytes | None = None  # memoized on first gzip-accepting GET
+    hits: int = 0
+    _gzip_lock: threading.Lock = field(default_factory=threading.Lock,
+                                       repr=False)
+
+    def gzipped(self) -> bytes:
+        with self._gzip_lock:
+            if self.gzip_body is None:
+                # mtime=0 keeps the compressed bytes — and therefore any
+                # downstream checksums — deterministic across requests.
+                self.gzip_body = gzip.compress(self.body, mtime=0)
+            return self.gzip_body
+
+
+def make_etag(body: bytes) -> str:
+    return f'"{hashlib.sha256(body).hexdigest()}"'
+
+
+class ContentCache:
+    """Thread-safe build-once replay-forever response cache."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[Key, CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.builds = 0
+
+    def get_or_build(self, key: Key,
+                     builder: Callable[[], tuple[bytes, str]]
+                     ) -> tuple[CacheEntry, bool]:
+        """Return ``(entry, was_hit)``, building the body on first use.
+
+        The builder runs outside the lock (builds can be slow — a zip
+        bundle takes real work); when two threads race on the same cold
+        key the first stored entry wins, so every caller observes one
+        canonical body and ETag.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.hits += 1
+                self.hits += 1
+                return entry, True
+        body, content_type = builder()
+        built = CacheEntry(body=body, content_type=content_type,
+                           etag=make_etag(body))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:           # lost the race: keep canonical
+                entry.hits += 1
+                self.hits += 1
+                return entry, True
+            self._entries[key] = built
+            self.misses += 1
+            self.builds += 1
+            return built, False
+
+    def prune_group(self, group: str, keep_variant: str) -> int:
+        """Drop every entry of *group* except *keep_variant*."""
+        with self._lock:
+            stale = [key for key in self._entries
+                     if key[0] == group and key[1] != keep_variant]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": sum(len(e.body) for e in self._entries.values()),
+                "hits": self.hits,
+                "misses": self.misses,
+                "builds": self.builds,
+                "hit_rate": round(self.hits / (self.hits + self.misses), 4)
+                if (self.hits + self.misses) else 0.0,
+            }

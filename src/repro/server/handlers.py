@@ -1,0 +1,311 @@
+"""Endpoint handlers: the THALIA testbed as an HTTP API + site.
+
+The route table (one handler per row; HTML pages reuse the static-site
+renderers, so live and generated pages are byte-identical):
+
+=======  ==================================  =================================
+Method   Path                                Serves
+=======  ==================================  =================================
+GET      ``/``, ``/index.html``              home page
+GET      ``/classification.html``            §3 heterogeneity classification
+GET      ``/honor-roll``,                    live ranked honor roll
+         ``/honor_roll.html``
+GET      ``/catalogs/``, ``…/{slug}.html``   catalog listing / HTML snapshot
+GET      ``/data/``, ``…/{slug}_xml.html``,  extracted-data browser
+         ``…/{slug}_xsd.html``
+GET      ``/data/{slug}.xml``, ``….xsd``     raw extracted XML / inferred XSD
+GET      ``/benchmark/``,                    benchmark pages
+         ``…/query{nn}.html``
+GET      ``/downloads/{bundle}.zip``         the three zips (lazy, memoized)
+GET      ``/api/queries[/{n}]``              benchmark query definitions
+GET      ``/api/sources``                    source inventory
+GET      ``/api/honor-roll``                 ranked roll as JSON
+GET      ``/api/stats``                      request/latency/cache metrics
+GET      ``/healthz``                        liveness probe
+POST     ``/api/query``                      run an XQuery against a source
+POST     ``/api/scores``                     upload a score card (re-scored
+                                             server-side before acceptance)
+=======  ==================================  =================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core import QUERIES, query_short_name, validate_claims
+from ..core.scoring import ScoreCard
+from ..website.bundles import (
+    CATALOGS_BUNDLE,
+    QUERIES_BUNDLE,
+    SOLUTIONS_BUNDLE,
+    build_catalogs_bundle,
+    build_queries_bundle,
+    build_solutions_bundle,
+)
+from ..xmlmodel import XmlElement, serialize, serialize_pretty
+from ..xquery import XQueryError, run_query as run_xquery
+from .router import Request, Response, Router
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .app import ThaliaApp
+
+XML_TYPE = "application/xml; charset=utf-8"
+
+_BUNDLE_BUILDERS = {
+    CATALOGS_BUNDLE: build_catalogs_bundle,
+    QUERIES_BUNDLE: build_queries_bundle,
+    SOLUTIONS_BUNDLE: build_solutions_bundle,
+}
+
+
+def build_router() -> Router:
+    router = Router()
+
+    # -- HTML pages (shared with the static site) ----------------------- #
+
+    @router.get("/", name="home")
+    @router.get("/index.html", name="home")
+    def home(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response("index.html")
+
+    @router.get("/classification.html", name="classification")
+    def classification(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response("classification.html")
+
+    @router.get("/honor-roll", name="honor_roll")
+    @router.get("/honor_roll.html", name="honor_roll")
+    def honor_roll(app: "ThaliaApp", request: Request) -> Response:
+        return app.honor_roll_response()
+
+    @router.get("/catalogs/", name="catalog_index")
+    @router.get("/catalogs/index.html", name="catalog_index")
+    def catalog_index(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response("catalogs/index.html")
+
+    @router.get("/catalogs/{page}.html", name="catalog_page")
+    def catalog_page(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response(f"catalogs/{request.params['page']}.html")
+
+    @router.get("/data/", name="data_index")
+    @router.get("/data/index.html", name="data_index")
+    def data_index(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response("data/index.html")
+
+    @router.get("/data/{page}.html", name="data_page")
+    def data_page(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response(f"data/{request.params['page']}.html")
+
+    @router.get("/benchmark/", name="benchmark_index")
+    @router.get("/benchmark/index.html", name="benchmark_index")
+    def benchmark_index(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response("benchmark/index.html")
+
+    @router.get("/benchmark/{page}.html", name="benchmark_page")
+    def benchmark_page(app: "ThaliaApp", request: Request) -> Response:
+        return app.page_response(f"benchmark/{request.params['page']}.html")
+
+    # -- raw artifacts --------------------------------------------------- #
+
+    @router.get("/data/{slug}.xml", name="source_xml")
+    def source_xml(app: "ThaliaApp", request: Request) -> Response:
+        slug = request.params["slug"]
+        if slug not in app.testbed:
+            return Response.of_json(
+                {"error": f"no such source: {slug}"}, status=404)
+        return app.cached_response(
+            ("xml", slug),
+            lambda: (serialize_pretty(
+                app.testbed.source(slug).document).encode("utf-8"),
+                XML_TYPE))
+
+    @router.get("/data/{slug}.xsd", name="source_xsd")
+    def source_xsd(app: "ThaliaApp", request: Request) -> Response:
+        slug = request.params["slug"]
+        if slug not in app.testbed:
+            return Response.of_json(
+                {"error": f"no such source: {slug}"}, status=404)
+        return app.cached_response(
+            ("xsd", slug),
+            lambda: (serialize_pretty(
+                app.testbed.source(slug).schema.to_xsd()).encode("utf-8"),
+                XML_TYPE))
+
+    @router.get("/downloads/{name}", name="bundle")
+    def bundle(app: "ThaliaApp", request: Request) -> Response:
+        name = request.params["name"]
+        builder = _BUNDLE_BUILDERS.get(name)
+        if builder is None:
+            return Response.of_json(
+                {"error": f"no such download: {name}"}, status=404)
+        response = app.cached_response(
+            ("bundle", name),
+            lambda: (builder(app.testbed), "application/zip"))
+        response.compressible = False   # zip entries are already deflated
+        return response
+
+    # -- JSON API -------------------------------------------------------- #
+
+    @router.get("/api/queries", name="api_queries")
+    def api_queries(app: "ThaliaApp", request: Request) -> Response:
+        return app.cached_response(
+            ("api", "queries"),
+            lambda: (Response.of_json(
+                [_query_payload(q) for q in QUERIES]).body,
+                "application/json"))
+
+    @router.get("/api/queries/{number}", name="api_query")
+    def api_query(app: "ThaliaApp", request: Request) -> Response:
+        number = request.params["number"]
+        matches = [q for q in QUERIES
+                   if number.isdigit() and q.number == int(number)]
+        if not matches:
+            return Response.of_json(
+                {"error": f"no such benchmark query: {number}"}, status=404)
+        return app.cached_response(
+            ("api", f"query-{matches[0].number}"),
+            lambda: (Response.of_json(_query_payload(matches[0])).body,
+                     "application/json"))
+
+    @router.get("/api/sources", name="api_sources")
+    def api_sources(app: "ThaliaApp", request: Request) -> Response:
+        def build() -> tuple[bytes, str]:
+            payload = []
+            for source in app.testbed:
+                profile = source.profile
+                payload.append({
+                    "slug": source.slug,
+                    "name": profile.name,
+                    "country": profile.country,
+                    "language": profile.language,
+                    "records": source.stats.records,
+                    "heterogeneities": list(profile.heterogeneities),
+                })
+            return Response.of_json(payload).body, "application/json"
+        return app.cached_response(("api", "sources"), build)
+
+    @router.get("/api/honor-roll", name="api_honor_roll")
+    def api_honor_roll(app: "ThaliaApp", request: Request) -> Response:
+        return app.honor_roll_json_response()
+
+    @router.get("/api/stats", name="api_stats")
+    def api_stats(app: "ThaliaApp", request: Request) -> Response:
+        payload = app.metrics.snapshot()
+        payload["content_cache"] = app.cache.stats()
+        payload["honor_roll"] = {
+            "systems": len(app.store),
+            "submissions": len(app.store.submissions),
+            "revision": app.store.revision,
+        }
+        return Response.of_json(payload, no_store=True)
+
+    @router.get("/healthz", name="healthz")
+    def healthz(app: "ThaliaApp", request: Request) -> Response:
+        return Response.of_json({
+            "status": "ok",
+            "seed": app.testbed.seed,
+            "sources": len(app.testbed),
+            "uptime_s": round(app.metrics.uptime_s, 3),
+        }, no_store=True)
+
+    # -- POST endpoints --------------------------------------------------- #
+
+    @router.post("/api/query", name="api_run_query")
+    def api_run_query(app: "ThaliaApp", request: Request) -> Response:
+        try:
+            payload = request.json()
+        except ValueError as exc:
+            return Response.of_json({"error": str(exc)}, status=400)
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("xquery"), str):
+            return Response.of_json(
+                {"error": "body must be a JSON object with an 'xquery' "
+                          "string"}, status=400)
+        slug = payload.get("source")
+        if slug is not None:
+            if slug not in app.testbed:
+                return Response.of_json(
+                    {"error": f"no such source: {slug}"}, status=404)
+            documents = {slug: app.testbed.source(slug).document}
+        else:
+            documents = app.testbed.documents
+        try:
+            items = run_xquery(payload["xquery"], documents)
+        except XQueryError as exc:
+            return Response.of_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=400)
+        rendered = [serialize(item) if isinstance(item, XmlElement)
+                    else item for item in items]
+        return Response.of_json({"count": len(rendered), "items": rendered},
+                                no_store=True)
+
+    @router.post("/api/scores", name="api_upload_scores")
+    def api_upload_scores(app: "ThaliaApp", request: Request) -> Response:
+        try:
+            payload = request.json()
+        except ValueError as exc:
+            return Response.of_json({"error": str(exc)}, status=400)
+        if not isinstance(payload, dict):
+            return Response.of_json(
+                {"error": "body must be a JSON object"}, status=400)
+        submitter = payload.get("submitter")
+        if not isinstance(submitter, str) or not submitter.strip():
+            return Response.of_json(
+                {"error": "submission needs a non-empty 'submitter'"},
+                status=400)
+        date = payload.get("date", "2004-08-01")
+        if not isinstance(date, str):
+            return Response.of_json(
+                {"error": "'date' must be an ISO date string"}, status=400)
+        claimed = payload.get("claimed", {})
+        if not isinstance(claimed, dict) or any(
+                key in claimed and not _is_int(claimed[key])
+                for key in ("correct", "complexity")):
+            return Response.of_json(
+                {"error": "'claimed' must map 'correct'/'complexity' to "
+                          "integers"}, status=400)
+        try:
+            card = ScoreCard.from_dict(payload.get("card"))
+        except ValueError as exc:
+            return Response.of_json(
+                {"error": f"malformed score card: {exc}"}, status=400)
+        problems = validate_claims(card,
+                                   claimed_correct=claimed.get("correct"),
+                                   claimed_complexity=claimed.get(
+                                       "complexity"))
+        if problems:
+            return Response.of_json(
+                {"rejected": True, "system": card.system,
+                 "problems": problems}, status=422)
+        entry = app.store.append(card, submitter.strip(), date)
+        position = next(
+            i for i, ranked in enumerate(app.store.ranked(), start=1)
+            if ranked.card.system == card.system)
+        return Response.of_json({
+            "accepted": True,
+            "system": card.system,
+            "rank": position,
+            "correct": card.correct_count,
+            "complexity": card.complexity_score,
+            "submitter": entry.submitter,
+            "date": entry.date,
+        }, status=201, no_store=True)
+
+    return router
+
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _query_payload(query) -> dict:
+    return {
+        "number": query.number,
+        "name": query.name,
+        "short_name": query_short_name(query.number),
+        "group": query.group,
+        "capability": query.capability.name,
+        "reference": query.reference,
+        "challenge": query.challenge,
+        "xquery": query.xquery,
+        "challenge_description": query.challenge_description,
+    }

@@ -1,0 +1,120 @@
+"""Per-endpoint request metrics for the benchmark service.
+
+Every request the service answers is recorded against its route name:
+request count, error count, content-cache hits, bytes sent and a bounded
+window of per-request latencies from which ``/api/stats`` reports p50 and
+p95.  Recording is a handful of counter bumps under one lock, cheap
+enough to sit on the hot path of every response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Latency samples kept per endpoint (a ring: old samples fall off).
+SAMPLE_WINDOW = 4096
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of *samples* (``fraction`` in 0..1)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1,
+                      round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class EndpointStats:
+    """Counters for one route."""
+
+    requests: int = 0
+    errors: int = 0            # responses with status >= 400
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_sent: int = 0
+    total_s: float = 0.0
+    latencies_s: deque = field(
+        default_factory=lambda: deque(maxlen=SAMPLE_WINDOW))
+
+    @property
+    def cache_hit_rate(self) -> float:
+        tracked = self.cache_hits + self.cache_misses
+        return self.cache_hits / tracked if tracked else 0.0
+
+    def snapshot(self) -> dict:
+        samples = list(self.latencies_s)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "bytes_sent": self.bytes_sent,
+            "latency_ms": {
+                "mean": round(1000 * self.total_s / self.requests, 3)
+                if self.requests else 0.0,
+                "p50": round(1000 * percentile(samples, 0.50), 3),
+                "p95": round(1000 * percentile(samples, 0.95), 3),
+            },
+        }
+
+
+class ServerMetrics:
+    """Thread-safe per-endpoint request/latency/hit-rate counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointStats] = {}
+        self.started_monotonic = time.monotonic()
+
+    def record(self, endpoint: str, status: int, elapsed_s: float,
+               cache_hit: bool | None, bytes_sent: int) -> None:
+        """Count one answered request.
+
+        ``cache_hit=None`` means the endpoint does not go through the
+        content cache at all (e.g. ``/api/stats``); it is then excluded
+        from the hit-rate denominator.
+        """
+        with self._lock:
+            stats = self._endpoints.setdefault(endpoint, EndpointStats())
+            stats.requests += 1
+            if status >= 400:
+                stats.errors += 1
+            if cache_hit is True:
+                stats.cache_hits += 1
+            elif cache_hit is False:
+                stats.cache_misses += 1
+            stats.bytes_sent += bytes_sent
+            stats.total_s += elapsed_s
+            stats.latencies_s.append(elapsed_s)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def snapshot(self) -> dict:
+        """The ``/api/stats`` payload: totals plus per-endpoint detail."""
+        with self._lock:
+            endpoints = {name: stats.snapshot()
+                         for name, stats in sorted(self._endpoints.items())}
+        totals = {
+            "requests": sum(e["requests"] for e in endpoints.values()),
+            "errors": sum(e["errors"] for e in endpoints.values()),
+            "cache_hits": sum(e["cache_hits"] for e in endpoints.values()),
+            "cache_misses": sum(e["cache_misses"]
+                                for e in endpoints.values()),
+            "bytes_sent": sum(e["bytes_sent"] for e in endpoints.values()),
+        }
+        tracked = totals["cache_hits"] + totals["cache_misses"]
+        totals["cache_hit_rate"] = round(
+            totals["cache_hits"] / tracked, 4) if tracked else 0.0
+        return {
+            "uptime_s": round(self.uptime_s, 3),
+            "totals": totals,
+            "endpoints": endpoints,
+        }

@@ -1,0 +1,130 @@
+"""Minimal method + path-pattern router for the benchmark service.
+
+Patterns are literal paths with ``{name}`` placeholders matching one
+path segment (``/catalogs/{slug}.html``).  Matching yields the route and
+its captured parameters; a path that matches under a different method
+reports the allowed methods so the app can answer 405 instead of 404.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def compile_pattern(pattern: str) -> re.Pattern:
+    """``/a/{x}.html`` → anchored regex with named group ``x``."""
+    parts: list[str] = []
+    position = 0
+    for match in _PLACEHOLDER.finditer(pattern):
+        parts.append(re.escape(pattern[position:match.start()]))
+        parts.append(f"(?P<{match.group(1)}>[^/]+?)")
+        position = match.end()
+    parts.append(re.escape(pattern[position:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request, transport-independent."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)  # lower-cased keys
+    body: bytes = b""
+    params: dict[str, str] = field(default_factory=dict)   # route captures
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") \
+                from None
+
+
+@dataclass
+class Response:
+    """One response, before the transport layer serializes it."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "text/html; charset=utf-8"
+    headers: dict[str, str] = field(default_factory=dict)
+    etag: str | None = None        # set → conditional-GET capable
+    cache_hit: bool | None = None  # None → endpoint bypasses the cache
+    no_store: bool = False         # dynamic payloads (stats, health)
+    compressible: bool = True      # zips opt out of transfer gzip
+
+    @classmethod
+    def html(cls, text: str, status: int = 200, **kwargs) -> "Response":
+        return cls(status=status, body=text.encode("utf-8"), **kwargs)
+
+    @classmethod
+    def text(cls, text: str, status: int = 200, **kwargs) -> "Response":
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type="text/plain; charset=utf-8", **kwargs)
+
+    @classmethod
+    def of_json(cls, payload: Any, status: int = 200, **kwargs) -> "Response":
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        return cls(status=status, body=body,
+                   content_type="application/json", **kwargs)
+
+
+Handler = Callable[[Any, Request], Response]
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    pattern: re.Pattern
+    name: str
+    handler: Handler
+
+
+class Router:
+    """Ordered route table with decorator registration."""
+
+    def __init__(self) -> None:
+        self.routes: list[Route] = []
+
+    def add(self, method: str, pattern: str, name: str,
+            handler: Handler) -> None:
+        self.routes.append(Route(method=method.upper(),
+                                 pattern=compile_pattern(pattern),
+                                 name=name, handler=handler))
+
+    def get(self, pattern: str, name: str):
+        def register(handler: Handler) -> Handler:
+            self.add("GET", pattern, name, handler)
+            return handler
+        return register
+
+    def post(self, pattern: str, name: str):
+        def register(handler: Handler) -> Handler:
+            self.add("POST", pattern, name, handler)
+            return handler
+        return register
+
+    def match(self, method: str,
+              path: str) -> tuple[Route | None, dict[str, str], set[str]]:
+        """``(route, params, allowed_methods)`` for one request line.
+
+        ``route`` is ``None`` when nothing matches; a non-empty
+        ``allowed_methods`` then means the path exists under other
+        methods (→ 405 rather than 404).
+        """
+        allowed: set[str] = set()
+        for route in self.routes:
+            found = route.pattern.match(path)
+            if not found:
+                continue
+            if route.method == method.upper():
+                return route, found.groupdict(), allowed
+            allowed.add(route.method)
+        return None, {}, allowed

@@ -1,0 +1,94 @@
+"""Durable honor-roll store: append-only JSON lines.
+
+The static site renders an in-memory
+:class:`~repro.core.honor_roll.HonorRoll`; the benchmark service needs
+uploads to survive restarts.  This store appends one JSON object per
+accepted submission to a ``.jsonl`` file (flushed and fsynced before the
+client sees a 201), and replays the file on boot.  Ranking semantics are
+exactly the in-memory roll's — the file is replayed through
+:meth:`HonorRoll.submit`, so a later upload for the same system replaces
+the earlier one — and a torn final line from a crash mid-append is
+skipped, not fatal.
+
+The store satisfies the site generator's
+:class:`~repro.website.sitegen.RankedScores` protocol, so
+``SiteGenerator`` renders its honor-roll page straight from the durable
+store and the live server and the static site share one rendering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from ..core.honor_roll import HonorRoll, HonorRollEntry
+from ..core.scoring import ScoreCard
+
+
+class HonorRollStore:
+    """Thread-safe JSON-lines persistence for uploaded score cards."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.RLock()
+        self._submissions: list[HonorRollEntry] = []
+        self.skipped_lines = 0
+        #: bumped on every append; cache keys for honor-roll views embed
+        #: it so uploaded scores invalidate cached pages immediately
+        self.revision = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                self._submissions.append(
+                    HonorRollEntry.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                self.skipped_lines += 1
+        self.revision = len(self._submissions)
+
+    # -- writes ----------------------------------------------------------- #
+
+    def append(self, card: ScoreCard, submitter: str,
+               date: str = "2004-08-01") -> HonorRollEntry:
+        """Durably record one accepted submission."""
+        entry = HonorRollEntry(card=card, submitter=submitter, date=date)
+        line = json.dumps(entry.to_dict(), sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._submissions.append(entry)
+            self.revision += 1
+        return entry
+
+    # -- reads ------------------------------------------------------------ #
+
+    @property
+    def submissions(self) -> list[HonorRollEntry]:
+        """Raw submission history, in upload order (resubmissions kept)."""
+        with self._lock:
+            return list(self._submissions)
+
+    def honor_roll(self) -> HonorRoll:
+        """The current roll: history replayed with replacement semantics."""
+        roll = HonorRoll()
+        for entry in self.submissions:
+            roll.submit(entry.card, entry.submitter, entry.date)
+        return roll
+
+    def ranked(self) -> list[HonorRollEntry]:
+        return self.honor_roll().ranked()
+
+    def __len__(self) -> int:
+        """Distinct systems on the roll (not raw submission count)."""
+        return len(self.honor_roll())

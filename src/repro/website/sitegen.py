@@ -15,9 +15,11 @@ browser. The look is deliberately period-correct.
 from __future__ import annotations
 
 from pathlib import Path
+from typing import Iterator, Protocol
 
 from ..catalogs import Testbed, shared_testbed
 from ..core import QUERIES, HonorRoll
+from ..core.honor_roll import HonorRollEntry
 from ..core.report import query_short_name
 from ..xmlmodel import escape_text, serialize_pretty
 from .bundles import (
@@ -74,11 +76,23 @@ def _page(title: str, body: str, depth: int = 0) -> str:
     )
 
 
+class RankedScores(Protocol):
+    """Anything that can rank uploaded score cards.
+
+    Both the in-memory :class:`~repro.core.honor_roll.HonorRoll` and the
+    benchmark service's durable
+    :class:`~repro.server.store.HonorRollStore` satisfy this, so the
+    static site and the live server share one honor-roll rendering.
+    """
+
+    def ranked(self) -> list[HonorRollEntry]: ...  # pragma: no cover
+
+
 class SiteGenerator:
     """Writes the full THALIA site for one testbed build."""
 
     def __init__(self, testbed: Testbed | None = None,
-                 honor_roll: HonorRoll | None = None) -> None:
+                 honor_roll: RankedScores | None = None) -> None:
         self.testbed = testbed if testbed is not None else shared_testbed()
         self.honor_roll = honor_roll if honor_roll is not None else HonorRoll()
 
@@ -89,16 +103,64 @@ class SiteGenerator:
         root = Path(directory)
         for sub in ("catalogs", "data", "benchmark", "downloads"):
             (root / sub).mkdir(parents=True, exist_ok=True)
-        (root / "index.html").write_text(self._home(), encoding="utf-8")
-        (root / "honor_roll.html").write_text(
-            self._honor_roll_page(), encoding="utf-8")
-        (root / "classification.html").write_text(
-            self._classification_page(), encoding="utf-8")
-        self._write_catalog_pages(root / "catalogs")
-        self._write_data_pages(root / "data")
-        self._write_benchmark_pages(root / "benchmark")
+        for relpath, html in self.iter_pages():
+            (root / relpath).write_text(html, encoding="utf-8")
         build_all_bundles(self.testbed, root / "downloads")
         return root
+
+    def iter_pages(self) -> Iterator[tuple[str, str]]:
+        """Every HTML page of the site as ``(relative path, html)``.
+
+        The benchmark service serves these same renderings over HTTP, so
+        a page fetched live and a page written by :meth:`build` are
+        byte-identical.
+        """
+        yield "index.html", self._home()
+        yield "honor_roll.html", self._honor_roll_page()
+        yield "classification.html", self._classification_page()
+        yield "catalogs/index.html", self._catalog_index()
+        for bundle in self.testbed:
+            yield f"catalogs/{bundle.slug}.html", self._catalog_page(bundle)
+        yield "data/index.html", self._data_index()
+        for bundle in self.testbed:
+            yield f"data/{bundle.slug}_xml.html", self._data_xml_page(bundle)
+            yield f"data/{bundle.slug}_xsd.html", self._data_xsd_page(bundle)
+        yield "benchmark/index.html", self._benchmark_index()
+        for query in QUERIES:
+            yield (f"benchmark/query{query.number:02d}.html",
+                   self._query_page(query))
+
+    def render_page(self, relpath: str) -> str:
+        """Render one page by its site-relative path (lazy counterpart of
+        :meth:`iter_pages`); raises ``KeyError`` for paths the site does
+        not have."""
+        fixed = {
+            "index.html": self._home,
+            "honor_roll.html": self._honor_roll_page,
+            "classification.html": self._classification_page,
+            "catalogs/index.html": self._catalog_index,
+            "data/index.html": self._data_index,
+            "benchmark/index.html": self._benchmark_index,
+        }
+        if relpath in fixed:
+            return fixed[relpath]()
+        directory, _, leaf = relpath.partition("/")
+        if directory == "catalogs" and leaf.endswith(".html"):
+            return self._catalog_page(
+                self.testbed.source(leaf[:-len(".html")]))
+        if directory == "data" and leaf.endswith("_xml.html"):
+            return self._data_xml_page(
+                self.testbed.source(leaf[:-len("_xml.html")]))
+        if directory == "data" and leaf.endswith("_xsd.html"):
+            return self._data_xsd_page(
+                self.testbed.source(leaf[:-len("_xsd.html")]))
+        if directory == "benchmark" and leaf.endswith(".html") \
+                and leaf.startswith("query"):
+            number_text = leaf[len("query"):-len(".html")]
+            for query in QUERIES:
+                if number_text.isdigit() and query.number == int(number_text):
+                    return self._query_page(query)
+        raise KeyError(f"site has no page {relpath!r}")
 
     # ------------------------------------------------------------------ #
 
@@ -127,7 +189,7 @@ class SiteGenerator:
         return _page("Test Harness for the Assessment of Legacy "
                      "information Integration Approaches", body)
 
-    def _write_catalog_pages(self, directory: Path) -> None:
+    def _catalog_index(self) -> str:
         rows = []
         for bundle in self.testbed:
             profile = bundle.profile
@@ -139,18 +201,15 @@ class SiteGenerator:
         body = ('<table class="listing"><tr><th>University</th>'
                 "<th>Country</th><th>Courses</th></tr>"
                 + "".join(rows) + "</table>")
-        (directory / "index.html").write_text(
-            _page("University Course Catalogs", body, depth=1),
-            encoding="utf-8")
-        for bundle in self.testbed:
-            snapshot = ('<div class="snapshot-frame">'
-                        + bundle.snapshot + "</div>")
-            (directory / f"{bundle.slug}.html").write_text(
-                _page(f"Catalog snapshot: {bundle.profile.name}",
-                      snapshot, depth=1),
-                encoding="utf-8")
+        return _page("University Course Catalogs", body, depth=1)
 
-    def _write_data_pages(self, directory: Path) -> None:
+    def _catalog_page(self, bundle) -> str:
+        snapshot = ('<div class="snapshot-frame">'
+                    + bundle.snapshot + "</div>")
+        return _page(f"Catalog snapshot: {bundle.profile.name}",
+                     snapshot, depth=1)
+
+    def _data_index(self) -> str:
         rows = []
         for bundle in self.testbed:
             rows.append(
@@ -161,22 +220,19 @@ class SiteGenerator:
         body = ('<table class="listing"><tr><th>University</th>'
                 "<th>Data</th><th>Schema</th></tr>"
                 + "".join(rows) + "</table>")
-        (directory / "index.html").write_text(
-            _page("Browse Data and Schema", body, depth=1),
-            encoding="utf-8")
-        for bundle in self.testbed:
-            xml_text = serialize_pretty(bundle.document)
-            (directory / f"{bundle.slug}_xml.html").write_text(
-                _page(f"{bundle.slug}.xml",
-                      f"<pre>{_esc(xml_text)}</pre>", depth=1),
-                encoding="utf-8")
-            xsd_text = serialize_pretty(bundle.schema.to_xsd())
-            (directory / f"{bundle.slug}_xsd.html").write_text(
-                _page(f"{bundle.slug}.xsd",
-                      f"<pre>{_esc(xsd_text)}</pre>", depth=1),
-                encoding="utf-8")
+        return _page("Browse Data and Schema", body, depth=1)
 
-    def _write_benchmark_pages(self, directory: Path) -> None:
+    def _data_xml_page(self, bundle) -> str:
+        xml_text = serialize_pretty(bundle.document)
+        return _page(f"{bundle.slug}.xml",
+                     f"<pre>{_esc(xml_text)}</pre>", depth=1)
+
+    def _data_xsd_page(self, bundle) -> str:
+        xsd_text = serialize_pretty(bundle.schema.to_xsd())
+        return _page(f"{bundle.slug}.xsd",
+                     f"<pre>{_esc(xsd_text)}</pre>", depth=1)
+
+    def _benchmark_index(self) -> str:
         items = []
         for query in QUERIES:
             items.append(
@@ -194,23 +250,21 @@ class SiteGenerator:
             "solutions including integrated-result schemas</a></li>"
             "</ol><h2>The twelve benchmark queries</h2><ul>"
             + "".join(items) + "</ul>")
-        (directory / "index.html").write_text(
-            _page("Run Benchmark", body, depth=1), encoding="utf-8")
-        for query in QUERIES:
-            solution = solution_document(query.number, self.testbed)
-            body = (
-                f"<p><b>Group:</b> {_esc(query.group)}<br>"
-                f"<b>Reference schema:</b> {_esc(query.reference)}<br>"
-                f"<b>Challenge schema:</b> {_esc(query.challenge)}</p>"
-                f"<h2>Query</h2><pre>{_esc(query.xquery)}</pre>"
-                f"<h2>Challenge</h2><p>"
-                f"{_esc(query.challenge_description)}</p>"
-                f"<h2>Sample solution</h2>"
-                f"<pre>{_esc(serialize_pretty(solution))}</pre>")
-            (directory / f"query{query.number:02d}.html").write_text(
-                _page(f"Benchmark Query {query.number}: {query.name}",
-                      body, depth=1),
-                encoding="utf-8")
+        return _page("Run Benchmark", body, depth=1)
+
+    def _query_page(self, query) -> str:
+        solution = solution_document(query.number, self.testbed)
+        body = (
+            f"<p><b>Group:</b> {_esc(query.group)}<br>"
+            f"<b>Reference schema:</b> {_esc(query.reference)}<br>"
+            f"<b>Challenge schema:</b> {_esc(query.challenge)}</p>"
+            f"<h2>Query</h2><pre>{_esc(query.xquery)}</pre>"
+            f"<h2>Challenge</h2><p>"
+            f"{_esc(query.challenge_description)}</p>"
+            f"<h2>Sample solution</h2>"
+            f"<pre>{_esc(serialize_pretty(solution))}</pre>")
+        return _page(f"Benchmark Query {query.number}: {query.name}",
+                     body, depth=1)
 
     def _classification_page(self) -> str:
         from ..core.taxonomy import render_taxonomy

@@ -1,0 +1,142 @@
+"""Score-card (de)serialization: JSON round-trip and claim validation."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import QueryOutcome, ScoreCard, validate_claims
+from repro.integration import Effort
+
+efforts = st.sampled_from([None, Effort.NONE, Effort.LOW, Effort.MEDIUM,
+                           Effort.HIGH])
+
+
+@st.composite
+def outcomes(draw, number=None):
+    supported = draw(st.booleans())
+    return QueryOutcome(
+        number=draw(st.integers(1, 12)) if number is None else number,
+        supported=supported,
+        correct=draw(st.booleans()) if supported else False,
+        effort=draw(efforts) if supported else None,
+        note=draw(st.text(max_size=40)),
+    )
+
+
+@st.composite
+def cards(draw):
+    numbers = draw(st.lists(st.integers(1, 12), unique=True, max_size=12))
+    card = ScoreCard(system=draw(st.text(min_size=1, max_size=30)))
+    for number in numbers:
+        card.outcomes.append(draw(outcomes(number=number)))
+    return card
+
+
+class TestRoundTrip:
+    @given(cards())
+    def test_json_round_trip_is_identity(self, card):
+        restored = ScoreCard.from_json(card.to_json())
+        assert restored == card
+
+    @given(cards())
+    def test_round_trip_preserves_scores(self, card):
+        restored = ScoreCard.from_dict(card.to_dict())
+        assert restored.correct_count == card.correct_count
+        assert restored.complexity_score == card.complexity_score
+        assert restored.sort_key == card.sort_key
+
+    @given(cards())
+    def test_json_is_valid_and_stable(self, card):
+        text = card.to_json()
+        assert json.loads(text)["system"] == card.system
+        assert ScoreCard.from_json(text).to_json() == text
+
+
+class TestMalformed:
+    def test_not_json(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ScoreCard.from_json("{nope")
+
+    def test_missing_system(self):
+        with pytest.raises(ValueError, match="system"):
+            ScoreCard.from_dict({"outcomes": []})
+
+    def test_missing_outcomes(self):
+        with pytest.raises(ValueError, match="outcomes"):
+            ScoreCard.from_dict({"system": "s"})
+
+    def test_unknown_effort(self):
+        with pytest.raises(ValueError, match="effort"):
+            ScoreCard.from_dict({"system": "s", "outcomes": [
+                {"number": 1, "supported": True, "correct": True,
+                 "effort": "HEROIC"}]})
+
+    def test_non_boolean_flags(self):
+        with pytest.raises(ValueError, match="boolean"):
+            ScoreCard.from_dict({"system": "s", "outcomes": [
+                {"number": 1, "supported": "yes", "correct": True,
+                 "effort": None}]})
+
+
+def full_card(correct, effort=Effort.LOW):
+    card = ScoreCard(system="sys")
+    for number in range(1, 13):
+        good = number <= correct
+        card.outcomes.append(QueryOutcome(
+            number=number, supported=good, correct=good,
+            effort=effort if good else None))
+    return card
+
+
+class TestValidateClaims:
+    def test_clean_card_passes(self):
+        assert validate_claims(full_card(9)) == []
+
+    def test_matching_claims_pass(self):
+        assert validate_claims(full_card(9), claimed_correct=9,
+                               claimed_complexity=9) == []
+
+    def test_inflated_correct_detected(self):
+        problems = validate_claims(full_card(9), claimed_correct=12)
+        assert any("re-scores to 9" in p for p in problems)
+
+    def test_deflated_complexity_detected(self):
+        problems = validate_claims(full_card(9, effort=Effort.HIGH),
+                                   claimed_complexity=0)
+        assert any("complexity" in p for p in problems)
+
+    def test_empty_card_rejected(self):
+        assert validate_claims(ScoreCard(system="s")) != []
+
+    def test_duplicate_numbers_rejected(self):
+        card = ScoreCard(system="s")
+        for _ in range(2):
+            card.outcomes.append(QueryOutcome(
+                number=3, supported=True, correct=True, effort=Effort.NONE))
+        assert any("duplicate" in p for p in validate_claims(card))
+
+    def test_out_of_range_number_rejected(self):
+        card = ScoreCard(system="s")
+        card.outcomes.append(QueryOutcome(
+            number=13, supported=True, correct=True, effort=Effort.NONE))
+        assert any("out of range" in p for p in validate_claims(card))
+
+    def test_correct_but_unsupported_rejected(self):
+        card = ScoreCard(system="s")
+        card.outcomes.append(QueryOutcome(
+            number=1, supported=False, correct=True, effort=None))
+        assert any("unsupported" in p for p in validate_claims(card))
+
+    def test_supported_without_effort_rejected(self):
+        card = ScoreCard(system="s")
+        card.outcomes.append(QueryOutcome(
+            number=1, supported=True, correct=True, effort=None))
+        assert any("effort" in p for p in validate_claims(card))
+
+    @given(cards())
+    def test_honest_claims_never_flagged_as_inflated(self, card):
+        problems = validate_claims(
+            card, claimed_correct=card.correct_count,
+            claimed_complexity=card.complexity_score)
+        assert not any("claims" in p for p in problems)
