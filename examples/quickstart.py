@@ -8,8 +8,8 @@ Run with::
 from repro.catalogs import build_testbed
 from repro.core import get_query, gold_answer
 from repro.systems import thalia_mediator
+import repro.xquery as xquery
 from repro.xmlmodel import serialize_pretty
-from repro.xquery import run_query
 
 
 def main() -> None:
@@ -27,13 +27,17 @@ def main() -> None:
     print(serialize_pretty(brown.document.root.find("Course"),
                            xml_declaration=False))
 
-    # 3. Run a benchmark query's XQuery directly against the testbed.
+    # 3. Compile a benchmark query once, then run it against the testbed.
+    #    The plan is reusable, inspectable, and byte-identical to the
+    #    interpreter (DESIGN.md §8).
     query = get_query(1)  # Synonyms: Instructor vs. Lecturer
     print(f"Benchmark Query {query.number} ({query.name}):")
     print(query.xquery)
-    results = run_query(query.xquery, testbed.documents)
+    plan = xquery.compile(query.xquery)
+    results = plan.execute(testbed.documents)
     print(f"-> {len(results)} result(s) from the reference source "
-          f"({query.reference})\n")
+          f"({query.reference})")
+    print(plan.explain() + "\n")
 
     # 4. The same query through the full mediator resolves the challenge
     #    source too, matching the gold answer.

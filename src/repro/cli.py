@@ -46,7 +46,7 @@ from .core import (
 )
 from .systems import cohera, iwiz, thalia_mediator
 from .website import SiteGenerator, build_all_bundles
-from .xquery import run_query as run_xquery
+from . import xquery
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -90,6 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "query", help="describe and run one benchmark query")
     query.add_argument("number", type=int, choices=range(1, 13),
                        metavar="N")
+    query.add_argument("--explain", action="store_true",
+                       help="print the compiled query plan (operator "
+                            "tree, rewrites, index-backed paths) before "
+                            "the results")
 
     site = commands.add_parser(
         "build-site", help="generate the THALIA web site")
@@ -194,7 +198,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     query = get_query(args.number)
     print(render_query_description(query.number))
     print()
-    results = run_xquery(query.xquery, testbed.documents)
+    plan = xquery.shared_plan_cache().get(query.xquery)
+    if args.explain:
+        print(plan.explain())
+        print()
+    results = plan.execute(testbed.documents)
     print(f"reference query returned {len(results)} item(s) against "
           f"{query.reference}:")
     from .xmlmodel import XmlElement, serialize
@@ -203,6 +211,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("  " + serialize(item))
         else:
             print(f"  {item}")
+    if args.explain and plan.last_stats is not None:
+        stats = plan.last_stats
+        print(f"executed in {stats.exec_ns / 1e6:.2f} ms "
+              f"({stats.nodes_visited} nodes visited, "
+              f"{stats.index_lookups} index lookups)")
     return 0
 
 

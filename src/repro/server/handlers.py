@@ -43,7 +43,7 @@ from ..website.bundles import (
     build_solutions_bundle,
 )
 from ..xmlmodel import XmlElement, serialize, serialize_pretty
-from ..xquery import XQueryError, run_query as run_xquery
+from ..xquery import XQueryError, XQuerySyntaxError
 from .router import Request, Response, Router
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,6 +56,9 @@ _BUNDLE_BUILDERS = {
     QUERIES_BUNDLE: build_queries_bundle,
     SOLUTIONS_BUNDLE: build_solutions_bundle,
 }
+
+#: Query text -> benchmark label, so /api/stats can name cached plans.
+_BENCH_LABELS = {query.xquery: f"Q{query.number}" for query in QUERIES}
 
 
 def build_router() -> Router:
@@ -196,6 +199,19 @@ def build_router() -> Router:
             "submissions": len(app.store.submissions),
             "revision": app.store.revision,
         }
+        queries = []
+        for plan in app.plans.entries():
+            entry = plan.stats_snapshot()
+            entry["query"] = _BENCH_LABELS.get(plan.source, "ad-hoc")
+            entry["rewrites"] = plan.rewrites
+            queries.append(entry)
+        queries.sort(key=lambda entry: (entry["query"] == "ad-hoc",
+                                        len(entry["query"]),
+                                        entry["query"]))
+        payload["query_plans"] = {
+            "cache": app.plans.stats(),
+            "queries": queries,
+        }
         return Response.of_json(payload, no_store=True)
 
     @router.get("/healthz", name="healthz")
@@ -229,14 +245,31 @@ def build_router() -> Router:
         else:
             documents = app.testbed.documents
         try:
-            items = run_xquery(payload["xquery"], documents)
+            plan = app.plans.get(payload["xquery"])
+        except XQuerySyntaxError as exc:
+            detail: dict = {"error": f"XQuerySyntaxError: {exc}"}
+            if exc.line is not None:
+                detail["line"] = exc.line
+                detail["column"] = exc.column
+                detail["context"] = exc.context()
+            return Response.of_json(detail, status=400)
+        try:
+            items = plan.execute(documents)
         except XQueryError as exc:
             return Response.of_json(
                 {"error": f"{type(exc).__name__}: {exc}"}, status=400)
         rendered = [serialize(item) if isinstance(item, XmlElement)
                     else item for item in items]
-        return Response.of_json({"count": len(rendered), "items": rendered},
-                                no_store=True)
+        stats = plan.last_stats
+        return Response.of_json({
+            "count": len(rendered),
+            "items": rendered,
+            "plan": {
+                "exec_ns": stats.exec_ns,
+                "nodes_visited": stats.nodes_visited,
+                "index_lookups": stats.index_lookups,
+            },
+        }, no_store=True)
 
     @router.post("/api/scores", name="api_upload_scores")
     def api_upload_scores(app: "ThaliaApp", request: Request) -> Response:

@@ -35,11 +35,31 @@ class SystemAnswer:
     note: str = ""
 
 
+#: Hook names from pre-unification interface drafts.  A subclass defining
+#: one of these almost certainly meant to implement ``answer`` and would
+#: otherwise fail at benchmark time instead of class-definition time.
+_LEGACY_HOOKS = ("run_query", "execute_query", "evaluate_query", "query")
+
+
 class IntegrationSystem(abc.ABC):
-    """Anything the benchmark runner can evaluate."""
+    """Anything the benchmark runner can evaluate.
+
+    The single entry point is ``answer(query, testbed)``: one benchmark
+    query in, one :class:`SystemAnswer` out.  Everything the runner,
+    validator and honor roll do with a system goes through it.
+    """
 
     #: display name used in score cards and the honor roll
     name: str
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for hook in _LEGACY_HOOKS:
+            if hook in cls.__dict__:
+                raise TypeError(
+                    f"{cls.__name__} defines {hook!r}; integration "
+                    f"systems implement the unified "
+                    f"'answer(query, testbed)' method instead")
 
     @abc.abstractmethod
     def answer(self, query: BenchmarkQuery, testbed: Testbed) -> SystemAnswer:

@@ -12,6 +12,7 @@ are built on. Public surface:
 """
 
 from .element import Child, XmlDocument, XmlElement, element, is_valid_name
+from .indexes import DocumentIndex
 from .errors import (
     XmlError,
     XmlParseError,
@@ -26,6 +27,7 @@ from .serializer import escape_attr, escape_text, serialize, serialize_pretty
 
 __all__ = [
     "Child",
+    "DocumentIndex",
     "ElementDecl",
     "UNBOUNDED",
     "XmlDocument",

@@ -222,15 +222,27 @@ class XmlDocument:
     ``source_name`` records which testbed source (e.g. ``"brown"``) the
     document came from; the XQuery ``doc()`` function resolves names against
     a catalog of documents keyed this way.
+
+    Documents are immutable once built, so :meth:`index` lazily constructs
+    a per-document :class:`~repro.xmlmodel.indexes.DocumentIndex` exactly
+    once and caches it for the document's lifetime (never invalidated).
     """
 
-    __slots__ = ("root", "source_name")
+    __slots__ = ("root", "source_name", "_index")
 
     def __init__(self, root: XmlElement, source_name: str | None = None) -> None:
         if not isinstance(root, XmlElement):
             raise TypeError("root must be an XmlElement")
         self.root = root
         self.source_name = source_name
+        self._index = None
+
+    def index(self) -> "DocumentIndex":
+        """The element-name/attribute index, built on first use."""
+        if self._index is None:
+            from .indexes import DocumentIndex
+            self._index = DocumentIndex(self.root)
+        return self._index
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, XmlDocument):

@@ -1,26 +1,38 @@
-"""XQuery-subset engine: lexer, parser, evaluator and function library.
+"""XQuery-subset engine: lexer, parser, planner, evaluator and functions.
 
 The benchmark queries in the THALIA paper are written in XQuery 1.0 FLWOR
-style; this package runs them natively. Typical use::
+style; this package runs them natively. The unified entry point is the
+compile-once/run-many facade::
 
-    from repro.xquery import Query
+    from repro import xquery
 
-    query = Query('''
+    plan = xquery.compile('''
         FOR $b in doc("gatech.xml")/gatech/Course
         WHERE $b/Instructor = 'Mark'
         RETURN $b
     ''')
-    results = query.run(documents={"gatech": gatech_document})
+    results = plan.execute(documents={"gatech": gatech_document})
+    print(plan.explain())          # the operator tree actually run
+    print(plan.last_stats)         # parse/compile/exec ns + counters
 
-``results`` is a sequence (list) of items: XML elements, strings, numbers or
-booleans. Integration systems may pass a custom
-:class:`~repro.xquery.functions.FunctionRegistry` to expose user-defined
-functions — the paper's "external functions" that the scoring function
-charges complexity points for.
+``results`` is a sequence (list) of items: XML elements, strings, numbers
+or booleans. Integration systems may pass a custom
+:class:`~repro.xquery.functions.FunctionRegistry` via
+``compile(source, functions=...)`` to expose user-defined functions — the
+paper's "external functions" that the scoring function charges complexity
+points for.
+
+:class:`Query` and :func:`run_query` remain as thin wrappers over the
+plan facade (with an LRU :class:`PlanCache` underneath, so repeated runs
+of the same text skip parsing and lowering). Importing ``parse_query`` or
+``evaluate`` from this package still works but raises a
+``DeprecationWarning``; import them from :mod:`repro.xquery.parser` /
+:mod:`repro.xquery.evaluator` directly, or use the plan facade.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping
 
 from ..xmlmodel import XmlDocument
@@ -32,10 +44,10 @@ from .errors import (
     XQuerySyntaxError,
     XQueryTypeError,
 )
-from .evaluator import evaluate
 from .functions import FunctionRegistry, XQueryFunction, builtin_registry
 from .lexer import tokenize
-from .parser import parse_query
+from .plan import Plan, PlanStats, compile_query
+from .plan_cache import PlanCache, shared_plan_cache
 from .unparse import unparse
 from .runtime import (
     Item,
@@ -46,22 +58,37 @@ from .runtime import (
     to_number,
 )
 
+#: The facade: ``repro.xquery.compile(source, functions=...) -> Plan``.
+#: (Shadows the ``compile`` builtin inside this namespace on purpose.)
+compile = compile_query
+
 
 class Query:
-    """A compiled XQuery: parse once, run against any document set."""
+    """A compiled XQuery: parse once, run against any document set.
+
+    Since the planner landed this is a wrapper over :func:`compile`:
+    the constructor parses eagerly (so syntax errors still surface with
+    line/column context at construction time) and ``run`` fetches the
+    matching plan from the shared :class:`PlanCache`.
+    """
 
     def __init__(self, source: str) -> None:
         self.source = source
-        self.ast = parse_query(source)
+        self.plan = shared_plan_cache().get(source)
+        self.ast = self.plan.ast
 
     def run(self,
             documents: Mapping[str, XmlDocument] | DocumentResolver | None = None,
             variables: Mapping[str, Seq] | None = None,
             functions: FunctionRegistry | None = None) -> Seq:
         """Evaluate the query and return the result sequence."""
-        context = DynamicContext(documents=documents, functions=functions,
-                                 variables=variables)
-        return evaluate(self.ast, context)
+        if functions is None:
+            return self.plan.execute(documents, variables)
+        plan = shared_plan_cache().get(self.source, functions)
+        return plan.execute(documents, variables)
+
+    def explain(self) -> str:
+        return self.plan.explain()
 
     def __repr__(self) -> str:
         summary = " ".join(self.source.split())
@@ -74,8 +101,35 @@ def run_query(source: str,
               documents: Mapping[str, XmlDocument] | DocumentResolver | None = None,
               variables: Mapping[str, Seq] | None = None,
               functions: FunctionRegistry | None = None) -> Seq:
-    """One-shot convenience wrapper around :class:`Query`."""
-    return Query(source).run(documents, variables, functions)
+    """One-shot convenience wrapper over the plan facade (cached)."""
+    return shared_plan_cache().get(source, functions).execute(
+        documents, variables)
+
+
+_DEPRECATED = {
+    "parse_query": ("repro.xquery.parser", "parse_query"),
+    "evaluate": ("repro.xquery.evaluator", "evaluate"),
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 hook deprecating the pre-planner entry points.
+
+    ``from repro.xquery import parse_query, evaluate`` keeps working but
+    warns; new code should use :func:`compile` / :class:`Plan` or import
+    the internals from their defining modules.
+    """
+    if name in _DEPRECATED:
+        module_name, attr = _DEPRECATED[name]
+        warnings.warn(
+            f"importing {attr!r} from 'repro.xquery' is deprecated; use "
+            f"'repro.xquery.compile' or import it from {module_name!r}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module 'repro.xquery' has no attribute {name!r}")
 
 
 __all__ = [
@@ -83,6 +137,9 @@ __all__ = [
     "DynamicContext",
     "FunctionRegistry",
     "Item",
+    "Plan",
+    "PlanCache",
+    "PlanStats",
     "Query",
     "Seq",
     "XQueryError",
@@ -93,10 +150,13 @@ __all__ = [
     "ast",
     "atomize",
     "builtin_registry",
+    "compile",
+    "compile_query",
     "effective_boolean_value",
     "evaluate",
     "parse_query",
     "run_query",
+    "shared_plan_cache",
     "string_value",
     "to_number",
     "tokenize",

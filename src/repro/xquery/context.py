@@ -72,6 +72,23 @@ class DocumentResolver:
                 f"unknown document {name!r}; known documents: {known}"
             ) from None
 
+    def index(self, name: str):
+        """The resolved document's lazily-built
+        :class:`~repro.xmlmodel.indexes.DocumentIndex`.
+
+        The index lives on the :class:`~repro.xmlmodel.XmlDocument`
+        itself, so it survives this resolver and is shared by every
+        plan execution touching the same document.
+        """
+        key = self._normalize(name)
+        try:
+            return self._documents[key].index()
+        except KeyError:
+            known = ", ".join(sorted(self._documents)) or "<none>"
+            raise XQueryNameError(
+                f"unknown document {name!r}; known documents: {known}"
+            ) from None
+
     def names(self) -> list[str]:
         return sorted(self._documents)
 

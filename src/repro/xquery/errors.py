@@ -13,16 +13,32 @@ class XQuerySyntaxError(XQueryError):
     Attributes:
         position: 0-based character offset of the offending token.
         line: 1-based line number, derived from the offset.
+        column: 1-based column on that line, derived from the offset.
+        source_line: the offending source line's text (no newline).
     """
 
     def __init__(self, message: str, source: str = "",
                  position: int | None = None) -> None:
         self.position = position
-        self.line = None
+        self.line: int | None = None
+        self.column: int | None = None
+        self.source_line: str | None = None
         if position is not None and source:
             self.line = source.count("\n", 0, position) + 1
+            line_start = source.rfind("\n", 0, position) + 1
+            self.column = position - line_start + 1
+            line_end = source.find("\n", line_start)
+            self.source_line = source[line_start:
+                                      line_end if line_end != -1 else None]
             message = f"{message} (line {self.line}, offset {position})"
         super().__init__(message)
+
+    def context(self) -> str | None:
+        """The offending line with a caret under the failing token, or
+        None when the error carries no location."""
+        if self.source_line is None or self.column is None:
+            return None
+        return f"{self.source_line}\n{' ' * (self.column - 1)}^"
 
 
 class XQueryTypeError(XQueryError):

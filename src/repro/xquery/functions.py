@@ -49,6 +49,23 @@ class FunctionRegistry:
         dup._functions = dict(self._functions)
         return dup
 
+    def fingerprint(self) -> tuple:
+        """A hashable token identifying this registry's *contents*.
+
+        Two registries holding the same (name → implementation) entries
+        fingerprint identically, so independently-built copies of the
+        builtin registry share plan-cache entries; registering a different
+        implementation under an existing name changes the fingerprint and
+        therefore the cache key.
+        """
+        return tuple(sorted(
+            (name, id(fn)) for name, (fn, _arity) in self._functions.items()))
+
+    def resolves_to(self, name: str, fn: "XQueryFunction") -> bool:
+        """True when calling *name* would dispatch to exactly *fn*."""
+        entry = self._resolve(name)
+        return entry is not None and entry[0] is fn
+
     def names(self) -> list[str]:
         return sorted(self._functions)
 
@@ -348,3 +365,30 @@ def builtin_registry() -> FunctionRegistry:
     for name, fn, arity in builtins:
         registry.register(name, fn, arity)
     return registry
+
+
+_DEFAULT_REGISTRY: FunctionRegistry | None = None
+
+
+def default_registry() -> FunctionRegistry:
+    """The shared builtin registry used when a caller passes no functions.
+
+    Treated as immutable by convention: callers that want to register
+    user-defined functions must :meth:`FunctionRegistry.copy` first (the
+    UDF library already does).  Sharing one instance lets the plan cache
+    key default compilations identically across call sites.
+    """
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = builtin_registry()
+    return _DEFAULT_REGISTRY
+
+
+def uses_builtin_doc(registry: FunctionRegistry) -> bool:
+    """True when ``doc()`` in *registry* is the builtin resolver.
+
+    The planner only lowers ``doc("name")`` to an index-backed document
+    scan when the call would dispatch to the builtin implementation; a
+    registry that rebinds ``doc`` keeps the generic function-call path.
+    """
+    return registry.resolves_to("doc", _fn_doc)

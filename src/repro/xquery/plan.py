@@ -1,0 +1,966 @@
+"""Compiled query plans: compile once, run many.
+
+``compile_query(source)`` lowers the parsed AST into a small tree of
+logical operators after the :mod:`repro.xquery.rewrite` passes ran
+(constant folding, WHERE-to-predicate fusion).  Path expressions rooted
+at a constant ``doc("name")`` call become *index-backed* scans over the
+document's lazily-built :class:`~repro.xmlmodel.indexes.DocumentIndex`.
+
+Every operator mirrors the tree-walking evaluator's semantics exactly —
+several helpers (`LIKE` pattern compilation, atomic comparison, order
+keys) are imported from :mod:`repro.xquery.evaluator` rather than
+re-implemented, so the two engines cannot drift.  The contract, checked
+by unit, golden and property tests: for any query and document set,
+``Plan.execute`` and :func:`repro.xquery.evaluator.evaluate` produce
+byte-identical results.
+
+A :class:`Plan` additionally exposes:
+
+* :meth:`Plan.explain` — a stable, deterministic text tree of the chosen
+  operators, pushed predicates and index-backed paths (golden-pinned for
+  the twelve benchmark queries);
+* :class:`PlanStats` — per-run parse/compile/exec nanoseconds plus nodes
+  visited and index lookups, aggregated across runs for ``/api/stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from ..xmlmodel import XmlElement
+from .ast import (
+    Arithmetic,
+    Comparison,
+    ContextItem,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    Logical,
+    Not,
+    PathExpr,
+    Quantified,
+    Sequence,
+    VarRef,
+)
+from .context import DocumentResolver, DynamicContext
+from .errors import XQueryTypeError
+from .evaluator import _compare_atomic, _invert, _like_pattern, _order_key
+from .functions import (
+    FunctionRegistry,
+    default_registry,
+    uses_builtin_doc,
+)
+from .parser import parse_query
+from .rewrite import fold_constants, fuse_where
+from .runtime import (
+    Seq,
+    atomize,
+    effective_boolean_value,
+    format_number,
+    singleton,
+    string_value,
+    to_number,
+)
+
+
+@dataclass(frozen=True)
+class PlanStats:
+    """Timings and counters for one plan execution."""
+
+    parse_ns: int
+    compile_ns: int
+    exec_ns: int
+    nodes_visited: int
+    index_lookups: int
+
+    def to_dict(self) -> dict:
+        return {
+            "parse_ns": self.parse_ns,
+            "compile_ns": self.compile_ns,
+            "exec_ns": self.exec_ns,
+            "nodes_visited": self.nodes_visited,
+            "index_lookups": self.index_lookups,
+        }
+
+
+class _ExecState:
+    """Mutable per-execution counters threaded through the operators.
+
+    ``index`` holds the :class:`~repro.xmlmodel.indexes.DocumentIndex` of
+    the innermost enclosing index-backed path, so relative paths inside
+    its predicates resolve through the index too; operators fall back to
+    tree scans for any item the index does not cover.
+    """
+
+    __slots__ = ("nodes_visited", "index_lookups", "index")
+
+    def __init__(self) -> None:
+        self.nodes_visited = 0
+        self.index_lookups = 0
+        self.index = None
+
+
+_RESOLVER_CACHE: dict[int, tuple] = {}
+_RESOLVER_CACHE_MAX = 8
+
+
+def _resolver_for(documents) -> DocumentResolver | None:
+    """A (cached) resolver for a plain document mapping.
+
+    Repeated executions against the same testbed mapping would otherwise
+    rebuild the resolver — and its document-node wrappers — every call.
+    The cache is validated per entry (same keys, identical document
+    objects), so callers that swap documents in the mapping still get a
+    fresh resolver.
+    """
+    if documents is None or isinstance(documents, DocumentResolver):
+        return documents
+    key = id(documents)
+    entry = _RESOLVER_CACHE.get(key)
+    if entry is not None and entry[0] is documents:
+        snapshot, resolver = entry[1], entry[2]
+        if len(snapshot) == len(documents) and \
+                all(documents.get(name) is doc for name, doc in snapshot):
+            return resolver
+    resolver = DocumentResolver(documents)
+    while len(_RESOLVER_CACHE) >= _RESOLVER_CACHE_MAX:
+        _RESOLVER_CACHE.pop(next(iter(_RESOLVER_CACHE)))
+    _RESOLVER_CACHE[key] = (documents, tuple(documents.items()), resolver)
+    return resolver
+
+
+def _atomize(seq: Seq, state: _ExecState) -> Seq:
+    """:func:`~repro.xquery.runtime.atomize`, but element string values
+    come from the active document index's cache when one is live."""
+    index = state.index
+    if index is None:
+        return atomize(seq)
+    result = []
+    for item in seq:
+        if isinstance(item, XmlElement):
+            value = index.string_of(item)
+            result.append(value if value is not None
+                          else string_value(item))
+        elif isinstance(item, (float, bool)):
+            result.append(item)
+        else:
+            result.append(item)
+    return result
+
+
+class _Node:
+    """One line of ``explain()`` output with nested children."""
+
+    __slots__ = ("label", "children")
+
+    def __init__(self, label: str, children: list["_Node"] | None = None):
+        self.label = label
+        self.children = children or []
+
+
+def _render(node: _Node, depth: int, lines: list[str]) -> None:
+    lines.append("  " * depth + node.label)
+    for child in node.children:
+        _render(child, depth + 1, lines)
+
+
+def _literal_label(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format_number(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+# --------------------------------------------------------------------------- #
+# Operators
+# --------------------------------------------------------------------------- #
+
+class Op:
+    """Base logical operator: ``run`` executes, ``explain_node`` renders."""
+
+    __slots__ = ()
+
+    def run(self, ctx: DynamicContext, state: _ExecState) -> Seq:
+        raise NotImplementedError  # pragma: no cover
+
+    def explain_node(self) -> _Node:
+        raise NotImplementedError  # pragma: no cover
+
+
+class LiteralOp(Op):
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def run(self, ctx, state):
+        return [self.value]
+
+    def explain_node(self):
+        return _Node(f"literal {_literal_label(self.value)}")
+
+
+class VarRefOp(Op):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def run(self, ctx, state):
+        return ctx.lookup(self.name)
+
+    def explain_node(self):
+        return _Node(f"var ${self.name}")
+
+
+class ContextItemOp(Op):
+    __slots__ = ()
+
+    def run(self, ctx, state):
+        if ctx.context_item is None:
+            raise XQueryTypeError("'.' used outside a predicate focus")
+        return [ctx.context_item]
+
+    def explain_node(self):
+        return _Node("context-item")
+
+
+class DocOp(Op):
+    """A constant ``doc("name")`` call resolved through the builtin."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def run(self, ctx, state):
+        return [ctx.resolve_document(self.name)]
+
+    def explain_node(self):
+        return _Node(f'doc "{self.name}"')
+
+
+class FunctionCallOp(Op):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: tuple[Op, ...]) -> None:
+        self.name = name
+        self.args = args
+
+    def run(self, ctx, state):
+        evaluated = [arg.run(ctx, state) for arg in self.args]
+        return ctx.functions.call(ctx, self.name, evaluated)
+
+    def explain_node(self):
+        return _Node(f"call {self.name}/{len(self.args)}",
+                     [arg.explain_node() for arg in self.args])
+
+
+class SequenceOp(Op):
+    __slots__ = ("items",)
+
+    def __init__(self, items: tuple[Op, ...]) -> None:
+        self.items = items
+
+    def run(self, ctx, state):
+        result: Seq = []
+        for item in self.items:
+            result.extend(item.run(ctx, state))
+        return result
+
+    def explain_node(self):
+        return _Node(f"sequence[{len(self.items)}]",
+                     [item.explain_node() for item in self.items])
+
+
+class IfOp(Op):
+    __slots__ = ("condition", "then_branch", "else_branch")
+
+    def __init__(self, condition: Op, then_branch: Op, else_branch: Op):
+        self.condition = condition
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def run(self, ctx, state):
+        if effective_boolean_value(self.condition.run(ctx, state)):
+            return self.then_branch.run(ctx, state)
+        return self.else_branch.run(ctx, state)
+
+    def explain_node(self):
+        return _Node("if", [
+            _Node("condition", [self.condition.explain_node()]),
+            _Node("then", [self.then_branch.explain_node()]),
+            _Node("else", [self.else_branch.explain_node()]),
+        ])
+
+
+class LogicalOp(Op):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Op, right: Op) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def run(self, ctx, state):
+        left = effective_boolean_value(self.left.run(ctx, state))
+        if self.op == "and":
+            if not left:
+                return [False]
+            return [effective_boolean_value(self.right.run(ctx, state))]
+        if left:
+            return [True]
+        return [effective_boolean_value(self.right.run(ctx, state))]
+
+    def explain_node(self):
+        return _Node(f"logical '{self.op}'",
+                     [self.left.explain_node(), self.right.explain_node()])
+
+
+class NotOp(Op):
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Op) -> None:
+        self.operand = operand
+
+    def run(self, ctx, state):
+        return [not effective_boolean_value(self.operand.run(ctx, state))]
+
+    def explain_node(self):
+        return _Node("not", [self.operand.explain_node()])
+
+
+class ArithmeticOp(Op):
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Op, right: Op) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def run(self, ctx, state):
+        left_seq = self.left.run(ctx, state)
+        right_seq = self.right.run(ctx, state)
+        if not left_seq or not right_seq:
+            return []
+        left = to_number(singleton(left_seq, "arithmetic"))
+        right = to_number(singleton(right_seq, "arithmetic"))
+        return [left + right if self.op == "+" else left - right]
+
+    def explain_node(self):
+        return _Node(f"arith '{self.op}'",
+                     [self.left.explain_node(), self.right.explain_node()])
+
+
+class ComparisonOp(Op):
+    """General comparison with the LIKE pattern pre-compiled.
+
+    ``like`` is ``None`` for plain comparisons, else
+    ``(pattern_text, compiled_regex, values_side)`` where ``values_side``
+    names the operand whose values are matched against the pattern.
+    """
+
+    __slots__ = ("op", "left", "right", "like")
+
+    def __init__(self, op: str, left: Op, right: Op,
+                 like: tuple | None) -> None:
+        self.op = op
+        self.left = left
+        self.right = right
+        self.like = like
+
+    def run(self, ctx, state):
+        left_seq = _atomize(self.left.run(ctx, state), state)
+        right_seq = _atomize(self.right.run(ctx, state), state)
+        if self.like is not None:
+            _text, pattern, side = self.like
+            values = left_seq if side == "left" else right_seq
+            if self.op == "=":
+                return [any(pattern.match(str(v)) for v in values)]
+            return [any(not pattern.match(str(v)) for v in values)]
+        result = any(
+            _compare_atomic(self.op, left, right)
+            for left in left_seq for right in right_seq)
+        return [result]
+
+    def explain_node(self):
+        label = f"compare '{self.op}'"
+        if self.like is not None:
+            label += f" [like {_literal_label(self.like[0])}]"
+        return _Node(label,
+                     [self.left.explain_node(), self.right.explain_node()])
+
+
+# --------------------------------------------------------------------------- #
+# Paths
+# --------------------------------------------------------------------------- #
+
+class StepPlan:
+    """One lowered path step; predicates carry a pushed-from-WHERE flag."""
+
+    __slots__ = ("axis", "kind", "name", "predicates")
+
+    def __init__(self, axis: str, kind: str, name: str,
+                 predicates: tuple[tuple[Op, bool], ...]) -> None:
+        self.axis = axis
+        self.kind = kind
+        self.name = name
+        self.predicates = predicates
+
+    def explain_node(self) -> _Node:
+        children = []
+        for op, pushed in self.predicates:
+            label = "predicate [pushed from where]" if pushed else "predicate"
+            children.append(_Node(label, [op.explain_node()]))
+        return _Node(f"step {self.axis} {self.kind} {self.name}", children)
+
+
+def _scan_candidates(step: StepPlan, item: XmlElement,
+                     state: _ExecState) -> Seq:
+    """Tree-scan step application, mirroring the interpreter."""
+    if step.axis == "descendant":
+        pool = [node for child in item.element_children
+                for node in child.iter()]
+    else:
+        pool = item.element_children
+    state.nodes_visited += len(pool)
+    if step.kind == "element":
+        if step.name == "*":
+            return list(pool)
+        return [node for node in pool if node.tag == step.name]
+    if step.kind == "attribute":
+        values: Seq = []
+        targets = [item] if step.axis == "child" else pool
+        for target in targets:
+            value = target.get(step.name)
+            if value is not None:
+                values.append(value)
+        return values
+    targets = [item] if step.axis == "child" else pool
+    texts: Seq = []
+    for target in targets:
+        direct = "".join(c for c in target.children if isinstance(c, str))
+        if direct:
+            texts.append(direct)
+    return texts
+
+
+def _indexed_candidates(step: StepPlan, item: XmlElement, index,
+                        state: _ExecState) -> Seq | None:
+    """Index-backed step application; None → caller must tree-scan.
+
+    Only named element steps are index-eligible.  Items outside the
+    indexed tree (in practice only the synthetic document node) fall
+    back per-item.
+    """
+    if step.kind != "element" or step.name == "*":
+        return None
+    if step.axis == "child":
+        found = index.children_of(item, step.name)
+        if found is None:
+            return None
+        state.index_lookups += 1
+        state.nodes_visited += len(found)
+        return found
+    found = index.descendants_of(item, step.name)
+    if found is None:
+        # The document node: a descendant step from it covers the whole
+        # tree, which is exactly the tag's posting list.
+        state.index_lookups += 1
+        found = index.elements(step.name)
+    else:
+        state.index_lookups += 1
+    state.nodes_visited += len(found)
+    return found
+
+
+def _filter_by_predicate(op: Op, sequence: Seq, ctx: DynamicContext,
+                         state: _ExecState) -> Seq:
+    size = len(sequence)
+    if not size:
+        return []
+    kept: Seq = []
+    # One focused context, re-aimed per item: evaluation is eager, so no
+    # operator can observe the focus after its own run() returns.
+    focused = ctx.with_focus(sequence[0], 0, size)
+    for position, item in enumerate(sequence, start=1):
+        focused.context_item = item
+        focused.context_position = position
+        value = op.run(focused, state)
+        if len(value) == 1 and isinstance(value[0], float):
+            if value[0] == position:
+                kept.append(item)
+        elif effective_boolean_value(value):
+            kept.append(item)
+    return kept
+
+
+def _apply_step(step: StepPlan, sequence: Seq, ctx: DynamicContext,
+                state: _ExecState) -> Seq:
+    index = state.index
+    result: Seq = []
+    seen: set[int] = set()
+    for item in sequence:
+        if not isinstance(item, XmlElement):
+            raise XQueryTypeError(
+                f"path step '{step.name}' applied to atomic value "
+                f"{string_value(item)!r}")
+        produced = None
+        if index is not None:
+            produced = _indexed_candidates(step, item, index, state)
+        if produced is None:
+            produced = _scan_candidates(step, item, state)
+        for node in produced:
+            if isinstance(node, XmlElement):
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+            result.append(node)
+    for predicate, _pushed in step.predicates:
+        result = _filter_by_predicate(predicate, result, ctx, state)
+    return result
+
+
+class PathOp(Op):
+    """Generic path over an arbitrary base; steps use the enclosing
+    index-backed path's document index when one is active."""
+
+    __slots__ = ("base", "steps")
+
+    label = "path"
+
+    def __init__(self, base: Op, steps: tuple[StepPlan, ...]) -> None:
+        self.base = base
+        self.steps = steps
+
+    def run(self, ctx, state):
+        current = self.base.run(ctx, state)
+        for step in self.steps:
+            current = _apply_step(step, current, ctx, state)
+        return current
+
+    def explain_node(self):
+        children = [_Node("base", [self.base.explain_node()])]
+        children.extend(step.explain_node() for step in self.steps)
+        return _Node(self.label, children)
+
+
+class IndexedPathOp(Op):
+    """Path rooted at a constant ``doc()``: steps resolve through the
+    document's element-name index instead of tree scans."""
+
+    __slots__ = ("doc_name", "steps")
+
+    def __init__(self, doc_name: str, steps: tuple[StepPlan, ...]) -> None:
+        self.doc_name = doc_name
+        self.steps = steps
+
+    def run(self, ctx, state):
+        current: Seq = [ctx.resolve_document(self.doc_name)]
+        previous = state.index
+        state.index = ctx.documents.index(self.doc_name)
+        try:
+            for step in self.steps:
+                current = _apply_step(step, current, ctx, state)
+        finally:
+            state.index = previous
+        return current
+
+    def explain_node(self):
+        children = [step.explain_node() for step in self.steps]
+        return _Node(f'index-path doc "{self.doc_name}"', children)
+
+
+# --------------------------------------------------------------------------- #
+# FLWOR / quantifiers / constructors
+# --------------------------------------------------------------------------- #
+
+class FLWOROp(Op):
+    __slots__ = ("clauses", "where", "order_specs", "returns")
+
+    def __init__(self, clauses: tuple[tuple[str, str, Op], ...],
+                 where: Op | None,
+                 order_specs: tuple[tuple[Op, bool], ...],
+                 returns: Op) -> None:
+        self.clauses = clauses          # (kind, variable, op)
+        self.where = where
+        self.order_specs = order_specs  # (key op, descending)
+        self.returns = returns
+
+    def run(self, ctx, state):
+        ordered: list[tuple[tuple, Seq]] = []
+
+        def emit(scope: DynamicContext) -> None:
+            produced = self.returns.run(scope, state)
+            if self.order_specs:
+                keys = []
+                for key_op, descending in self.order_specs:
+                    key = _order_key(key_op.run(scope, state))
+                    if descending:
+                        key = tuple(_invert(part) for part in key)
+                    keys.append(key)
+                ordered.append((tuple(keys), produced))
+            else:
+                ordered.append(((), produced))
+
+        def recurse(depth: int, scope: DynamicContext) -> None:
+            if depth == len(self.clauses):
+                if self.where is not None:
+                    if not effective_boolean_value(
+                            self.where.run(scope, state)):
+                        return
+                emit(scope)
+                return
+            kind, variable, op = self.clauses[depth]
+            if kind == "for":
+                items = op.run(scope, state)
+                if not items:
+                    return
+                # One child scope per depth, rebound per item: evaluation
+                # is eager and each binding is a fresh list, so nothing
+                # downstream can observe the re-binding.
+                child = scope.bind(variable, [])
+                for item in items:
+                    child._variables[variable] = [item]
+                    recurse(depth + 1, child)
+            else:
+                recurse(depth + 1,
+                        scope.bind(variable, op.run(scope, state)))
+
+        recurse(0, ctx)
+        if self.order_specs:
+            ordered.sort(key=lambda entry: entry[0])
+        results: Seq = []
+        for _, produced in ordered:
+            results.extend(produced)
+        return results
+
+    def explain_node(self):
+        children = []
+        for kind, variable, op in self.clauses:
+            marker = "in" if kind == "for" else ":="
+            children.append(_Node(f"{kind} ${variable} {marker}",
+                                  [op.explain_node()]))
+        if self.where is not None:
+            children.append(_Node("where", [self.where.explain_node()]))
+        for key_op, descending in self.order_specs:
+            direction = " descending" if descending else ""
+            children.append(_Node(f"order-by{direction}",
+                                  [key_op.explain_node()]))
+        children.append(_Node("return", [self.returns.explain_node()]))
+        return _Node("flwor", children)
+
+
+class QuantifiedOp(Op):
+    __slots__ = ("kind", "bindings", "condition")
+
+    def __init__(self, kind: str, bindings: tuple[tuple[str, Op], ...],
+                 condition: Op) -> None:
+        self.kind = kind
+        self.bindings = bindings
+        self.condition = condition
+
+    def run(self, ctx, state):
+        outcomes: list[bool] = []
+
+        def recurse(depth: int, scope: DynamicContext) -> None:
+            if depth == len(self.bindings):
+                outcomes.append(effective_boolean_value(
+                    self.condition.run(scope, state)))
+                return
+            variable, op = self.bindings[depth]
+            items = op.run(scope, state)
+            if not items:
+                return
+            child = scope.bind(variable, [])
+            for item in items:
+                child._variables[variable] = [item]
+                recurse(depth + 1, child)
+
+        recurse(0, ctx)
+        if self.kind == "some":
+            return [any(outcomes)]
+        return [all(outcomes)]
+
+    def explain_node(self):
+        children = [_Node(f"${variable} in", [op.explain_node()])
+                    for variable, op in self.bindings]
+        children.append(_Node("satisfies", [self.condition.explain_node()]))
+        return _Node(self.kind, children)
+
+
+class ElementConstructorOp(Op):
+    __slots__ = ("name", "content")
+
+    def __init__(self, name: str, content: Op | None) -> None:
+        self.name = name
+        self.content = content
+
+    def run(self, ctx, state):
+        constructed = XmlElement(self.name)
+        if self.content is not None:
+            pending: list[str] = []
+
+            def flush() -> None:
+                if pending:
+                    constructed.append(" ".join(pending))
+                    pending.clear()
+
+            for item in self.content.run(ctx, state):
+                if isinstance(item, XmlElement):
+                    flush()
+                    constructed.append(item.copy())
+                else:
+                    pending.append(string_value(item))
+            flush()
+        return [constructed]
+
+    def explain_node(self):
+        children = [] if self.content is None \
+            else [self.content.explain_node()]
+        return _Node(f"element {self.name}", children)
+
+
+# --------------------------------------------------------------------------- #
+# Lowering
+# --------------------------------------------------------------------------- #
+
+class _Lowerer:
+    """AST → operator tree, applying fusion and index-path selection."""
+
+    def __init__(self, functions: FunctionRegistry) -> None:
+        self.functions = functions
+        self.builtin_doc = uses_builtin_doc(functions)
+        self.where_fused = 0
+        self.indexed_paths = 0
+
+    def lower(self, node: Expr) -> Op:
+        if isinstance(node, Literal):
+            return LiteralOp(node.value)
+        if isinstance(node, VarRef):
+            return VarRefOp(node.name)
+        if isinstance(node, ContextItem):
+            return ContextItemOp()
+        if isinstance(node, FunctionCall):
+            return self._lower_call(node)
+        if isinstance(node, PathExpr):
+            return self._lower_path(node, pushed_on_last=0)
+        if isinstance(node, Comparison):
+            return self._lower_comparison(node)
+        if isinstance(node, Arithmetic):
+            return ArithmeticOp(node.op, self.lower(node.left),
+                                self.lower(node.right))
+        if isinstance(node, Logical):
+            return LogicalOp(node.op, self.lower(node.left),
+                             self.lower(node.right))
+        if isinstance(node, Not):
+            return NotOp(self.lower(node.operand))
+        if isinstance(node, Sequence):
+            return SequenceOp(tuple(self.lower(item)
+                                    for item in node.items))
+        if isinstance(node, IfExpr):
+            return IfOp(self.lower(node.condition),
+                        self.lower(node.then_branch),
+                        self.lower(node.else_branch))
+        if isinstance(node, FLWOR):
+            return self._lower_flwor(node)
+        if isinstance(node, Quantified):
+            bindings = tuple((b.variable, self.lower(b.source))
+                             for b in node.bindings)
+            return QuantifiedOp(node.kind, bindings,
+                                self.lower(node.condition))
+        if isinstance(node, ElementConstructor):
+            content = self.lower(node.content) \
+                if node.content is not None else None
+            return ElementConstructorOp(node.name, content)
+        raise TypeError(  # pragma: no cover - parser emits known nodes
+            f"cannot lower AST node {type(node).__name__}")
+
+    def _lower_call(self, node: FunctionCall) -> Op:
+        if self.builtin_doc and node.name in ("doc", "fn:doc") \
+                and len(node.args) == 1:
+            arg = node.args[0]
+            if isinstance(arg, Literal) and isinstance(arg.value, str):
+                return DocOp(arg.value)
+        return FunctionCallOp(node.name,
+                              tuple(self.lower(arg) for arg in node.args))
+
+    def _lower_path(self, node: PathExpr, pushed_on_last: int) -> Op:
+        base = self.lower(node.base)
+        steps: list[StepPlan] = []
+        for position, step in enumerate(node.steps):
+            pushed_count = pushed_on_last \
+                if position == len(node.steps) - 1 else 0
+            total = len(step.predicates)
+            predicates = tuple(
+                (self.lower(predicate), index >= total - pushed_count)
+                for index, predicate in enumerate(step.predicates))
+            steps.append(StepPlan(step.axis, step.kind, step.name,
+                                  predicates))
+        if isinstance(base, DocOp) and steps:
+            self.indexed_paths += 1
+            return IndexedPathOp(base.name, tuple(steps))
+        return PathOp(base, tuple(steps))
+
+    def _lower_comparison(self, node: Comparison) -> Op:
+        like = None
+        if node.op in ("=", "!="):
+            pattern_text, side = self._literal_like(node.right, "left")
+            if pattern_text is None:
+                pattern_text, side = self._literal_like(node.left, "right")
+            if pattern_text is not None:
+                like = (pattern_text, _like_pattern(pattern_text), side)
+        return ComparisonOp(node.op, self.lower(node.left),
+                            self.lower(node.right), like)
+
+    @staticmethod
+    def _literal_like(node: Expr, side: str) -> tuple[str | None, str]:
+        if isinstance(node, Literal) and isinstance(node.value, str) \
+                and "%" in node.value:
+            return node.value, side
+        return None, side
+
+    def _lower_flwor(self, node: FLWOR) -> Op:
+        fused, pushed = fuse_where(node)
+        self.where_fused += len(pushed)
+        clauses: list[tuple[str, str, Op]] = []
+        for position, clause in enumerate(fused.clauses):
+            if isinstance(clause, ForClause):
+                if pushed and position == 0 \
+                        and isinstance(clause.source, PathExpr):
+                    source = self._lower_path(clause.source,
+                                              pushed_on_last=len(pushed))
+                else:
+                    source = self.lower(clause.source)
+                clauses.append(("for", clause.variable, source))
+            else:
+                assert isinstance(clause, LetClause)
+                clauses.append(("let", clause.variable,
+                                self.lower(clause.value)))
+        where = self.lower(fused.where) if fused.where is not None else None
+        order_specs = tuple((self.lower(spec.key), spec.descending)
+                            for spec in fused.order_specs)
+        return FLWOROp(tuple(clauses), where, order_specs,
+                       self.lower(fused.returns))
+
+
+# --------------------------------------------------------------------------- #
+# The Plan object and compilation entry point
+# --------------------------------------------------------------------------- #
+
+class Plan:
+    """A compiled query: immutable operator tree + cumulative run stats."""
+
+    def __init__(self, source: str, ast: Expr, root: Op,
+                 functions: FunctionRegistry, parse_ns: int,
+                 compile_ns: int, rewrites: dict[str, int]) -> None:
+        self.source = source
+        self.ast = ast
+        self.root = root
+        self.functions = functions
+        self.parse_ns = parse_ns
+        self.compile_ns = compile_ns
+        self.rewrites = dict(rewrites)
+        self._lock = threading.Lock()
+        self.runs = 0
+        self.total_exec_ns = 0
+        self.total_nodes_visited = 0
+        self.total_index_lookups = 0
+        self.last_stats: PlanStats | None = None
+
+    def execute(self, documents=None, variables=None) -> Seq:
+        """Run the plan against a document set; thread-safe."""
+        context = DynamicContext(documents=_resolver_for(documents),
+                                 functions=self.functions,
+                                 variables=variables)
+        state = _ExecState()
+        started = time.perf_counter_ns()
+        result = self.root.run(context, state)
+        exec_ns = time.perf_counter_ns() - started
+        stats = PlanStats(parse_ns=self.parse_ns,
+                          compile_ns=self.compile_ns,
+                          exec_ns=exec_ns,
+                          nodes_visited=state.nodes_visited,
+                          index_lookups=state.index_lookups)
+        with self._lock:
+            self.runs += 1
+            self.total_exec_ns += exec_ns
+            self.total_nodes_visited += state.nodes_visited
+            self.total_index_lookups += state.index_lookups
+            self.last_stats = stats
+        return result
+
+    def explain(self) -> str:
+        """Deterministic text rendering of the operator tree."""
+        summary = " ".join(self.source.split())
+        if len(summary) > 60:
+            summary = summary[:57] + "..."
+        rewrites = ", ".join(f"{name}={count}"
+                             for name, count in sorted(self.rewrites.items()))
+        lines = [
+            f"plan for: {summary}",
+            f"rewrites: {rewrites}",
+        ]
+        _render(self.root.explain_node(), 0, lines)
+        return "\n".join(lines)
+
+    def stats_snapshot(self) -> dict:
+        """Cumulative counters for ``/api/stats``."""
+        with self._lock:
+            runs = self.runs
+            total_exec_ns = self.total_exec_ns
+            nodes = self.total_nodes_visited
+            lookups = self.total_index_lookups
+        return {
+            "runs": runs,
+            "parse_ns": self.parse_ns,
+            "compile_ns": self.compile_ns,
+            "total_exec_ns": total_exec_ns,
+            "avg_exec_ns": total_exec_ns // runs if runs else 0,
+            "nodes_visited": nodes,
+            "index_lookups": lookups,
+        }
+
+    def __repr__(self) -> str:
+        summary = " ".join(self.source.split())
+        if len(summary) > 40:
+            summary = summary[:37] + "..."
+        return f"Plan({summary!r}, runs={self.runs})"
+
+
+def compile_query(source: str,
+                  functions: FunctionRegistry | None = None) -> Plan:
+    """Compile XQuery text to a :class:`Plan` (no caching here; see
+    :mod:`repro.xquery.plan_cache`)."""
+    registry = functions if functions is not None else default_registry()
+    started = time.perf_counter_ns()
+    ast_root = parse_query(source)
+    parse_ns = time.perf_counter_ns() - started
+
+    started = time.perf_counter_ns()
+    folded, folds = fold_constants(ast_root)
+    lowerer = _Lowerer(registry)
+    root = lowerer.lower(folded)
+    compile_ns = time.perf_counter_ns() - started
+    return Plan(source, folded, root, registry, parse_ns, compile_ns,
+                rewrites={
+                    "constant-fold": folds,
+                    "where-to-predicate": lowerer.where_fused,
+                    "index-paths": lowerer.indexed_paths,
+                })
+
+
+__all__ = [
+    "Op",
+    "Plan",
+    "PlanStats",
+    "compile_query",
+]

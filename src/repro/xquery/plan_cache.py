@@ -1,0 +1,106 @@
+"""A bounded LRU cache of compiled query plans.
+
+Keyed by ``(source, registry fingerprint)`` so the same query text
+compiled against different user-defined function sets (e.g. the
+warehouse loader's UDFs) gets distinct entries, while re-running a
+benchmark query through the default builtins hits the cache every time.
+
+The process-wide :func:`shared_plan_cache` is what the runner, the
+claim validator and the CLI use; the server keeps its own instance so
+``/api/stats`` reports request-driven hit rates untainted by batch runs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .functions import FunctionRegistry, default_registry
+from .plan import Plan, compile_query
+
+
+class PlanCache:
+    """Thread-safe LRU mapping query text (+ function registry) to
+    compiled :class:`~repro.xquery.plan.Plan` objects."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("PlanCache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, Plan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, source: str,
+            functions: FunctionRegistry | None = None) -> Plan:
+        """The cached plan for *source*, compiling on a miss.
+
+        Compilation happens outside the lock; when two threads race on
+        the same miss the first stored plan wins so cumulative stats
+        stay on one object.
+        """
+        registry = functions if functions is not None else default_registry()
+        key = (source, registry.fingerprint())
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
+        compiled = compile_query(source, registry)
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                self._plans.move_to_end(key)
+                return existing
+            self._plans[key] = compiled
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+        return compiled
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def __contains__(self, source: str) -> bool:
+        with self._lock:
+            return any(key[0] == source for key in self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def entries(self) -> list[Plan]:
+        """Cached plans, least- to most-recently used."""
+        with self._lock:
+            return list(self._plans.values())
+
+    def stats(self) -> dict:
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / lookups, 4) if lookups else 0.0,
+            }
+
+
+_SHARED = PlanCache()
+
+
+def shared_plan_cache() -> PlanCache:
+    """The process-wide cache used by the runner, validator and CLI."""
+    return _SHARED
+
+
+__all__ = ["PlanCache", "shared_plan_cache"]

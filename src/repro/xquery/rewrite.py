@@ -1,0 +1,304 @@
+"""Semantics-preserving AST rewrites used by the query planner.
+
+Two rewrite families run before lowering (:mod:`repro.xquery.plan`):
+
+* **Constant folding** — comparisons, arithmetic, logicals, ``not`` and
+  ``if`` over literal operands are evaluated once at compile time *with
+  the interpreter itself*, so a folded node is equivalent by
+  construction.  Folding is abandoned (the node kept) whenever the
+  interpreter would raise, preserving run-time error behavior.
+
+* **WHERE-to-predicate fusion** — for the paper-shaped FLWOR
+  ``for $b in path where C($b) return R``, conjuncts of ``C`` that are
+  provably boolean-valued and focus-free are rewritten to step
+  predicates on the binding path (``$b`` becomes ``.``), letting the
+  plan filter during the path scan instead of materializing every
+  binding first.  Fusion is all-or-nothing per FLWOR so the conjunct
+  short-circuit order — and therefore which error surfaces first — is
+  unchanged.
+
+Every rewrite is conservative: when a precondition cannot be proven the
+expression is left alone, keeping ``Plan.execute`` byte-identical to the
+tree-walking evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .ast import (
+    Arithmetic,
+    Comparison,
+    ContextItem,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    Logical,
+    Not,
+    OrderSpec,
+    PathExpr,
+    Quantified,
+    Sequence,
+    Step,
+    VarRef,
+)
+from .errors import XQueryError
+
+#: Builtins guaranteed to return a single boolean — safe as predicates
+#: (a single-float predicate would switch to position-filter semantics).
+_BOOLEAN_FUNCTIONS = frozenset({
+    "contains", "starts-with", "ends-with", "matches",
+    "empty", "exists", "boolean", "not", "true", "false",
+})
+
+#: Builtins whose value depends on the predicate focus; a condition using
+#: them cannot move from a WHERE clause into a predicate.
+_FOCUS_FUNCTIONS = frozenset({"position", "last"})
+
+
+def fold_constants(node: Expr) -> tuple[Expr, int]:
+    """Bottom-up constant folding; returns ``(rewritten, fold_count)``."""
+    from .context import DynamicContext
+    from .evaluator import evaluate
+
+    folds = 0
+    fold_context = DynamicContext()
+
+    def is_literal(expr: Expr) -> bool:
+        return isinstance(expr, Literal)
+
+    def try_fold(expr: Expr) -> Expr:
+        nonlocal folds
+        try:
+            value = evaluate(expr, fold_context)
+        except XQueryError:
+            return expr
+        if len(value) == 1 and isinstance(value[0], (str, float, bool)):
+            folds += 1
+            return Literal(value[0])
+        return expr
+
+    def walk(expr: Expr) -> Expr:
+        nonlocal folds
+        if isinstance(expr, (Literal, VarRef, ContextItem)):
+            return expr
+        if isinstance(expr, FunctionCall):
+            return FunctionCall(expr.name,
+                                tuple(walk(arg) for arg in expr.args))
+        if isinstance(expr, PathExpr):
+            steps = tuple(
+                replace(step,
+                        predicates=tuple(walk(p) for p in step.predicates))
+                for step in expr.steps)
+            return PathExpr(walk(expr.base), steps)
+        if isinstance(expr, Comparison):
+            node = Comparison(expr.op, walk(expr.left), walk(expr.right))
+            if is_literal(node.left) and is_literal(node.right):
+                return try_fold(node)
+            return node
+        if isinstance(expr, Arithmetic):
+            node = Arithmetic(expr.op, walk(expr.left), walk(expr.right))
+            if is_literal(node.left) and is_literal(node.right):
+                return try_fold(node)
+            return node
+        if isinstance(expr, Logical):
+            left = walk(expr.left)
+            right = walk(expr.right)
+            node = Logical(expr.op, left, right)
+            if is_literal(left) and is_literal(right):
+                return try_fold(node)
+            # Short-circuit folding: the interpreter never evaluates the
+            # right operand in these cases, so dropping it is exact.
+            if is_literal(left):
+                try:
+                    decided = evaluate(Logical(expr.op, left, Literal(True)),
+                                       fold_context)
+                    other = evaluate(Logical(expr.op, left, Literal(False)),
+                                     fold_context)
+                except XQueryError:
+                    return node
+                if decided == other and len(decided) == 1:
+                    folds += 1
+                    return Literal(decided[0])
+            return node
+        if isinstance(expr, Not):
+            node = Not(walk(expr.operand))
+            if is_literal(node.operand):
+                return try_fold(node)
+            return node
+        if isinstance(expr, Sequence):
+            return Sequence(tuple(walk(item) for item in expr.items))
+        if isinstance(expr, IfExpr):
+            condition = walk(expr.condition)
+            then_branch = walk(expr.then_branch)
+            else_branch = walk(expr.else_branch)
+            if is_literal(condition):
+                try:
+                    taken = evaluate(IfExpr(condition, Literal("t"),
+                                            Literal("e")), fold_context)
+                except XQueryError:
+                    return IfExpr(condition, then_branch, else_branch)
+                folds += 1
+                return then_branch if taken == ["t"] else else_branch
+            return IfExpr(condition, then_branch, else_branch)
+        if isinstance(expr, FLWOR):
+            clauses = tuple(
+                ForClause(c.variable, walk(c.source))
+                if isinstance(c, ForClause)
+                else LetClause(c.variable, walk(c.value))
+                for c in expr.clauses)
+            where = walk(expr.where) if expr.where is not None else None
+            specs = tuple(OrderSpec(walk(s.key), s.descending)
+                          for s in expr.order_specs)
+            return FLWOR(clauses, where, walk(expr.returns), specs)
+        if isinstance(expr, Quantified):
+            bindings = tuple(ForClause(b.variable, walk(b.source))
+                             for b in expr.bindings)
+            return Quantified(expr.kind, bindings, walk(expr.condition))
+        if isinstance(expr, ElementConstructor):
+            content = walk(expr.content) if expr.content is not None else None
+            return ElementConstructor(expr.name, content)
+        return expr  # pragma: no cover - all node types handled above
+
+    return walk(node), folds
+
+
+# --------------------------------------------------------------------------- #
+# WHERE-to-predicate fusion
+# --------------------------------------------------------------------------- #
+
+def split_conjuncts(expr: Expr) -> list[Expr]:
+    """Flatten a left-associated ``and`` tree into its conjuncts."""
+    if isinstance(expr, Logical) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def join_conjuncts(conjuncts: list[Expr]) -> Expr:
+    joined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        joined = Logical("and", joined, conjunct)
+    return joined
+
+
+def _contains_forbidden(expr: Expr) -> bool:
+    """Nodes that make a WHERE conjunct unsafe to move into a predicate:
+    existing focus references (``.``, ``position()``, ``last()``), and
+    binding constructs that could shadow the fused variable."""
+    if isinstance(expr, ContextItem):
+        return True
+    if isinstance(expr, (FLWOR, Quantified)):
+        return True
+    if isinstance(expr, FunctionCall):
+        bare = expr.name.removeprefix("fn:")
+        if bare in _FOCUS_FUNCTIONS:
+            return True
+        return any(_contains_forbidden(arg) for arg in expr.args)
+    if isinstance(expr, PathExpr):
+        if _contains_forbidden(expr.base):
+            return True
+        return any(_contains_forbidden(p)
+                   for step in expr.steps for p in step.predicates)
+    if isinstance(expr, (Comparison, Arithmetic, Logical)):
+        return _contains_forbidden(expr.left) or \
+            _contains_forbidden(expr.right)
+    if isinstance(expr, Not):
+        return _contains_forbidden(expr.operand)
+    if isinstance(expr, Sequence):
+        return any(_contains_forbidden(item) for item in expr.items)
+    if isinstance(expr, IfExpr):
+        return any(_contains_forbidden(part) for part in
+                   (expr.condition, expr.then_branch, expr.else_branch))
+    if isinstance(expr, ElementConstructor):
+        return expr.content is not None and _contains_forbidden(expr.content)
+    return False
+
+
+def _is_boolean_shaped(expr: Expr) -> bool:
+    """True when *expr* always evaluates to a single boolean, so using it
+    as a predicate can never trip the position-filter rule."""
+    if isinstance(expr, (Comparison, Logical, Not)):
+        return True
+    if isinstance(expr, FunctionCall):
+        return expr.name.removeprefix("fn:") in _BOOLEAN_FUNCTIONS
+    if isinstance(expr, Literal):
+        return isinstance(expr.value, bool)
+    return False
+
+
+def conjunct_is_pushable(conjunct: Expr) -> bool:
+    """Can this WHERE conjunct become a path-step predicate?"""
+    return _is_boolean_shaped(conjunct) and not _contains_forbidden(conjunct)
+
+
+def substitute_variable(expr: Expr, variable: str) -> Expr:
+    """Rewrite every ``$variable`` reference in *expr* to ``.``."""
+    def walk(node: Expr) -> Expr:
+        if isinstance(node, VarRef):
+            return ContextItem() if node.name == variable else node
+        if isinstance(node, (Literal, ContextItem)):
+            return node
+        if isinstance(node, FunctionCall):
+            return FunctionCall(node.name, tuple(walk(a) for a in node.args))
+        if isinstance(node, PathExpr):
+            steps = tuple(
+                replace(step,
+                        predicates=tuple(walk(p) for p in step.predicates))
+                for step in node.steps)
+            return PathExpr(walk(node.base), steps)
+        if isinstance(node, Comparison):
+            return Comparison(node.op, walk(node.left), walk(node.right))
+        if isinstance(node, Arithmetic):
+            return Arithmetic(node.op, walk(node.left), walk(node.right))
+        if isinstance(node, Logical):
+            return Logical(node.op, walk(node.left), walk(node.right))
+        if isinstance(node, Not):
+            return Not(walk(node.operand))
+        if isinstance(node, Sequence):
+            return Sequence(tuple(walk(item) for item in node.items))
+        if isinstance(node, IfExpr):
+            return IfExpr(walk(node.condition), walk(node.then_branch),
+                          walk(node.else_branch))
+        if isinstance(node, ElementConstructor):
+            content = walk(node.content) if node.content is not None else None
+            return ElementConstructor(node.name, content)
+        return node  # pragma: no cover - FLWOR/Quantified are forbidden
+    return walk(expr)
+
+
+def fuse_where(flwor: FLWOR) -> tuple[FLWOR, tuple[Expr, ...]]:
+    """Fuse a FLWOR's WHERE clause into its binding path's final step.
+
+    Returns the (possibly rewritten) FLWOR plus the pushed predicate
+    expressions (already rewritten to use ``.``).  Fusion applies only to
+    the single-``for`` shape and is all-or-nothing over the conjuncts, so
+    evaluation order — including which item first raises a type error —
+    is identical to the interpreter's.
+    """
+    if flwor.where is None or len(flwor.clauses) != 1:
+        return flwor, ()
+    clause = flwor.clauses[0]
+    if not isinstance(clause, ForClause):
+        return flwor, ()
+    source = clause.source
+    if not isinstance(source, PathExpr) or not source.steps:
+        return flwor, ()
+    last_step = source.steps[-1]
+    if last_step.kind != "element":
+        return flwor, ()
+    conjuncts = split_conjuncts(flwor.where)
+    if not all(conjunct_is_pushable(c) for c in conjuncts):
+        return flwor, ()
+    pushed = tuple(substitute_variable(c, clause.variable)
+                   for c in conjuncts)
+    fused_step = Step(last_step.axis, last_step.kind, last_step.name,
+                      last_step.predicates + pushed)
+    fused_source = PathExpr(source.base, source.steps[:-1] + (fused_step,))
+    fused = FLWOR((ForClause(clause.variable, fused_source),),
+                  None, flwor.returns, flwor.order_specs)
+    return fused, pushed

@@ -10,7 +10,7 @@ from repro.core.global_queries import (
     selected_keys,
 )
 from repro.integration import Warehouse, standard_mediator
-from repro.xquery import parse_query
+from repro.xquery.parser import parse_query
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import QUERIES, get_query
 from repro.integration import Capability
-from repro.xquery import parse_query
+from repro.xquery.parser import parse_query
 
 
 class TestDefinitions:

@@ -1,0 +1,50 @@
+"""Golden snapshots of ``Plan.explain()`` for the 12 benchmark queries.
+
+``explain()`` is part of the query-plan API contract: deterministic,
+stable text.  A diff here means the planner changed what it actually
+runs — review it, then regenerate with::
+
+    PYTHONPATH=src python - <<'PY'
+    from pathlib import Path
+    from repro.core.queries import QUERIES
+    from repro.xquery import compile_query
+    out = Path("tests/golden/explain")
+    for q in QUERIES:
+        (out / f"q{q.number:02d}.txt").write_text(
+            compile_query(q.xquery).explain() + "\n", encoding="utf-8")
+    PY
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.queries import QUERIES
+from repro.xquery import compile_query
+
+GOLDEN_DIR = Path(__file__).parent / "explain"
+
+
+class TestExplainGolden:
+    @pytest.mark.parametrize("query", QUERIES,
+                             ids=[f"q{q.number:02d}" for q in QUERIES])
+    def test_explain_matches_snapshot(self, query):
+        golden = (GOLDEN_DIR / f"q{query.number:02d}.txt").read_text(
+            encoding="utf-8")
+        assert compile_query(query.xquery).explain() + "\n" == golden
+
+    @pytest.mark.parametrize("query", QUERIES,
+                             ids=[f"q{q.number:02d}" for q in QUERIES])
+    def test_explain_is_deterministic(self, query):
+        assert compile_query(query.xquery).explain() == \
+            compile_query(query.xquery).explain()
+
+    def test_every_benchmark_plan_is_index_backed(self):
+        for query in QUERIES:
+            plan = compile_query(query.xquery)
+            assert plan.rewrites["index-paths"] >= 1, query.number
+
+    def test_every_benchmark_where_is_fused(self):
+        for query in QUERIES:
+            plan = compile_query(query.xquery)
+            assert plan.rewrites["where-to-predicate"] >= 1, query.number

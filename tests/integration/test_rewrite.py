@@ -105,5 +105,5 @@ class TestRewritePreservesStructure:
         source = "let $t := $c/A return if (empty($t)) then 'n' else $t"
         rewritten = QueryRewriter(rules).rewrite(source)
         assert "$c/B" in rewritten
-        from repro.xquery import parse_query
+        from repro.xquery.parser import parse_query
         parse_query(rewritten)

@@ -150,3 +150,35 @@ class TestMechanization(object):
     def test_note_mentions_missing_capability(self, testbed):
         attempt = cohera().answer(get_query(5), testbed)
         assert "TRANSLATION" in attempt.note
+
+
+class TestUnifiedInterface:
+    """Every system speaks one protocol: answer(query, testbed)."""
+
+    def test_all_shipped_systems_implement_answer(self):
+        from repro.systems import IntegrationSystem, automatch, naive_xquery
+        for system in (cohera(), iwiz(), thalia_mediator(),
+                       naive_xquery(), automatch()):
+            assert isinstance(system, IntegrationSystem)
+            assert callable(type(system).answer)
+
+    def test_answer_returns_system_answer(self, testbed):
+        from repro.systems import SystemAnswer
+        attempt = thalia_mediator().answer(get_query(1), testbed)
+        assert isinstance(attempt, SystemAnswer)
+
+    @pytest.mark.parametrize("hook", ["run_query", "execute_query",
+                                      "evaluate_query", "query"])
+    def test_legacy_hook_names_are_rejected_at_class_definition(self, hook):
+        from repro.systems import IntegrationSystem
+        with pytest.raises(TypeError, match="unified"):
+            type("Legacy", (IntegrationSystem,), {
+                "name": "legacy",
+                hook: lambda self, query, testbed: None,
+                "answer": lambda self, query, testbed: None,
+            })
+
+    def test_abstract_base_cannot_instantiate(self):
+        from repro.systems import IntegrationSystem
+        with pytest.raises(TypeError):
+            IntegrationSystem()

@@ -53,7 +53,7 @@ class TestQueriesBundle:
                 assert f"{prefix}/{slug}.xml" in names
 
     def test_query_text_is_runnable(self, testbed):
-        from repro.xquery import parse_query
+        from repro.xquery.parser import parse_query
         data = build_queries_bundle(testbed)
         with zipfile.ZipFile(io.BytesIO(data)) as archive:
             for query in QUERIES:

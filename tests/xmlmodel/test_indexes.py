@@ -1,0 +1,95 @@
+"""DocumentIndex: lookups must match the naive tree scans exactly."""
+
+import pytest
+
+from repro.xmlmodel import DocumentIndex, XmlDocument, element
+
+
+@pytest.fixture()
+def tree():
+    return element(
+        "uni",
+        element("Course",
+                element("Title", "  Databases  "),
+                element("Units", "3"),
+                code="CS145"),
+        element("Course",
+                element("Title", "Systems"),
+                element("Detail", element("Units", "4"))),
+        element("Note", "plain"),
+    )
+
+
+@pytest.fixture()
+def index(tree):
+    return DocumentIndex(tree)
+
+
+class TestConstruction:
+    def test_counts_every_element(self, index):
+        assert index.element_count == 9
+
+    def test_tags_and_attributes(self, index):
+        assert index.tags == ["Course", "Detail", "Note", "Title",
+                              "Units", "uni"]
+        assert index.attribute_names == ["code"]
+        assert index.has_tag("Units")
+        assert not index.has_tag("Instructor")
+        assert index.has_attribute("code")
+        assert not index.has_attribute("href")
+
+    def test_covers_only_indexed_nodes(self, tree, index):
+        assert index.covers(tree)
+        for node in tree.iter():
+            assert index.covers(node)
+        assert not index.covers(element("Course"))
+
+    def test_lazy_build_is_cached_on_document(self, tree):
+        doc = XmlDocument(tree)
+        assert doc.index() is doc.index()
+
+
+class TestLookups:
+    def test_elements_matches_preorder_scan(self, tree, index):
+        for tag in index.tags:
+            scanned = [node for node in tree.iter() if node.tag == tag]
+            assert index.elements(tag) == scanned
+
+    def test_children_of_matches_child_scan(self, tree, index):
+        for parent in tree.iter():
+            for tag in index.tags:
+                scanned = [c for c in parent.element_children
+                           if c.tag == tag]
+                assert index.children_of(parent, tag) == scanned
+
+    def test_children_of_uncovered_parent_is_none(self, index):
+        assert index.children_of(element("stranger"), "Course") is None
+
+    def test_descendants_of_matches_descendant_scan(self, tree, index):
+        for node in tree.iter():
+            for tag in index.tags:
+                scanned = [d for child in node.element_children
+                           for d in child.iter() if d.tag == tag]
+                assert index.descendants_of(node, tag) == scanned
+
+    def test_descendants_of_uncovered_node_is_none(self, index):
+        assert index.descendants_of(element("stranger"), "Units") is None
+
+    def test_descendants_excludes_self(self, tree, index):
+        outer = index.elements("Course")[1]
+        assert index.descendants_of(outer, "Course") == []
+
+    def test_unknown_tag_lookups_are_empty(self, tree, index):
+        assert index.elements("Instructor") == []
+        assert index.children_of(tree, "Instructor") == []
+        assert index.descendants_of(tree, "Instructor") == []
+
+
+class TestStringCache:
+    def test_string_of_normalizes_and_caches(self, tree, index):
+        title = index.elements("Title")[0]
+        assert index.string_of(title) == "Databases"
+        assert index.string_of(title) == title.normalized_text
+
+    def test_string_of_uncovered_node_is_none(self, index):
+        assert index.string_of(element("free", "text")) is None

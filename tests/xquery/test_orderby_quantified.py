@@ -5,12 +5,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.xmlmodel import XmlDocument, element
-from repro.xquery import (
-    XQuerySyntaxError,
-    parse_query,
-    run_query,
-    unparse,
-)
+from repro.xquery import XQuerySyntaxError, run_query, unparse
+from repro.xquery.parser import parse_query
 from repro.xquery.ast import FLWOR, Quantified
 
 

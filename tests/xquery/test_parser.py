@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.xquery import XQuerySyntaxError, parse_query
+from repro.xquery import XQuerySyntaxError
+from repro.xquery.parser import parse_query
 from repro.xquery.ast import (
     Comparison,
     ElementConstructor,

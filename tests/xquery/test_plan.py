@@ -1,0 +1,208 @@
+"""Compiled plans: byte-identical to the interpreter, observable stats."""
+
+import pytest
+
+from repro.core.queries import QUERIES
+from repro.xmlmodel import XmlDocument, XmlElement, element, serialize
+from repro.xquery import Query, XQueryTypeError, compile_query, run_query
+from repro.xquery.context import DynamicContext
+from repro.xquery.errors import XQueryError
+from repro.xquery.evaluator import evaluate
+from repro.xquery.parser import parse_query
+from repro.xquery.plan import IndexedPathOp
+
+
+def _render(seq):
+    return [serialize(item) if isinstance(item, XmlElement) else item
+            for item in seq]
+
+
+def _both_ways(source, documents):
+    """(interpreter result, plan result), errors normalized to markers."""
+    try:
+        interp = _render(evaluate(parse_query(source),
+                                  DynamicContext(documents=documents)))
+    except XQueryError as exc:
+        interp = ("raised", type(exc).__name__)
+    plan = compile_query(source)
+    try:
+        planned = _render(plan.execute(documents))
+    except XQueryError as exc:
+        planned = ("raised", type(exc).__name__)
+    return interp, planned
+
+
+class TestBenchmarkEquivalence:
+    """The tentpole contract: all 12 queries, byte-identical results."""
+
+    @pytest.mark.parametrize("query", QUERIES,
+                             ids=[f"q{q.number:02d}" for q in QUERIES])
+    def test_plan_matches_interpreter(self, query, paper_testbed):
+        interp, planned = _both_ways(query.xquery, paper_testbed.documents)
+        assert planned == interp
+
+    @pytest.mark.parametrize("query", QUERIES,
+                             ids=[f"q{q.number:02d}" for q in QUERIES])
+    def test_plan_is_stable_across_runs(self, query, paper_testbed):
+        plan = compile_query(query.xquery)
+        first = _render(plan.execute(paper_testbed.documents))
+        second = _render(plan.execute(paper_testbed.documents))
+        assert first == second
+
+
+class TestRewrites:
+    def test_where_fuses_into_predicate(self):
+        plan = compile_query(
+            "for $c in doc('d')/r/c where $c/v = 'x' return $c")
+        assert plan.rewrites["where-to-predicate"] == 1
+        explained = plan.explain()
+        assert "pushed from where" in explained
+        # The WHERE clause itself is gone from the plan.
+        assert not any(line.strip() == "where"
+                       for line in explained.splitlines())
+
+    def test_conjunction_fusion_is_all_or_nothing(self):
+        fused = compile_query(
+            "for $c in doc('d')/r/c "
+            "where $c/v = 'x' and $c/w > 2 return $c")
+        assert fused.rewrites["where-to-predicate"] == 2
+        # position() is focus-dependent: nothing may move, not even the
+        # fusable first conjunct.
+        kept = compile_query(
+            "for $c in doc('d')/r/c "
+            "where $c/v = 'x' and position() < 9 return $c")
+        assert kept.rewrites["where-to-predicate"] == 0
+
+    def test_numeric_conjunct_is_not_pushed(self):
+        """A bare numeric WHERE would flip to position-filter semantics
+        as a predicate, so it must stay a WHERE."""
+        plan = compile_query(
+            "for $c in doc('d')/r/c where $c/v return $c")
+        assert plan.rewrites["where-to-predicate"] == 0
+
+    def test_constant_folding(self):
+        plan = compile_query("if (1 < 2) then 'a' else 'b'")
+        assert plan.rewrites["constant-fold"] >= 1
+        assert plan.execute({}) == ["a"]
+
+    def test_folding_keeps_runtime_errors(self):
+        plan = compile_query("'abc' < 5")
+        assert plan.rewrites["constant-fold"] == 0
+        with pytest.raises(XQueryTypeError):
+            plan.execute({})
+
+    def test_doc_rooted_path_is_index_backed(self):
+        plan = compile_query("doc('d')/r/c")
+        assert plan.rewrites["index-paths"] == 1
+        assert isinstance(plan.root, IndexedPathOp)
+
+    def test_rebound_doc_disables_index_paths(self):
+        from repro.xquery.functions import builtin_registry
+        registry = builtin_registry()
+        registry.register("doc", lambda ctx, args: [], arity=1)
+        plan = compile_query("doc('d')/r/c", functions=registry)
+        assert plan.rewrites["index-paths"] == 0
+
+
+class TestEquivalenceCorners:
+    """Shapes where a sloppy planner would diverge from the evaluator."""
+
+    @pytest.fixture()
+    def docs(self):
+        root = element(
+            "r",
+            element("c", element("v", "x"), element("w", "5")),
+            element("c", element("v", "y"), element("w", "2")),
+            element("c", element("v", "x x"), element("w", "not-a-number")),
+        )
+        return {"d": XmlDocument(root)}
+
+    @pytest.mark.parametrize("source", [
+        "doc('d')/r/c[2]",                          # position predicate
+        "doc('d')/r/c[position() > 1]/v",
+        "doc('d')/r/c[last()]",
+        "doc('d')//v",                              # descendant from doc
+        "doc('d')/r/c/*",                           # wildcard
+        "doc('d')//missing",
+        "for $c in doc('d')/r/c where $c/v = 'x' return $c/w",
+        "for $c in doc('d')/r/c where $c/v = '%x%' "
+        "return element hit {$c/v}",
+        "for $c in doc('d')/r/c where $c/w > 3 return $c",   # raises on row 3
+        "for $c in doc('d')/r/c order by $c/v descending return $c/v",
+        "some $c in doc('d')/r/c satisfies $c/v = 'y'",
+        "count(doc('d')/r/c)",
+        "doc('d')/r/c[v = 'x']",                    # hand-written predicate
+        "doc('missing')/r/c",                       # unknown document
+    ])
+    def test_corner_shapes_agree(self, source, docs):
+        interp, planned = _both_ways(source, docs)
+        assert planned == interp
+
+    def test_duplicate_elimination_matches(self, docs):
+        interp, planned = _both_ways("doc('d')//c//v", docs)
+        assert planned == interp
+
+
+class TestPlanStats:
+    def test_stats_populated_after_execute(self, paper_testbed):
+        plan = compile_query(QUERIES[0].xquery)
+        plan.execute(paper_testbed.documents)
+        stats = plan.last_stats
+        assert stats is not None
+        assert stats.parse_ns > 0
+        assert stats.compile_ns > 0
+        assert stats.exec_ns > 0
+        assert stats.nodes_visited > 0
+        assert stats.index_lookups > 0
+        assert set(stats.to_dict()) == {"parse_ns", "compile_ns", "exec_ns",
+                                        "nodes_visited", "index_lookups"}
+
+    def test_cumulative_snapshot(self, paper_testbed):
+        plan = compile_query(QUERIES[0].xquery)
+        for _ in range(3):
+            plan.execute(paper_testbed.documents)
+        snapshot = plan.stats_snapshot()
+        assert snapshot["runs"] == 3
+        assert snapshot["total_exec_ns"] >= snapshot["avg_exec_ns"] * 3 - 3
+        assert snapshot["index_lookups"] > 0
+
+    def test_index_lookups_zero_without_doc_paths(self):
+        plan = compile_query("for $x in (1, 2, 3) return $x")
+        assert plan.execute({}) == [1.0, 2.0, 3.0]
+        assert plan.last_stats.index_lookups == 0
+
+
+class TestFacade:
+    def test_module_level_compile(self):
+        from repro import xquery
+        plan = xquery.compile("1 < 2")
+        assert plan.execute({}) == [True]
+
+    def test_query_wraps_plans(self, paper_testbed):
+        query = Query(QUERIES[0].xquery)
+        assert query.explain() == query.plan.explain()
+        assert _render(query.run(paper_testbed.documents)) == \
+            _render(run_query(QUERIES[0].xquery, paper_testbed.documents))
+
+    def test_query_syntax_error_carries_location(self):
+        from repro.xquery import XQuerySyntaxError
+        with pytest.raises(XQuerySyntaxError) as info:
+            Query("for $x in (1,\n  2 return $x")
+        err = info.value
+        assert err.line == 2
+        assert err.column is not None
+        assert err.context() is not None
+        assert "^" in err.context()
+
+    def test_deprecated_imports_warn_but_work(self):
+        import repro.xquery as xq
+        with pytest.warns(DeprecationWarning):
+            parse = xq.parse_query
+        with pytest.warns(DeprecationWarning):
+            ev = xq.evaluate
+        assert ev(parse("1 < 2"), DynamicContext()) == [True]
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.xquery as xq
+        with pytest.raises(AttributeError):
+            xq.definitely_not_a_thing

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.xquery import parse_query, unparse
+from repro.xquery import unparse
+from repro.xquery.parser import parse_query
 
 
 def round_trips(source: str) -> bool:
