@@ -1,0 +1,226 @@
+"""Parallel-runner + result-cache speedup bench.
+
+Three measurements over the nine paper-pinned sources:
+
+* **legacy serial** — the pre-PR-4 cost model: every (system, query)
+  cell recomputes its gold answer and its per-source integrations from
+  scratch (the shared :class:`~repro.xquery.results.ResultCache` is
+  cleared before each cell, which is exactly what not having one meant);
+* **parallel cold** — ``run_all(workers=4)`` from an empty result
+  cache: gold answers computed once per query and shared across all
+  systems, per-source integrations shared across queries and systems;
+* **repeat warm** — the same ``run_all`` again with the cache hot: the
+  marginal cost of re-scoring identical inputs.
+
+Score cards from every mode are checked byte-identical (``to_json``)
+before any timing is trusted; divergence exits non-zero so the CI
+``concurrency-smoke`` job fails loudly.  A microbench also times one
+query's cold execution against a warm ResultCache hit.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_concurrency.py [--smoke] [--out F]
+
+``--smoke`` runs single repetitions and enforces only the determinism
+invariant (timing thresholds flake on loaded CI boxes); the full run is
+what BENCH_concurrency.json in the repo records and *does* enforce the
+headline numbers (≥2× parallel, ≥10× warm hit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core import QUERIES, run_all
+from repro.core.runner import run_query
+from repro.core.scoring import ScoreCard
+from repro.systems import cohera, iwiz, thalia_mediator
+from repro.xquery import shared_plan_cache
+from repro.xquery.results import ResultCache, shared_result_cache
+
+WORKERS = 4
+
+
+def _systems():
+    return [cohera(), iwiz(), thalia_mediator()]
+
+
+def legacy_run_all(testbed) -> list[ScoreCard]:
+    """The pre-reuse harness: no result sharing between cells.
+
+    Clearing the shared cache before every (system, query) pair forces
+    each cell to recompute its gold answer and both source integrations,
+    which is what every run cost before the ResultCache existed.
+    """
+    cache = shared_result_cache()
+    cards = []
+    for system in _systems():
+        card = ScoreCard(system=system.name)
+        for query in QUERIES:
+            cache.clear()
+            card.outcomes.append(run_query(system, query, testbed))
+        cards.append(card)
+    cache.clear()
+    return cards
+
+
+def _best_ns(fn, repeat):
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter_ns()
+        result = fn()
+        elapsed = time.perf_counter_ns() - start
+        if best is None or elapsed < best:
+            best = elapsed
+            kept = result
+    return best, kept
+
+
+def _cards_json(cards):
+    return [card.to_json() for card in cards]
+
+
+def bench_run_all(testbed, repeat):
+    legacy_ns, legacy_cards = _best_ns(
+        lambda: legacy_run_all(testbed), repeat)
+
+    def parallel_cold():
+        shared_result_cache().clear()
+        return run_all(_systems(), testbed, workers=WORKERS)
+
+    parallel_ns, parallel_cards = _best_ns(parallel_cold, repeat)
+
+    # Cache left hot by the cold run: the marginal cost of a repeat.
+    warm_ns, warm_cards = _best_ns(
+        lambda: run_all(_systems(), testbed, workers=WORKERS), repeat)
+
+    serial_cold_ns, serial_cards = _best_ns(
+        lambda: (shared_result_cache().clear(),
+                 run_all(_systems(), testbed, workers=1))[1], repeat)
+
+    reference = _cards_json(legacy_cards)
+    divergent = [name for name, cards in [
+        ("parallel_cold", parallel_cards),
+        ("repeat_warm", warm_cards),
+        ("serial_cold", serial_cards),
+    ] if _cards_json(cards) != reference]
+
+    return {
+        "systems": [system.name for system in _systems()],
+        "queries": len(QUERIES),
+        "workers": WORKERS,
+        "legacy_serial_ns": legacy_ns,
+        "serial_cold_ns": serial_cold_ns,
+        "parallel_cold_ns": parallel_ns,
+        "repeat_warm_ns": warm_ns,
+        "speedup_parallel_vs_legacy": round(legacy_ns / parallel_ns, 2),
+        "speedup_serial_vs_legacy": round(legacy_ns / serial_cold_ns, 2),
+        "speedup_warm_vs_legacy": round(legacy_ns / warm_ns, 2),
+        "byte_identical": not divergent,
+        "divergent_modes": divergent,
+    }
+
+
+def bench_warm_hit(testbed, repeat):
+    """One query through the ResultCache: cold execution vs warm probe."""
+    plan = shared_plan_cache().get(QUERIES[4].xquery)   # Q5, two sources
+    documents = testbed.documents
+    content_fp = testbed.content_fingerprint()
+    cache = ResultCache()
+
+    def cold():
+        cache.clear()
+        return cache.execute(plan, documents, content_fp)
+
+    cold_ns, cold_result = _best_ns(cold, repeat)
+    cache.clear()
+    warm_reference = cache.execute(plan, documents, content_fp)  # prime
+    warm_ns, warm_result = _best_ns(
+        lambda: cache.execute(plan, documents, content_fp),
+        max(repeat * 10, 20))
+
+    return {
+        "query": f"Q{QUERIES[4].number}",
+        "cold_exec_ns": cold_ns,
+        "warm_hit_ns": warm_ns,
+        "warm_speedup": round(cold_ns / warm_ns, 2),
+        "identical": warm_result is warm_reference is cold_result
+        or warm_result == cold_result,
+    }
+
+
+def run_bench(smoke=False):
+    repeat = 1 if smoke else 3
+    testbed = build_testbed(universities=paper_universities())
+    report = {
+        "bench": "bench_concurrency",
+        "mode": "smoke" if smoke else "full",
+        "repeat": repeat,
+        "run_all": bench_run_all(testbed, repeat),
+        "result_cache": bench_warm_hit(testbed, repeat),
+    }
+    report["result_cache_stats"] = shared_result_cache().stats()
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Time the parallel runner and the result cache "
+                    "against the legacy serial harness.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single repetition; enforce determinism only "
+                             "(CI smoke)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the JSON report here (default: "
+                             "BENCH_concurrency.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(smoke=args.smoke)
+
+    out = Path(args.out) if args.out else \
+        Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    runs = report["run_all"]
+    hit = report["result_cache"]
+    print(f"[bench_concurrency] mode={report['mode']} "
+          f"workers={runs['workers']}")
+    print(f"  legacy serial   {runs['legacy_serial_ns'] / 1e6:9.1f} ms")
+    print(f"  serial cold     {runs['serial_cold_ns'] / 1e6:9.1f} ms  "
+          f"x{runs['speedup_serial_vs_legacy']}")
+    print(f"  parallel cold   {runs['parallel_cold_ns'] / 1e6:9.1f} ms  "
+          f"x{runs['speedup_parallel_vs_legacy']}")
+    print(f"  repeat warm     {runs['repeat_warm_ns'] / 1e6:9.1f} ms  "
+          f"x{runs['speedup_warm_vs_legacy']}")
+    print(f"  warm hit        {hit['warm_hit_ns'] / 1e3:9.1f} us vs cold "
+          f"{hit['cold_exec_ns'] / 1e6:.2f} ms  x{hit['warm_speedup']} "
+          f"({hit['query']})")
+    print(f"[bench_concurrency] -> {out}")
+
+    failures = []
+    if not runs["byte_identical"]:
+        failures.append(f"score cards diverged from the legacy serial run "
+                        f"in modes {runs['divergent_modes']}")
+    if not hit["identical"]:
+        failures.append("warm cache hit returned a different result than "
+                        "cold execution")
+    if not args.smoke:
+        if runs["speedup_parallel_vs_legacy"] < 2.0:
+            failures.append(
+                f"parallel speedup x{runs['speedup_parallel_vs_legacy']} "
+                f"is below the 2x target")
+        if hit["warm_speedup"] < 10.0:
+            failures.append(f"warm-hit speedup x{hit['warm_speedup']} is "
+                            f"below the 10x target")
+    for failure in failures:
+        print(f"[bench_concurrency] FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

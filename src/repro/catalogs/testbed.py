@@ -11,7 +11,9 @@ save/load round trip, and :func:`build_source`, the one-source pipeline.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -62,6 +64,9 @@ class Testbed:
         self.seed = seed
         #: set by the build pipeline; None for hand-assembled testbeds
         self.build_report: "BuildReport | None" = None
+        self._fingerprint_lock = threading.Lock()
+        self._document_hashes: dict[str, str] = {}
+        self._content_fingerprints: dict[tuple[str, ...] | None, str] = {}
 
     # -- access ---------------------------------------------------------- #
 
@@ -93,6 +98,72 @@ class Testbed:
     def courses(self, slug: str) -> list[CanonicalCourse]:
         """Canonical ground-truth courses of one source."""
         return self.source(slug).courses
+
+    # -- content identity -------------------------------------------------- #
+
+    def __getstate__(self) -> dict:
+        """Copy/pickle support: drop the lock *and the fingerprint memos*.
+
+        A copied testbed is usually copied in order to be mutated (tests
+        corrupt documents to prove the self-check catches it), so the
+        copy must re-derive its content identity from its own documents.
+        """
+        state = self.__dict__.copy()
+        del state["_fingerprint_lock"]
+        state["_document_hashes"] = {}
+        state["_content_fingerprints"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._fingerprint_lock = threading.Lock()
+
+    def document_hash(self, slug: str) -> str:
+        """sha256 of one source's exact document serialization.
+
+        This is the same byte stream :meth:`save` writes to
+        ``document.xml``, so a testbed reloaded from disk hashes
+        identically to the one that produced it, while *any* change to a
+        document's content changes its hash.  Memoized: documents are
+        immutable once the testbed is assembled.
+        """
+        with self._fingerprint_lock:
+            cached = self._document_hashes.get(slug)
+        if cached is not None:
+            return cached
+        document = self.source(slug).document
+        digest = hashlib.sha256(
+            serialize(document, xml_declaration=True).encode("utf-8"))
+        value = digest.hexdigest()
+        with self._fingerprint_lock:
+            self._document_hashes[slug] = value
+        return value
+
+    def content_fingerprint(self, slugs: list[str] | None = None) -> str:
+        """Content identity of this testbed's document set.
+
+        A sha256 over the seed and the per-slug document hashes —
+        for the whole testbed, or for the subset *slugs* (order
+        insensitive; the server uses this to key per-request document
+        scopes).  Result caches key on this value, so a rebuilt or
+        modified testbed addresses different cache entries and can never
+        be served answers computed from the old content.
+        """
+        chosen = tuple(sorted(self._sources)) if slugs is None \
+            else tuple(sorted(slugs))
+        memo_key = None if slugs is None else chosen
+        with self._fingerprint_lock:
+            cached = self._content_fingerprints.get(memo_key)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256(f"seed:{self.seed}".encode("utf-8"))
+        for slug in chosen:
+            digest.update(f"\x00{slug}={self.document_hash(slug)}"
+                          .encode("utf-8"))
+        value = digest.hexdigest()
+        with self._fingerprint_lock:
+            self._content_fingerprints[memo_key] = value
+        return value
 
     def all_courses(self) -> list[CanonicalCourse]:
         return [course for bundle in self for course in bundle.courses]

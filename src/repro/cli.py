@@ -7,13 +7,16 @@ Commands:
   ``--out`` also write the per-source bundle to DIR.
 * ``build-testbed DIR`` — legacy spelling: build and write the
   per-source bundle (snapshot/wrapper/XML/XSD) under DIR.
-* ``run-benchmark`` — score Cohera, IWIZ and the THALIA mediator; print
-  the §4.2-style tables and the scoreboard.
+* ``run-benchmark`` / ``run`` — score Cohera, IWIZ and the THALIA
+  mediator; print the §4.2-style tables and the scoreboard.
+  ``--workers N`` runs the (system, query) grid on N threads — the
+  score cards are byte-identical to a serial run.
 * ``query N`` — describe benchmark query N and run its reference XQuery
   against the testbed.
 * ``build-site DIR`` — generate the THALIA web site (Fig. 4) under DIR.
 * ``serve`` — run the live benchmark service (site + API + score
-  uploads) on a bounded worker-pool HTTP server.
+  uploads) on a bounded worker-pool HTTP server; ``--query-workers K``
+  sizes the ``/api/query/batch`` executor.
 * ``bundle DIR`` — write the three download zips under DIR.
 * ``sources`` — list the testbed's sources.
 * ``stats [--extended]`` — testbed statistics and heterogeneity coverage.
@@ -85,6 +88,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="score Cohera, IWIZ and the THALIA mediator")
     run.add_argument("--save-scores", metavar="FILE", default=None,
                      help="persist the honor roll as JSON")
+    run.add_argument("--workers", dest="run_workers", type=int, default=4,
+                     metavar="N",
+                     help="threads running (system, query) pairs "
+                          "(default 4; 1 = serial, same score cards "
+                          "either way)")
+
+    # ``run`` is the short spelling of ``run-benchmark``; both accept the
+    # same options and dispatch to the same handler.
+    run_alias = commands.add_parser(
+        "run", help="alias of run-benchmark")
+    run_alias.add_argument("--save-scores", metavar="FILE", default=None,
+                           help="persist the honor roll as JSON")
+    run_alias.add_argument("--workers", dest="run_workers", type=int,
+                           default=4, metavar="N",
+                           help="threads running (system, query) pairs "
+                                "(default 4; 1 = serial, same score "
+                                "cards either way)")
 
     query = commands.add_parser(
         "query", help="describe and run one benchmark query")
@@ -118,6 +138,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker threads answering requests "
                             "(default 8); --workers keeps meaning build "
                             "parallelism")
+    serve.add_argument("--query-workers", type=int, default=4, metavar="K",
+                       help="threads executing /api/query/batch items "
+                            "(default 4)")
 
     bundle = commands.add_parser(
         "bundle", help="write the three download zips")
@@ -175,7 +198,8 @@ def _cmd_build_testbed(args: argparse.Namespace) -> int:
 
 def _cmd_run_benchmark(args: argparse.Namespace) -> int:
     testbed = _make_testbed(args)
-    cards = run_all([cohera(), iwiz(), thalia_mediator()], testbed)
+    cards = run_all([cohera(), iwiz(), thalia_mediator()], testbed,
+                    workers=max(1, args.run_workers))
     for card in cards:
         print(render_system_table(card))
         print()
@@ -239,7 +263,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     testbed = _make_testbed(args)   # global --workers/--cache-dir/--no-cache
     store = HonorRollStore(args.scores or DEFAULT_SCORES_FILE)
-    app = ThaliaApp(testbed=testbed, store=store)
+    app = ThaliaApp(testbed=testbed, store=store,
+                    query_workers=args.query_workers)
     server = ThaliaServer(app, host=args.host, port=args.port,
                           pool_size=args.http_threads)
     print(f"serving THALIA benchmark service on {server.url} "
@@ -318,6 +343,7 @@ _COMMANDS = {
     "selfcheck": _cmd_selfcheck,
     "taxonomy": _cmd_taxonomy,
     "run-benchmark": _cmd_run_benchmark,
+    "run": _cmd_run_benchmark,
     "query": _cmd_query,
     "build-site": _cmd_build_site,
     "serve": _cmd_serve,

@@ -19,7 +19,7 @@ End-to-end::
     print(render_scoreboard(cards))
 """
 
-from .answers import gold_answer
+from .answers import cached_gold_answer, gold_answer
 from .honor_roll import HonorRoll, HonorRollEntry
 from .queries import QUERIES, Answer, BenchmarkQuery, get_query
 from .report import (
@@ -54,6 +54,7 @@ __all__ = [
     "ValidationResult",
     "get_query",
     "all_cases",
+    "cached_gold_answer",
     "gold_answer",
     "query_short_name",
     "rank",

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from ..catalogs import CanonicalCourse, Testbed
 from ..integration import to_24h
+from ..xquery.results import shared_result_cache
 from .queries import Answer, BenchmarkQuery, get_query
 
 
@@ -149,3 +150,21 @@ def gold_answer(query: BenchmarkQuery | int, testbed: Testbed) -> Answer:
     resolved = query if isinstance(query, BenchmarkQuery) \
         else get_query(query)
     return _GOLD[resolved.number](_courses(testbed, resolved))
+
+
+def cached_gold_answer(query: BenchmarkQuery | int,
+                       testbed: Testbed) -> Answer:
+    """:func:`gold_answer` through the shared result cache.
+
+    Keyed by the query number and the content fingerprint of the two
+    sources the query spans, so one scoring run computes each gold answer
+    once — the runner shares it across every system — and a rebuilt or
+    modified testbed recomputes instead of reading a stale entry.  Gold
+    answers are frozensets: safe to share across threads.
+    """
+    resolved = query if isinstance(query, BenchmarkQuery) \
+        else get_query(query)
+    return shared_result_cache().get_or_compute(
+        f"gold:q{resolved.number}",
+        testbed.content_fingerprint(list(resolved.sources)),
+        lambda: gold_answer(resolved, testbed))

@@ -93,13 +93,19 @@ class Mediator:
 
     # -- integration --------------------------------------------------------#
 
-    def integrate_document(self, document: XmlDocument,
-                           source: str | None = None) -> list[GlobalCourse]:
-        """Lift one extracted document into the global schema.
+    def integrate_records(
+            self, document: XmlDocument, source: str | None = None
+    ) -> tuple[list[GlobalCourse], IntegrationReport]:
+        """Lift one extracted document into the global schema — pure.
 
-        Records on which an operator fails are *skipped* and reported in
-        :attr:`last_reports`, never silently mangled: a mapping failure is
-        an integration result the benchmark wants visible.
+        Returns ``(courses, report)`` without touching any shared state,
+        which makes the result safe to cache and share across threads
+        (see :class:`~repro.xquery.results.ResultCache`); the stateful
+        :attr:`last_reports` bookkeeping lives in the wrappers.
+
+        Records on which an operator fails are *skipped* and reported,
+        never silently mangled: a mapping failure is an integration
+        result the benchmark wants visible.
         """
         slug = source or document.source_name
         if slug is None:
@@ -125,6 +131,12 @@ class Mediator:
             results.append(GlobalCourse(source=slug, code=code.strip(),
                                         title=title, **out))
             report.records += 1
+        return results, report
+
+    def integrate_document(self, document: XmlDocument,
+                           source: str | None = None) -> list[GlobalCourse]:
+        """Lift one document, appending its report to :attr:`last_reports`."""
+        results, report = self.integrate_records(document, source)
         self.last_reports.append(report)
         return results
 

@@ -24,7 +24,7 @@ from urllib.parse import parse_qs, urlsplit
 from ..catalogs import Testbed, shared_testbed
 from ..core import QUERIES
 from ..website import SiteGenerator
-from ..xquery import PlanCache
+from ..xquery import PlanCache, ResultCache
 from .cache import CacheEntry, ContentCache
 from .handlers import build_router
 from .metrics import ServerMetrics
@@ -46,7 +46,8 @@ class ThaliaApp:
 
     def __init__(self, testbed: Testbed | None = None,
                  store: HonorRollStore | None = None,
-                 scores_path: str | Path = DEFAULT_SCORES_FILE) -> None:
+                 scores_path: str | Path = DEFAULT_SCORES_FILE,
+                 query_workers: int = 4) -> None:
         self.testbed = testbed if testbed is not None else shared_testbed()
         self.store = store if store is not None \
             else HonorRollStore(scores_path)
@@ -63,6 +64,32 @@ class ThaliaApp:
         self.plans = PlanCache(maxsize=128)
         for query in QUERIES:
             self.plans.get(query.xquery)
+        # Query-result cache for POST /api/query[/batch]: keyed by
+        # (plan fingerprint, document-scope content fingerprint), with
+        # single-flight coalescing of identical in-flight queries.  The
+        # app keeps its own instance (not the process-wide one) so the
+        # counters in /api/stats reflect request traffic only.
+        self.results = ResultCache(maxsize=256)
+        self.query_workers = max(1, int(query_workers))
+        self._query_pool: ThreadPoolExecutor | None = None
+        self._query_pool_lock = threading.Lock()
+
+    @property
+    def query_pool(self) -> ThreadPoolExecutor:
+        """The batch-query executor, created on first batch request."""
+        with self._query_pool_lock:
+            if self._query_pool is None:
+                self._query_pool = ThreadPoolExecutor(
+                    max_workers=self.query_workers,
+                    thread_name_prefix="thalia-query")
+            return self._query_pool
+
+    def close(self) -> None:
+        """Release background resources (the batch executor)."""
+        with self._query_pool_lock:
+            pool, self._query_pool = self._query_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     # -- handler helpers -------------------------------------------------- #
 
@@ -328,6 +355,7 @@ class ThaliaServer:
             self._thread.join(timeout=10)
         self._server.drain(wait=True)      # in-flight requests finish
         self._server.server_close()
+        self.app.close()                   # batch-query pool drains last
 
     def __enter__(self) -> "ThaliaServer":
         return self.start()

@@ -57,6 +57,7 @@ class ContentCache:
         self.hits = 0
         self.misses = 0
         self.builds = 0
+        self.bytes = 0   # running sum of cached body lengths
 
     def get_or_build(self, key: Key,
                      builder: Callable[[], tuple[bytes, str]]
@@ -84,6 +85,7 @@ class ContentCache:
                 self.hits += 1
                 return entry, True
             self._entries[key] = built
+            self.bytes += len(built.body)
             self.misses += 1
             self.builds += 1
             return built, False
@@ -94,6 +96,7 @@ class ContentCache:
             stale = [key for key in self._entries
                      if key[0] == group and key[1] != keep_variant]
             for key in stale:
+                self.bytes -= len(self._entries[key].body)
                 del self._entries[key]
             return len(stale)
 
@@ -102,10 +105,13 @@ class ContentCache:
             return len(self._entries)
 
     def stats(self) -> dict:
+        # ``bytes`` is maintained on insert/prune rather than re-summed
+        # here: /api/stats is polled by monitors, and walking every body
+        # under the lock stalled concurrent cache hits.
         with self._lock:
             return {
                 "entries": len(self._entries),
-                "bytes": sum(len(e.body) for e in self._entries.values()),
+                "bytes": self.bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "builds": self.builds,

@@ -23,6 +23,9 @@ GET      ``/api/honor-roll``                 ranked roll as JSON
 GET      ``/api/stats``                      request/latency/cache metrics
 GET      ``/healthz``                        liveness probe
 POST     ``/api/query``                      run an XQuery against a source
+                                             (result-cached, single-flight)
+POST     ``/api/query/batch``                run up to MAX_BATCH_QUERIES
+                                             queries concurrently
 POST     ``/api/scores``                     upload a score card (re-scored
                                              server-side before acceptance)
 =======  ==================================  =================================
@@ -50,6 +53,9 @@ if TYPE_CHECKING:  # pragma: no cover
     from .app import ThaliaApp
 
 XML_TYPE = "application/xml; charset=utf-8"
+
+#: Upper bound on queries per POST /api/query/batch request.
+MAX_BATCH_QUERIES = 64
 
 _BUNDLE_BUILDERS = {
     CATALOGS_BUNDLE: build_catalogs_bundle,
@@ -194,6 +200,7 @@ def build_router() -> Router:
     def api_stats(app: "ThaliaApp", request: Request) -> Response:
         payload = app.metrics.snapshot()
         payload["content_cache"] = app.cache.stats()
+        payload["result_cache"] = app.results.stats()
         payload["honor_roll"] = {
             "systems": len(app.store),
             "submissions": len(app.store.submissions),
@@ -231,44 +238,49 @@ def build_router() -> Router:
             payload = request.json()
         except ValueError as exc:
             return Response.of_json({"error": str(exc)}, status=400)
+        body, status = _run_one_query(app, payload)
+        return Response.of_json(body, status=status, no_store=True)
+
+    @router.post("/api/query/batch", name="api_run_query_batch")
+    def api_run_query_batch(app: "ThaliaApp", request: Request) -> Response:
+        """Execute several queries in one request, concurrently.
+
+        Body: ``{"queries": [{"xquery": ..., "source": ...?}, ...]}``.
+        Items fan out over the app's query pool (``--query-workers``);
+        identical items — in this batch or racing with other requests —
+        coalesce to one execution via the result cache.  Results come
+        back in input order; each carries its own ``status`` so one bad
+        query cannot sink its batch-mates.
+        """
+        try:
+            payload = request.json()
+        except ValueError as exc:
+            return Response.of_json({"error": str(exc)}, status=400)
         if not isinstance(payload, dict) or \
-                not isinstance(payload.get("xquery"), str):
+                not isinstance(payload.get("queries"), list):
             return Response.of_json(
-                {"error": "body must be a JSON object with an 'xquery' "
-                          "string"}, status=400)
-        slug = payload.get("source")
-        if slug is not None:
-            if slug not in app.testbed:
-                return Response.of_json(
-                    {"error": f"no such source: {slug}"}, status=404)
-            documents = {slug: app.testbed.source(slug).document}
+                {"error": "body must be a JSON object with a 'queries' "
+                          "list"}, status=400)
+        queries = payload["queries"]
+        if not queries:
+            return Response.of_json(
+                {"error": "'queries' must not be empty"}, status=400)
+        if len(queries) > MAX_BATCH_QUERIES:
+            return Response.of_json(
+                {"error": f"'queries' exceeds the batch limit of "
+                          f"{MAX_BATCH_QUERIES}"}, status=400)
+        if len(queries) > 1:
+            outcomes = list(app.query_pool.map(
+                lambda item: _run_one_query(app, item), queries))
         else:
-            documents = app.testbed.documents
-        try:
-            plan = app.plans.get(payload["xquery"])
-        except XQuerySyntaxError as exc:
-            detail: dict = {"error": f"XQuerySyntaxError: {exc}"}
-            if exc.line is not None:
-                detail["line"] = exc.line
-                detail["column"] = exc.column
-                detail["context"] = exc.context()
-            return Response.of_json(detail, status=400)
-        try:
-            items = plan.execute(documents)
-        except XQueryError as exc:
-            return Response.of_json(
-                {"error": f"{type(exc).__name__}: {exc}"}, status=400)
-        rendered = [serialize(item) if isinstance(item, XmlElement)
-                    else item for item in items]
-        stats = plan.last_stats
+            outcomes = [_run_one_query(app, queries[0])]
+        results = []
+        for body, status in outcomes:
+            body["status"] = status
+            results.append(body)
         return Response.of_json({
-            "count": len(rendered),
-            "items": rendered,
-            "plan": {
-                "exec_ns": stats.exec_ns,
-                "nodes_visited": stats.nodes_visited,
-                "index_lookups": stats.index_lookups,
-            },
+            "count": len(results),
+            "results": results,
         }, no_store=True)
 
     @router.post("/api/scores", name="api_upload_scores")
@@ -324,6 +336,64 @@ def build_router() -> Router:
         }, status=201, no_store=True)
 
     return router
+
+
+def _run_one_query(app: "ThaliaApp", payload: object) -> tuple[dict, int]:
+    """Validate and execute one query item; ``(body, http status)``.
+
+    Shared by ``/api/query`` and ``/api/query/batch``.  Execution goes
+    through the app's :class:`~repro.xquery.results.ResultCache`, keyed
+    by the compiled plan's fingerprint and the content fingerprint of
+    the requested document scope — a repeated query is a dict probe, N
+    identical concurrent queries execute once (the rest coalesce), and a
+    testbed with different content can never be answered from this one's
+    entries.
+    """
+    if not isinstance(payload, dict) or \
+            not isinstance(payload.get("xquery"), str):
+        return {"error": "body must be a JSON object with an 'xquery' "
+                         "string"}, 400
+    slug = payload.get("source")
+    if slug is not None:
+        if slug not in app.testbed:
+            return {"error": f"no such source: {slug}"}, 404
+        documents = {slug: app.testbed.source(slug).document}
+        content_fp = app.testbed.content_fingerprint([slug])
+    else:
+        documents = app.testbed.documents
+        content_fp = app.testbed.content_fingerprint()
+    try:
+        plan = app.plans.get(payload["xquery"])
+    except XQuerySyntaxError as exc:
+        detail: dict = {"error": f"XQuerySyntaxError: {exc}"}
+        if exc.line is not None:
+            detail["line"] = exc.line
+            detail["column"] = exc.column
+            detail["context"] = exc.context()
+        return detail, 400
+
+    def compute() -> tuple[tuple, dict]:
+        items = plan.execute(documents)
+        rendered = tuple(serialize(item) if isinstance(item, XmlElement)
+                         else item for item in items)
+        stats = plan.last_stats
+        return rendered, {
+            "exec_ns": stats.exec_ns,
+            "nodes_visited": stats.nodes_visited,
+            "index_lookups": stats.index_lookups,
+        }
+
+    try:
+        (rendered, plan_info), cache_status = app.results.fetch(
+            plan.fingerprint, content_fp, compute)
+    except XQueryError as exc:
+        return {"error": f"{type(exc).__name__}: {exc}"}, 400
+    return {
+        "count": len(rendered),
+        "items": list(rendered),
+        "cached": cache_status != "miss",
+        "plan": plan_info,
+    }, 200
 
 
 def _is_int(value: object) -> bool:

@@ -18,11 +18,13 @@ hard-coded.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass
 
 from ..catalogs import Testbed
 from ..core.queries import Answer, BenchmarkQuery
 from ..integration import Capability, Effort, Mediator, standard_mediator
+from ..xquery.results import shared_result_cache
 
 
 @dataclass(frozen=True)
@@ -76,6 +78,7 @@ class CapabilityModelSystem(IntegrationSystem):
         self.profile = dict(profile)
         self.description = description
         self._mediator_cache: Mediator | None = None
+        self._mediator_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
 
@@ -101,16 +104,46 @@ class CapabilityModelSystem(IntegrationSystem):
 
     def _mediator(self) -> Mediator:
         """The standard mediator ablated of unsupported capabilities."""
-        if self._mediator_cache is None:
-            mediator = standard_mediator()
-            for capability in self.missing_capabilities:
-                mediator = mediator.without_capability(capability)
-            self._mediator_cache = mediator
-        return self._mediator_cache
+        with self._mediator_lock:
+            if self._mediator_cache is None:
+                mediator = standard_mediator()
+                for capability in self.missing_capabilities:
+                    mediator = mediator.without_capability(capability)
+                self._mediator_cache = mediator
+            return self._mediator_cache
+
+    def _ablation_token(self) -> str:
+        """Identity of this system's *mediator*: the ablation set.
+
+        Two systems missing the same capabilities run byte-identical
+        mediators (same standard mappings, same default lexicon), so
+        their per-source integrations can share result-cache entries.
+        """
+        return ",".join(sorted(cap.name for cap in
+                               self.missing_capabilities)) or "full"
+
+    def _integrated(self, slug: str, testbed: Testbed) -> tuple:
+        """One source's integrated courses, via the shared result cache.
+
+        ``Mediator.integrate`` is the concatenation of independent
+        per-source integrations, so caching at per-source granularity
+        lets e.g. Q5 and Q11 (both over cmu+umich) reuse each other's
+        work and lets the runner's systems share sources.  Keyed by the
+        ablation set and the slug's document hash, so a modified source
+        document can never serve stale courses.  Cached as a tuple:
+        shared across threads, treated as immutable.
+        """
+        task = f"integrate:{self._ablation_token()}:{slug}"
+        return shared_result_cache().get_or_compute(
+            task, testbed.document_hash(slug),
+            lambda: tuple(self._mediator().integrate_records(
+                testbed.source(slug).document, slug)[0]))
 
     def answer(self, query: BenchmarkQuery, testbed: Testbed) -> SystemAnswer:
         mediator = self._mediator()
-        courses = mediator.integrate(testbed.documents, list(query.sources))
+        courses: list = []
+        for slug in query.sources:
+            courses.extend(self._integrated(slug, testbed))
         produced = query.evaluate(courses, mediator.lexicon)
         supported = self.supports(query)
         if supported:

@@ -48,6 +48,7 @@ from .functions import FunctionRegistry, XQueryFunction, builtin_registry
 from .lexer import tokenize
 from .plan import Plan, PlanStats, compile_query
 from .plan_cache import PlanCache, shared_plan_cache
+from .results import ResultCache, shared_result_cache
 from .unparse import unparse
 from .runtime import (
     Item,
@@ -141,6 +142,7 @@ __all__ = [
     "PlanCache",
     "PlanStats",
     "Query",
+    "ResultCache",
     "Seq",
     "XQueryError",
     "XQueryFunction",
@@ -157,6 +159,7 @@ __all__ = [
     "parse_query",
     "run_query",
     "shared_plan_cache",
+    "shared_result_cache",
     "string_value",
     "to_number",
     "tokenize",

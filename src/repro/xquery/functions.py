@@ -38,15 +38,18 @@ class FunctionRegistry:
 
     def __init__(self) -> None:
         self._functions: dict[str, tuple[XQueryFunction, object]] = {}
+        self._fingerprint: tuple | None = None
 
     def register(self, name: str, fn: XQueryFunction,
                  arity: object = 1) -> None:
         """Register *fn* under *name* (and without its namespace prefix)."""
         self._functions[name] = (fn, arity)
+        self._fingerprint = None
 
     def copy(self) -> "FunctionRegistry":
         dup = FunctionRegistry()
         dup._functions = dict(self._functions)
+        dup._fingerprint = self._fingerprint
         return dup
 
     def fingerprint(self) -> tuple:
@@ -57,9 +60,16 @@ class FunctionRegistry:
         builtin registry share plan-cache entries; registering a different
         implementation under an existing name changes the fingerprint and
         therefore the cache key.
+
+        Memoized so cache lookups keyed on it (PlanCache's hot path, the
+        ResultCache's plan fingerprints) cost a dict probe, not a sort;
+        :meth:`register` invalidates the memo.
         """
-        return tuple(sorted(
-            (name, id(fn)) for name, (fn, _arity) in self._functions.items()))
+        if self._fingerprint is None:
+            self._fingerprint = tuple(sorted(
+                (name, id(fn))
+                for name, (fn, _arity) in self._functions.items()))
+        return self._fingerprint
 
     def resolves_to(self, name: str, fn: "XQueryFunction") -> bool:
         """True when calling *name* would dispatch to exactly *fn*."""

@@ -25,6 +25,7 @@ A :class:`Plan` additionally exposes:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass
@@ -870,11 +871,31 @@ class Plan:
         self.compile_ns = compile_ns
         self.rewrites = dict(rewrites)
         self._lock = threading.Lock()
+        self._fingerprint: str | None = None
         self.runs = 0
         self.total_exec_ns = 0
         self.total_nodes_visited = 0
         self.total_index_lookups = 0
         self.last_stats: PlanStats | None = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity of this plan's *computation*: sha256 over the
+        query source and the function registry's fingerprint.
+
+        Two plans compiled from identical source against registries with
+        identical contents fingerprint the same, so result-cache entries
+        (see :mod:`repro.xquery.results`) survive recompilation; swapping
+        a function implementation changes the fingerprint and with it the
+        cache key.  Memoized — the registry fingerprint is itself memoized
+        and a plan's registry never changes after compilation.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256(self.source.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(repr(self.functions.fingerprint()).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def execute(self, documents=None, variables=None) -> Seq:
         """Run the plan against a document set; thread-safe."""

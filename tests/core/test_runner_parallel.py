@@ -1,0 +1,70 @@
+"""Parallel runner determinism: workers=N is byte-identical to serial."""
+
+from repro.core import run_all, run_benchmark
+from repro.core.queries import QUERIES
+from repro.systems import cohera, iwiz, thalia_mediator
+from repro.xquery import shared_result_cache
+
+
+def _systems():
+    return [cohera(), iwiz(), thalia_mediator()]
+
+
+class TestParallelDeterminism:
+    def test_run_all_workers4_byte_identical_to_serial(self, paper_testbed):
+        serial = run_all(_systems(), paper_testbed, workers=1)
+        parallel = run_all(_systems(), paper_testbed, workers=4)
+        assert [card.to_json() for card in serial] == \
+            [card.to_json() for card in parallel]
+
+    def test_cold_cache_parallel_matches_warm_serial(self, paper_testbed):
+        serial = run_all(_systems(), paper_testbed, workers=1)
+        shared_result_cache().clear()
+        parallel = run_all(_systems(), paper_testbed, workers=4)
+        assert [card.to_json() for card in serial] == \
+            [card.to_json() for card in parallel]
+
+    def test_outcomes_in_query_order(self, paper_testbed):
+        for card in run_all(_systems(), paper_testbed, workers=4):
+            assert [outcome.number for outcome in card.outcomes] == \
+                [query.number for query in QUERIES]
+
+    def test_cards_in_input_system_order(self, paper_testbed):
+        systems = _systems()
+        cards = run_all(systems, paper_testbed, workers=4)
+        assert [card.system for card in cards] == \
+            [system.name for system in systems]
+
+    def test_run_benchmark_workers_matches_serial(self, paper_testbed):
+        serial = run_benchmark(thalia_mediator(), paper_testbed, workers=1)
+        parallel = run_benchmark(thalia_mediator(), paper_testbed, workers=4)
+        assert serial.to_json() == parallel.to_json()
+
+    def test_oversized_worker_count_is_harmless(self, paper_testbed):
+        card = run_benchmark(thalia_mediator(), paper_testbed, workers=64)
+        assert len(card.outcomes) == len(QUERIES)
+
+
+class TestResultReuse:
+    def test_gold_computed_once_per_query(self, paper_testbed):
+        cache = shared_result_cache()
+        cache.clear()
+        run_all(_systems(), paper_testbed, workers=1)
+        gold_misses = sum(
+            1 for (task, _content) in cache._entries
+            if task.startswith("gold:"))
+        assert gold_misses == len(QUERIES)
+        # A second full run over the same testbed recomputes nothing.
+        misses_before = cache.misses
+        run_all(_systems(), paper_testbed, workers=4)
+        assert cache.misses == misses_before
+
+    def test_integrations_shared_across_queries(self, paper_testbed):
+        cache = shared_result_cache()
+        cache.clear()
+        run_benchmark(thalia_mediator(), paper_testbed)
+        integrations = [task for (task, _content) in cache._entries
+                        if task.startswith("integrate:")]
+        # 12 queries × 2 sources = 24 integrations without reuse; the
+        # paper set spans far fewer distinct sources.
+        assert 0 < len(integrations) < 24

@@ -1,0 +1,110 @@
+"""Threaded stress tests: every cache keeps one canonical entry when
+many threads race the same cold miss."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.server.cache import ContentCache
+from repro.xquery import PlanCache
+from repro.xquery.results import ResultCache
+
+THREADS = 16
+
+
+def _race(worker):
+    """Run *worker* on THREADS threads released simultaneously."""
+    barrier = threading.Barrier(THREADS)
+
+    def wrapped(index):
+        barrier.wait(timeout=30)
+        return worker(index)
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        return list(pool.map(wrapped, range(THREADS)))
+
+
+class TestPlanCacheRaces:
+    def test_racing_misses_one_canonical_plan(self):
+        cache = PlanCache()
+        source = 'FOR $c in doc("cmu.xml")/cmu/Course RETURN $c'
+        plans = _race(lambda index: cache.get(source))
+        assert len({id(plan) for plan in plans}) == 1
+        assert len(cache) == 1
+
+    def test_mixed_keys_under_contention(self):
+        cache = PlanCache()
+        sources = [f'FOR $c in doc("cmu.xml")/cmu/Course '
+                   f'RETURN $c/F{n}' for n in range(4)]
+        plans = _race(lambda index: cache.get(sources[index % 4]))
+        assert len({id(plan) for plan in plans}) == 4
+        assert len(cache) == 4
+
+
+class TestContentCacheRaces:
+    def test_racing_misses_one_canonical_entry(self):
+        cache = ContentCache()
+        entries = _race(lambda index: cache.get_or_build(
+            ("group", "variant"), lambda: (b"payload", "text/plain")))
+        canonical = {id(entry) for entry, _hit in entries}
+        assert len(canonical) == 1
+        assert cache.builds >= 1
+        assert len(cache) == 1
+        assert cache.bytes == len(b"payload")
+
+    def test_byte_counter_tracks_prune_under_threads(self):
+        cache = ContentCache()
+
+        def worker(index):
+            variant = str(index % 4)
+            cache.get_or_build(("g", variant),
+                               lambda: (b"x" * (index % 4 + 1), "t"))
+            cache.prune_group("g", keep_variant="0")
+
+        _race(worker)
+        cache.prune_group("g", keep_variant="0")
+        expected = sum(len(e.body) for e in cache._entries.values())
+        assert cache.bytes == expected
+
+    def test_stats_bytes_equals_actual_bytes(self):
+        cache = ContentCache()
+        for index in range(5):
+            cache.get_or_build(("g", str(index)),
+                               lambda: (b"y" * 10, "t"))
+        cache.prune_group("g", keep_variant="3")
+        assert cache.stats()["bytes"] == 10
+        assert cache.stats()["entries"] == 1
+
+
+class TestResultCacheRaces:
+    def test_racing_misses_one_canonical_value(self):
+        cache = ResultCache()
+        calls = []
+        lock = threading.Lock()
+
+        def compute():
+            with lock:
+                calls.append(1)
+            return ("shared",)
+
+        values = _race(lambda index: cache.get_or_compute(
+            "task", "content", compute))
+        assert len({id(value) for value in values}) == 1
+        assert len(calls) == 1
+        assert len(cache) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] + stats["coalesced"] == THREADS - 1
+
+    def test_mixed_keys_and_eviction_under_contention(self):
+        cache = ResultCache(maxsize=4)
+
+        def worker(index):
+            key = f"task-{index % 8}"
+            return cache.get_or_compute(key, "c", lambda: key.upper())
+
+        values = _race(worker)
+        assert all(value.startswith("TASK-") for value in values)
+        assert len(cache) <= 4
+        # The byte counter never drifts from the surviving entries.
+        expected = sum(entry.size for entry in cache._entries.values())
+        assert cache.bytes == expected
