@@ -71,6 +71,18 @@ TEXTBOOKS: tuple[str, ...] = (
 _MEETING_STARTS = (8 * 60, 9 * 60, 9 * 60 + 30, 10 * 60, 11 * 60,
                    12 * 60 + 30, 13 * 60 + 30, 14 * 60, 15 * 60,
                    16 * 60, 17 * 60)
+
+_ROMAN = (("X", 10), ("IX", 9), ("V", 5), ("IV", 4), ("I", 1))
+
+
+def _roman(value: int) -> str:
+    """Roman numeral for variant-round title suffixes ("II", "III", ...)."""
+    parts: list[str] = []
+    for symbol, magnitude in _ROMAN:
+        while value >= magnitude:
+            parts.append(symbol)
+            value -= magnitude
+    return "".join(parts)
 _DAY_PATTERNS = (("M", "W", "F"), ("T", "Th"), ("M", "W"), ("F",), ("W",))
 _CLASSIFICATIONS = (("JR", "SR"), ("SO", "JR"), ("FR", "SO"), ("SR",), ())
 
@@ -102,17 +114,44 @@ class CourseFactory:
         self._code_counter = self.style.code_start
         self._used_topics: set[str] = set()
 
-    def fill(self, count: int,
-             exclude_topics: set[str] | None = None) -> list[CanonicalCourse]:
-        """Generate *count* filler courses, avoiding excluded topic slugs.
+    def fill(self, count: int, exclude_topics: set[str] | None = None,
+             scale: int = 1) -> list[CanonicalCourse]:
+        """Generate ``count * scale`` filler courses, avoiding excluded
+        topic slugs.
 
         Exclusion keeps filler from colliding with pinned courses — a
         filler "Database Systems" at CMU would corrupt the gold answer of
         every database-related benchmark query.
+
+        ``scale`` multiplies the catalog for the scale-tier testbeds:
+        round 0 is byte-identical to a ``scale=1`` build (same seeded
+        stream, consumed in the same order), and each further round draws
+        variant topics — titles suffixed with a roman numeral, slugs
+        suffixed ``~k`` — continuing the same stream.  Variants inherit
+        the base topic's exclusions and, like all filler, match none of
+        the twelve benchmark predicates, so every query's answer is
+        identical at every scale.
         """
-        excluded = set(exclude_topics or ())
-        excluded |= self._used_topics
-        pool = [t for t in TOPICS if t[2] not in excluded]
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        courses = self._fill_round(count, exclude_topics, variant=0)
+        for variant in range(1, scale):
+            courses.extend(self._fill_round(count, exclude_topics, variant))
+        return courses
+
+    def _fill_round(self, count: int, exclude_topics: set[str] | None,
+                    variant: int) -> list[CanonicalCourse]:
+        base_excluded = set(exclude_topics or ())
+        if variant == 0:
+            topics = TOPICS
+            excluded = base_excluded | self._used_topics
+        else:
+            suffix = " " + _roman(variant + 1)
+            topics = tuple(
+                (f"{en}{suffix}", f"{de}{suffix}", f"{slug}~{variant}")
+                for en, de, slug in TOPICS if slug not in base_excluded)
+            excluded = self._used_topics
+        pool = [t for t in topics if t[2] not in excluded]
         self._rng.shuffle(pool)
         if count > len(pool):
             raise ValueError(

@@ -41,7 +41,7 @@ from ..xmlmodel import (
     infer_schema,
     parse_xml,
     parse_xsd,
-    serialize,
+    serialize_digest,
     serialize_pretty,
 )
 from .registry import all_universities
@@ -90,15 +90,19 @@ def code_fingerprint() -> str:
 
 
 def profile_fingerprint(profile: UniversityProfile, seed: int,
-                        config: WrapperConfig | None = None) -> str:
-    """Content key of one source build: identity + config + code + seed.
+                        config: WrapperConfig | None = None,
+                        scale: int = 1) -> str:
+    """Content key of one source build: identity + config + code + seed
+    (+ scale for scale-tier builds).
 
     *config* lets callers that already built the profile's
-    :class:`WrapperConfig` avoid constructing it a second time.
+    :class:`WrapperConfig` avoid constructing it a second time.  ``scale``
+    enters the payload only when it is not 1, so every cache entry written
+    before the scale tier existed keeps its address.
     """
     if config is None:
         config = profile.wrapper_config()
-    payload = json.dumps({
+    fields = {
         "pipeline_version": PIPELINE_VERSION,
         "code": code_fingerprint(),
         "seed": seed,
@@ -109,7 +113,10 @@ def profile_fingerprint(profile: UniversityProfile, seed: int,
         "language": profile.language,
         "heterogeneities": list(profile.heterogeneities),
         "wrapper": config.to_text(),
-    }, sort_keys=True)
+    }
+    if scale != 1:
+        fields["scale"] = scale
+    payload = json.dumps(fields, sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -131,6 +138,10 @@ class SourceBuildRecord:
     scrape_s: float = 0.0     # TESS extraction
     infer_s: float = 0.0      # schema inference
     load_s: float = 0.0       # cache read (hits only)
+    #: sha256 of the exact document serialization when a build stage
+    #: already touched those bytes (cache load/store); primes the
+    #: testbed's document-hash memo.
+    document_sha256: str | None = None
 
     @property
     def total_s(self) -> float:
@@ -145,6 +156,7 @@ class BuildReport:
     workers: int
     cache_root: str | None = None
     wall_s: float = 0.0
+    scale: int = 1
     records: list[SourceBuildRecord] = field(default_factory=list)
 
     @property
@@ -220,17 +232,21 @@ class ArtifactCache:
         self.root = Path(root)
 
     def entry_dir(self, profile: UniversityProfile, seed: int,
-                  config: WrapperConfig | None = None) -> Path:
+                  config: WrapperConfig | None = None,
+                  scale: int = 1) -> Path:
         return (self.root / f"v{PIPELINE_VERSION}" / profile.slug
-                / profile_fingerprint(profile, seed, config))
+                / profile_fingerprint(profile, seed, config, scale))
 
     # -- read ------------------------------------------------------------- #
 
-    def load(self, profile: UniversityProfile,
-             seed: int) -> SourceBundle | None:
-        """Reconstruct a :class:`SourceBundle`, or ``None`` on any defect."""
+    def load(self, profile: UniversityProfile, seed: int,
+             scale: int = 1) -> tuple[SourceBundle, str] | None:
+        """Reconstruct ``(bundle, document sha256)``, or ``None`` on any
+        defect.  The sha comes from the verified ``meta.json`` checksum —
+        the same bytes just read — so the caller can prime the testbed's
+        document-hash memo without re-serializing."""
         config = profile.wrapper_config()
-        entry = self.entry_dir(profile, seed, config)
+        entry = self.entry_dir(profile, seed, config, scale)
         try:
             meta = json.loads((entry / META_FILE).read_text(encoding="utf-8"))
             if meta.get("fingerprint") != entry.name:
@@ -255,30 +271,39 @@ class ArtifactCache:
         except (OSError, KeyError, TypeError, ValueError,
                 XmlError, TessError):
             return None
-        return SourceBundle(
+        bundle = SourceBundle(
             profile=profile,
-            courses=profile.build_courses(seed),
+            courses=profile.build_courses(seed, scale=scale),
             snapshot=texts[SNAPSHOT_FILE],
             config=config,
             document=document,
             schema=schema,
             stats=stats,
         )
+        return bundle, meta["sha256"][DOCUMENT_FILE]
 
     # -- write ------------------------------------------------------------ #
 
-    def store(self, bundle: SourceBundle, seed: int) -> Path:
-        """Persist one built source; returns the entry directory."""
-        entry = self.entry_dir(bundle.profile, seed, bundle.config)
+    def store(self, bundle: SourceBundle, seed: int,
+              scale: int = 1) -> tuple[Path, str]:
+        """Persist one built source; returns ``(entry directory, document
+        sha256)`` — the sha is computed while serializing, never as a
+        second pass."""
+        entry = self.entry_dir(bundle.profile, seed, bundle.config, scale)
         entry.mkdir(parents=True, exist_ok=True)
+        document_text, document_sha = serialize_digest(
+            bundle.document, xml_declaration=True)
         texts = {
             SNAPSHOT_FILE: bundle.snapshot,
             CONFIG_FILE: bundle.config.to_text(),
-            DOCUMENT_FILE: serialize(bundle.document, xml_declaration=True),
+            DOCUMENT_FILE: document_text,
             SCHEMA_FILE: serialize_pretty(bundle.schema.to_xsd()),
         }
         for name, text in texts.items():
             (entry / name).write_text(text, encoding="utf-8")
+        sha256s = {name: _sha256(text) for name, text in texts.items()
+                   if name != DOCUMENT_FILE}
+        sha256s[DOCUMENT_FILE] = document_sha
         meta = {
             "fingerprint": entry.name,
             "slug": bundle.slug,
@@ -290,13 +315,13 @@ class ArtifactCache:
                 "fields_extracted": bundle.stats.fields_extracted,
                 "fields_missing": bundle.stats.fields_missing,
             },
-            "sha256": {name: _sha256(text) for name, text in texts.items()},
+            "sha256": sha256s,
         }
         # meta.json is written last: a crash mid-store leaves an entry
         # without valid metadata, which load() treats as a miss.
         (entry / META_FILE).write_text(
             json.dumps(meta, indent=2, sort_keys=True), encoding="utf-8")
-        return entry
+        return entry, document_sha
 
 
 # --------------------------------------------------------------------------- #
@@ -305,10 +330,11 @@ class ArtifactCache:
 
 def _build_fresh(profile: UniversityProfile, seed: int,
                  scraper: TessScraper,
-                 record: SourceBuildRecord) -> SourceBundle:
+                 record: SourceBuildRecord,
+                 scale: int = 1) -> SourceBundle:
     """The serial three-stage pipeline for one source, with stage timers."""
     start = time.perf_counter()
-    courses = profile.build_courses(seed)
+    courses = profile.build_courses(seed, scale=scale)
     snapshot = profile.render(courses)
     record.render_s = time.perf_counter() - start
 
@@ -328,20 +354,21 @@ def _build_fresh(profile: UniversityProfile, seed: int,
 
 
 def _build_one(profile: UniversityProfile, seed: int,
-               cache: ArtifactCache | None,
-               use_cache: bool) -> tuple[SourceBundle, SourceBuildRecord]:
+               cache: ArtifactCache | None, use_cache: bool,
+               scale: int = 1) -> tuple[SourceBundle, SourceBuildRecord]:
     """Build one source, via the cache when possible; worker-thread body."""
     record = SourceBuildRecord(slug=profile.slug, cache_hit=False)
     if cache is not None and use_cache:
         start = time.perf_counter()
-        cached = cache.load(profile, seed)
+        cached = cache.load(profile, seed, scale)
         if cached is not None:
+            bundle, record.document_sha256 = cached
             record.cache_hit = True
             record.load_s = time.perf_counter() - start
-            return cached, record
-    bundle = _build_fresh(profile, seed, TessScraper(), record)
+            return bundle, record
+    bundle = _build_fresh(profile, seed, TessScraper(), record, scale)
     if cache is not None and use_cache:
-        cache.store(bundle, seed)
+        _, record.document_sha256 = cache.store(bundle, seed, scale)
     return bundle, record
 
 
@@ -351,7 +378,8 @@ def build_testbed(seed: int = DEFAULT_SEED,
                   *,
                   workers: int = 1,
                   cache_dir: str | Path | None = None,
-                  use_cache: bool = True) -> Testbed:
+                  use_cache: bool = True,
+                  scale: int = 1) -> Testbed:
     """Build the full testbed (all 25 sources unless a subset is given).
 
     Args:
@@ -366,6 +394,9 @@ def build_testbed(seed: int = DEFAULT_SEED,
             on-disk caching entirely.
         use_cache: when ``False``, neither read nor write the cache even
             if ``cache_dir`` is set (the CLI's ``--no-cache``).
+        scale: catalog multiplier for scale-tier testbeds; ``scale=1``
+            is byte-identical to a build from before this parameter
+            existed (same filler stream, same cache addresses).
 
     The returned :class:`Testbed` carries a :class:`BuildReport` as its
     ``build_report`` attribute.
@@ -374,14 +405,16 @@ def build_testbed(seed: int = DEFAULT_SEED,
     profiles = universities if universities is not None else all_universities()
 
     if scraper is not None:
-        report = BuildReport(seed=seed, workers=1, cache_root=None)
+        report = BuildReport(seed=seed, workers=1, cache_root=None,
+                             scale=scale)
         bundles = []
         for profile in profiles:
             record = SourceBuildRecord(slug=profile.slug, cache_hit=False)
-            bundles.append(_build_fresh(profile, seed, scraper, record))
+            bundles.append(_build_fresh(profile, seed, scraper, record,
+                                        scale))
             report.records.append(record)
         report.wall_s = time.perf_counter() - wall_start
-        testbed = Testbed(bundles, seed)
+        testbed = Testbed(bundles, seed, scale=scale)
         testbed.build_report = report
         return testbed
 
@@ -389,15 +422,17 @@ def build_testbed(seed: int = DEFAULT_SEED,
     workers = max(1, int(workers))
     report = BuildReport(
         seed=seed, workers=workers,
-        cache_root=str(cache.root) if cache is not None else None)
+        cache_root=str(cache.root) if cache is not None else None,
+        scale=scale)
 
     if workers == 1 or len(profiles) <= 1:
-        results = [_build_one(profile, seed, cache, use_cache)
+        results = [_build_one(profile, seed, cache, use_cache, scale)
                    for profile in profiles]
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             results = list(pool.map(
-                lambda profile: _build_one(profile, seed, cache, use_cache),
+                lambda profile: _build_one(profile, seed, cache, use_cache,
+                                           scale),
                 profiles))
 
     bundles = []
@@ -405,7 +440,10 @@ def build_testbed(seed: int = DEFAULT_SEED,
         bundles.append(bundle)
         report.records.append(record)
     report.wall_s = time.perf_counter() - wall_start
-    testbed = Testbed(bundles, seed)
+    testbed = Testbed(bundles, seed, scale=scale)
+    for record in report.records:
+        if record.document_sha256 is not None:
+            testbed.prime_document_hash(record.slug, record.document_sha256)
     testbed.build_report = report
     return testbed
 
@@ -414,14 +452,15 @@ def build_testbed(seed: int = DEFAULT_SEED,
 # Shared default builds
 # --------------------------------------------------------------------------- #
 
-_shared_testbeds: dict[int, Testbed] = {}
+_shared_testbeds: dict[tuple[int, int], Testbed] = {}
 _shared_lock = threading.Lock()
 
 
 def shared_testbed(seed: int = DEFAULT_SEED, *, workers: int = 1,
                    cache_dir: str | Path | None = None,
-                   use_cache: bool = True) -> Testbed:
-    """The process-wide full default build for *seed*, built at most once.
+                   use_cache: bool = True, scale: int = 1) -> Testbed:
+    """The process-wide full default build for ``(seed, scale)``, built at
+    most once.
 
     ``run_benchmark``/``run_all`` and every CLI command route their
     implicit builds through here, so one invocation that touches the
@@ -430,12 +469,12 @@ def shared_testbed(seed: int = DEFAULT_SEED, *, workers: int = 1,
     :func:`build_testbed` directly.
     """
     with _shared_lock:
-        testbed = _shared_testbeds.get(seed)
+        testbed = _shared_testbeds.get((seed, scale))
         if testbed is None:
             testbed = build_testbed(seed=seed, workers=workers,
                                     cache_dir=cache_dir,
-                                    use_cache=use_cache)
-            _shared_testbeds[seed] = testbed
+                                    use_cache=use_cache, scale=scale)
+            _shared_testbeds[(seed, scale)] = testbed
     return testbed
 
 

@@ -25,7 +25,7 @@ from ..xmlmodel import (
     infer_schema,
     parse_xml,
     parse_xsd,
-    serialize,
+    serialize_digest,
     serialize_pretty,
 )
 from .model import CanonicalCourse
@@ -59,9 +59,13 @@ class SourceBundle:
 class Testbed:
     """The assembled testbed: 25 sources with snapshots, XML and schemas."""
 
-    def __init__(self, sources: list[SourceBundle], seed: int) -> None:
+    def __init__(self, sources: list[SourceBundle], seed: int,
+                 scale: int = 1) -> None:
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
         self._sources = {bundle.slug: bundle for bundle in sources}
         self.seed = seed
+        self.scale = scale
         #: set by the build pipeline; None for hand-assembled testbeds
         self.build_report: "BuildReport | None" = None
         self._fingerprint_lock = threading.Lock()
@@ -125,19 +129,29 @@ class Testbed:
         ``document.xml``, so a testbed reloaded from disk hashes
         identically to the one that produced it, while *any* change to a
         document's content changes its hash.  Memoized: documents are
-        immutable once the testbed is assembled.
+        immutable once the testbed is assembled, and paths that already
+        touched the exact bytes (``save``, ``load``, the artifact cache)
+        prime the memo via :meth:`prime_document_hash` so the hash rides
+        along with serialization instead of costing a second tree walk.
         """
         with self._fingerprint_lock:
             cached = self._document_hashes.get(slug)
         if cached is not None:
             return cached
         document = self.source(slug).document
-        digest = hashlib.sha256(
-            serialize(document, xml_declaration=True).encode("utf-8"))
-        value = digest.hexdigest()
+        _, value = serialize_digest(document, xml_declaration=True)
         with self._fingerprint_lock:
             self._document_hashes[slug] = value
         return value
+
+    def prime_document_hash(self, slug: str, sha256: str) -> None:
+        """Record a document hash computed while its exact bytes were
+        being written or read, sparing :meth:`document_hash` a
+        re-serialization.  First value wins; copies drop the memo (see
+        :meth:`__getstate__`) so corrupting a copied document is still
+        detected."""
+        with self._fingerprint_lock:
+            self._document_hashes.setdefault(slug, sha256)
 
     def content_fingerprint(self, slugs: list[str] | None = None) -> str:
         """Content identity of this testbed's document set.
@@ -156,7 +170,12 @@ class Testbed:
             cached = self._content_fingerprints.get(memo_key)
         if cached is not None:
             return cached
-        digest = hashlib.sha256(f"seed:{self.seed}".encode("utf-8"))
+        # scale=1 fingerprints stay identical to historical ones so warm
+        # result caches survive this feature; scaled testbeds address a
+        # disjoint key space.
+        prefix = (f"seed:{self.seed}" if self.scale == 1
+                  else f"seed:{self.seed}:scale:{self.scale}")
+        digest = hashlib.sha256(prefix.encode("utf-8"))
         for slug in chosen:
             digest.update(f"\x00{slug}={self.document_hash(slug)}"
                           .encode("utf-8"))
@@ -186,6 +205,10 @@ class Testbed:
         """
         root = Path(directory)
         manifest: dict = {"seed": self.seed, "sources": {}}
+        if self.scale != 1:
+            # Only recorded when meaningful, keeping scale=1 manifests
+            # byte-identical to those written before the scale tier.
+            manifest["scale"] = self.scale
         for bundle in self:
             source_dir = root / bundle.slug
             source_dir.mkdir(parents=True, exist_ok=True)
@@ -195,9 +218,10 @@ class Testbed:
                 bundle.config.to_text(), encoding="utf-8")
             (source_dir / f"{bundle.slug}.xml").write_text(
                 serialize_pretty(bundle.document), encoding="utf-8")
-            (source_dir / "document.xml").write_text(
-                serialize(bundle.document, xml_declaration=True),
-                encoding="utf-8")
+            exact, sha = serialize_digest(bundle.document,
+                                          xml_declaration=True)
+            (source_dir / "document.xml").write_text(exact, encoding="utf-8")
+            self.prime_document_hash(bundle.slug, sha)
             (source_dir / f"{bundle.slug}.xsd").write_text(
                 serialize_pretty(bundle.schema.to_xsd()), encoding="utf-8")
             manifest["sources"][bundle.slug] = {
@@ -229,19 +253,23 @@ class Testbed:
         manifest = json.loads(
             (root / MANIFEST_FILE).read_text(encoding="utf-8"))
         seed = manifest["seed"]
+        scale = manifest.get("scale", 1)
         bundles = []
+        hashes: dict[str, str] = {}
         for slug, stats in manifest["sources"].items():
             profile = get_university(slug)
             source_dir = root / slug
-            document = parse_xml(
-                (source_dir / "document.xml").read_text(encoding="utf-8"),
-                source_name=slug, trusted=True)
+            exact = (source_dir / "document.xml").read_text(encoding="utf-8")
+            # The file *is* the exact serialization, so its hash is the
+            # document hash — computed here from the bytes in hand.
+            hashes[slug] = hashlib.sha256(exact.encode("utf-8")).hexdigest()
+            document = parse_xml(exact, source_name=slug, trusted=True)
             schema = parse_xsd(parse_xml(
                 (source_dir / f"{slug}.xsd").read_text(encoding="utf-8"),
                 source_name=slug, strip_whitespace=True, trusted=True))
             bundles.append(SourceBundle(
                 profile=profile,
-                courses=profile.build_courses(seed),
+                courses=profile.build_courses(seed, scale=scale),
                 snapshot=(source_dir / "snapshot.html").read_text(
                     encoding="utf-8"),
                 config=WrapperConfig.from_text(
@@ -250,14 +278,18 @@ class Testbed:
                 schema=schema,
                 stats=ExtractionStats(source=slug, **stats),
             ))
-        return cls(bundles, seed)
+        bed = cls(bundles, seed, scale=scale)
+        for slug, sha in hashes.items():
+            bed.prime_document_hash(slug, sha)
+        return bed
 
 
 def build_source(profile: UniversityProfile, seed: int,
-                 scraper: TessScraper | None = None) -> SourceBundle:
+                 scraper: TessScraper | None = None,
+                 scale: int = 1) -> SourceBundle:
     """Run the pipeline for one source."""
     engine = scraper if scraper is not None else TessScraper()
-    courses = profile.build_courses(seed)
+    courses = profile.build_courses(seed, scale=scale)
     snapshot = profile.render(courses)
     config = profile.wrapper_config()
     document = engine.extract(snapshot, config)

@@ -29,8 +29,15 @@ class UniversityProfile(abc.ABC):
     heterogeneities: tuple[int, ...] = ()
 
     @abc.abstractmethod
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
-        """Canonical ground-truth courses (pinned + seeded filler)."""
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
+        """Canonical ground-truth courses (pinned + seeded filler).
+
+        ``scale`` multiplies the seeded filler (see
+        :meth:`CourseFactory.fill`); the paper's pinned sample courses
+        appear exactly once at every scale, so benchmark answers do not
+        change.
+        """
 
     @abc.abstractmethod
     def render(self, courses: list[CanonicalCourse]) -> str:

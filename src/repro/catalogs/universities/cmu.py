@@ -81,11 +81,13 @@ class CMU(UniversityProfile):
     name = "Carnegie Mellon University"
     heterogeneities = (1, 2, 4, 6, 7, 10, 11, 12)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="15-", code_start=201, code_step=8,
             units_choices=(9, 12)))
-        return list(PINNED) + factory.fill(10, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(10, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         rows = []

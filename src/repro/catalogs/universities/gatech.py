@@ -65,11 +65,13 @@ class GeorgiaTech(UniversityProfile):
     name = "Georgia Institute of Technology"
     heterogeneities = (1, 8)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="20", code_start=501, code_step=13,
             with_classification=True, units_choices=(3, 4)))
-        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         rows = []

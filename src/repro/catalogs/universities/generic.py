@@ -62,14 +62,16 @@ class GenericUniversity(UniversityProfile):
         self.language = "de" if spec.german else "en"
         self.heterogeneities = ()
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         spec = self.spec
         factory = CourseFactory(spec.slug, seed, FillerStyle(
             code_prefix=spec.code_prefix, code_start=spec.code_start,
             code_step=7, german=spec.german,
             units_choices=spec.units_choices))
         return factory.fill(spec.course_count,
-                            exclude_topics=spec.exclude_topics)
+                            exclude_topics=spec.exclude_topics,
+                            scale=scale)
 
     # ------------------------------------------------------------------ #
     # Rendering

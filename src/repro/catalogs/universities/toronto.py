@@ -43,11 +43,13 @@ class Toronto(UniversityProfile):
     country = "Canada"
     heterogeneities = (6,)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="CSC", code_start=301, code_step=17,
             with_textbooks=True, units_choices=(3,)))
-        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         blocks = []

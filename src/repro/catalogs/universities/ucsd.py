@@ -43,11 +43,13 @@ class UCSD(UniversityProfile):
     name = "University of California, San Diego"
     heterogeneities = (11,)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="CSE", code_start=110, code_step=13,
             units_choices=(4,)))
-        return list(PINNED) + factory.fill(10, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(10, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         rows = []

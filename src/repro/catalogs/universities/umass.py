@@ -48,11 +48,13 @@ class UMass(UniversityProfile):
     name = "University of Massachusetts Amherst"
     heterogeneities = (2,)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="CS", code_start=210, code_step=19,
             units_choices=(3,)))
-        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         rows = []

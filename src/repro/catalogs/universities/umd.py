@@ -87,11 +87,13 @@ class UMD(UniversityProfile):
     name = "University of Maryland"
     heterogeneities = (3, 5, 9, 10)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="CMSC", code_start=411, code_step=2,
             with_sections=True, units_choices=(3,)))
-        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         blocks = []

@@ -45,12 +45,14 @@ class Michigan(UniversityProfile):
     name = "University of Michigan"
     heterogeneities = (7,)
 
-    def build_courses(self, seed: int) -> list[CanonicalCourse]:
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
         # code_start avoids the pinned EECS484/EECS584 numbers.
         factory = CourseFactory(self.slug, seed, FillerStyle(
             code_prefix="EECS", code_start=441, code_step=11,
             units_choices=(3, 4)))
-        return list(PINNED) + factory.fill(9, exclude_topics={"verification"})
+        return list(PINNED) + factory.fill(9, exclude_topics={"verification"},
+                                       scale=scale)
 
     def render(self, courses: list[CanonicalCourse]) -> str:
         blocks = []

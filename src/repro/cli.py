@@ -5,6 +5,9 @@ Commands:
 * ``testbed build [--out DIR]`` — run the build pipeline and print the
   per-source :class:`~repro.catalogs.pipeline.BuildReport`; with
   ``--out`` also write the per-source bundle to DIR.
+* ``build [--out DIR]`` — top-level alias of ``testbed build``; with the
+  global ``--scale N`` this is the scale tier's front door
+  (``thalia --scale 8 build``).
 * ``build-testbed DIR`` — legacy spelling: build and write the
   per-source bundle (snapshot/wrapper/XML/XSD) under DIR.
 * ``run-benchmark`` / ``run`` — score Cohera, IWIZ and the THALIA
@@ -24,8 +27,9 @@ Commands:
 * ``taxonomy [N] [--no-samples]`` — the §3 heterogeneity classification,
   with live sample elements from the testbed.
 
-Global build options (before the command): ``--seed N``, ``--workers N``
-(parallel source builds), ``--cache-dir DIR`` (on-disk artifact cache)
+Global build options (before the command): ``--seed N``, ``--scale N``
+(catalog multiplier; answers unchanged), ``--workers N`` (parallel
+source builds), ``--cache-dir DIR`` (on-disk artifact cache)
 and ``--no-cache`` (bypass cache reads *and* writes).  Every command
 builds the testbed at most once per invocation; repeated implicit builds
 share one in-process instance.
@@ -59,6 +63,10 @@ def _build_parser() -> argparse.ArgumentParser:
                     "information Integration Approaches (reproduction)")
     parser.add_argument("--seed", type=int, default=2004,
                         help="testbed generation seed (default 2004)")
+    parser.add_argument("--scale", type=int, default=1, metavar="N",
+                        help="catalog multiplier for scale-tier testbeds "
+                             "(default 1; filler courses are multiplied, "
+                             "benchmark answers are unchanged)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="worker threads for testbed builds (default 1)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -78,6 +86,20 @@ def _build_parser() -> argparse.ArgumentParser:
     testbed_build.add_argument("--out", metavar="DIR", default=None,
                                help="also write the per-source bundle "
                                     "under DIR")
+
+    # ``thalia build --scale N`` is the top-level spelling of
+    # ``testbed build`` (the scale tier's front door).  ``--scale`` is
+    # also accepted after these two subcommands; SUPPRESS keeps the
+    # subparser from clobbering a value given before the command.
+    top_build = commands.add_parser(
+        "build", help="alias of 'testbed build'")
+    top_build.add_argument("--out", metavar="DIR", default=None,
+                           help="also write the per-source bundle under "
+                                "DIR")
+    for build_variant in (top_build, testbed_build):
+        build_variant.add_argument(
+            "--scale", type=int, default=argparse.SUPPRESS, metavar="N",
+            help="catalog multiplier (same as the global --scale)")
 
     build = commands.add_parser(
         "build-testbed", help="write snapshots, configs, XML and XSDs")
@@ -173,10 +195,10 @@ def _make_testbed(args: argparse.Namespace, universities=None):
     if universities is not None:
         return build_testbed(seed=args.seed, universities=universities,
                              workers=args.workers, cache_dir=args.cache_dir,
-                             use_cache=not args.no_cache)
+                             use_cache=not args.no_cache, scale=args.scale)
     return shared_testbed(args.seed, workers=args.workers,
                           cache_dir=args.cache_dir,
-                          use_cache=not args.no_cache)
+                          use_cache=not args.no_cache, scale=args.scale)
 
 
 def _cmd_testbed(args: argparse.Namespace) -> int:
@@ -338,6 +360,7 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "testbed": _cmd_testbed,
+    "build": _cmd_testbed,
     "build-testbed": _cmd_build_testbed,
     "stats": _cmd_stats,
     "selfcheck": _cmd_selfcheck,

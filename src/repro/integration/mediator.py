@@ -114,7 +114,8 @@ class Mediator:
         context = MappingContext(source=slug, lexicon=self.lexicon)
         report = IntegrationReport(source=slug, records=0)
         results: list[GlobalCourse] = []
-        records = select_elements(document.root, mapping.record_path)
+        records = select_elements(document.root, mapping.record_path,
+                                  index=document.index())
         for index, record in enumerate(records):
             out: dict = {}
             try:

@@ -219,6 +219,21 @@ def build_router() -> Router:
             "cache": app.plans.stats(),
             "queries": queries,
         }
+        indexes = {}
+        for slug, document in app.testbed.documents.items():
+            # Report only indexes that already exist — the stats endpoint
+            # must observe, never force, index construction.
+            if document.index_built:
+                indexes[slug] = document.index().stats()
+        payload["testbed"] = {
+            "seed": app.testbed.seed,
+            "scale": app.testbed.scale,
+            "sources": len(app.testbed),
+            "document_indexes": {
+                "built": len(indexes),
+                "per_document": indexes,
+            },
+        }
         return Response.of_json(payload, no_store=True)
 
     @router.get("/healthz", name="healthz")
@@ -226,6 +241,7 @@ def build_router() -> Router:
         return Response.of_json({
             "status": "ok",
             "seed": app.testbed.seed,
+            "scale": app.testbed.scale,
             "sources": len(app.testbed),
             "uptime_s": round(app.metrics.uptime_s, 3),
         }, no_store=True)

@@ -21,13 +21,29 @@ from .errors import (
     XmlValidationError,
 )
 from .parser import parse_element, parse_xml
-from .paths import parse_path, select, select_elements, select_first, select_text
+from .paths import (
+    CompiledPath,
+    compile_path,
+    parse_path,
+    select,
+    select_elements,
+    select_first,
+    select_text,
+)
 from .schema import UNBOUNDED, ElementDecl, XmlSchema, infer_schema, parse_xsd
-from .serializer import escape_attr, escape_text, serialize, serialize_pretty
+from .serializer import (
+    escape_attr,
+    escape_text,
+    serialize,
+    serialize_digest,
+    serialize_pretty,
+)
 
 __all__ = [
     "Child",
+    "CompiledPath",
     "DocumentIndex",
+    "compile_path",
     "ElementDecl",
     "UNBOUNDED",
     "XmlDocument",
@@ -52,5 +68,6 @@ __all__ = [
     "select_first",
     "select_text",
     "serialize",
+    "serialize_digest",
     "serialize_pretty",
 ]

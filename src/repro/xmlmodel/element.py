@@ -19,6 +19,7 @@ Design notes:
 
 from __future__ import annotations
 
+from sys import intern as _intern
 from typing import Callable, Iterable, Iterator, Union
 
 Child = Union["XmlElement", str]
@@ -65,7 +66,10 @@ class XmlElement:
                  children: Iterable[Child] | None = None) -> None:
         if not is_valid_name(tag):
             raise ValueError(f"invalid element name: {tag!r}")
-        self.tag = tag
+        # Tag names repeat massively across a document (every Course, every
+        # Title, ...); interning makes ``node.tag == name`` a pointer check
+        # on the hot path-step comparisons and dedups the strings.
+        self.tag = _intern(tag)
         self.attrib: dict[str, str] = dict(attrib) if attrib else {}
         self.children: list[Child] = list(children) if children else []
 
@@ -74,7 +78,7 @@ class XmlElement:
         """Construct without name validation — for parsers whose input has
         already passed a well-formedness check (expat); hot-path only."""
         node = object.__new__(cls)
-        node.tag = tag
+        node.tag = _intern(tag)
         node.attrib = attrib
         node.children = []
         return node
@@ -243,6 +247,12 @@ class XmlDocument:
             from .indexes import DocumentIndex
             self._index = DocumentIndex(self.root)
         return self._index
+
+    @property
+    def index_built(self) -> bool:
+        """True once :meth:`index` has materialized (stats endpoints use
+        this to report on indexes without forcing their construction)."""
+        return self._index is not None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, XmlDocument):

@@ -27,13 +27,22 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class DocumentIndex:
-    """Immutable name/attribute index over one document tree."""
+    """Immutable name/attribute index over one document tree.
+
+    The index keeps approximate lookup counters (plain ints, no lock —
+    under CPython's GIL a rare lost increment is acceptable for metrics)
+    so ``/api/stats`` can report how hard scaled runs lean on it.
+    """
 
     __slots__ = ("root", "_enter", "_exit", "_by_tag", "_children",
-                 "_attr_names", "_strings", "element_count")
+                 "_attr_names", "_strings", "element_count",
+                 "child_lookups", "descendant_lookups", "string_lookups")
 
     def __init__(self, root: "XmlElement") -> None:
         self.root = root
+        self.child_lookups = 0
+        self.descendant_lookups = 0
+        self.string_lookups = 0
         # id(element) -> preorder enter / exit counters.
         self._enter: dict[int, int] = {}
         self._exit: dict[int, int] = {}
@@ -101,6 +110,7 @@ class DocumentIndex:
         per_tag = self._children.get(id(parent))
         if per_tag is None:
             return None
+        self.child_lookups += 1
         return per_tag.get(tag, _EMPTY)
 
     def descendants_of(self, node: "XmlElement",
@@ -110,6 +120,7 @@ class DocumentIndex:
         enter = self._enter.get(id(node))
         if enter is None:
             return None
+        self.descendant_lookups += 1
         entry = self._by_tag.get(tag)
         if entry is None:
             return []
@@ -122,6 +133,7 @@ class DocumentIndex:
         """Cached whitespace-normalized string value of a covered element
         (documents are immutable, so the value never goes stale), or None
         when *node* is outside the indexed tree."""
+        self.string_lookups += 1
         cached = self._strings.get(id(node))
         if cached is None:
             if id(node) not in self._enter:
@@ -129,6 +141,21 @@ class DocumentIndex:
             cached = node.normalized_text
             self._strings[id(node)] = cached
         return cached
+
+    # -- metrics ---------------------------------------------------------- #
+
+    def stats(self) -> dict:
+        """Size and usage counters for the stats endpoint."""
+        return {
+            "elements": self.element_count,
+            "tags": len(self._by_tag),
+            "attributes": len(self._attr_names),
+            "postings": sum(len(elems) for _, elems in self._by_tag.values()),
+            "string_cache_entries": len(self._strings),
+            "child_lookups": self.child_lookups,
+            "descendant_lookups": self.descendant_lookups,
+            "string_lookups": self.string_lookups,
+        }
 
     def __repr__(self) -> str:
         return (f"DocumentIndex(root={self.root.tag!r}, "

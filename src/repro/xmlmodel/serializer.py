@@ -1,23 +1,48 @@
 """Serialization of XmlElement trees back to XML text.
 
-Two modes are provided:
+Three modes are provided:
 
 * :func:`serialize` — exact serialization preserving mixed content and all
   whitespace, guaranteeing ``parse(serialize(doc)) == doc``.
+* :func:`serialize_digest` — exact serialization plus its sha256, computed
+  from the same part stream in one walk and one encode pass (the testbed's
+  ``document_hash`` rides along with ``save`` instead of re-serializing).
 * :func:`serialize_pretty` — indented output for schemas, sample solutions
   and the generated web site, where human readability matters more than
   byte-exact round trips.
+
+Profile-guided fast paths (the scale-tier testbeds exercise documents two
+orders of magnitude larger than the paper's): :func:`escape_text` and
+:func:`escape_attr` return their argument untouched when a single regex
+scan finds no escapable character — the common case for catalog text —
+and the exact serializer walks iteratively with an explicit stack, so one
+flat loop emits the whole tree without per-node helper calls or recursion
+depth limits.
 """
 
 from __future__ import annotations
+
+import hashlib
+import re
 
 from .element import XmlDocument, XmlElement
 
 _XML_DECLARATION = '<?xml version="1.0" encoding="UTF-8"?>'
 
+#: Characters that force the slow escape path; everything else passes
+#: through verbatim, so the guard is a single C-level regex scan instead
+#: of three (five for attributes) full-string ``.replace`` allocations.
+_TEXT_NEEDS_ESCAPE = re.compile(r"[&<>]")
+_ATTR_NEEDS_ESCAPE = re.compile(r'[&<>"\n\t]')
+
+#: Update granularity for the ride-along digest (bytes).
+_DIGEST_CHUNK = 1 << 20
+
 
 def escape_text(value: str) -> str:
     """Escape character data for element content."""
+    if _TEXT_NEEDS_ESCAPE.search(value) is None:
+        return value
     return (value.replace("&", "&amp;")
                  .replace("<", "&lt;")
                  .replace(">", "&gt;"))
@@ -25,10 +50,14 @@ def escape_text(value: str) -> str:
 
 def escape_attr(value: str) -> str:
     """Escape character data for a double-quoted attribute value."""
-    return (escape_text(value)
-            .replace('"', "&quot;")
-            .replace("\n", "&#10;")
-            .replace("\t", "&#9;"))
+    if _ATTR_NEEDS_ESCAPE.search(value) is None:
+        return value
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace(">", "&gt;")
+                 .replace('"', "&quot;")
+                 .replace("\n", "&#10;")
+                 .replace("\t", "&#9;"))
 
 
 def _open_tag(node: XmlElement, self_closing: bool) -> str:
@@ -38,25 +67,85 @@ def _open_tag(node: XmlElement, self_closing: bool) -> str:
     return f"<{node.tag}{attrs}{'/' if self_closing else ''}>"
 
 
-def _serialize_node(node: XmlElement, parts: list[str]) -> None:
-    if not node.children:
-        parts.append(_open_tag(node, self_closing=True))
-        return
-    parts.append(_open_tag(node, self_closing=False))
-    for child in node.children:
-        if isinstance(child, str):
-            parts.append(escape_text(child))
+def _write_exact(root: XmlElement, append) -> None:
+    """Emit *root* as exact XML parts via *append*, iteratively.
+
+    The stack holds two kinds of items: elements still to open, and
+    ready-to-emit strings (escaped text runs and closing tags), so the
+    whole serialization is one flat loop.
+    """
+    esc_text = escape_text
+    esc_attr = escape_attr
+    # The guards are inlined here: clean text (the overwhelmingly common
+    # case for catalog content) costs one C-level regex scan and no
+    # Python call at all.
+    text_dirty = _TEXT_NEEDS_ESCAPE.search
+    attr_dirty = _ATTR_NEEDS_ESCAPE.search
+    stack: list[XmlElement | str] = [root]
+    pop = stack.pop
+    push = stack.append
+    while stack:
+        item = pop()
+        if isinstance(item, str):
+            append(item)
+            continue
+        tag = item.tag
+        if item.attrib:
+            attrs = "".join(
+                [f' {key}="{value if attr_dirty(value) is None else esc_attr(value)}"'
+                 for key, value in item.attrib.items()])
         else:
-            _serialize_node(child, parts)
-    parts.append(f"</{node.tag}>")
+            attrs = ""
+        children = item.children
+        if not children:
+            append(f"<{tag}{attrs}/>")
+            continue
+        if len(children) == 1 and isinstance(children[0], str):
+            # Text-only element — by far the dominant shape in catalog
+            # documents — emitted whole, without touching the stack.
+            only = children[0]
+            if text_dirty(only) is not None:
+                only = esc_text(only)
+            append(f"<{tag}{attrs}>{only}</{tag}>")
+            continue
+        append(f"<{tag}{attrs}>")
+        push(f"</{tag}>")
+        for child in reversed(children):
+            if isinstance(child, str):
+                push(child if text_dirty(child) is None else esc_text(child))
+            else:
+                push(child)
 
 
 def serialize(node: XmlElement | XmlDocument, xml_declaration: bool = False) -> str:
     """Serialize exactly, preserving all text runs and document order."""
     root = node.root if isinstance(node, XmlDocument) else node
     parts: list[str] = [_XML_DECLARATION + "\n"] if xml_declaration else []
-    _serialize_node(root, parts)
+    _write_exact(root, parts.append)
     return "".join(parts)
+
+
+def serialize_digest(node: XmlElement | XmlDocument,
+                     xml_declaration: bool = False) -> tuple[str, str]:
+    """Exact serialization together with its sha256 hex digest.
+
+    The digest rides along with the serialization: one tree walk emits
+    the part stream, and its single encode pass feeds the hash, so
+    callers that need both (``Testbed.save``, the artifact cache,
+    ``document_hash``) never serialize twice.  The walker pushes parts
+    straight onto a list — a per-part Python callback would cost more
+    than the hashing itself — and the digest is updated in bounded
+    chunks over the encoded bytes.
+    """
+    root = node.root if isinstance(node, XmlDocument) else node
+    parts: list[str] = [_XML_DECLARATION + "\n"] if xml_declaration else []
+    _write_exact(root, parts.append)
+    text = "".join(parts)
+    digest = hashlib.sha256()
+    data = text.encode("utf-8")
+    for start in range(0, len(data), _DIGEST_CHUNK):
+        digest.update(data[start:start + _DIGEST_CHUNK])
+    return text, digest.hexdigest()
 
 
 def _serialize_pretty_node(node: XmlElement, parts: list[str],

@@ -134,19 +134,29 @@ def _eval_path(node: PathExpr, context: DynamicContext) -> Seq:
 
 
 def _apply_step(step: Step, sequence: Seq, context: DynamicContext) -> Seq:
-    result: Seq = []
-    seen: set[int] = set()
-    for item in sequence:
+    if len(sequence) == 1:
+        # One context item cannot produce duplicate nodes, so skip the
+        # id-dedup bookkeeping (the common shape in per-binding paths).
+        item = sequence[0]
         if not isinstance(item, XmlElement):
             raise XQueryTypeError(
                 f"path step '{step.name}' applied to atomic value "
                 f"{string_value(item)!r}")
-        for produced in _step_candidates(step, item):
-            if isinstance(produced, XmlElement):
-                if id(produced) in seen:
-                    continue
-                seen.add(id(produced))
-            result.append(produced)
+        result: Seq = _step_candidates(step, item)
+    else:
+        result = []
+        seen: set[int] = set()
+        for item in sequence:
+            if not isinstance(item, XmlElement):
+                raise XQueryTypeError(
+                    f"path step '{step.name}' applied to atomic value "
+                    f"{string_value(item)!r}")
+            for produced in _step_candidates(step, item):
+                if isinstance(produced, XmlElement):
+                    if id(produced) in seen:
+                        continue
+                    seen.add(id(produced))
+                result.append(produced)
     for predicate in step.predicates:
         result = _filter_by_predicate(predicate, result, context)
     return result

@@ -29,6 +29,7 @@ import hashlib
 import threading
 import time
 from dataclasses import dataclass
+from sys import intern as _intern
 
 from ..xmlmodel import XmlElement
 from .ast import (
@@ -413,7 +414,9 @@ class StepPlan:
                  predicates: tuple[tuple[Op, bool], ...]) -> None:
         self.axis = axis
         self.kind = kind
-        self.name = name
+        # Element tags are interned at construction, so the scan filter's
+        # ``node.tag == step.name`` is a pointer comparison first.
+        self.name = _intern(name)
         self.predicates = predicates
 
     def explain_node(self) -> _Node:
@@ -507,9 +510,13 @@ def _filter_by_predicate(op: Op, sequence: Seq, ctx: DynamicContext,
 def _apply_step(step: StepPlan, sequence: Seq, ctx: DynamicContext,
                 state: _ExecState) -> Seq:
     index = state.index
-    result: Seq = []
-    seen: set[int] = set()
-    for item in sequence:
+    if len(sequence) == 1:
+        # A single context item cannot produce duplicates (children and
+        # descendants of one node are each visited once), so the id-dedup
+        # bookkeeping is skipped.  This is the dominant shape: every step
+        # after ``doc(...)`` in a straight-line path runs per FLWOR
+        # binding, i.e. over one item.
+        item = sequence[0]
         if not isinstance(item, XmlElement):
             raise XQueryTypeError(
                 f"path step '{step.name}' applied to atomic value "
@@ -519,12 +526,26 @@ def _apply_step(step: StepPlan, sequence: Seq, ctx: DynamicContext,
             produced = _indexed_candidates(step, item, index, state)
         if produced is None:
             produced = _scan_candidates(step, item, state)
-        for node in produced:
-            if isinstance(node, XmlElement):
-                if id(node) in seen:
-                    continue
-                seen.add(id(node))
-            result.append(node)
+        result: Seq = list(produced)
+    else:
+        result = []
+        seen: set[int] = set()
+        for item in sequence:
+            if not isinstance(item, XmlElement):
+                raise XQueryTypeError(
+                    f"path step '{step.name}' applied to atomic value "
+                    f"{string_value(item)!r}")
+            produced = None
+            if index is not None:
+                produced = _indexed_candidates(step, item, index, state)
+            if produced is None:
+                produced = _scan_candidates(step, item, state)
+            for node in produced:
+                if isinstance(node, XmlElement):
+                    if id(node) in seen:
+                        continue
+                    seen.add(id(node))
+                result.append(node)
     for predicate, _pushed in step.predicates:
         result = _filter_by_predicate(predicate, result, ctx, state)
     return result

@@ -26,6 +26,10 @@ def string_value(item: Item) -> str:
     engine normalizes at atomization time (documented divergence from strict
     XQuery, which preserves whitespace).
     """
+    if type(item) is str:
+        # Strings dominate atomized comparisons at scale; exact-type check
+        # first skips three isinstance calls on the hot path.
+        return item
     if isinstance(item, XmlElement):
         return item.normalized_text
     if isinstance(item, bool):

@@ -1,0 +1,204 @@
+"""Scale-tier testbed tests.
+
+The ``scale=N`` dimension multiplies every source's filler catalog while
+keeping two invariants: a ``scale=1`` build is byte-identical to a build
+from before the parameter existed (the golden fingerprints pin this),
+and every benchmark query's answer is identical at every scale (scaled
+filler matches none of the twelve predicates).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import xquery
+from repro.catalogs import (
+    ArtifactCache,
+    CourseFactory,
+    build_testbed,
+    paper_universities,
+    profile_fingerprint,
+)
+from repro.catalogs.testbed import load_testbed
+from repro.core.answers import gold_answer
+from repro.core.queries import QUERIES
+from repro.tools.regen_golden import source_fingerprints
+from repro.xmlmodel import serialize
+
+GOLDEN_FILE = (Path(__file__).resolve().parent.parent
+               / "golden" / "fingerprints.json")
+
+
+@pytest.fixture(scope="module")
+def scaled_paper_testbed():
+    return build_testbed(universities=paper_universities(), scale=3)
+
+
+class TestGeneratorScale:
+    def test_scale_multiplies_filler(self):
+        base = CourseFactory("mit", 2004).fill(8)
+        scaled = CourseFactory("mit", 2004).fill(8, scale=4)
+        assert len(base) == 8
+        assert len(scaled) == 32
+
+    def test_round_zero_is_byte_identical(self):
+        base = CourseFactory("mit", 2004).fill(8)
+        scaled = CourseFactory("mit", 2004).fill(8, scale=4)
+        assert scaled[:8] == base
+
+    def test_variant_titles_are_suffixed(self):
+        scaled = CourseFactory("mit", 2004).fill(8, scale=2)
+        assert all(title.endswith(" II")
+                   for title in (c.title for c in scaled[8:]))
+
+    def test_variant_codes_are_unique(self):
+        scaled = CourseFactory("mit", 2004).fill(8, scale=4)
+        codes = [c.code for c in scaled]
+        assert len(set(codes)) == len(codes)
+
+    def test_exclusions_cover_variants(self):
+        scaled = CourseFactory("cmu", 2004).fill(
+            10, exclude_topics={"verification"}, scale=5)
+        assert all("Verification" not in c.title for c in scaled)
+
+    def test_no_database_variant_exists(self):
+        scaled = CourseFactory("any", 1).fill(20, scale=8)
+        assert all("Database" not in c.title for c in scaled)
+
+    def test_scale_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            CourseFactory("mit", 2004).fill(8, scale=0)
+
+
+class TestBuildScale:
+    def test_scale_one_matches_golden_fingerprints(self):
+        golden = json.loads(GOLDEN_FILE.read_text(encoding="utf-8"))
+        built = build_testbed(seed=golden["seed"], scale=1)
+        assert source_fingerprints(built) == golden["sources"]
+
+    def test_scale_multiplies_every_source(self):
+        subset = paper_universities()[:3]
+        base = build_testbed(universities=subset)
+        scaled = build_testbed(universities=subset, scale=4)
+        for slug in base.slugs:
+            pinned = len(base.courses(slug)) - _filler_count(base, slug)
+            assert (len(scaled.courses(slug))
+                    == pinned + 4 * _filler_count(base, slug))
+
+    def test_scaled_build_is_deterministic(self):
+        subset = paper_universities()[:2]
+        a = build_testbed(universities=subset, scale=3)
+        b = build_testbed(universities=subset, scale=3)
+        for slug in a.slugs:
+            assert (serialize(a.source(slug).document)
+                    == serialize(b.source(slug).document))
+
+    def test_scale_changes_content_fingerprint(self):
+        subset = paper_universities()[:2]
+        base = build_testbed(universities=subset)
+        scaled = build_testbed(universities=subset, scale=2)
+        assert base.content_fingerprint() != scaled.content_fingerprint()
+
+    def test_scale_recorded_on_report(self):
+        bed = build_testbed(universities=paper_universities()[:1], scale=2)
+        assert bed.scale == 2
+        assert bed.build_report.scale == 2
+
+
+class TestAnswerInvariance:
+    def test_gold_answers_identical_across_scales(self, paper_testbed,
+                                                  scaled_paper_testbed):
+        for query in QUERIES:
+            assert (gold_answer(query, paper_testbed)
+                    == gold_answer(query, scaled_paper_testbed)), \
+                f"query {query.number} diverged at scale 3"
+
+    def test_reference_plans_identical_across_scales(self, paper_testbed,
+                                                     scaled_paper_testbed):
+        cache = xquery.PlanCache()
+        for query in QUERIES:
+            plan = cache.get(query.xquery)
+            base = plan.execute(paper_testbed.documents)
+            scaled = plan.execute(scaled_paper_testbed.documents)
+            assert base == scaled, \
+                f"query {query.number} plan diverged at scale 3"
+
+
+class TestScaleCaching:
+    def test_cache_entries_keyed_by_scale(self, tmp_path):
+        subset = paper_universities()[:1]
+        build_testbed(universities=subset, cache_dir=tmp_path)
+        scaled = build_testbed(universities=subset, cache_dir=tmp_path,
+                               scale=2)
+        # A scaled build never hits a scale=1 entry (and vice versa).
+        assert scaled.build_report.cache_misses == 1
+        warm = build_testbed(universities=subset, cache_dir=tmp_path,
+                             scale=2)
+        assert warm.build_report.cache_hits == 1
+        assert (serialize(warm.source(subset[0].slug).document)
+                == serialize(scaled.source(subset[0].slug).document))
+
+    def test_scale_one_fingerprint_is_unchanged(self):
+        # scale=1 must address the same cache entries as builds from
+        # before the scale parameter existed.
+        profile = paper_universities()[0]
+        assert (profile_fingerprint(profile, 2004)
+                == profile_fingerprint(profile, 2004, scale=1))
+        assert (profile_fingerprint(profile, 2004)
+                != profile_fingerprint(profile, 2004, scale=2))
+
+    def test_cached_scaled_load_regenerates_courses(self, tmp_path):
+        subset = paper_universities()[:1]
+        first = build_testbed(universities=subset, cache_dir=tmp_path,
+                              scale=3)
+        warm = build_testbed(universities=subset, cache_dir=tmp_path,
+                             scale=3)
+        slug = subset[0].slug
+        assert warm.courses(slug) == first.courses(slug)
+
+    def test_primed_document_hash_matches_recomputed(self, tmp_path):
+        subset = paper_universities()[:2]
+        build_testbed(universities=subset, cache_dir=tmp_path, scale=2)
+        warm = build_testbed(universities=subset, cache_dir=tmp_path,
+                             scale=2)
+        fresh = build_testbed(universities=subset, scale=2)
+        for slug in warm.slugs:
+            assert warm.document_hash(slug) == fresh.document_hash(slug)
+
+    def test_entry_dirs_differ_by_scale(self, tmp_path):
+        profile = paper_universities()[0]
+        cache = ArtifactCache(tmp_path)
+        assert (cache.entry_dir(profile, 2004)
+                != cache.entry_dir(profile, 2004, scale=2))
+
+
+class TestScalePersistence:
+    def test_save_load_round_trips_scale(self, tmp_path):
+        subset = paper_universities()[:2]
+        bed = build_testbed(universities=subset, scale=2)
+        loaded = load_testbed(bed.save(tmp_path))
+        assert loaded.scale == 2
+        assert loaded.content_fingerprint() == bed.content_fingerprint()
+        for slug in bed.slugs:
+            assert (serialize(loaded.source(slug).document)
+                    == serialize(bed.source(slug).document))
+            assert loaded.courses(slug) == bed.courses(slug)
+
+    def test_scale_one_manifest_has_no_scale_key(self, tmp_path):
+        subset = paper_universities()[:1]
+        bed = build_testbed(universities=subset)
+        root = bed.save(tmp_path)
+        manifest = json.loads((root / "testbed.json").read_text())
+        assert "scale" not in manifest
+        assert load_testbed(root).scale == 1
+
+
+def _filler_count(testbed, slug):
+    base_titles = {c.title for c in testbed.courses(slug)}
+    # Filler and pinned courses are disjoint by topic; recover the filler
+    # count from a scale=2 build of the same source instead of peeking at
+    # profile internals.
+    doubled = build_testbed(universities=[testbed.source(slug).profile],
+                            scale=2)
+    return len(doubled.courses(slug)) - len(base_titles)
