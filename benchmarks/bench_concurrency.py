@@ -184,7 +184,11 @@ def main(argv=None):
 
     out = Path(args.out) if args.out else \
         Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    # Re-emit through the perf schema so the trajectory file validates
+    # against the `thalia perf` tooling (see repro.perf.schema).
+    from repro.perf.schema import KIND_BENCH, stamp
+    out.write_text(json.dumps(stamp(KIND_BENCH, report), indent=2) + "\n",
+                   encoding="utf-8")
 
     runs = report["run_all"]
     hit = report["result_cache"]

@@ -140,7 +140,12 @@ def main(argv=None):
 
     out = Path(args.out) if args.out else \
         Path(__file__).resolve().parent.parent / "BENCH_query.json"
-    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    # Re-emit through the perf schema: BENCH_query.json is a point on
+    # the repo's performance trajectory, so it carries the same stamped
+    # envelope the `thalia perf` tooling validates and reads.
+    from repro.perf.schema import KIND_BENCH, stamp
+    out.write_text(json.dumps(stamp(KIND_BENCH, report), indent=2) + "\n",
+                   encoding="utf-8")
 
     print(f"[bench_query] mode={report['mode']} repeat={report['repeat']}")
     for row in report["queries"]:

@@ -26,6 +26,11 @@ Commands:
 * ``selfcheck`` — verify every benchmark invariant over a fresh build.
 * ``taxonomy [N] [--no-samples]`` — the §3 heterogeneity classification,
   with live sample elements from the testbed.
+* ``perf collect [--scales CSV] [--perf-workers CSV] [--repeats N]`` —
+  snapshot per-query plans, timings and cache counters into a
+  schema-stamped JSON file; ``perf report --v1 A --v2 B`` diffs two
+  snapshots and exits 1 on plan or timing regressions (the CI
+  ``perf-gate``'s engine).
 
 Global build options (before the command): ``--seed N``, ``--scale N``
 (catalog multiplier; answers unchanged), ``--workers N`` (parallel
@@ -163,6 +168,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--query-workers", type=int, default=4, metavar="K",
                        help="threads executing /api/query/batch items "
                             "(default 4)")
+    serve.add_argument("--perf-baseline", metavar="FILE", default=None,
+                       help="perf snapshot linked from /api/stats "
+                            "(default: $THALIA_PERF_BASELINE or "
+                            "PERF_BASELINE.json)")
 
     bundle = commands.add_parser(
         "bundle", help="write the three download zips")
@@ -187,6 +196,56 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="show one case only")
     taxonomy.add_argument("--no-samples", action="store_true",
                           help="omit the live sample elements")
+
+    perf = commands.add_parser(
+        "perf", help="plan-quality & performance regression framework")
+    perf_commands = perf.add_subparsers(dest="perf_command", required=True)
+
+    collect = perf_commands.add_parser(
+        "collect",
+        help="snapshot per-query plans, timings and cache counters")
+    collect.add_argument("--out", metavar="FILE",
+                         default="perf-snapshot.json",
+                         help="snapshot path (default perf-snapshot.json)")
+    collect.add_argument("--scales", metavar="CSV", default="1",
+                         help="comma-separated scale tiers (default 1)")
+    collect.add_argument("--perf-workers", metavar="CSV", default="1",
+                         help="comma-separated worker counts per tier "
+                              "(default 1)")
+    collect.add_argument("--repeats", type=int, default=5, metavar="N",
+                         help="measured batches per (query, cell) "
+                              "(default 5)")
+    collect.add_argument("--warmup", type=int, default=1, metavar="N",
+                         help="discarded warmup batches (default 1)")
+    collect.add_argument("--label", default="", metavar="S",
+                         help="free-form snapshot label")
+    collect.add_argument("--perturb", metavar="CSV", default=None,
+                         help="test-only: compile these queries (Q3,Q7) "
+                              "with the index-path rewrite disabled; "
+                              "defaults to $THALIA_PERF_PERTURB")
+
+    report = perf_commands.add_parser(
+        "report",
+        help="diff two snapshots; exits 1 on regressions")
+    report.add_argument("--v1", required=True, metavar="FILE",
+                        help="baseline snapshot")
+    report.add_argument("--v2", required=True, metavar="FILE",
+                        help="candidate snapshot")
+    report.add_argument("--threshold", type=float, default=None,
+                        metavar="F",
+                        help="median-slowdown gate as a fraction "
+                             "(default 0.25)")
+    report.add_argument("--min-delta-ns", type=int, default=None,
+                        metavar="N",
+                        help="absolute noise floor in ns (default 25000)")
+    report.add_argument("--enforce-timings",
+                        choices=("auto", "always", "never"),
+                        default="auto",
+                        help="gate on timing regressions: auto = only "
+                             "when both snapshots share a host "
+                             "fingerprint (default)")
+    report.add_argument("--json", metavar="FILE", default=None,
+                        help="also write the machine-readable report")
     return parser
 
 
@@ -286,7 +345,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     testbed = _make_testbed(args)   # global --workers/--cache-dir/--no-cache
     store = HonorRollStore(args.scores or DEFAULT_SCORES_FILE)
     app = ThaliaApp(testbed=testbed, store=store,
-                    query_workers=args.query_workers)
+                    query_workers=args.query_workers,
+                    perf_baseline=args.perf_baseline)
     server = ThaliaServer(app, host=args.host, port=args.port,
                           pool_size=args.http_threads)
     print(f"serving THALIA benchmark service on {server.url} "
@@ -358,6 +418,76 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _csv_ints(text: str, option: str) -> list[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"thalia perf: {option} must be a "
+                         f"comma-separated list of integers, got {text!r}")
+    if not values or any(value < 1 for value in values):
+        raise SystemExit(f"thalia perf: {option} needs positive integers")
+    return values
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    import json
+    import os
+    from pathlib import Path
+
+    from .perf import (
+        collect_snapshot,
+        compare_snapshots,
+        load_document,
+        render_report,
+    )
+    from .perf.schema import KIND_SNAPSHOT, SchemaError
+
+    if args.perf_command == "collect":
+        perturb_csv = args.perturb if args.perturb is not None \
+            else os.environ.get("THALIA_PERF_PERTURB", "")
+        perturb = [name for name in perturb_csv.split(",") if name.strip()]
+        snapshot = collect_snapshot(
+            seed=args.seed,
+            scales=_csv_ints(args.scales, "--scales"),
+            workers=_csv_ints(args.perf_workers, "--perf-workers"),
+            repeats=args.repeats,
+            warmup=args.warmup,
+            label=args.label,
+            perturb=perturb,
+            progress=lambda message: print(f"[perf] {message}"))
+        out = Path(args.out)
+        out.write_text(json.dumps(snapshot, indent=2) + "\n",
+                       encoding="utf-8")
+        cells = snapshot["cells"]
+        print(f"[perf] wrote {out}: {len(cells)} cell(s) x "
+              f"{len(cells[0]['queries'])} queries, "
+              f"repeats={snapshot['meta']['repeats']}"
+              + (f", perturbed={snapshot['meta']['perturbed']}"
+                 if snapshot["meta"]["perturbed"] else ""))
+        return 0
+
+    try:
+        baseline = load_document(args.v1, expect_kind=KIND_SNAPSHOT)
+        candidate = load_document(args.v2, expect_kind=KIND_SNAPSHOT)
+    except SchemaError as exc:
+        print(f"thalia perf report: {exc}", file=sys.stderr)
+        return 2
+    enforce = {"auto": None, "always": True, "never": False}[
+        args.enforce_timings]
+    kwargs = {}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    if args.min_delta_ns is not None:
+        kwargs["min_delta_ns"] = args.min_delta_ns
+    report = compare_snapshots(baseline, candidate,
+                               enforce_timings=enforce, **kwargs)
+    if args.json:
+        Path(args.json).write_text(json.dumps(report, indent=2) + "\n",
+                                   encoding="utf-8")
+    print(render_report(report))
+    return 0 if report["ok"] else 1
+
+
 _COMMANDS = {
     "testbed": _cmd_testbed,
     "build": _cmd_testbed,
@@ -372,6 +502,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bundle": _cmd_bundle,
     "sources": _cmd_sources,
+    "perf": _cmd_perf,
 }
 
 

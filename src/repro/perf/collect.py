@@ -1,0 +1,266 @@
+"""``thalia perf collect`` — snapshot plans, timings and cache counters.
+
+One *cell* per (scale tier × worker count); inside each cell, one row
+per benchmark query with:
+
+* the compiled plan's :meth:`~repro.xquery.plan.Plan.explain` text,
+  its process-stable :attr:`~repro.xquery.plan.Plan.identity`
+  (``plan_fingerprint``) and explain hash (``explain_sha256``) — the
+  machine-independent facts the CI gate always enforces;
+* wall-clock timing statistics over ``repeats`` measured batches
+  (min/median/p95/mean, warmup batches discarded — the repeat-and-trim
+  discipline) where one batch executes the plan once per worker,
+  concurrently when ``workers > 1``;
+* per-batch CPU time (``time.process_time_ns`` divided by executions),
+  so a wall-time regression can be told apart from scheduler noise;
+* plan-cache and result-cache counters for the cell, collected on
+  fresh, private cache instances so numbers are workload-deterministic.
+
+Results are verified before timings are trusted: every query must
+return the same items through the result cache as through a direct
+``plan.execute``, and perturbed plans must still produce identical
+answers (perturbation may only change *how*, never *what*).
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import os
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
+from typing import Callable, Iterable, Sequence
+
+from ..catalogs import build_testbed, paper_universities
+from ..core import QUERIES
+from ..xmlmodel import XmlElement, serialize
+from ..xquery.plan import Plan, compile_query
+from ..xquery.plan_cache import PlanCache
+from ..xquery.results import ResultCache
+from .schema import KIND_SNAPSHOT, stamp
+
+DEFAULT_REPEATS = 5
+DEFAULT_WARMUP = 1
+
+#: Timed executions per worker per measured batch.  Each execution is
+#: wall-timed individually, so a cell contributes
+#: ``repeats * workers * EXECUTIONS_PER_BATCH`` samples per query —
+#: enough for min/median/p95 to mean something even at the CI gate's
+#: economical ``--repeats 3``.
+EXECUTIONS_PER_BATCH = 3
+
+
+def host_fingerprint() -> dict:
+    """Who measured: platform facts plus a stable digest of them.
+
+    Two snapshots with the same ``id`` came from comparable hardware and
+    interpreter builds, so their timings may be compared; across
+    differing ids the reporter downgrades timing findings to
+    informational (plan comparisons are always valid).
+    """
+    facts = {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    digest = hashlib.sha256(
+        repr(sorted(facts.items())).encode("utf-8")).hexdigest()
+    return {"id": digest, **facts}
+
+
+def _stats_ns(samples: Sequence[int]) -> dict:
+    """min/median/p95/mean over nanosecond samples (nearest-rank p95)."""
+    ordered = sorted(samples)
+    count = len(ordered)
+    if count % 2:
+        median = ordered[count // 2]
+    else:
+        median = (ordered[count // 2 - 1] + ordered[count // 2]) // 2
+    rank = max(0, -(-95 * count // 100) - 1)   # ceil(0.95 n) - 1
+    return {
+        "min": ordered[0],
+        "median": median,
+        "p95": ordered[rank],
+        "mean": sum(ordered) // count,
+        "samples": count,
+    }
+
+
+def _render_items(items: Iterable) -> tuple:
+    return tuple(serialize(item) if isinstance(item, XmlElement)
+                 else repr(item) for item in items)
+
+
+def _timed_executions(plan: Plan, documents) -> list[int]:
+    samples = []
+    for _ in range(EXECUTIONS_PER_BATCH):
+        started = time.perf_counter_ns()
+        plan.execute(documents)
+        samples.append(time.perf_counter_ns() - started)
+    return samples
+
+
+def _run_batch(plan: Plan, documents, workers: int,
+               pool: ThreadPoolExecutor | None) -> tuple[list[int], int]:
+    """One measured batch: every worker runs the plan
+    :data:`EXECUTIONS_PER_BATCH` times, each execution wall-timed
+    individually; returns (wall samples, total process-CPU ns)."""
+    cpu_started = time.process_time_ns()
+    if pool is None:
+        walls = _timed_executions(plan, documents)
+    else:
+        walls = [sample for worker_samples in pool.map(
+            lambda _: _timed_executions(plan, documents), range(workers))
+            for sample in worker_samples]
+    return walls, time.process_time_ns() - cpu_started
+
+
+def collect_snapshot(*, seed: int = 2004,
+                     scales: Sequence[int] = (1,),
+                     workers: Sequence[int] = (1,),
+                     repeats: int = DEFAULT_REPEATS,
+                     warmup: int = DEFAULT_WARMUP,
+                     label: str = "",
+                     perturb: Iterable[str] = (),
+                     progress: Callable[[str], None] | None = None) -> dict:
+    """Measure the twelve-query workload; returns a stamped snapshot.
+
+    ``perturb`` names queries (``"Q3"``) whose plans are compiled with
+    the test-only index-path toggle off — the knob the acceptance test
+    and the CI gate demo use to prove plan regressions are caught.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    perturbed = {name.strip().upper() for name in perturb if name.strip()}
+    known = {f"Q{query.number}" for query in QUERIES}
+    unknown = perturbed - known
+    if unknown:
+        raise ValueError(f"cannot perturb unknown queries: "
+                         f"{sorted(unknown)}")
+    say = progress if progress is not None else (lambda message: None)
+
+    cells = []
+    for scale in scales:
+        say(f"building testbed seed={seed} scale={scale}")
+        testbed = build_testbed(seed=seed,
+                                universities=paper_universities(),
+                                scale=scale)
+        documents = testbed.documents
+        content_fp = testbed.content_fingerprint()
+        for worker_count in workers:
+            say(f"collecting cell scale={scale} workers={worker_count}")
+            cells.append(_collect_cell(
+                documents, content_fp, scale, worker_count,
+                repeats=repeats, warmup=warmup, perturbed=perturbed))
+
+    snapshot = stamp(KIND_SNAPSHOT, {
+        "meta": {
+            "label": label or "unlabeled",
+            "created": datetime.now(timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+            "host": host_fingerprint(),
+            "seed": seed,
+            "repeats": repeats,
+            "warmup": warmup,
+            "queries": len(QUERIES),
+            "perturbed": sorted(perturbed),
+            "argv_hint": "thalia perf collect",
+        },
+        "cells": cells,
+    })
+    return snapshot
+
+
+def _collect_cell(documents, content_fp: str, scale: int, workers: int,
+                  *, repeats: int, warmup: int,
+                  perturbed: set[str]) -> dict:
+    plan_cache = PlanCache()
+    result_cache = ResultCache()
+    pool = ThreadPoolExecutor(max_workers=workers,
+                              thread_name_prefix="thalia-perf") \
+        if workers > 1 else None
+    try:
+        rows = []
+        for query in QUERIES:
+            query_label = f"Q{query.number}"
+            # The straight plan is always compiled through the cell's
+            # plan cache (a second get records the steady-state hit);
+            # a perturbed plan replaces it for measurement but is kept
+            # out of the cache so nothing else can pick it up.
+            plan = plan_cache.get(query.xquery)
+            plan_cache.get(query.xquery)
+            reference_items = _render_items(plan.execute(documents))
+            if query_label in perturbed:
+                plan = compile_query(query.xquery, perturb=True)
+
+            # Result-cache exercise (miss, then hit) doubles as the
+            # correctness check: cached, direct and perturbed paths must
+            # agree item for item before any timing is recorded.
+            cached_items = result_cache.get_or_compute(
+                plan.identity, content_fp,
+                lambda: _render_items(plan.execute(documents)))
+            result_cache.get_or_compute(plan.identity, content_fp,
+                                        lambda: ())
+            if cached_items != reference_items:
+                raise AssertionError(
+                    f"{query_label}: measured plan diverged from the "
+                    f"reference results; refusing to record timings")
+
+            for _ in range(warmup):
+                _run_batch(plan, documents, workers, pool)
+            wall_samples: list[int] = []
+            cpu_samples: list[int] = []
+            # Collector pauses (not disables) the cyclic GC around the
+            # measured batches: at the ~100 µs scale of these queries a
+            # collection landing inside one batch is the single largest
+            # noise source, and it is scheduling noise, not plan cost.
+            gc_was_enabled = gc.isenabled()
+            gc.collect()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                for _ in range(repeats):
+                    walls, cpu_ns = _run_batch(plan, documents, workers,
+                                               pool)
+                    wall_samples.extend(walls)
+                    cpu_samples.append(cpu_ns // max(1, len(walls)))
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            rows.append({
+                "query": query_label,
+                "perturbed": query_label in perturbed,
+                "plan_fingerprint": plan.identity,
+                "explain_sha256": plan.explain_fingerprint,
+                "explain": plan.explain(),
+                "rewrites": dict(plan.rewrites),
+                "items": len(reference_items),
+                "wall_ns": _stats_ns(wall_samples),
+                "cpu_ns": _stats_ns(cpu_samples),
+            })
+        return {
+            "scale": scale,
+            "workers": workers,
+            "content_fingerprint": content_fp,
+            "queries": rows,
+            "caches": {
+                "plan_cache": plan_cache.stats(),
+                "result_cache": result_cache.stats(),
+            },
+        }
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+__all__ = [
+    "DEFAULT_REPEATS",
+    "DEFAULT_WARMUP",
+    "collect_snapshot",
+    "host_fingerprint",
+]

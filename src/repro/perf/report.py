@@ -1,0 +1,279 @@
+"""``thalia perf report`` — diff two snapshots into a regression report.
+
+Two regression families, deliberately separated:
+
+* **Plan regressions** — the candidate compiled a *different plan* for
+  a query the baseline knew: ``plan_fingerprint`` or ``explain_sha256``
+  changed, or the result cardinality moved.  These are exact,
+  machine-independent facts; they always fail the gate, and the report
+  carries a unified diff of the two explain trees so the offending
+  operator choice is visible in the CI log.
+* **Timing regressions** — the candidate's median wall time exceeds the
+  baseline's by more than ``threshold`` (default 25 %).  Timings are
+  noisy, so a regression must clear every damper: the slowdown must
+  exceed each snapshot's own *observed spread* ((p95 − min)/median — a
+  run that varies 30 % against itself cannot prove a 26 % regression),
+  the absolute delta must clear ``min_delta_ns``, the candidate median
+  must sit above the baseline's p95, the candidate's *best* sample must
+  be a full threshold slower than the baseline's best (a real
+  regression slows every execution, not an unlucky subset), and the
+  process-CPU counters must corroborate at least half the wall slowdown
+  (cgroup throttling and scheduler stalls inflate wall but not CPU).
+  Even then, timing findings are only *enforced* between snapshots
+  whose host fingerprints match — cross-host comparisons are reported
+  as informational.
+
+``compare_snapshots`` returns the machine-readable report (itself a
+stamped ``thalia-perf`` document); :func:`render_report` renders the
+human table.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from .schema import KIND_REPORT, stamp
+
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_DELTA_NS = 25_000
+
+
+def _spread(stats: dict) -> float:
+    """Observed relative noise of one timing block: (p95 - min)/median."""
+    median = stats.get("median") or 0
+    if not median:
+        return 0.0
+    return max(0.0, (stats["p95"] - stats["min"]) / median)
+
+
+def _explain_diff(base_row: dict, cand_row: dict) -> str:
+    diff = difflib.unified_diff(
+        base_row.get("explain", "").splitlines(),
+        cand_row.get("explain", "").splitlines(),
+        fromfile="baseline", tofile="candidate", lineterm="")
+    return "\n".join(diff)
+
+
+def _snapshot_ref(doc: dict) -> dict:
+    meta = doc.get("meta", {})
+    return {
+        "label": meta.get("label"),
+        "created": meta.get("created"),
+        "host_id": meta.get("host", {}).get("id"),
+        "repeats": meta.get("repeats"),
+        "perturbed": meta.get("perturbed", []),
+    }
+
+
+def compare_snapshots(baseline: dict, candidate: dict, *,
+                      threshold: float = DEFAULT_THRESHOLD,
+                      min_delta_ns: int = DEFAULT_MIN_DELTA_NS,
+                      enforce_timings: bool | None = None) -> dict:
+    """The regression report for *candidate* measured against *baseline*.
+
+    ``enforce_timings=None`` (auto) enforces timing regressions exactly
+    when both snapshots carry the same host fingerprint; ``True`` /
+    ``False`` force either way.  Plan regressions are always enforced.
+    """
+    base_host = baseline.get("meta", {}).get("host", {}).get("id")
+    cand_host = candidate.get("meta", {}).get("host", {}).get("id")
+    hosts_match = bool(base_host) and base_host == cand_host
+    if enforce_timings is None:
+        enforce_timings = hosts_match
+
+    base_cells = {(cell["scale"], cell["workers"]): cell
+                  for cell in baseline.get("cells", [])}
+    cand_cells = {(cell["scale"], cell["workers"]): cell
+                  for cell in candidate.get("cells", [])}
+
+    plan_regressions: list[dict] = []
+    timing_regressions: list[dict] = []
+    improvements: list[dict] = []
+    missing: list[dict] = []
+    compared_cells = 0
+    compared_queries = 0
+
+    for coords in sorted(base_cells.keys() | cand_cells.keys()):
+        scale, workers = coords
+        base_cell = base_cells.get(coords)
+        cand_cell = cand_cells.get(coords)
+        if base_cell is None or cand_cell is None:
+            missing.append({
+                "scale": scale, "workers": workers,
+                "missing_from": "baseline" if base_cell is None
+                else "candidate",
+            })
+            continue
+        compared_cells += 1
+        base_rows = {row["query"]: row for row in base_cell["queries"]}
+        cand_rows = {row["query"]: row for row in cand_cell["queries"]}
+        for query in sorted(base_rows.keys() | cand_rows.keys(),
+                            key=lambda q: (len(q), q)):
+            base_row = base_rows.get(query)
+            cand_row = cand_rows.get(query)
+            if base_row is None or cand_row is None:
+                missing.append({
+                    "scale": scale, "workers": workers, "query": query,
+                    "missing_from": "baseline" if base_row is None
+                    else "candidate",
+                })
+                continue
+            compared_queries += 1
+            where = {"scale": scale, "workers": workers, "query": query}
+
+            plan_changed = (
+                base_row["plan_fingerprint"] != cand_row["plan_fingerprint"]
+                or base_row["explain_sha256"] != cand_row["explain_sha256"])
+            if plan_changed:
+                plan_regressions.append({
+                    **where,
+                    "kind": "plan-changed",
+                    "baseline_plan_fingerprint":
+                        base_row["plan_fingerprint"],
+                    "candidate_plan_fingerprint":
+                        cand_row["plan_fingerprint"],
+                    "baseline_explain_sha256": base_row["explain_sha256"],
+                    "candidate_explain_sha256": cand_row["explain_sha256"],
+                    "explain_diff": _explain_diff(base_row, cand_row),
+                })
+            if base_row["items"] != cand_row["items"]:
+                plan_regressions.append({
+                    **where,
+                    "kind": "results-changed",
+                    "baseline_items": base_row["items"],
+                    "candidate_items": cand_row["items"],
+                })
+
+            base_wall = base_row["wall_ns"]
+            cand_wall = cand_row["wall_ns"]
+            base_median = base_wall["median"]
+            cand_median = cand_wall["median"]
+            if not base_median:
+                continue
+            ratio = cand_median / base_median - 1.0
+            noise = max(_spread(base_wall), _spread(cand_wall))
+            delta_ns = cand_median - base_median
+            entry = {
+                **where,
+                "baseline_median_ns": base_median,
+                "candidate_median_ns": cand_median,
+                "delta_ns": delta_ns,
+                "slowdown": round(ratio, 4),
+                "noise_floor": round(noise, 4),
+            }
+            base_cpu = base_row.get("cpu_ns", {}).get("median", 0)
+            cand_cpu = cand_row.get("cpu_ns", {}).get("median", 0)
+            cpu_ratio = (cand_cpu / base_cpu - 1.0) if base_cpu else ratio
+            entry["cpu_slowdown"] = round(cpu_ratio, 4)
+            # A real regression moves the whole distribution, not just
+            # one unlucky median: the candidate's median must clear the
+            # baseline's p95, its *best* run must be slower than the
+            # baseline's best, and the CPU counters must corroborate at
+            # least half the wall slowdown.  Scheduler stalls and cgroup
+            # throttling inflate wall time but not process CPU, so they
+            # fail the corroboration test; a plan that genuinely got
+            # >25 % more expensive burns the CPU to prove it.
+            if ratio > threshold and ratio > noise \
+                    and delta_ns > min_delta_ns \
+                    and cand_median > base_wall["p95"] \
+                    and cand_wall["min"] > base_wall["min"] * (1 + threshold) \
+                    and cpu_ratio > threshold / 2:
+                timing_regressions.append(entry)
+            elif ratio < -threshold and -delta_ns > min_delta_ns:
+                improvements.append(entry)
+
+    ok = not plan_regressions and \
+        (not enforce_timings or not timing_regressions)
+    return stamp(KIND_REPORT, {
+        "baseline": _snapshot_ref(baseline),
+        "candidate": _snapshot_ref(candidate),
+        "threshold": threshold,
+        "min_delta_ns": min_delta_ns,
+        "hosts_match": hosts_match,
+        "timings_enforced": bool(enforce_timings),
+        "compared": {"cells": compared_cells, "queries": compared_queries},
+        "plan_regressions": plan_regressions,
+        "timing_regressions": timing_regressions,
+        "improvements": improvements,
+        "missing": missing,
+        "ok": ok,
+    })
+
+
+# --------------------------------------------------------------------------- #
+# Human rendering
+# --------------------------------------------------------------------------- #
+
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:8.3f}"
+
+
+def render_report(report: dict) -> str:
+    """The regression report as a terminal table."""
+    lines = []
+    base, cand = report["baseline"], report["candidate"]
+    lines.append(f"perf report: {base.get('label')} -> {cand.get('label')}")
+    lines.append(f"  compared {report['compared']['queries']} query cells "
+                 f"across {report['compared']['cells']} "
+                 f"(scale x workers) tiers; "
+                 f"threshold {report['threshold']:.0%}, "
+                 f"timings {'enforced' if report['timings_enforced'] else 'informational (hosts differ)'}")
+
+    plan_regressions = report["plan_regressions"]
+    timing_regressions = report["timing_regressions"]
+    if plan_regressions:
+        lines.append("")
+        lines.append(f"PLAN REGRESSIONS ({len(plan_regressions)}):")
+        for entry in plan_regressions:
+            lines.append(f"  {entry['query']} "
+                         f"[scale={entry['scale']} "
+                         f"workers={entry['workers']}]: {entry['kind']}")
+            diff = entry.get("explain_diff")
+            if diff:
+                lines.extend("    " + line for line in diff.splitlines())
+            if entry["kind"] == "results-changed":
+                lines.append(f"    items {entry['baseline_items']} -> "
+                             f"{entry['candidate_items']}")
+    if timing_regressions:
+        lines.append("")
+        verdict = "TIMING REGRESSIONS" if report["timings_enforced"] \
+            else "timing changes (informational)"
+        lines.append(f"{verdict} ({len(timing_regressions)}):")
+        lines.append("   query  scale workers   baseline ms  candidate ms"
+                     "   slower   noise")
+        for entry in timing_regressions:
+            lines.append(
+                f"  {entry['query']:>6} {entry['scale']:>6} "
+                f"{entry['workers']:>7}  {_fmt_ms(entry['baseline_median_ns'])}"
+                f"     {_fmt_ms(entry['candidate_median_ns'])}"
+                f"  {entry['slowdown']:+7.1%} {entry['noise_floor']:7.1%}")
+    if report["improvements"]:
+        lines.append("")
+        lines.append(f"improvements ({len(report['improvements'])}):")
+        for entry in report["improvements"]:
+            lines.append(
+                f"  {entry['query']:>6} [scale={entry['scale']} "
+                f"workers={entry['workers']}] "
+                f"{_fmt_ms(entry['baseline_median_ns'])} -> "
+                f"{_fmt_ms(entry['candidate_median_ns'])} ms "
+                f"({entry['slowdown']:+.1%})")
+    if report["missing"]:
+        lines.append("")
+        lines.append(f"coverage gaps ({len(report['missing'])}):")
+        for entry in report["missing"]:
+            what = entry.get("query", "whole cell")
+            lines.append(f"  scale={entry['scale']} "
+                         f"workers={entry['workers']} {what}: "
+                         f"absent from {entry['missing_from']}")
+    lines.append("")
+    lines.append("verdict: OK — no regressions" if report["ok"]
+                 else "verdict: FAIL")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_MIN_DELTA_NS",
+    "DEFAULT_THRESHOLD",
+    "compare_snapshots",
+    "render_report",
+]

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import gzip
 import logging
+import os
 import threading
 import time
 import traceback
@@ -35,6 +36,10 @@ logger = logging.getLogger(__name__)
 
 DEFAULT_SCORES_FILE = "thalia_honor_roll.jsonl"
 
+#: Where the committed perf baseline lives unless overridden
+#: (``THALIA_PERF_BASELINE`` or the ``perf_baseline=`` app argument).
+DEFAULT_PERF_BASELINE = "PERF_BASELINE.json"
+
 #: Bodies below this aren't worth a gzip round trip.
 GZIP_MIN_BYTES = 256
 
@@ -47,7 +52,8 @@ class ThaliaApp:
     def __init__(self, testbed: Testbed | None = None,
                  store: HonorRollStore | None = None,
                  scores_path: str | Path = DEFAULT_SCORES_FILE,
-                 query_workers: int = 4) -> None:
+                 query_workers: int = 4,
+                 perf_baseline: str | Path | None = None) -> None:
         self.testbed = testbed if testbed is not None else shared_testbed()
         self.store = store if store is not None \
             else HonorRollStore(scores_path)
@@ -73,6 +79,52 @@ class ThaliaApp:
         self.query_workers = max(1, int(query_workers))
         self._query_pool: ThreadPoolExecutor | None = None
         self._query_pool_lock = threading.Lock()
+        # Last committed perf snapshot (see repro.perf): /api/stats links
+        # its summary so operators can see which trajectory point the
+        # running build is gated against.  Resolution order: explicit
+        # argument, $THALIA_PERF_BASELINE, PERF_BASELINE.json in cwd.
+        self.perf_baseline_path = Path(
+            perf_baseline
+            or os.environ.get("THALIA_PERF_BASELINE")
+            or DEFAULT_PERF_BASELINE)
+        self._perf_summary: tuple[float, dict] | None = None
+        self._perf_summary_lock = threading.Lock()
+
+    def perf_summary(self) -> dict:
+        """Summary of the committed perf baseline for ``/api/stats``.
+
+        Loaded lazily and memoized per file mtime, so the stats endpoint
+        never re-parses an unchanged snapshot but does pick up a newly
+        committed one without a restart.  A missing or invalid baseline
+        is reported, not raised — stats must stay cheap and total.
+        """
+        from ..perf.schema import (
+            KIND_SNAPSHOT,
+            SchemaError,
+            load_document,
+            summarize_snapshot,
+        )
+
+        path = self.perf_baseline_path
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return {"baseline": None,
+                    "reason": f"no snapshot at {path}"}
+        with self._perf_summary_lock:
+            if self._perf_summary is not None \
+                    and self._perf_summary[0] == mtime:
+                return self._perf_summary[1]
+        try:
+            doc = load_document(path, expect_kind=KIND_SNAPSHOT)
+            summary = {"baseline": str(path),
+                       **summarize_snapshot(doc, path)}
+        except SchemaError as exc:
+            summary = {"baseline": str(path), "invalid": True,
+                       "reason": str(exc)}
+        with self._perf_summary_lock:
+            self._perf_summary = (mtime, summary)
+        return summary
 
     @property
     def query_pool(self) -> ThreadPoolExecutor:

@@ -234,6 +234,7 @@ def build_router() -> Router:
                 "per_document": indexes,
             },
         }
+        payload["perf"] = app.perf_summary()
         return Response.of_json(payload, no_store=True)
 
     @router.get("/healthz", name="healthz")

@@ -39,17 +39,20 @@ class FunctionRegistry:
     def __init__(self) -> None:
         self._functions: dict[str, tuple[XQueryFunction, object]] = {}
         self._fingerprint: tuple | None = None
+        self._stable_fingerprint: tuple | None = None
 
     def register(self, name: str, fn: XQueryFunction,
                  arity: object = 1) -> None:
         """Register *fn* under *name* (and without its namespace prefix)."""
         self._functions[name] = (fn, arity)
         self._fingerprint = None
+        self._stable_fingerprint = None
 
     def copy(self) -> "FunctionRegistry":
         dup = FunctionRegistry()
         dup._functions = dict(self._functions)
         dup._fingerprint = self._fingerprint
+        dup._stable_fingerprint = self._stable_fingerprint
         return dup
 
     def fingerprint(self) -> tuple:
@@ -70,6 +73,24 @@ class FunctionRegistry:
                 (name, id(fn))
                 for name, (fn, _arity) in self._functions.items()))
         return self._fingerprint
+
+    def stable_fingerprint(self) -> tuple:
+        """Like :meth:`fingerprint`, but reproducible across processes.
+
+        Implementations are named by ``module.qualname`` instead of
+        ``id()``, so two interpreter runs that register the same functions
+        agree on the token.  This is the identity the perf framework
+        stamps into snapshots (:mod:`repro.perf`): a committed baseline
+        must compare equal to a fresh collect on another machine.  It is
+        deliberately *not* the cache key — distinct closures can share a
+        qualname, and caches must never conflate them — so
+        :meth:`fingerprint` keeps keying the plan and result caches.
+        """
+        if self._stable_fingerprint is None:
+            self._stable_fingerprint = tuple(sorted(
+                (name, f"{fn.__module__}.{fn.__qualname__}", repr(arity))
+                for name, (fn, arity) in self._functions.items()))
+        return self._stable_fingerprint
 
     def resolves_to(self, name: str, fn: "XQueryFunction") -> bool:
         """True when calling *name* would dispatch to exactly *fn*."""

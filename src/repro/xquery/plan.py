@@ -756,11 +756,19 @@ class ElementConstructorOp(Op):
 # --------------------------------------------------------------------------- #
 
 class _Lowerer:
-    """AST → operator tree, applying fusion and index-path selection."""
+    """AST → operator tree, applying fusion and index-path selection.
 
-    def __init__(self, functions: FunctionRegistry) -> None:
+    ``index_paths=False`` disables the index-backed ``doc()`` rewrite —
+    a test-only perturbation knob (see :func:`compile_query`) that forces
+    a visibly different, slower plan so the perf regression gate can be
+    exercised end to end.
+    """
+
+    def __init__(self, functions: FunctionRegistry,
+                 index_paths: bool = True) -> None:
         self.functions = functions
         self.builtin_doc = uses_builtin_doc(functions)
+        self.index_paths = index_paths
         self.where_fused = 0
         self.indexed_paths = 0
 
@@ -827,7 +835,7 @@ class _Lowerer:
                 for index, predicate in enumerate(step.predicates))
             steps.append(StepPlan(step.axis, step.kind, step.name,
                                   predicates))
-        if isinstance(base, DocOp) and steps:
+        if self.index_paths and isinstance(base, DocOp) and steps:
             self.indexed_paths += 1
             return IndexedPathOp(base.name, tuple(steps))
         return PathOp(base, tuple(steps))
@@ -883,7 +891,8 @@ class Plan:
 
     def __init__(self, source: str, ast: Expr, root: Op,
                  functions: FunctionRegistry, parse_ns: int,
-                 compile_ns: int, rewrites: dict[str, int]) -> None:
+                 compile_ns: int, rewrites: dict[str, int],
+                 perturbed: bool = False) -> None:
         self.source = source
         self.ast = ast
         self.root = root
@@ -891,8 +900,11 @@ class Plan:
         self.parse_ns = parse_ns
         self.compile_ns = compile_ns
         self.rewrites = dict(rewrites)
+        self.perturbed = perturbed
         self._lock = threading.Lock()
         self._fingerprint: str | None = None
+        self._identity: str | None = None
+        self._explain_fingerprint: str | None = None
         self.runs = 0
         self.total_exec_ns = 0
         self.total_nodes_visited = 0
@@ -917,6 +929,39 @@ class Plan:
             digest.update(repr(self.functions.fingerprint()).encode("utf-8"))
             self._fingerprint = digest.hexdigest()
         return self._fingerprint
+
+    @property
+    def identity(self) -> str:
+        """Process-independent identity of this plan's computation.
+
+        sha256 over the query source and the registry's *stable*
+        fingerprint (``module.qualname`` names, not ``id()``), so two
+        interpreter runs — today's collect and last month's committed
+        baseline — agree on whether they compiled the same plan.  The
+        perf framework stores this as ``plan_fingerprint``; in-process
+        caches keep keying on :attr:`fingerprint`.
+        """
+        if self._identity is None:
+            digest = hashlib.sha256(self.source.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(repr(
+                self.functions.stable_fingerprint()).encode("utf-8"))
+            if self.perturbed:
+                digest.update(b"\x00perturbed")
+            self._identity = digest.hexdigest()
+        return self._identity
+
+    @property
+    def explain_fingerprint(self) -> str:
+        """sha256 of :meth:`explain` — a stable hash of the chosen
+        operator tree.  Two plans that picked different operators (e.g.
+        index-path vs tree-scan) hash differently even when their query
+        source is identical; byte-stability across processes is pinned by
+        a differential test."""
+        if self._explain_fingerprint is None:
+            self._explain_fingerprint = hashlib.sha256(
+                self.explain().encode("utf-8")).hexdigest()
+        return self._explain_fingerprint
 
     def execute(self, documents=None, variables=None) -> Seq:
         """Run the plan against a document set; thread-safe."""
@@ -951,6 +996,10 @@ class Plan:
             f"plan for: {summary}",
             f"rewrites: {rewrites}",
         ]
+        if self.perturbed:
+            # Only perturbed plans carry the marker line, so the twelve
+            # golden explain files stay byte-identical.
+            lines.insert(1, "perturbed: index-paths disabled")
         _render(self.root.explain_node(), 0, lines)
         return "\n".join(lines)
 
@@ -979,9 +1028,16 @@ class Plan:
 
 
 def compile_query(source: str,
-                  functions: FunctionRegistry | None = None) -> Plan:
+                  functions: FunctionRegistry | None = None, *,
+                  perturb: bool = False) -> Plan:
     """Compile XQuery text to a :class:`Plan` (no caching here; see
-    :mod:`repro.xquery.plan_cache`)."""
+    :mod:`repro.xquery.plan_cache`).
+
+    ``perturb=True`` is a test-only toggle that disables the index-path
+    rewrite, yielding a deliberately different (and slower) plan.  The
+    perf framework uses it to prove the regression gate fires; perturbed
+    plans are never cached, so production paths cannot pick one up.
+    """
     registry = functions if functions is not None else default_registry()
     started = time.perf_counter_ns()
     ast_root = parse_query(source)
@@ -989,7 +1045,7 @@ def compile_query(source: str,
 
     started = time.perf_counter_ns()
     folded, folds = fold_constants(ast_root)
-    lowerer = _Lowerer(registry)
+    lowerer = _Lowerer(registry, index_paths=not perturb)
     root = lowerer.lower(folded)
     compile_ns = time.perf_counter_ns() - started
     return Plan(source, folded, root, registry, parse_ns, compile_ns,
@@ -997,7 +1053,8 @@ def compile_query(source: str,
                     "constant-fold": folds,
                     "where-to-predicate": lowerer.where_fused,
                     "index-paths": lowerer.indexed_paths,
-                })
+                },
+                perturbed=perturb)
 
 
 __all__ = [

@@ -88,6 +88,7 @@ class PlanCache:
             return {
                 "size": len(self._plans),
                 "maxsize": self.maxsize,
+                "lookups": lookups,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

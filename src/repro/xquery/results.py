@@ -199,6 +199,8 @@ class ResultCache:
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
                 "bytes": self.bytes,
+                "lookups": lookups,
+                "served": served,
                 "hits": self.hits,
                 "misses": self.misses,
                 "coalesced": self.coalesced,

@@ -1,0 +1,99 @@
+"""Builders for hand-made perf snapshots.
+
+The report math is pure dict-in dict-out, so the diff-detection tests
+construct tiny synthetic snapshots with exactly the timing shapes they
+need instead of measuring anything.  Every helper returns documents that
+pass :func:`repro.perf.schema.validate_document` — the tests assert so.
+"""
+
+import hashlib
+
+import pytest
+
+
+def hexdigest(seed: str) -> str:
+    """A deterministic sha256 hex string derived from *seed*."""
+    return hashlib.sha256(seed.encode("utf-8")).hexdigest()
+
+
+def stats_block(minimum, median, p95, mean=None, samples=9):
+    return {
+        "min": minimum,
+        "median": median,
+        "p95": p95,
+        "mean": mean if mean is not None else median,
+        "samples": samples,
+    }
+
+
+def make_row(query="Q1", *, explain=None, wall=(100_000, 110_000, 120_000),
+             cpu=None, items=3, perturbed=False):
+    """One per-query snapshot row.  ``wall``/``cpu`` are (min, median,
+    p95) nanosecond triples; cpu defaults to tracking wall."""
+    explain = explain if explain is not None \
+        else f"plan for {query}\n  scan docs"
+    cpu = cpu if cpu is not None else wall
+    return {
+        "query": query,
+        "perturbed": perturbed,
+        "plan_fingerprint": hexdigest(f"plan:{explain}"),
+        "explain_sha256": hexdigest(f"explain:{explain}"),
+        "explain": explain,
+        "rewrites": {},
+        "items": items,
+        "wall_ns": stats_block(*wall),
+        "cpu_ns": stats_block(*cpu),
+    }
+
+
+def make_cell(rows, *, scale=1, workers=1):
+    return {
+        "scale": scale,
+        "workers": workers,
+        "content_fingerprint": hexdigest(f"content:scale={scale}"),
+        "queries": rows,
+        "caches": {
+            "plan_cache": {"hits": 12, "misses": 12, "lookups": 24},
+            "result_cache": {"hits": 12, "misses": 12, "lookups": 24,
+                             "served": 24},
+        },
+    }
+
+
+def make_snapshot(cells, *, label="fixture", host_id=None,
+                  perturbed=(), repeats=3):
+    host_id = host_id if host_id is not None else hexdigest("host:fixture")
+    return {
+        "schema": "thalia-perf",
+        "schema_version": 1,
+        "kind": "snapshot",
+        "meta": {
+            "label": label,
+            "created": "2026-01-01T00:00:00Z",
+            "host": {
+                "id": host_id,
+                "platform": "fixture-os",
+                "machine": "fixture-arch",
+                "python": "3.11.0",
+                "implementation": "CPython",
+                "cpu_count": 1,
+            },
+            "seed": 2004,
+            "repeats": repeats,
+            "warmup": 1,
+            "queries": len(cells[0]["queries"]) if cells else 0,
+            "perturbed": sorted(perturbed),
+            "argv_hint": "tests",
+        },
+        "cells": cells,
+    }
+
+
+@pytest.fixture
+def baseline_snapshot():
+    """Two queries, one cell — the canonical fixture baseline."""
+    return make_snapshot([make_cell([
+        make_row("Q1"),
+        make_row("Q2", explain="plan for Q2\n  index lookup",
+                 wall=(200_000, 210_000, 225_000)),
+    ])])

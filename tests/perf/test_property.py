@@ -1,0 +1,75 @@
+"""Property: a snapshot compared against itself is always clean.
+
+This is the contract the CI gate rests on — whatever a collector
+measured, ``report(A, A)`` must report zero plan and zero timing
+regressions, or the gate would flag changes that do not exist.
+Hypothesis drives the comparison over arbitrary snapshot shapes;
+the real-collector version of the same property lives in
+``test_collect.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.report import compare_snapshots
+from repro.perf.schema import validate_document
+
+from .conftest import make_cell, make_row, make_snapshot
+
+_labels = st.lists(
+    st.sampled_from([f"Q{n}" for n in range(1, 13)]),
+    min_size=1, max_size=6, unique=True)
+
+
+@st.composite
+def snapshots(draw):
+    cells = []
+    for scale, workers in draw(st.lists(
+            st.tuples(st.integers(1, 32), st.integers(1, 8)),
+            min_size=1, max_size=3, unique=True)):
+        rows = []
+        for label in draw(_labels):
+            samples = sorted(draw(st.lists(
+                st.integers(1_000, 50_000_000), min_size=3, max_size=3)))
+            cpu = sorted(draw(st.lists(
+                st.integers(1_000, 50_000_000), min_size=3, max_size=3)))
+            rows.append(make_row(
+                label,
+                explain=draw(st.text(
+                    alphabet="plan scdoxe\n", min_size=1, max_size=30)),
+                wall=tuple(samples), cpu=tuple(cpu),
+                items=draw(st.integers(0, 500))))
+        cells.append(make_cell(rows, scale=scale, workers=workers))
+    return make_snapshot(cells, label=draw(st.text(max_size=12)) or "s")
+
+
+@given(snapshot=snapshots())
+@settings(max_examples=60, deadline=None)
+def test_self_comparison_is_always_clean(snapshot):
+    report = compare_snapshots(snapshot, snapshot)
+    assert report["ok"]
+    assert report["plan_regressions"] == []
+    assert report["timing_regressions"] == []
+    assert report["improvements"] == []
+    assert report["missing"] == []
+    assert report["timings_enforced"]       # same host fingerprint
+
+
+@given(snapshot=snapshots(),
+       threshold=st.floats(0.01, 2.0),
+       min_delta_ns=st.integers(0, 10_000_000))
+@settings(max_examples=40, deadline=None)
+def test_self_comparison_clean_at_any_threshold(snapshot, threshold,
+                                                min_delta_ns):
+    report = compare_snapshots(snapshot, snapshot, threshold=threshold,
+                               min_delta_ns=min_delta_ns)
+    assert report["ok"]
+    assert report["timing_regressions"] == []
+
+
+@given(snapshot=snapshots())
+@settings(max_examples=30, deadline=None)
+def test_generated_snapshots_validate(snapshot):
+    """The strategy only produces schema-valid documents — so the
+    self-comparison property really covers the whole format."""
+    assert validate_document(snapshot) == []

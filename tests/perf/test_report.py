@@ -1,0 +1,216 @@
+"""Diff detection: plan changes vs timing changes vs clean runs.
+
+All inputs are synthetic snapshots from :mod:`tests.perf.conftest`, so
+every branch of the regression rules is exercised deterministically —
+no measurement, no flakiness.
+"""
+
+import copy
+
+from repro.perf.report import compare_snapshots, render_report
+from repro.perf.schema import validate_document
+
+from .conftest import hexdigest, make_cell, make_row, make_snapshot
+
+
+def _clone(snapshot, label="candidate"):
+    candidate = copy.deepcopy(snapshot)
+    candidate["meta"]["label"] = label
+    return candidate
+
+
+class TestCleanComparison:
+    def test_identical_snapshots_are_clean(self, baseline_snapshot):
+        report = compare_snapshots(baseline_snapshot,
+                                   _clone(baseline_snapshot))
+        assert report["ok"]
+        assert report["plan_regressions"] == []
+        assert report["timing_regressions"] == []
+        assert report["improvements"] == []
+        assert report["missing"] == []
+        assert report["compared"] == {"cells": 1, "queries": 2}
+        assert report["hosts_match"]
+        assert report["timings_enforced"]
+
+    def test_report_is_a_valid_stamped_document(self, baseline_snapshot):
+        report = compare_snapshots(baseline_snapshot,
+                                   _clone(baseline_snapshot))
+        assert report["kind"] == "report"
+        assert validate_document(report) == []
+
+    def test_small_jitter_below_threshold_is_clean(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        for row in candidate["cells"][0]["queries"]:
+            for block in (row["wall_ns"], row["cpu_ns"]):
+                for key in ("min", "median", "p95", "mean"):
+                    block[key] = int(block[key] * 1.1)   # +10% < 25%
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert report["ok"]
+        assert report["timing_regressions"] == []
+
+
+class TestPlanRegressions:
+    def test_changed_explain_is_a_plan_regression(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        candidate["cells"][0]["queries"][1] = make_row(
+            "Q2", explain="plan for Q2\n  full scan",
+            wall=(200_000, 210_000, 225_000))
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert not report["ok"]
+        [entry] = report["plan_regressions"]
+        assert entry["query"] == "Q2"
+        assert entry["kind"] == "plan-changed"
+        assert "-  index lookup" in entry["explain_diff"]
+        assert "+  full scan" in entry["explain_diff"]
+
+    def test_plan_regressions_enforced_across_hosts(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        candidate["meta"]["host"]["id"] = hexdigest("host:other")
+        candidate["cells"][0]["queries"][0] = make_row(
+            "Q1", explain="plan for Q1\n  different")
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert not report["hosts_match"]
+        assert not report["timings_enforced"]
+        assert not report["ok"]               # plan gate still fails
+        assert report["plan_regressions"][0]["query"] == "Q1"
+
+    def test_changed_cardinality_is_results_changed(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        candidate["cells"][0]["queries"][0]["items"] = 99
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert not report["ok"]
+        [entry] = report["plan_regressions"]
+        assert entry["kind"] == "results-changed"
+        assert entry["baseline_items"] == 3
+        assert entry["candidate_items"] == 99
+
+
+class TestTimingRegressions:
+    def _slow_candidate(self, baseline, factor=2.0):
+        candidate = _clone(baseline, "slower")
+        for row in candidate["cells"][0]["queries"]:
+            for block in (row["wall_ns"], row["cpu_ns"]):
+                for key in ("min", "median", "p95", "mean"):
+                    block[key] = int(block[key] * factor)
+        return candidate
+
+    def test_doubled_timings_regress(self, baseline_snapshot):
+        report = compare_snapshots(baseline_snapshot,
+                                   self._slow_candidate(baseline_snapshot))
+        assert not report["ok"]
+        assert {e["query"] for e in report["timing_regressions"]} \
+            == {"Q1", "Q2"}
+        assert report["plan_regressions"] == []
+        entry = report["timing_regressions"][0]
+        assert entry["slowdown"] > 0.25
+        assert entry["cpu_slowdown"] > 0.125
+
+    def test_wall_slowdown_without_cpu_is_noise(self, baseline_snapshot):
+        """Scheduler stalls inflate wall but not CPU: not a regression."""
+        candidate = self._slow_candidate(baseline_snapshot)
+        for base_row, cand_row in zip(
+                baseline_snapshot["cells"][0]["queries"],
+                candidate["cells"][0]["queries"]):
+            cand_row["cpu_ns"] = dict(base_row["cpu_ns"])
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert report["ok"]
+        assert report["timing_regressions"] == []
+
+    def test_shifted_median_with_same_floor_is_noise(self, baseline_snapshot):
+        """A real regression slows the best run too."""
+        candidate = self._slow_candidate(baseline_snapshot)
+        for base_row, cand_row in zip(
+                baseline_snapshot["cells"][0]["queries"],
+                candidate["cells"][0]["queries"]):
+            cand_row["wall_ns"]["min"] = base_row["wall_ns"]["min"]
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert report["timing_regressions"] == []
+
+    def test_noisy_baseline_swallows_the_signal(self):
+        """A snapshot that varies 80% against itself can't prove +50%."""
+        base = make_snapshot([make_cell([
+            make_row("Q1", wall=(100_000, 110_000, 190_000))])])
+        cand = make_snapshot([make_cell([
+            make_row("Q1", wall=(150_000, 165_000, 285_000))])],
+            label="noisy")
+        report = compare_snapshots(base, cand)
+        assert report["timing_regressions"] == []
+        assert report["ok"]
+
+    def test_sub_floor_deltas_ignored(self):
+        """Tiny absolute deltas never regress, whatever the ratio."""
+        base = make_snapshot([make_cell([
+            make_row("Q1", wall=(1_000, 1_100, 1_200),
+                     cpu=(1_000, 1_100, 1_200))])])
+        cand = make_snapshot([make_cell([
+            make_row("Q1", wall=(10_000, 11_000, 12_000),
+                     cpu=(10_000, 11_000, 12_000))])], label="10x-of-tiny")
+        report = compare_snapshots(base, cand)
+        assert report["timing_regressions"] == []
+
+    def test_cross_host_timings_informational(self, baseline_snapshot):
+        candidate = self._slow_candidate(baseline_snapshot)
+        candidate["meta"]["host"]["id"] = hexdigest("host:ci-runner")
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert not report["timings_enforced"]
+        assert report["timing_regressions"]   # still reported...
+        assert report["ok"]                   # ...but not enforced
+
+    def test_enforce_timings_override(self, baseline_snapshot):
+        candidate = self._slow_candidate(baseline_snapshot)
+        candidate["meta"]["host"]["id"] = hexdigest("host:ci-runner")
+        forced = compare_snapshots(baseline_snapshot, candidate,
+                                   enforce_timings=True)
+        assert not forced["ok"]
+        relaxed = compare_snapshots(baseline_snapshot,
+                                    self._slow_candidate(baseline_snapshot),
+                                    enforce_timings=False)
+        assert relaxed["ok"]
+
+    def test_speedups_are_improvements(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot, "faster")
+        for row in candidate["cells"][0]["queries"]:
+            for block in (row["wall_ns"], row["cpu_ns"]):
+                for key in ("min", "median", "p95", "mean"):
+                    block[key] = int(block[key] * 0.5)
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert report["ok"]
+        assert {e["query"] for e in report["improvements"]} == {"Q1", "Q2"}
+
+
+class TestCoverage:
+    def test_missing_query_is_a_gap_not_a_failure(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        del candidate["cells"][0]["queries"][1]
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert report["ok"]
+        [gap] = report["missing"]
+        assert gap["query"] == "Q2"
+        assert gap["missing_from"] == "candidate"
+
+    def test_missing_cell_is_a_gap(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        candidate["cells"].append(make_cell([make_row("Q1")], scale=8))
+        report = compare_snapshots(baseline_snapshot, candidate)
+        assert report["ok"]
+        [gap] = report["missing"]
+        assert (gap["scale"], gap["missing_from"]) == (8, "baseline")
+
+
+class TestRendering:
+    def test_clean_report_renders_ok(self, baseline_snapshot):
+        text = render_report(compare_snapshots(
+            baseline_snapshot, _clone(baseline_snapshot)))
+        assert "verdict: OK" in text
+        assert "timings enforced" in text
+
+    def test_failing_report_names_the_query(self, baseline_snapshot):
+        candidate = _clone(baseline_snapshot)
+        candidate["cells"][0]["queries"][1] = make_row(
+            "Q2", explain="plan for Q2\n  full scan",
+            wall=(200_000, 210_000, 225_000))
+        text = render_report(compare_snapshots(baseline_snapshot, candidate))
+        assert "verdict: FAIL" in text
+        assert "PLAN REGRESSIONS (1):" in text
+        assert "Q2" in text
+        assert "+  full scan" in text

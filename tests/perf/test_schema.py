@@ -1,0 +1,179 @@
+"""Envelope, validation, migration and the repo's own trajectory files."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.schema import (
+    KIND_BENCH,
+    KIND_REPORT,
+    KIND_SNAPSHOT,
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    SchemaError,
+    is_stamped,
+    load_document,
+    migrate_legacy,
+    stamp,
+    summarize_snapshot,
+    validate_document,
+)
+
+from .conftest import make_cell, make_row, make_snapshot
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestStamp:
+    def test_header_comes_first(self):
+        doc = stamp(KIND_BENCH, {"bench": "x", "data": 1})
+        assert list(doc)[:3] == ["schema", "schema_version", "kind"]
+        assert doc["schema"] == SCHEMA_NAME
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["kind"] == KIND_BENCH
+        assert doc["data"] == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            stamp("trace", {})
+
+    def test_is_stamped(self):
+        assert is_stamped(stamp(KIND_REPORT, {}))
+        assert not is_stamped({"bench": "x"})
+        assert not is_stamped(["not", "a", "dict"])
+
+
+class TestValidation:
+    def test_fixture_snapshot_is_valid(self, baseline_snapshot):
+        assert validate_document(baseline_snapshot) == []
+
+    def test_wrong_schema_name(self, baseline_snapshot):
+        baseline_snapshot["schema"] = "other"
+        assert any("schema:" in p
+                   for p in validate_document(baseline_snapshot))
+
+    def test_newer_version_rejected(self, baseline_snapshot):
+        baseline_snapshot["schema_version"] = SCHEMA_VERSION + 1
+        assert any("newer than this reader" in p
+                   for p in validate_document(baseline_snapshot))
+
+    def test_unknown_kind(self, baseline_snapshot):
+        baseline_snapshot["kind"] = "trace"
+        assert any("kind:" in p
+                   for p in validate_document(baseline_snapshot))
+
+    def test_snapshot_requires_cells(self, baseline_snapshot):
+        baseline_snapshot["cells"] = []
+        assert any("cells: missing or empty" in p
+                   for p in validate_document(baseline_snapshot))
+
+    def test_duplicate_cells_flagged(self):
+        cell = make_cell([make_row("Q1")])
+        doc = make_snapshot([cell, dict(cell)])
+        assert any("duplicate cell" in p for p in validate_document(doc))
+
+    def test_bad_fingerprint_flagged(self):
+        doc = make_snapshot([make_cell([make_row("Q1")])])
+        doc["cells"][0]["queries"][0]["plan_fingerprint"] = "beef"
+        assert any("plan_fingerprint" in p for p in validate_document(doc))
+
+    def test_stat_ordering_enforced(self):
+        doc = make_snapshot([make_cell([
+            make_row("Q1", wall=(300_000, 200_000, 100_000))])])
+        assert any("min <= median <= p95" in p
+                   for p in validate_document(doc))
+
+    def test_bench_needs_a_name(self):
+        assert validate_document(stamp(KIND_BENCH, {"bench": "b"})) == []
+        assert any("bench:" in p
+                   for p in validate_document(stamp(KIND_BENCH, {})))
+
+
+class TestLegacyShim:
+    def test_unstamped_bench_migrates(self):
+        legacy = {"bench": "bench_query", "repeat": 30}
+        doc = migrate_legacy(legacy)
+        assert doc["kind"] == KIND_BENCH
+        assert doc["bench"] == "bench_query"
+        assert doc["repeat"] == 30
+        assert validate_document(doc) == []
+
+    def test_stamped_doc_passes_through(self, baseline_snapshot):
+        assert migrate_legacy(baseline_snapshot) is baseline_snapshot
+
+    def test_unrecognizable_legacy_rejected(self):
+        with pytest.raises(SchemaError):
+            migrate_legacy({"mystery": True})
+
+    def test_load_document_migrates_on_read(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps({"bench": "bench_scale", "tiers": []}))
+        doc = load_document(path)
+        assert doc["kind"] == KIND_BENCH
+        assert doc["tiers"] == []
+
+    def test_stripping_the_envelope_still_loads(self, tmp_path):
+        """Round trip: stamped file, envelope removed, reloads via shim."""
+        source = REPO_ROOT / "BENCH_query.json"
+        stamped = json.loads(source.read_text(encoding="utf-8"))
+        stripped = {key: value for key, value in stamped.items()
+                    if key not in ("schema", "schema_version", "kind")}
+        path = tmp_path / "stripped.json"
+        path.write_text(json.dumps(stripped))
+        doc = load_document(path, expect_kind=KIND_BENCH)
+        assert doc["bench"] == stamped["bench"]
+
+
+class TestLoadDocument:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_document(tmp_path / "absent.json")
+
+    def test_garbage_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SchemaError):
+            load_document(path)
+
+    def test_kind_mismatch(self, tmp_path, baseline_snapshot):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(baseline_snapshot))
+        with pytest.raises(SchemaError, match="expected a 'bench'"):
+            load_document(path, expect_kind=KIND_BENCH)
+
+    def test_valid_snapshot_loads(self, tmp_path, baseline_snapshot):
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(baseline_snapshot))
+        doc = load_document(path, expect_kind=KIND_SNAPSHOT)
+        assert doc["meta"]["label"] == "fixture"
+
+
+class TestRepoTrajectoryFiles:
+    """Every committed BENCH_*.json and the perf baseline validate."""
+
+    @pytest.mark.parametrize("name", sorted(
+        path.name for path in REPO_ROOT.glob("BENCH_*.json")))
+    def test_bench_file_validates(self, name):
+        doc = load_document(REPO_ROOT / name, expect_kind=KIND_BENCH)
+        assert doc["bench"]
+
+    def test_all_three_bench_files_exist(self):
+        names = {path.name for path in REPO_ROOT.glob("BENCH_*.json")}
+        assert {"BENCH_query.json", "BENCH_concurrency.json",
+                "BENCH_scale.json"} <= names
+
+    def test_committed_baseline_validates(self):
+        doc = load_document(REPO_ROOT / "PERF_BASELINE.json",
+                            expect_kind=KIND_SNAPSHOT)
+        assert doc["meta"]["queries"] == 12
+        assert doc["cells"]
+
+
+class TestSummaries:
+    def test_summarize_snapshot(self, baseline_snapshot):
+        summary = summarize_snapshot(baseline_snapshot, "perf.json")
+        assert summary["path"] == "perf.json"
+        assert summary["label"] == "fixture"
+        assert summary["cells"] == [
+            {"scale": 1, "workers": 1, "queries": 2}]

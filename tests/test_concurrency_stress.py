@@ -2,7 +2,6 @@
 many threads race the same cold miss."""
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.server.cache import ContentCache
 from repro.xquery import PlanCache
@@ -12,15 +11,40 @@ THREADS = 16
 
 
 def _race(worker):
-    """Run *worker* on THREADS threads released simultaneously."""
-    barrier = threading.Barrier(THREADS)
+    """Run *worker* on THREADS threads released simultaneously.
+
+    Synchronization is purely event-based: every thread checks in on a
+    ready latch, and the coordinator fires one ``go`` event only after
+    all of them are parked at it.  There are no sleeps and no wall-clock
+    thresholds to mistune — on a loaded box the test just takes longer,
+    it cannot spuriously break the way a ``Barrier.wait(timeout=...)``
+    used to.  A worker exception is re-raised in the test thread.
+    """
+    ready = threading.Semaphore(0)
+    go = threading.Event()
+    results = [None] * THREADS
+    errors = []
 
     def wrapped(index):
-        barrier.wait(timeout=30)
-        return worker(index)
+        ready.release()
+        go.wait()
+        try:
+            results[index] = worker(index)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
 
-    with ThreadPoolExecutor(max_workers=THREADS) as pool:
-        return list(pool.map(wrapped, range(THREADS)))
+    threads = [threading.Thread(target=wrapped, args=(index,))
+               for index in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for _ in range(THREADS):
+        ready.acquire()
+    go.set()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return results
 
 
 class TestPlanCacheRaces:
