@@ -26,11 +26,17 @@ Commands:
 * ``selfcheck`` — verify every benchmark invariant over a fresh build.
 * ``taxonomy [N] [--no-samples]`` — the §3 heterogeneity classification,
   with live sample elements from the testbed.
-* ``perf collect [--scales CSV] [--perf-workers CSV] [--repeats N]`` —
-  snapshot per-query plans, timings and cache counters into a
-  schema-stamped JSON file; ``perf report --v1 A --v2 B`` diffs two
-  snapshots and exits 1 on plan or timing regressions (the CI
-  ``perf-gate``'s engine).
+* ``gen --cases N --seed S [--tier T] --out PACK_DIR`` — generate a
+  deterministic heterogeneity-composition scenario pack (sources,
+  synthesized queries, derived gold answers) and validate every case's
+  capability-model prediction against the executed answers before
+  writing it.
+* ``perf collect [--scales CSV] [--perf-workers CSV] [--repeats N]
+  [--scenarios PACK_DIR]`` — snapshot per-query plans, timings and
+  cache counters into a schema-stamped JSON file (optionally measuring
+  a generated scenario pack as extra cells); ``perf report --v1 A
+  --v2 B`` diffs two snapshots and exits 1 on plan or timing
+  regressions (the CI ``perf-gate``'s engine).
 
 Global build options (before the command): ``--seed N``, ``--scale N``
 (catalog multiplier; answers unchanged), ``--workers N`` (parallel
@@ -197,6 +203,24 @@ def _build_parser() -> argparse.ArgumentParser:
     taxonomy.add_argument("--no-samples", action="store_true",
                           help="omit the live sample elements")
 
+    gen = commands.add_parser(
+        "gen",
+        help="generate a heterogeneity-composition scenario pack")
+    gen.add_argument("--cases", type=int, default=25, metavar="N",
+                     help="number of scenario cases (default 25)")
+    gen.add_argument("--seed", type=int, default=argparse.SUPPRESS,
+                     metavar="S",
+                     help="generation seed (same as the global --seed)")
+    gen.add_argument("--tier", choices=("easy", "medium", "hard"),
+                     default=None,
+                     help="restrict the pack to one difficulty tier")
+    gen.add_argument("--out", metavar="PACK_DIR", default=None,
+                     help="write the pack under PACK_DIR (omit to only "
+                          "validate and print the fingerprint)")
+    gen.add_argument("--skip-validate", action="store_true",
+                     help="skip the capability-model and executed-query "
+                          "agreement checks (faster; generation only)")
+
     perf = commands.add_parser(
         "perf", help="plan-quality & performance regression framework")
     perf_commands = perf.add_subparsers(dest="perf_command", required=True)
@@ -223,6 +247,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="test-only: compile these queries (Q3,Q7) "
                               "with the index-path rewrite disabled; "
                               "defaults to $THALIA_PERF_PERTURB")
+    collect.add_argument("--scenarios", metavar="PACK_DIR", default=None,
+                         help="also measure the synthesized queries of a "
+                              "generated scenario pack (thalia gen) as "
+                              "extra cells")
 
     report = perf_commands.add_parser(
         "report",
@@ -418,6 +446,45 @@ def _cmd_taxonomy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gen(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioSuite, build_pack, write_pack
+    from .systems import cohera, iwiz, thalia_mediator
+
+    if args.cases < 1:
+        raise SystemExit("thalia gen: --cases needs a positive integer")
+    suite = ScenarioSuite.generate(seed=args.seed, cases=args.cases,
+                                   tier=args.tier)
+    tier_note = f" tier={args.tier}" if args.tier else ""
+    print(f"[gen] {len(suite.queries)} case(s) from seed "
+          f"{args.seed}{tier_note}")
+    testbed = suite.build_testbed()
+    print(f"[gen] built {len(testbed)} sources")
+    if not args.skip_validate:
+        problems = suite.check_query_agreement(testbed)
+        problems.extend(suite.check_system_agreement(
+            [thalia_mediator(), cohera(), iwiz()], testbed,
+            workers=max(1, args.workers)))
+        if problems:
+            for problem in problems:
+                print(f"[gen] PROBLEM: {problem}", file=sys.stderr)
+            print(f"[gen] {len(problems)} agreement problem(s); "
+                  "refusing to write the pack", file=sys.stderr)
+            return 1
+        print("[gen] agreement checks passed "
+              "(executed queries + 3 capability models)")
+    pack = build_pack(suite, testbed)
+    histogram = suite.tier_histogram()
+    tiers = ", ".join(f"{tier}={histogram[tier]}"
+                      for tier in ("easy", "medium", "hard")
+                      if tier in histogram)
+    print(f"[gen] tiers: {tiers}")
+    if args.out:
+        write_pack(pack, args.out)
+        print(f"[gen] wrote {len(pack.files)} file(s) under {args.out}")
+    print(f"[gen] pack fingerprint: {pack.fingerprint}")
+    return 0
+
+
 def _csv_ints(text: str, option: str) -> list[int]:
     try:
         values = [int(part) for part in text.split(",") if part.strip()]
@@ -454,6 +521,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             warmup=args.warmup,
             label=args.label,
             perturb=perturb,
+            scenarios=args.scenarios,
             progress=lambda message: print(f"[perf] {message}"))
         out = Path(args.out)
         out.write_text(json.dumps(snapshot, indent=2) + "\n",
@@ -502,6 +570,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "bundle": _cmd_bundle,
     "sources": _cmd_sources,
+    "gen": _cmd_gen,
     "perf": _cmd_perf,
 }
 

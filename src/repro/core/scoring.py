@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from ..integration import Effort
 
@@ -168,7 +169,8 @@ def rank(cards: list[ScoreCard]) -> list[ScoreCard]:
 
 def validate_claims(card: ScoreCard,
                     claimed_correct: int | None = None,
-                    claimed_complexity: int | None = None) -> list[str]:
+                    claimed_complexity: int | None = None,
+                    numbers: "Iterable[int] | None" = None) -> list[str]:
     """Server-side re-scoring hook: why an uploaded card must be rejected.
 
     The honor-roll service cannot re-run a stranger's integration system,
@@ -176,15 +178,26 @@ def validate_claims(card: ScoreCard,
     own scoring function and refuse cards whose structure is malformed or
     whose claimed totals are inflated relative to that re-scoring.
     Returns a list of problems; an empty list means the card is admissible.
+
+    ``numbers`` names the query numbers the card is expected to cover —
+    generated scenario suites use numbers above 12.  The default (None)
+    keeps the canonical rule: every outcome must be one of queries 1-12.
     """
     problems: list[str] = []
-    numbers = [o.number for o in card.outcomes]
-    if not numbers:
+    claimed = [o.number for o in card.outcomes]
+    if not claimed:
         problems.append("score card has no outcomes")
-    for number in numbers:
-        if not 1 <= number <= MAX_CORRECT:
-            problems.append(f"query number {number} out of range 1..12")
-    duplicates = sorted({n for n in numbers if numbers.count(n) > 1})
+    if numbers is None:
+        for number in claimed:
+            if not 1 <= number <= MAX_CORRECT:
+                problems.append(f"query number {number} out of range 1..12")
+    else:
+        allowed = set(numbers)
+        for number in claimed:
+            if number not in allowed:
+                problems.append(
+                    f"query number {number} not in the expected set")
+    duplicates = sorted({n for n in claimed if claimed.count(n) > 1})
     if duplicates:
         problems.append(f"duplicate outcomes for queries {duplicates}")
     for outcome in card.outcomes:

@@ -21,6 +21,8 @@ from .capabilities import (
     Effort,
     MISSING_DATA_HETEROGENEITIES,
     STRUCTURAL_HETEROGENEITIES,
+    QUERY_SECONDARY_CAPABILITIES,
+    capabilities_for_query,
     capability_for_query,
 )
 from .cleansing import clean_text, cleanse, merge_duplicates, normalize_name
@@ -127,6 +129,8 @@ __all__ = [
     "Warehouse",
     "WorkloadUnits",
     "auto_match",
+    "QUERY_SECONDARY_CAPABILITIES",
+    "capabilities_for_query",
     "capability_for_query",
     "clean_text",
     "cleanse",

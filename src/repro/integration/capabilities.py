@@ -103,9 +103,35 @@ STRUCTURAL_HETEROGENEITIES = (
 )
 
 
-def capability_for_query(number: int) -> Capability:
-    """The capability exercised by benchmark query *number* (1-12)."""
+#: Secondary capabilities a canonical query needs *besides* its headline
+#: one: the challenge can only be scored when the plumbing around it works
+#: too (Q3's union-typed title still has to be *read*, Q12's decomposed
+#: time still has to be *parsed*).  Kept here, next to the taxonomy, so
+#: composite scenario generation and ``core.queries`` share one table.
+QUERY_SECONDARY_CAPABILITIES: dict[int, tuple[Capability, ...]] = {
+    3: (Capability.RENAME,),
+    4: (Capability.TRANSLATION,),
+    8: (Capability.TRANSLATION,),
+    9: (Capability.UNION_TYPE,),
+    12: (Capability.UNION_TYPE, Capability.VALUE_TRANSFORM),
+}
+
+
+def capabilities_for_query(number: int) -> tuple[Capability, ...]:
+    """All capabilities benchmark query *number* exercises, primary first.
+
+    The primary capability is the one the query is *named for* (its value
+    equals the query number); the rest are the secondary capabilities the
+    challenge drags in.  Composite generated scenarios use the same shape:
+    a tuple of capabilities, first one primary.
+    """
     for capability in Capability:
         if capability.value == number:
-            return capability
+            return (capability,) + QUERY_SECONDARY_CAPABILITIES.get(
+                number, ())
     raise ValueError(f"benchmark queries are numbered 1-12, got {number}")
+
+
+def capability_for_query(number: int) -> Capability:
+    """The primary capability exercised by benchmark query *number*."""
+    return capabilities_for_query(number)[0]

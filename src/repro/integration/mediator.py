@@ -75,6 +75,9 @@ class Mediator:
     def register(self, mapping: SourceMapping) -> None:
         self._mappings[mapping.source] = mapping
 
+    def has_mapping(self, source: str) -> bool:
+        return source in self._mappings
+
     def mapping_for(self, source: str) -> SourceMapping:
         try:
             return self._mappings[source]

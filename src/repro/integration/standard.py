@@ -174,6 +174,11 @@ def standard_mappings(
             mappings[profile.slug] = PAPER_MAPPINGS[profile.slug]()
         elif isinstance(profile, GenericUniversity):
             mappings[profile.slug] = generic_mapping(profile)
+        elif hasattr(profile, "source_mapping"):
+            # Generated scenario sources (repro.scenarios) ship their own
+            # mapping: the composed heterogeneities are spec-derived, so
+            # the profile is the only place that knows the operator list.
+            mappings[profile.slug] = profile.source_mapping()
         else:
             raise KeyError(
                 f"no standard mapping for source {profile.slug!r}")

@@ -127,12 +127,19 @@ def collect_snapshot(*, seed: int = 2004,
                      warmup: int = DEFAULT_WARMUP,
                      label: str = "",
                      perturb: Iterable[str] = (),
+                     scenarios: "str | os.PathLike | None" = None,
                      progress: Callable[[str], None] | None = None) -> dict:
     """Measure the twelve-query workload; returns a stamped snapshot.
 
     ``perturb`` names queries (``"Q3"``) whose plans are compiled with
     the test-only index-path toggle off — the knob the acceptance test
     and the CI gate demo use to prove plan regressions are caught.
+
+    ``scenarios`` points at a generated pack directory (``thalia gen``);
+    its synthesized queries are measured as one extra cell per worker
+    count.  Those cells carry the pack fingerprint in a ``scenario``
+    field — same snapshot schema, and old snapshots (no such field)
+    compare exactly as before.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -158,6 +165,23 @@ def collect_snapshot(*, seed: int = 2004,
                 documents, content_fp, scale, worker_count,
                 repeats=repeats, warmup=warmup, perturbed=perturbed))
 
+    if scenarios is not None:
+        from ..scenarios.pack import load_pack
+        pack = load_pack(scenarios)
+        say(f"loading scenario pack {pack.fingerprint[:12]} "
+            f"({len(pack.cases)} cases)")
+        scenario_documents: dict = {}
+        for case in pack.cases:
+            scenario_documents.update(case.documents)
+        workload = [(case.case_id, case.xquery) for case in pack.cases]
+        for worker_count in workers:
+            say(f"collecting scenario cell workers={worker_count}")
+            cells.append(_collect_cell(
+                scenario_documents, pack.fingerprint, 1, worker_count,
+                repeats=repeats, warmup=warmup, perturbed=set(),
+                workload=workload,
+                extra={"scenario": pack.fingerprint}))
+
     snapshot = stamp(KIND_SNAPSHOT, {
         "meta": {
             "label": label or "unlabeled",
@@ -177,8 +201,12 @@ def collect_snapshot(*, seed: int = 2004,
 
 
 def _collect_cell(documents, content_fp: str, scale: int, workers: int,
-                  *, repeats: int, warmup: int,
-                  perturbed: set[str]) -> dict:
+                  *, repeats: int, warmup: int, perturbed: set[str],
+                  workload: Sequence[tuple[str, str]] | None = None,
+                  extra: dict | None = None) -> dict:
+    if workload is None:
+        workload = [(f"Q{query.number}", query.xquery)
+                    for query in QUERIES]
     plan_cache = PlanCache()
     result_cache = ResultCache()
     pool = ThreadPoolExecutor(max_workers=workers,
@@ -186,17 +214,16 @@ def _collect_cell(documents, content_fp: str, scale: int, workers: int,
         if workers > 1 else None
     try:
         rows = []
-        for query in QUERIES:
-            query_label = f"Q{query.number}"
+        for query_label, source in workload:
             # The straight plan is always compiled through the cell's
             # plan cache (a second get records the steady-state hit);
             # a perturbed plan replaces it for measurement but is kept
             # out of the cache so nothing else can pick it up.
-            plan = plan_cache.get(query.xquery)
-            plan_cache.get(query.xquery)
+            plan = plan_cache.get(source)
+            plan_cache.get(source)
             reference_items = _render_items(plan.execute(documents))
             if query_label in perturbed:
-                plan = compile_query(query.xquery, perturb=True)
+                plan = compile_query(source, perturb=True)
 
             # Result-cache exercise (miss, then hit) doubles as the
             # correctness check: cached, direct and perturbed paths must
@@ -243,7 +270,7 @@ def _collect_cell(documents, content_fp: str, scale: int, workers: int,
                 "wall_ns": _stats_ns(wall_samples),
                 "cpu_ns": _stats_ns(cpu_samples),
             })
-        return {
+        cell = {
             "scale": scale,
             "workers": workers,
             "content_fingerprint": content_fp,
@@ -253,6 +280,9 @@ def _collect_cell(documents, content_fp: str, scale: int, workers: int,
                 "result_cache": result_cache.stats(),
             },
         }
+        if extra:
+            cell.update(extra)
+        return cell
     finally:
         if pool is not None:
             pool.shutdown(wait=True)

@@ -54,6 +54,17 @@ def _explain_diff(base_row: dict, cand_row: dict) -> str:
     return "\n".join(diff)
 
 
+def _cell_key(cell: dict) -> tuple:
+    """Cell identity: (scale, workers, scenario pack fingerprint).
+
+    Canonical cells carry no ``scenario`` field (it normalizes to ""),
+    so snapshots from before scenario packs key exactly as they always
+    did; a scenario cell never collides with the canonical cell at the
+    same scale and worker count.
+    """
+    return (cell["scale"], cell["workers"], cell.get("scenario") or "")
+
+
 def _snapshot_ref(doc: dict) -> dict:
     meta = doc.get("meta", {})
     return {
@@ -81,9 +92,9 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
     if enforce_timings is None:
         enforce_timings = hosts_match
 
-    base_cells = {(cell["scale"], cell["workers"]): cell
+    base_cells = {_cell_key(cell): cell
                   for cell in baseline.get("cells", [])}
-    cand_cells = {(cell["scale"], cell["workers"]): cell
+    cand_cells = {_cell_key(cell): cell
                   for cell in candidate.get("cells", [])}
 
     plan_regressions: list[dict] = []
@@ -94,12 +105,15 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
     compared_queries = 0
 
     for coords in sorted(base_cells.keys() | cand_cells.keys()):
-        scale, workers = coords
+        scale, workers, scenario = coords
+        cell_ref = {"scale": scale, "workers": workers}
+        if scenario:
+            cell_ref["scenario"] = scenario
         base_cell = base_cells.get(coords)
         cand_cell = cand_cells.get(coords)
         if base_cell is None or cand_cell is None:
             missing.append({
-                "scale": scale, "workers": workers,
+                **cell_ref,
                 "missing_from": "baseline" if base_cell is None
                 else "candidate",
             })
@@ -113,13 +127,13 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
             cand_row = cand_rows.get(query)
             if base_row is None or cand_row is None:
                 missing.append({
-                    "scale": scale, "workers": workers, "query": query,
+                    **cell_ref, "query": query,
                     "missing_from": "baseline" if base_row is None
                     else "candidate",
                 })
                 continue
             compared_queries += 1
-            where = {"scale": scale, "workers": workers, "query": query}
+            where = {**cell_ref, "query": query}
 
             plan_changed = (
                 base_row["plan_fingerprint"] != cand_row["plan_fingerprint"]

@@ -219,10 +219,20 @@ def _validate_snapshot(doc: dict) -> list[str]:
                    f"{where}.{key}: missing or not a positive integer")
         _check(problems, _is_hex(cell.get("content_fingerprint")),
                f"{where}.content_fingerprint: not a sha256 hex digest")
-        coords = (cell.get("scale"), cell.get("workers"))
+        if cell.get("scenario") is not None:
+            _check(problems, _is_hex(cell.get("scenario")),
+                   f"{where}.scenario: not a pack fingerprint "
+                   f"(sha256 hex digest)")
+        # Scenario cells (replays of a generated pack) coexist with the
+        # canonical cell at the same (scale, workers); the pack
+        # fingerprint is part of the cell's identity.
+        coords = (cell.get("scale"), cell.get("workers"),
+                  cell.get("scenario"))
         if coords in seen_cells:
-            problems.append(f"{where}: duplicate cell "
-                            f"scale={coords[0]} workers={coords[1]}")
+            problems.append(
+                f"{where}: duplicate cell "
+                f"scale={coords[0]} workers={coords[1]}"
+                + (f" scenario={coords[2]}" if coords[2] else ""))
         seen_cells.add(coords)
         caches = cell.get("caches")
         if _check(problems, isinstance(caches, dict),
@@ -292,6 +302,8 @@ def summarize_snapshot(doc: dict, path: str | Path | None = None) -> dict:
                 "scale": cell.get("scale"),
                 "workers": cell.get("workers"),
                 "queries": len(cell.get("queries", [])),
+                **({"scenario": cell["scenario"]}
+                   if cell.get("scenario") else {}),
             }
             for cell in doc.get("cells", [])
         ],

@@ -1,0 +1,74 @@
+"""repro.scenarios — heterogeneity-composition scenario generator.
+
+The canonical benchmark is twelve pinned queries over pinned sources;
+this package *generates* arbitrarily many additional cases.  A
+:class:`ScenarioSpec` (:mod:`.dsl`) composes 1..k of the twelve
+heterogeneity kinds; :mod:`.compose` realizes it as a rendered
+(reference, challenge) source pair through the same HTML + TESS
+pipeline the registry universities use; :mod:`.gold` derives the gold
+answer from the canonical course model (no hand-made solutions);
+:mod:`.suite` synthesizes the runnable XQuery and scores systems
+through the ordinary runner; :mod:`.pack` persists it all as a
+deterministic, content-fingerprinted pack (``thalia gen``).
+"""
+
+from .compose import (
+    HOOK_MEETING,
+    HOOK_START,
+    ROLE_CHALLENGE,
+    ROLE_REFERENCE,
+    ScenarioProfile,
+    scenario_profiles,
+)
+from .dsl import (
+    SCENARIO_NUMBER_BASE,
+    TIERS,
+    TOPIC_POOL,
+    CompositionError,
+    ScenarioSpec,
+    generate_specs,
+)
+from .gold import ScenarioEvaluator, derive_gold
+from .pack import (
+    LoadedCase,
+    LoadedPack,
+    Pack,
+    build_pack,
+    load_pack,
+    pack_fingerprint,
+    write_pack,
+)
+from .suite import (
+    ScenarioQuery,
+    ScenarioSuite,
+    scenario_query,
+    synthesize_xquery,
+)
+
+__all__ = [
+    "CompositionError",
+    "HOOK_MEETING",
+    "HOOK_START",
+    "LoadedCase",
+    "LoadedPack",
+    "Pack",
+    "ROLE_CHALLENGE",
+    "ROLE_REFERENCE",
+    "SCENARIO_NUMBER_BASE",
+    "ScenarioEvaluator",
+    "ScenarioProfile",
+    "ScenarioQuery",
+    "ScenarioSpec",
+    "ScenarioSuite",
+    "TIERS",
+    "TOPIC_POOL",
+    "build_pack",
+    "derive_gold",
+    "generate_specs",
+    "load_pack",
+    "pack_fingerprint",
+    "scenario_profiles",
+    "scenario_query",
+    "synthesize_xquery",
+    "write_pack",
+]

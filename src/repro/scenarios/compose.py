@@ -1,0 +1,417 @@
+"""Composing a scenario onto a synthetic source pair.
+
+Each :class:`ScenarioSpec` becomes two :class:`ScenarioProfile` sources —
+a *reference* (plain English, column-per-attribute, 12-hour clock) and a
+*challenge* whose rendering realizes every composed heterogeneity: the
+instructor column gets slash-separated names under SET_HANDLING, the title
+cell becomes a hyperlink under UNION_TYPE, German tags and titles appear
+under TRANSLATION, the Brown-style composite Title/Time cell under
+DECOMPOSITION, and so on.  Both render through the same HTML + TESS
+pipeline the registry universities use, so a generated case is
+indistinguishable in shape from the paper's pinned sources.
+
+Each profile also carries :meth:`ScenarioProfile.source_mapping` — the
+operator list the full mediator needs for the source.  Generated slugs are
+unknown to the standard registry, so
+:func:`repro.integration.standard.standard_mappings` and
+:meth:`repro.systems.base.CapabilityModelSystem._ensure_sources` pick the
+mapping up from this hook (ablating it like any standard mapping).
+
+Both sources hold two pinned *hook* courses plus seeded filler.  The hooks
+are built so the first one (X101 / R101) passes every filter any
+composition can impose — topic in the title, 10:00 start, more than six
+credit hours, entry level — which guarantees the scenario's answer is
+never empty and *changes* under ablation of any required capability.
+Filler topics that would collide with the scenario topic (in English or
+through the lexicon's German equivalents) are excluded, exactly like the
+registry universities exclude their pinned query topics.
+"""
+
+from __future__ import annotations
+
+from ..catalogs.generator import TOPICS, CourseFactory, FillerStyle
+from ..catalogs.model import (
+    CanonicalCourse,
+    Meeting,
+    fmt_range_12h,
+    fmt_range_24h,
+    units_to_workload,
+)
+from ..catalogs.rendering import anchor, escape, header_row, page, row, table
+from ..catalogs.universities.base import UniversityProfile
+from ..catalogs.universities.brown import composite_title_suffix
+from ..integration.capabilities import Capability
+from ..integration.mappings import (
+    ClassificationList,
+    CopyInstructor,
+    CopyRoom,
+    CopyText,
+    DecomposeCompositeTitle,
+    EntryLevelExplicit,
+    EntryLevelFromComment,
+    FlattenUnionTitle,
+    GermanSource,
+    InstructorsFromTermColumns,
+    NullableField,
+    NumericUnits,
+    ParseTimeRange,
+    RoomFromText,
+    SplitInstructors,
+    WorkloadUnits,
+)
+from ..integration.mediator import SourceMapping
+from ..integration.nulls import INAPPLICABLE, MISSING
+from ..integration.translate import DEFAULT_LEXICON
+from ..tess import FieldConfig, WrapperConfig
+from .dsl import ScenarioSpec
+
+ROLE_REFERENCE = "reference"
+ROLE_CHALLENGE = "challenge"
+
+#: The hook meeting every composition's filters key on: MWF 10:00-11:15.
+HOOK_START = 10 * 60
+HOOK_MEETING = Meeting(("M", "W", "F"), HOOK_START, HOOK_START + 75)
+#: The second hook's meeting deliberately fails the 10:00 filter.
+OFF_MEETING = Meeting(("T", "Th"), 9 * 60, 9 * 60 + 75)
+REFERENCE_TEXTBOOK = ("'The Illustrated Primer', "
+                      "by Hackworth, 1995, Atlantis Press.")
+CHALLENGE_TEXTBOOK = ("'Foundations and Applications', "
+                      "by Sample, 2003, Example Press.")
+
+
+def _german_title(spec: ScenarioSpec, suffix: str = "") -> str | None:
+    equivalents = DEFAULT_LEXICON.german_equivalents(spec.topic)
+    if not equivalents:
+        return None
+    return equivalents[0] + suffix
+
+
+def _excluded_topics(spec: ScenarioSpec) -> set[str]:
+    """Filler topic slugs that could collide with the scenario topic.
+
+    A filler course whose English or German title contains the topic (or
+    one of its lexicon equivalents) would enter the gold answer and drag
+    its own random attributes into the agreement check — so, like the
+    registry universities, the factory never generates it.
+    """
+    needles = [spec.topic.lower()] + [
+        g.lower() for g in DEFAULT_LEXICON.german_equivalents(spec.topic)]
+    excluded = set()
+    for english, german, slug in TOPICS:
+        haystack = f"{english} {german}".lower()
+        if any(needle in haystack for needle in needles):
+            excluded.add(slug)
+    return excluded
+
+
+def _hook_courses(spec: ScenarioSpec, role: str,
+                  slug: str) -> list[CanonicalCourse]:
+    challenge = role == ROLE_CHALLENGE
+    german = challenge and Capability.TRANSLATION in spec.kinds
+    multi = challenge and Capability.SET_HANDLING in spec.kinds
+    prefix = "X" if challenge else "R"
+    first = CanonicalCourse(
+        university=slug,
+        code=f"{prefix}101",
+        title=(spec.topic if challenge
+               else f"Introduction to {spec.topic}"),
+        title_de=_german_title(spec) if german else None,
+        instructors=("Ames", "Bell") if multi else (
+            ("Ames",) if challenge else ("Davis",)),
+        meeting=HOOK_MEETING,
+        room="Hall 210" if challenge else "Main 101",
+        units=9,
+        workload=units_to_workload(9) if german else None,
+        description=f"A course on {spec.topic.lower()}.",
+        prerequisites=(),
+        textbook=None if challenge else REFERENCE_TEXTBOOK,
+        open_to=() if challenge else ("JR", "SR"),
+        url=f"http://example.edu/{slug}/{prefix.lower()}101",
+    )
+    second = CanonicalCourse(
+        university=slug,
+        code=f"{prefix}205",
+        title=(f"Advanced {spec.topic}" if challenge
+               else f"{spec.topic} Seminar"),
+        title_de=_german_title(spec, " II") if german else None,
+        instructors=("Cole",) if challenge else ("Evans",),
+        meeting=OFF_MEETING,
+        room="Hall 320" if challenge else "Main 202",
+        units=6 if challenge else 12,
+        workload=units_to_workload(6) if german else None,
+        description=f"An advanced course on {spec.topic.lower()}.",
+        prerequisites=(f"{prefix}101",),
+        textbook=CHALLENGE_TEXTBOOK if challenge else None,
+        open_to=(),
+        url=f"http://example.edu/{slug}/{prefix.lower()}205",
+    )
+    return [first, second]
+
+
+class ScenarioProfile(UniversityProfile):
+    """One generated source: the spec's reference or challenge side."""
+
+    #: filler courses per source (before any scale multiplier)
+    FILLER = 6
+
+    def __init__(self, spec: ScenarioSpec, role: str) -> None:
+        if role not in (ROLE_REFERENCE, ROLE_CHALLENGE):
+            raise ValueError(f"unknown scenario role {role!r}")
+        self.spec = spec
+        self.role = role
+        self.slug = (spec.challenge_slug if self.is_challenge
+                     else spec.reference_slug)
+        self.name = f"Scenario {spec.digest[:10]} ({role})"
+        self.language = "de" if self.german else "en"
+        self.heterogeneities = tuple(k.value for k in spec.kinds) \
+            if self.is_challenge else ()
+
+    # -- composition shorthands ------------------------------------------- #
+
+    @property
+    def is_challenge(self) -> bool:
+        return self.role == ROLE_CHALLENGE
+
+    def _has(self, kind: Capability) -> bool:
+        return self.is_challenge and kind in self.spec.kinds
+
+    @property
+    def german(self) -> bool:
+        return self._has(Capability.TRANSLATION)
+
+    def _composed(self, kind: Capability) -> bool:
+        """True when *kind* is in the composition (role-independent)."""
+        return kind in self.spec.kinds
+
+    # -- canonical data ---------------------------------------------------- #
+
+    def build_courses(self, seed: int,
+                      scale: int = 1) -> list[CanonicalCourse]:
+        factory = CourseFactory(self.slug, seed, FillerStyle(
+            code_prefix="X" if self.is_challenge else "R",
+            code_start=300, code_step=7,
+            german=self.german,
+            units_choices=(6, 9, 12),
+            with_textbooks=self._composed(Capability.NULL_HANDLING),
+            with_classification=(not self.is_challenge
+                                 and self._composed(
+                                     Capability.SEMANTIC_NULL)),
+        ))
+        return _hook_courses(self.spec, self.role, self.slug) + factory.fill(
+            self.FILLER, exclude_topics=_excluded_topics(self.spec),
+            scale=scale)
+
+    # -- rendering --------------------------------------------------------- #
+
+    def _columns(self) -> list[tuple[str, str, object]]:
+        """``(tag, mode, content_fn)`` per column, in render order."""
+        if self.is_challenge:
+            return self._challenge_columns()
+        return self._reference_columns()
+
+    def _challenge_columns(self):
+        german = self.german
+        columns: list[tuple[str, str, object]] = [
+            ("Nr" if german else "CourseNum", "text",
+             lambda c: escape(c.code)),
+        ]
+        if self._has(Capability.TRANSLATION):
+            columns.append(("Titel", "text",
+                            lambda c: escape(c.title_de or c.title)))
+        elif self._has(Capability.UNION_TYPE):
+            columns.append(("Title", "mixed",
+                            lambda c: (anchor(c.url, c.title) if c.url
+                                       else escape(c.title))))
+        elif self._has(Capability.DECOMPOSITION):
+            columns.append(("TitleTime", "text",
+                            lambda c: escape(
+                                c.title + composite_title_suffix(c.meeting))))
+        else:
+            columns.append(("Title", "text", lambda c: escape(c.title)))
+        if self._has(Capability.SET_HANDLING):
+            columns.append(("Instructors", "text",
+                            lambda c: escape("/".join(c.instructors))))
+        elif self._has(Capability.COLUMN_SEMANTICS):
+            columns.append(("Fall2003", "text",
+                            lambda c: escape(c.instructors[0])))
+        elif self._has(Capability.RENAME):
+            columns.append(("Lecturer", "text",
+                            lambda c: escape(c.instructors[0])))
+        else:
+            columns.append(("Dozent" if german else "Instructor", "text",
+                            lambda c: escape(c.instructors[0])))
+        if not self._has(Capability.DECOMPOSITION):
+            clock = (fmt_range_24h if self._has(Capability.VALUE_TRANSFORM)
+                     else fmt_range_12h)
+            hide_room = self._has(Capability.RESTRUCTURE)
+
+            def time_cell(c, clock=clock, hide_room=hide_room):
+                text = f"{c.meeting.day_string} {clock(c.meeting)}"
+                if hide_room:
+                    text += f", {c.room}"
+                return escape(text)
+
+            columns.append(("Zeit" if german else "Time", "text", time_cell))
+        if not self._has(Capability.RESTRUCTURE):
+            columns.append(("Raum" if german else "Room", "text",
+                            lambda c: escape(c.room or "")))
+        if self._has(Capability.COMPLEX_TRANSFORM):
+            columns.append(("Umfang" if german else "Units", "text",
+                            lambda c: escape(units_to_workload(c.units))))
+        if self._has(Capability.NULL_HANDLING):
+            columns.append(("Textbook", "text",
+                            lambda c: escape(c.textbook or "")))
+        if self._has(Capability.INFERENCE):
+            columns.append(("Comment", "text", lambda c: escape(
+                "First course in sequence."
+                if not c.prerequisites
+                else f"Prerequisite: {c.prerequisites[0]}.")))
+        # SEMANTIC_NULL: the classification column simply does not exist.
+        return columns
+
+    def _reference_columns(self):
+        columns: list[tuple[str, str, object]] = [
+            ("Code", "text", lambda c: escape(c.code)),
+            ("Title", "text", lambda c: escape(c.title)),
+            ("Instructor", "text", lambda c: escape(c.instructors[0])),
+            ("Time", "text", lambda c: escape(
+                f"{c.meeting.day_string} {fmt_range_12h(c.meeting)}")),
+            ("Room", "text", lambda c: escape(c.room or "")),
+        ]
+        if self._composed(Capability.COMPLEX_TRANSFORM):
+            columns.append(("Credits", "text",
+                            lambda c: escape(str(c.units))))
+        if self._composed(Capability.NULL_HANDLING):
+            columns.append(("Textbook", "text",
+                            lambda c: escape(c.textbook or "")))
+        if self._composed(Capability.INFERENCE):
+            columns.append(("Prerequisite", "text", lambda c: escape(
+                ", ".join(c.prerequisites) if c.prerequisites else "None")))
+        if self._composed(Capability.SEMANTIC_NULL):
+            columns.append(("OpenTo", "text",
+                            lambda c: escape(" or ".join(c.open_to))))
+        return columns
+
+    def render(self, courses: list[CanonicalCourse]) -> str:
+        columns = self._columns()
+        rows = []
+        for course in courses:
+            cells = [
+                f'<span class="{tag.lower()}">{content(course)}</span>'
+                for tag, _mode, content in columns]
+            rows.append(row(cells, row_class="course"))
+        header = header_row(*[tag for tag, _mode, _content in columns])
+        body = table(rows, header=header)
+        return page(f"{self.name}: Course Catalog", body, heading=self.name)
+
+    def wrapper_config(self) -> WrapperConfig:
+        fields = [
+            FieldConfig(tag, rf'<span class="{tag.lower()}">', r"</span>",
+                        mode=mode)
+            for tag, mode, _content in self._columns()]
+        return WrapperConfig(
+            source=self.slug,
+            root_tag=self.slug,
+            record_tag=self.record_tag,
+            record_begin=r'<tr class="course">',
+            record_end=r"</tr>",
+            fields=fields,
+        )
+
+    @property
+    def record_tag(self) -> str:
+        return "Vorlesung" if self.german else "Course"
+
+    @property
+    def code_tag(self) -> str:
+        if self.is_challenge:
+            return "Nr" if self.german else "CourseNum"
+        return "Code"
+
+    # -- mediation ---------------------------------------------------------- #
+
+    def source_mapping(self) -> SourceMapping:
+        """The full mediator's operator list for this source."""
+        if self.is_challenge:
+            ops = self._challenge_ops()
+        else:
+            ops = self._reference_ops()
+        return SourceMapping(self.slug, self.record_tag, ops,
+                             code_path=self.code_tag)
+
+    def _challenge_ops(self):
+        german = self.german
+        ops = []
+        if german:
+            ops.append(GermanSource())
+        if self._has(Capability.UNION_TYPE):
+            # No CopyText here: the union-typed cell must only be readable
+            # through the union-capable operator, so its ablation bites.
+            ops.append(FlattenUnionTitle("Title"))
+        elif self._has(Capability.TRANSLATION):
+            ops.append(CopyText("Titel", "title"))
+        elif self._has(Capability.DECOMPOSITION):
+            ops.append(CopyText("TitleTime", "title"))
+            ops.append(DecomposeCompositeTitle("TitleTime"))
+        else:
+            ops.append(CopyText("Title", "title"))
+        if self._has(Capability.SET_HANDLING):
+            ops.append(SplitInstructors("Instructors"))
+        elif self._has(Capability.COLUMN_SEMANTICS):
+            ops.append(InstructorsFromTermColumns(("Fall2003",)))
+        elif self._has(Capability.RENAME):
+            ops.append(CopyInstructor("Lecturer"))
+        else:
+            ops.append(CopyInstructor("Dozent" if german else "Instructor"))
+        time_tag = "Zeit" if german else "Time"
+        if self._has(Capability.VALUE_TRANSFORM):
+            ops.append(ParseTimeRange(time_tag, clock="24h"))
+        if self._has(Capability.RESTRUCTURE):
+            ops.append(RoomFromText(time_tag))
+        if self._has(Capability.COMPLEX_TRANSFORM):
+            ops.append(WorkloadUnits("Umfang" if german else "Units"))
+        if self._has(Capability.NULL_HANDLING):
+            ops.append(NullableField("textbook", "Textbook", MISSING))
+        if self._has(Capability.INFERENCE):
+            ops.append(EntryLevelFromComment("Comment"))
+        if self._has(Capability.SEMANTIC_NULL):
+            ops.append(NullableField("open_to", None, INAPPLICABLE))
+        return ops
+
+    def _reference_ops(self):
+        spec = self.spec
+        ops = [
+            CopyText("Title", "title"),
+            CopyInstructor("Instructor"),
+        ]
+        if Capability.VALUE_TRANSFORM in spec.kinds \
+                or Capability.DECOMPOSITION in spec.kinds:
+            ops.append(ParseTimeRange("Time", clock="12h"))
+        if Capability.RESTRUCTURE in spec.kinds:
+            ops.append(CopyRoom("Room"))
+        if Capability.COMPLEX_TRANSFORM in spec.kinds:
+            ops.append(NumericUnits("Credits"))
+        if Capability.NULL_HANDLING in spec.kinds:
+            ops.append(NullableField("textbook", "Textbook", MISSING))
+        if Capability.INFERENCE in spec.kinds:
+            ops.append(EntryLevelExplicit("Prerequisite"))
+        if Capability.SEMANTIC_NULL in spec.kinds:
+            ops.append(ClassificationList("OpenTo"))
+        return ops
+
+
+def scenario_profiles(
+        spec: ScenarioSpec) -> tuple[ScenarioProfile, ScenarioProfile]:
+    """The (reference, challenge) profile pair for one spec."""
+    return (ScenarioProfile(spec, ROLE_REFERENCE),
+            ScenarioProfile(spec, ROLE_CHALLENGE))
+
+
+__all__ = [
+    "HOOK_MEETING",
+    "HOOK_START",
+    "ROLE_CHALLENGE",
+    "ROLE_REFERENCE",
+    "ScenarioProfile",
+    "scenario_profiles",
+]

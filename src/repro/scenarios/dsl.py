@@ -1,0 +1,274 @@
+"""The scenario DSL: what a generated benchmark case *is*.
+
+A :class:`ScenarioSpec` composes 1..k of the twelve heterogeneity kinds
+(the :class:`~repro.integration.capabilities.Capability` taxonomy) onto a
+synthetic (reference, challenge) source pair.  Each kind rewrites one
+global-schema facet of the challenge rendering — the instructor column
+gets slash-separated names for SET_HANDLING, the title cell becomes a
+hyperlink for UNION_TYPE, the room moves into the time text for
+RESTRUCTURE — so kinds that rewrite the *same* facet cannot compose
+(:class:`CompositionError`), exactly like one column cannot be both a
+union type and a German translation in a single page.
+
+The difficulty tier is a pure function of the composition: one kind is
+``easy``; four or more kinds, or a composition spanning all three
+heterogeneity groups, is ``hard``; everything between is ``medium``.
+
+Specs are value objects: :meth:`ScenarioSpec.digest` fingerprints the
+composition, and both source slugs are derived from it, so equal specs
+name equal sources in every process — the root of ``thalia gen``'s
+byte-identical determinism.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from ..integration.capabilities import (
+    ATTRIBUTE_HETEROGENEITIES,
+    Capability,
+    MISSING_DATA_HETEROGENEITIES,
+)
+from ..integration.translate import DEFAULT_LEXICON
+
+TIER_EASY = "easy"
+TIER_MEDIUM = "medium"
+TIER_HARD = "hard"
+TIERS = (TIER_EASY, TIER_MEDIUM, TIER_HARD)
+
+#: Query numbers for generated scenarios start here; the canonical twelve
+#: keep 1-12, and :func:`repro.core.scoring.validate_claims` accepts the
+#: generated numbers through its ``numbers`` parameter.
+SCENARIO_NUMBER_BASE = 1000
+
+#: The global-schema facet(s) each heterogeneity kind rewrites on the
+#: challenge side.  Kinds sharing a facet are mutually exclusive within
+#: one spec.
+FACETS: dict[Capability, tuple[str, ...]] = {
+    Capability.RENAME: ("instructors",),
+    Capability.VALUE_TRANSFORM: ("time",),
+    Capability.UNION_TYPE: ("title",),
+    Capability.COMPLEX_TRANSFORM: ("units",),
+    Capability.TRANSLATION: ("title",),
+    Capability.NULL_HANDLING: ("textbook",),
+    Capability.INFERENCE: ("entry_level",),
+    Capability.SEMANTIC_NULL: ("open_to",),
+    Capability.RESTRUCTURE: ("rooms",),
+    Capability.SET_HANDLING: ("instructors",),
+    Capability.COLUMN_SEMANTICS: ("instructors",),
+    # The composite Title/Time cell absorbs the schedule column, so there
+    # is no schedule text left for RESTRUCTURE to hide the room in.
+    Capability.DECOMPOSITION: ("title", "time", "rooms"),
+}
+
+#: English topic terms a scenario query can filter on.  Every term has a
+#: distinct German equivalent in the default lexicon, so the TRANSLATION
+#: kind works for any of them.
+TOPIC_POOL: tuple[str, ...] = (
+    "Operating Systems",
+    "Computer Networks",
+    "Distributed Systems",
+    "Machine Learning",
+    "Cryptography",
+    "Compiler Construction",
+    "Computer Graphics",
+    "Computer Architecture",
+    "Artificial Intelligence",
+    "Algorithms",
+    "Data Structures",
+    "Software Engineering",
+    "Database",
+)
+
+
+class CompositionError(ValueError):
+    """A spec composes kinds that rewrite the same challenge facet."""
+
+
+def _group_of(kind: Capability) -> str:
+    if kind in ATTRIBUTE_HETEROGENEITIES:
+        return "attribute"
+    if kind in MISSING_DATA_HETEROGENEITIES:
+        return "missing-data"
+    return "structural"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One generated benchmark case: composition + topic + seed."""
+
+    kinds: tuple[Capability, ...]
+    topic: str
+    seed: int
+    _digest: str = field(init=False, repr=False, compare=False, default="")
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise CompositionError("a scenario composes at least one kind")
+        if len(set(self.kinds)) != len(self.kinds):
+            raise CompositionError(
+                f"duplicate kinds in composition: "
+                f"{[k.name for k in self.kinds]}")
+        used: dict[str, Capability] = {}
+        for kind in self.kinds:
+            for facet in FACETS[kind]:
+                if facet in used:
+                    raise CompositionError(
+                        f"{kind.name} and {used[facet].name} both rewrite "
+                        f"the {facet!r} facet and cannot compose")
+                used[facet] = kind
+        if Capability.TRANSLATION in self.kinds and \
+                not DEFAULT_LEXICON.german_equivalents(self.topic):
+            raise CompositionError(
+                f"TRANSLATION needs a lexicon entry for {self.topic!r}")
+        material = "|".join([str(self.seed), self.topic]
+                            + [k.name for k in self.kinds])
+        digest = hashlib.sha256(material.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_digest", digest)
+
+    # -- identity ---------------------------------------------------------- #
+
+    @property
+    def digest(self) -> str:
+        """Content fingerprint of the composition (sha256 hex)."""
+        return self._digest
+
+    @property
+    def reference_slug(self) -> str:
+        return f"s{self.digest[:10]}r"
+
+    @property
+    def challenge_slug(self) -> str:
+        return f"s{self.digest[:10]}c"
+
+    # -- derived structure -------------------------------------------------- #
+
+    @property
+    def primary(self) -> Capability:
+        return self.kinds[0]
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        """Distinct heterogeneity groups the composition spans, ordered."""
+        seen: list[str] = []
+        for kind in self.kinds:
+            group = _group_of(kind)
+            if group not in seen:
+                seen.append(group)
+        return tuple(seen)
+
+    @property
+    def tier(self) -> str:
+        """Difficulty from composition size and group mix."""
+        if len(self.kinds) == 1:
+            return TIER_EASY
+        if len(self.kinds) >= 4 or len(self.groups) == 3:
+            return TIER_HARD
+        return TIER_MEDIUM
+
+    @property
+    def required_capabilities(self) -> tuple[Capability, ...]:
+        """All capabilities a system needs to answer this scenario.
+
+        Besides the composed kinds themselves: RENAME, because the title
+        (and the reference side's plain columns) are always read through
+        rename-capability operators; and VALUE_TRANSFORM for DECOMPOSITION
+        compositions, because the reference side's meeting time must still
+        be parsed to compare against the decomposed challenge time — the
+        same implication the canonical Q12 declares.
+        """
+        required = list(self.kinds)
+        if Capability.RENAME not in required:
+            required.append(Capability.RENAME)
+        if Capability.DECOMPOSITION in self.kinds and \
+                Capability.VALUE_TRANSFORM not in required:
+            required.append(Capability.VALUE_TRANSFORM)
+        return tuple(required)
+
+    def describe(self) -> str:
+        names = "+".join(kind.name for kind in self.kinds)
+        return f"{names} on {self.topic!r} [{self.tier}]"
+
+    # -- manifest round trip ------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        return {
+            "kinds": [kind.name for kind in self.kinds],
+            "topic": self.topic,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioSpec":
+        return cls(kinds=tuple(Capability[name]
+                               for name in payload["kinds"]),
+                   topic=payload["topic"],
+                   seed=int(payload["seed"]))
+
+
+#: Composition sizes the generator draws from; weighted so each tier is
+#: well represented in even a small pack.
+_SIZE_WEIGHTS = (1, 1, 1, 1, 2, 2, 2, 3, 3, 4, 4, 5)
+
+
+def generate_specs(seed: int, count: int,
+                   tier: str | None = None) -> list[ScenarioSpec]:
+    """Deterministically sample *count* specs from *seed*.
+
+    The stream is a pure function of (seed, count, tier): the same call
+    yields the same spec list in every process.  ``tier`` filters the
+    stream, keeping only matching compositions until *count* are found.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if tier is not None and tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+    rng = random.Random(f"thalia-gen:{seed}")
+    specs: list[ScenarioSpec] = []
+    seen: set[str] = set()
+    attempts = 0
+    limit = max(1000, count * 200)
+    while len(specs) < count:
+        attempts += 1
+        if attempts > limit:
+            raise RuntimeError(
+                f"could not sample {count} {tier or 'any'}-tier specs "
+                f"in {limit} attempts")
+        size = rng.choice(_SIZE_WEIGHTS)
+        pool = list(Capability)
+        rng.shuffle(pool)
+        kinds: list[Capability] = []
+        used_facets: set[str] = set()
+        for kind in pool:
+            if len(kinds) == size:
+                break
+            facets = set(FACETS[kind])
+            if facets & used_facets:
+                continue
+            kinds.append(kind)
+            used_facets |= facets
+        topic = rng.choice(TOPIC_POOL)
+        spec = ScenarioSpec(kinds=tuple(kinds), topic=topic, seed=seed)
+        if spec.digest in seen:
+            continue  # same composition drawn twice: slugs would alias
+        if tier is not None and spec.tier != tier:
+            continue
+        seen.add(spec.digest)
+        specs.append(spec)
+    return specs
+
+
+__all__ = [
+    "CompositionError",
+    "FACETS",
+    "SCENARIO_NUMBER_BASE",
+    "ScenarioSpec",
+    "TIERS",
+    "TIER_EASY",
+    "TIER_HARD",
+    "TIER_MEDIUM",
+    "TOPIC_POOL",
+    "generate_specs",
+]

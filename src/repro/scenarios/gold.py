@@ -1,0 +1,193 @@
+"""Gold answers for generated scenarios, by construction.
+
+A scenario's answer has the benchmark's canonical shape: a frozenset of
+tuples whose first two components are ``(source, code)``, followed by one
+projected value per composed heterogeneity (in capability order).  Two
+independent routes produce it:
+
+* :class:`ScenarioEvaluator` — the *semantic evaluation* run over
+  integrated :class:`~repro.integration.globalschema.GlobalCourse`
+  records, exactly like the canonical queries' ``evaluate`` hooks;
+* :func:`derive_gold` — the *gold derivation* computed from the canonical
+  :class:`~repro.catalogs.model.CanonicalCourse` ground truth, never
+  touching the rendered XML.
+
+For the full mediator the two must be equal on every generated case (the
+property suite and ``thalia gen``'s agreement check hold us to it); for an
+ablated system the evaluation degrades — which is how a scenario scores
+capability models without any hand-made solution.
+
+Filters composed kinds impose (both routes apply them):
+
+=================  ===================================================
+kind               filter on a course
+=================  ===================================================
+(always)           topic matches the title (lexicon-aware on the
+                   integrated side, English ground truth on the
+                   canonical side)
+VALUE_TRANSFORM    meets at 10:00 (the hook meeting)
+COMPLEX_TRANSFORM  more than six credit hours
+INFERENCE          entry level (no prerequisites)
+=================  ===================================================
+
+Projected components (in capability order, one per composed kind):
+RENAME / SET_HANDLING / COLUMN_SEMANTICS → sorted instructors;
+UNION_TYPE → the flattened title; NULL_HANDLING → the textbook or its
+null marker; SEMANTIC_NULL → openness to juniors or its null kind;
+RESTRUCTURE → sorted rooms; DECOMPOSITION → the decomposed title plus
+the ``days HH:MM-HH:MM`` schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..catalogs.model import CanonicalCourse
+from ..integration.capabilities import Capability
+from ..integration.globalschema import GlobalCourse
+from ..integration.nulls import is_null
+from ..integration.timeparse import to_24h
+from ..integration.translate import Lexicon
+from .compose import HOOK_START, ROLE_CHALLENGE, ROLE_REFERENCE
+from .dsl import ScenarioSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..catalogs import Testbed
+
+Answer = frozenset
+
+#: The marker an unmapped (None) optional field projects to — distinct
+#: from both a real value and a NULL kind, so a system that silently
+#: drops the field cannot match the gold answer.
+UNMAPPED = "unmapped"
+
+
+def _null_marker(value) -> str:
+    return f"null:{value.kind}"
+
+
+# --------------------------------------------------------------------------- #
+# Semantic evaluation over integrated records
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ScenarioEvaluator:
+    """``evaluate(courses, lexicon)`` hook for a generated scenario."""
+
+    spec: ScenarioSpec
+
+    def __call__(self, courses: list[GlobalCourse],
+                 lexicon: Lexicon) -> Answer:
+        kinds = set(self.spec.kinds)
+        matched = set()
+        for course in courses:
+            if not course.title_matches(self.spec.topic, lexicon):
+                continue
+            if Capability.VALUE_TRANSFORM in kinds \
+                    and not course.meets_at(HOOK_START):
+                continue
+            if Capability.COMPLEX_TRANSFORM in kinds and not (
+                    isinstance(course.units, float) and course.units > 6):
+                continue
+            if Capability.INFERENCE in kinds \
+                    and course.entry_level is not True:
+                continue
+            matched.add(course.key + self._components(course))
+        return frozenset(matched)
+
+    def _components(self, course: GlobalCourse) -> tuple[str, ...]:
+        values: list[str] = []
+        for kind in sorted(self.spec.kinds, key=lambda k: k.value):
+            if kind in (Capability.RENAME, Capability.SET_HANDLING,
+                        Capability.COLUMN_SEMANTICS):
+                values.append("|".join(sorted(course.instructors)))
+            elif kind is Capability.UNION_TYPE:
+                values.append(course.title)
+            elif kind is Capability.NULL_HANDLING:
+                if is_null(course.textbook):
+                    values.append(_null_marker(course.textbook))
+                elif course.textbook is None:
+                    values.append(UNMAPPED)
+                else:
+                    values.append(course.textbook)
+            elif kind is Capability.SEMANTIC_NULL:
+                openness = course.open_to_classification("JR")
+                if is_null(openness):
+                    values.append(_null_marker(openness))
+                else:
+                    values.append("yes" if openness else "no")
+            elif kind is Capability.RESTRUCTURE:
+                rooms = course.rooms if isinstance(course.rooms, tuple) \
+                    else ()
+                values.append("|".join(sorted(rooms)))
+            elif kind is Capability.DECOMPOSITION:
+                values.append(course.title)
+                values.append(f"{course.days or ''} "
+                              f"{course.time_range_24h() or ''}")
+            # VALUE_TRANSFORM / COMPLEX_TRANSFORM / TRANSLATION /
+            # INFERENCE act as filters, not projections.
+        return tuple(values)
+
+
+# --------------------------------------------------------------------------- #
+# Gold derivation from the canonical model
+# --------------------------------------------------------------------------- #
+
+def _gold_row(spec: ScenarioSpec, course: CanonicalCourse,
+              role: str) -> tuple[str, ...] | None:
+    kinds = set(spec.kinds)
+    if spec.topic.lower() not in course.title.lower():
+        return None
+    assert course.meeting is not None
+    if Capability.VALUE_TRANSFORM in kinds \
+            and course.meeting.start_minute != HOOK_START:
+        return None
+    if Capability.COMPLEX_TRANSFORM in kinds and not course.units > 6:
+        return None
+    if Capability.INFERENCE in kinds and not course.is_entry_level:
+        return None
+    challenge = role == ROLE_CHALLENGE
+    values: list[str] = []
+    for kind in sorted(spec.kinds, key=lambda k: k.value):
+        if kind in (Capability.RENAME, Capability.SET_HANDLING,
+                    Capability.COLUMN_SEMANTICS):
+            # The challenge renders every instructor only under
+            # SET_HANDLING; everywhere else a single name is rendered,
+            # and the canonical courses carry exactly that one name.
+            values.append("|".join(sorted(course.instructor_names())))
+        elif kind is Capability.UNION_TYPE:
+            values.append(course.title)
+        elif kind is Capability.NULL_HANDLING:
+            values.append(course.textbook if course.textbook
+                          else "null:missing")
+        elif kind is Capability.SEMANTIC_NULL:
+            if challenge:
+                values.append("null:inapplicable")
+            else:
+                values.append("yes" if "JR" in course.open_to else "no")
+        elif kind is Capability.RESTRUCTURE:
+            values.append(course.room or "")
+        elif kind is Capability.DECOMPOSITION:
+            meeting = course.meeting
+            values.append(course.title)
+            values.append(
+                f"{meeting.day_string} "
+                f"{to_24h(meeting.start_minute)}-"
+                f"{to_24h(meeting.end_minute)}")
+    return (course.university, course.code) + tuple(values)
+
+
+def derive_gold(spec: ScenarioSpec, testbed: "Testbed") -> Answer:
+    """The correct integrated answer, straight from the ground truth."""
+    rows = set()
+    for slug, role in ((spec.reference_slug, ROLE_REFERENCE),
+                       (spec.challenge_slug, ROLE_CHALLENGE)):
+        for course in testbed.courses(slug):
+            row = _gold_row(spec, course, role)
+            if row is not None:
+                rows.add(row)
+    return frozenset(rows)
+
+
+__all__ = ["Answer", "ScenarioEvaluator", "UNMAPPED", "derive_gold"]

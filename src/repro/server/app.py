@@ -17,6 +17,7 @@ import os
 import threading
 import time
 import traceback
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from pathlib import Path
@@ -42,6 +43,9 @@ DEFAULT_PERF_BASELINE = "PERF_BASELINE.json"
 
 #: Bodies below this aren't worth a gzip round trip.
 GZIP_MIN_BYTES = 256
+
+#: Generated scenario packs kept in memory (oldest evicted past this).
+MAX_SCENARIO_PACKS = 8
 
 _COMPRESSIBLE_PREFIXES = ("text/", "application/json", "application/xml")
 
@@ -89,6 +93,17 @@ class ThaliaApp:
             or DEFAULT_PERF_BASELINE)
         self._perf_summary: tuple[float, dict] | None = None
         self._perf_summary_lock = threading.Lock()
+        # Generated scenario packs (POST /api/scenarios), keyed by pack
+        # fingerprint.  Bounded: the oldest pack is dropped past the cap,
+        # so a chatty client cannot grow server memory without limit.
+        self.scenario_packs: OrderedDict[str, dict] = OrderedDict()
+        self._scenario_lock = threading.Lock()
+        self._scenario_stats = {
+            "packs_generated": 0,
+            "cases_generated": 0,
+            "cases_served": 0,
+            "tiers": {},
+        }
 
     def perf_summary(self) -> dict:
         """Summary of the committed perf baseline for ``/api/stats``.
@@ -125,6 +140,70 @@ class ThaliaApp:
         with self._perf_summary_lock:
             self._perf_summary = (mtime, summary)
         return summary
+
+    def generate_scenario_pack(self, seed: int, cases: int,
+                               tier: str | None) -> dict:
+        """Generate (or re-serve) a scenario pack; returns its summary.
+
+        Generation is deterministic, so an identical request reproduces
+        an identical fingerprint and the stored pack is simply reused —
+        counters only move for packs this call actually built.  The
+        synthesized queries are executed against the generated sources
+        and checked against the derived gold before the pack is stored.
+        """
+        from ..scenarios import ScenarioSuite, build_pack
+
+        suite = ScenarioSuite.generate(seed=seed, cases=cases, tier=tier)
+        testbed = suite.build_testbed()
+        problems = suite.check_query_agreement(testbed)
+        if problems:  # pragma: no cover - generation invariant
+            raise RuntimeError(
+                f"generated pack failed self-check: {problems[0]}")
+        pack = build_pack(suite, testbed)
+        histogram = suite.tier_histogram()
+        summary = {
+            "fingerprint": pack.fingerprint,
+            "seed": seed,
+            "cases": len(suite.queries),
+            "tier": tier,
+            "tiers": histogram,
+            "url": f"/api/scenarios/{pack.fingerprint}",
+        }
+        with self._scenario_lock:
+            fresh = pack.fingerprint not in self.scenario_packs
+            self.scenario_packs[pack.fingerprint] = {
+                "fingerprint": pack.fingerprint,
+                "bundle": pack.bundle_json().encode("utf-8"),
+                "summary": summary,
+            }
+            self.scenario_packs.move_to_end(pack.fingerprint)
+            while len(self.scenario_packs) > MAX_SCENARIO_PACKS:
+                self.scenario_packs.popitem(last=False)
+            if fresh:
+                stats = self._scenario_stats
+                stats["packs_generated"] += 1
+                stats["cases_generated"] += len(suite.queries)
+                for name, count in histogram.items():
+                    stats["tiers"][name] = \
+                        stats["tiers"].get(name, 0) + count
+        return summary
+
+    def scenario_pack_entry(self, fingerprint: str) -> dict | None:
+        """The stored pack for *fingerprint*; counts the download."""
+        with self._scenario_lock:
+            entry = self.scenario_packs.get(fingerprint)
+            if entry is not None:
+                self._scenario_stats["cases_served"] += \
+                    entry["summary"]["cases"]
+        return entry
+
+    def scenario_stats(self) -> dict:
+        """The ``scenarios`` block of ``/api/stats``."""
+        with self._scenario_lock:
+            stats = dict(self._scenario_stats)
+            stats["tiers"] = dict(stats["tiers"])
+            stats["packs_held"] = len(self.scenario_packs)
+        return stats
 
     @property
     def query_pool(self) -> ThreadPoolExecutor:

@@ -20,12 +20,17 @@ GET      ``/downloads/{bundle}.zip``         the three zips (lazy, memoized)
 GET      ``/api/queries[/{n}]``              benchmark query definitions
 GET      ``/api/sources``                    source inventory
 GET      ``/api/honor-roll``                 ranked roll as JSON
+GET      ``/api/scenarios/{fingerprint}``    generated scenario pack as one
+                                             JSON bundle (ETag/gzip cached)
 GET      ``/api/stats``                      request/latency/cache metrics
 GET      ``/healthz``                        liveness probe
 POST     ``/api/query``                      run an XQuery against a source
                                              (result-cached, single-flight)
 POST     ``/api/query/batch``                run up to MAX_BATCH_QUERIES
                                              queries concurrently
+POST     ``/api/scenarios``                  generate a scenario pack
+                                             (seed/cases/tier; validated
+                                             before it is stored)
 POST     ``/api/scores``                     upload a score card (re-scored
                                              server-side before acceptance)
 =======  ==================================  =================================
@@ -56,6 +61,12 @@ XML_TYPE = "application/xml; charset=utf-8"
 
 #: Upper bound on queries per POST /api/query/batch request.
 MAX_BATCH_QUERIES = 64
+
+#: Upper bound on cases per POST /api/scenarios request: each case
+#: renders, extracts and gold-derives two sources inside the request.
+MAX_SCENARIO_CASES = 32
+
+SCENARIO_TIERS = ("easy", "medium", "hard")
 
 _BUNDLE_BUILDERS = {
     CATALOGS_BUNDLE: build_catalogs_bundle,
@@ -196,6 +207,20 @@ def build_router() -> Router:
     def api_honor_roll(app: "ThaliaApp", request: Request) -> Response:
         return app.honor_roll_json_response()
 
+    @router.get("/api/scenarios/{fingerprint}", name="api_scenario_pack")
+    def api_scenario_pack(app: "ThaliaApp", request: Request) -> Response:
+        fingerprint = request.params["fingerprint"]
+        entry = app.scenario_pack_entry(fingerprint)
+        if entry is None:
+            return Response.of_json(
+                {"error": f"no such scenario pack: {fingerprint}"},
+                status=404)
+        # Pack bytes are immutable (content-addressed by fingerprint),
+        # so the content cache's ETag/gzip machinery applies as-is.
+        return app.cached_response(
+            ("scenario-pack", fingerprint),
+            lambda: (entry["bundle"], "application/json"))
+
     @router.get("/api/stats", name="api_stats")
     def api_stats(app: "ThaliaApp", request: Request) -> Response:
         payload = app.metrics.snapshot()
@@ -235,6 +260,7 @@ def build_router() -> Router:
             },
         }
         payload["perf"] = app.perf_summary()
+        payload["scenarios"] = app.scenario_stats()
         return Response.of_json(payload, no_store=True)
 
     @router.get("/healthz", name="healthz")
@@ -299,6 +325,32 @@ def build_router() -> Router:
             "count": len(results),
             "results": results,
         }, no_store=True)
+
+    @router.post("/api/scenarios", name="api_gen_scenarios")
+    def api_gen_scenarios(app: "ThaliaApp", request: Request) -> Response:
+        try:
+            payload = request.json()
+        except ValueError as exc:
+            return Response.of_json({"error": str(exc)}, status=400)
+        if not isinstance(payload, dict):
+            return Response.of_json(
+                {"error": "body must be a JSON object"}, status=400)
+        seed = payload.get("seed", app.testbed.seed)
+        cases = payload.get("cases", 5)
+        tier = payload.get("tier")
+        if not _is_int(seed):
+            return Response.of_json(
+                {"error": "'seed' must be an integer"}, status=400)
+        if not _is_int(cases) or not 1 <= cases <= MAX_SCENARIO_CASES:
+            return Response.of_json(
+                {"error": f"'cases' must be an integer in "
+                          f"1..{MAX_SCENARIO_CASES}"}, status=400)
+        if tier is not None and tier not in SCENARIO_TIERS:
+            return Response.of_json(
+                {"error": f"'tier' must be one of "
+                          f"{list(SCENARIO_TIERS)}"}, status=400)
+        summary = app.generate_scenario_pack(seed, cases, tier)
+        return Response.of_json(summary, status=201, no_store=True)
 
     @router.post("/api/scores", name="api_upload_scores")
     def api_upload_scores(app: "ThaliaApp", request: Request) -> Response:

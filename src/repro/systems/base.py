@@ -139,7 +139,35 @@ class CapabilityModelSystem(IntegrationSystem):
             lambda: tuple(self._mediator().integrate_records(
                 testbed.source(slug).document, slug)[0]))
 
+    def _ensure_sources(self, testbed: Testbed, slugs) -> None:
+        """Register mappings for generated scenario sources on demand.
+
+        The standard mediator only knows the registry universities;
+        generated scenario profiles (``repro.scenarios``) carry their own
+        ``source_mapping()`` hook.  Unknown slugs are registered here,
+        ablated of the same capabilities as every standard mapping, so a
+        scenario scores against this system's profile exactly like the
+        canonical twelve.
+        """
+        mediator = self._mediator()
+        unknown = [slug for slug in slugs if not mediator.has_mapping(slug)]
+        if not unknown:
+            return
+        with self._mediator_lock:
+            for slug in unknown:
+                if mediator.has_mapping(slug):
+                    continue
+                profile = testbed.source(slug).profile
+                builder = getattr(profile, "source_mapping", None)
+                if builder is None:
+                    continue  # mapping_for reports the missing mapping
+                mapping = builder()
+                for capability in self.missing_capabilities:
+                    mapping = mapping.without_capability(capability)
+                mediator.register(mapping)
+
     def answer(self, query: BenchmarkQuery, testbed: Testbed) -> SystemAnswer:
+        self._ensure_sources(testbed, query.sources)
         mediator = self._mediator()
         courses: list = []
         for slug in query.sources:

@@ -1,0 +1,51 @@
+"""The capability taxonomy's query lookup stays consistent with the
+declared benchmark queries — the multi-capability fix's contract."""
+
+import pytest
+
+from repro.core.queries import QUERIES
+from repro.integration import (
+    ATTRIBUTE_HETEROGENEITIES,
+    Capability,
+    MISSING_DATA_HETEROGENEITIES,
+    capabilities_for_query,
+    capability_for_query,
+)
+
+
+class TestCapabilitiesForQuery:
+    def test_lookup_matches_every_declared_query(self):
+        """Single source of truth: the taxonomy table and the query
+        declarations must name exactly the same capability tuples."""
+        for query in QUERIES:
+            assert capabilities_for_query(query.number) == \
+                query.required_capabilities, f"Q{query.number}"
+
+    def test_primary_comes_first(self):
+        for query in QUERIES:
+            assert capability_for_query(query.number) is query.capability
+            assert capabilities_for_query(query.number)[0] is \
+                query.capability
+
+    def test_every_number_maps_to_its_namesake(self):
+        for number in range(1, 13):
+            primary = capabilities_for_query(number)[0]
+            assert primary.value == number
+
+    def test_secondaries_never_repeat_the_primary(self):
+        for number in range(1, 13):
+            capabilities = capabilities_for_query(number)
+            assert len(set(capabilities)) == len(capabilities)
+
+    @pytest.mark.parametrize("number", [0, 13, -1, 1000])
+    def test_out_of_range_numbers_are_rejected(self, number):
+        with pytest.raises(ValueError):
+            capabilities_for_query(number)
+
+
+class TestGroups:
+    def test_the_three_groups_partition_the_taxonomy(self):
+        attribute = set(ATTRIBUTE_HETEROGENEITIES)
+        missing = set(MISSING_DATA_HETEROGENEITIES)
+        assert not attribute & missing
+        assert attribute | missing < set(Capability)

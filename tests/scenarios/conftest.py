@@ -1,0 +1,28 @@
+"""Shared scenario-suite build for the generator tests.
+
+Rendering + TESS extraction is the expensive part of a scenario case, so
+the modules share one generated suite, its testbed and its pack instead
+of each regenerating them.
+"""
+
+import pytest
+
+from repro.scenarios import ScenarioSuite, build_pack
+
+SUITE_SEED = 7
+SUITE_CASES = 6
+
+
+@pytest.fixture(scope="session")
+def scenario_suite():
+    return ScenarioSuite.generate(seed=SUITE_SEED, cases=SUITE_CASES)
+
+
+@pytest.fixture(scope="session")
+def scenario_testbed(scenario_suite):
+    return scenario_suite.build_testbed()
+
+
+@pytest.fixture(scope="session")
+def scenario_pack(scenario_suite, scenario_testbed):
+    return build_pack(scenario_suite, scenario_testbed)

@@ -1,0 +1,147 @@
+"""The scenario DSL: composition rules, tiers, determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.integration import Capability
+from repro.scenarios import CompositionError, ScenarioSpec, generate_specs
+from repro.scenarios.dsl import FACETS, TIERS, TOPIC_POOL
+
+
+def spec_of(*kinds, topic="Database", seed=1):
+    return ScenarioSpec(kinds=tuple(kinds), topic=topic, seed=seed)
+
+
+class TestComposition:
+    def test_single_kind_composes(self):
+        spec = spec_of(Capability.TRANSLATION)
+        assert spec.tier == "easy"
+        assert spec.primary is Capability.TRANSLATION
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(CompositionError):
+            spec_of()
+
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(CompositionError):
+            spec_of(Capability.RENAME, Capability.RENAME)
+
+    @pytest.mark.parametrize("first, second", [
+        (Capability.UNION_TYPE, Capability.TRANSLATION),    # both: title
+        (Capability.RENAME, Capability.SET_HANDLING),       # instructors
+        (Capability.SET_HANDLING, Capability.COLUMN_SEMANTICS),
+        (Capability.DECOMPOSITION, Capability.VALUE_TRANSFORM),  # time
+        (Capability.DECOMPOSITION, Capability.RESTRUCTURE),      # rooms
+        (Capability.DECOMPOSITION, Capability.UNION_TYPE),       # title
+    ])
+    def test_same_facet_kinds_cannot_compose(self, first, second):
+        with pytest.raises(CompositionError):
+            spec_of(first, second)
+
+    def test_translation_needs_lexicon_entry(self):
+        with pytest.raises(CompositionError):
+            spec_of(Capability.TRANSLATION, topic="Underwater Welding")
+
+    def test_every_topic_in_pool_supports_translation(self):
+        for topic in TOPIC_POOL:
+            spec = spec_of(Capability.TRANSLATION, topic=topic)
+            assert spec.topic == topic
+
+
+class TestTier:
+    def test_one_kind_is_easy(self):
+        assert spec_of(Capability.RESTRUCTURE).tier == "easy"
+
+    def test_two_kinds_same_group_is_medium(self):
+        spec = spec_of(Capability.RENAME, Capability.VALUE_TRANSFORM)
+        assert spec.tier == "medium"
+        assert spec.groups == ("attribute",)
+
+    def test_all_three_groups_is_hard(self):
+        spec = spec_of(Capability.RENAME, Capability.NULL_HANDLING,
+                       Capability.RESTRUCTURE)
+        assert spec.tier == "hard"
+        assert set(spec.groups) == {"attribute", "missing-data",
+                                    "structural"}
+
+    def test_four_kinds_is_hard(self):
+        spec = spec_of(Capability.UNION_TYPE, Capability.VALUE_TRANSFORM,
+                       Capability.COMPLEX_TRANSFORM, Capability.RENAME)
+        assert spec.tier == "hard"
+
+
+class TestRequiredCapabilities:
+    def test_rename_is_always_required(self):
+        spec = spec_of(Capability.SEMANTIC_NULL)
+        assert Capability.RENAME in spec.required_capabilities
+
+    def test_decomposition_implies_value_transform(self):
+        spec = spec_of(Capability.DECOMPOSITION)
+        assert Capability.VALUE_TRANSFORM in spec.required_capabilities
+
+    def test_composed_kinds_come_first(self):
+        spec = spec_of(Capability.UNION_TYPE, Capability.INFERENCE)
+        assert spec.required_capabilities[:2] == (
+            Capability.UNION_TYPE, Capability.INFERENCE)
+
+
+class TestIdentity:
+    def test_equal_specs_share_digest_and_slugs(self):
+        one, two = spec_of(Capability.RENAME), spec_of(Capability.RENAME)
+        assert one.digest == two.digest
+        assert one.reference_slug == two.reference_slug
+        assert one.challenge_slug == two.challenge_slug
+
+    def test_slugs_differ_between_roles(self):
+        spec = spec_of(Capability.RENAME)
+        assert spec.reference_slug != spec.challenge_slug
+
+    def test_seed_topic_and_kinds_all_feed_the_digest(self):
+        base = spec_of(Capability.RENAME)
+        assert spec_of(Capability.RENAME, seed=2).digest != base.digest
+        assert spec_of(Capability.RENAME,
+                       topic="Algorithms").digest != base.digest
+        assert spec_of(Capability.SET_HANDLING).digest != base.digest
+
+    def test_dict_round_trip(self):
+        spec = spec_of(Capability.UNION_TYPE, Capability.INFERENCE,
+                       topic="Algorithms", seed=42)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestGenerateSpecs:
+    def test_same_seed_same_stream(self):
+        assert generate_specs(5, 20) == generate_specs(5, 20)
+
+    def test_different_seeds_differ(self):
+        assert generate_specs(5, 10) != generate_specs(6, 10)
+
+    def test_digests_are_unique_within_a_pack(self):
+        specs = generate_specs(3, 40)
+        digests = [spec.digest for spec in specs]
+        assert len(set(digests)) == len(digests)
+
+    def test_tier_filter(self):
+        for tier in TIERS:
+            specs = generate_specs(9, 5, tier=tier)
+            assert [spec.tier for spec in specs] == [tier] * 5
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            generate_specs(1, 0)
+        with pytest.raises(ValueError):
+            generate_specs(1, 3, tier="impossible")
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.integers(min_value=1, max_value=8))
+    def test_sampled_specs_are_always_valid(self, seed, count):
+        """Whatever the generator draws composes legally: the spec
+        constructor re-validates facet disjointness on every sample."""
+        for spec in generate_specs(seed, count):
+            facets = [facet for kind in spec.kinds
+                      for facet in FACETS[kind]]
+            assert len(facets) == len(set(facets))
+            assert spec.tier in TIERS
+            assert spec.topic in TOPIC_POOL

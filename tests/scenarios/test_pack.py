@@ -1,0 +1,101 @@
+"""Packs: layout, fingerprinting, write/load round trip."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    build_pack,
+    load_pack,
+    pack_fingerprint,
+    write_pack,
+)
+from repro.scenarios.pack import MANIFEST_NAME, PACK_VERSION
+from repro.xquery import compile_query
+
+
+class TestLayout:
+    def test_every_case_ships_six_files(self, scenario_suite, scenario_pack):
+        for query in scenario_suite.queries:
+            base = f"cases/{query.case_id}"
+            for name in ("reference.xml", "reference.xsd", "challenge.xml",
+                         "challenge.xsd", "query.xq", "gold.json"):
+                assert f"{base}/{name}" in scenario_pack.files
+
+    def test_manifest_indexes_every_case(self, scenario_suite, scenario_pack):
+        manifest = scenario_pack.manifest
+        assert manifest["version"] == PACK_VERSION
+        assert manifest["seed"] == scenario_suite.seed
+        assert manifest["fingerprint"] == scenario_pack.fingerprint
+        assert [entry["case_id"] for entry in manifest["cases"]] == \
+            [query.case_id for query in scenario_suite.queries]
+
+    def test_bundle_json_carries_the_whole_pack(self, scenario_pack):
+        bundle = json.loads(scenario_pack.bundle_json())
+        assert bundle == scenario_pack.files
+
+
+class TestFingerprint:
+    def test_fingerprint_ignores_the_manifest(self, scenario_pack):
+        files = dict(scenario_pack.files)
+        assert pack_fingerprint(files) == scenario_pack.fingerprint
+        files[MANIFEST_NAME] = "{}"
+        assert pack_fingerprint(files) == scenario_pack.fingerprint
+
+    def test_fingerprint_tracks_content(self, scenario_pack):
+        files = dict(scenario_pack.files)
+        path = next(p for p in sorted(files) if p.endswith("query.xq"))
+        files[path] = files[path] + " "
+        assert pack_fingerprint(files) != scenario_pack.fingerprint
+
+    def test_rebuild_is_byte_identical(self, scenario_suite, scenario_testbed,
+                                       scenario_pack):
+        again = build_pack(scenario_suite, scenario_testbed)
+        assert again.files == scenario_pack.files
+        assert again.fingerprint == scenario_pack.fingerprint
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def pack_dir(self, scenario_pack, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("pack")
+        write_pack(scenario_pack, directory)
+        return directory
+
+    def test_loaded_pack_mirrors_the_suite(self, scenario_suite,
+                                           scenario_pack, pack_dir):
+        loaded = load_pack(pack_dir)
+        assert loaded.fingerprint == scenario_pack.fingerprint
+        assert loaded.seed == scenario_suite.seed
+        assert len(loaded.cases) == len(scenario_suite.queries)
+        for case, query in zip(loaded.cases, scenario_suite.queries):
+            assert case.case_id == query.case_id
+            assert case.number == query.number
+            assert case.xquery == query.xquery
+            assert case.spec == query.spec
+            assert set(case.documents) == set(query.sources)
+
+    def test_loaded_gold_matches_derived_gold(self, scenario_suite,
+                                              scenario_testbed, pack_dir):
+        loaded = load_pack(pack_dir)
+        for case, query in zip(loaded.cases, scenario_suite.queries):
+            assert case.gold == query.derive_gold(scenario_testbed)
+
+    def test_loaded_queries_execute_over_loaded_documents(self, pack_dir):
+        for case in load_pack(pack_dir).cases:
+            reference = case.spec.reference_slug
+            result = compile_query(case.xquery).execute(
+                {reference: case.documents[reference]})
+            produced = {item.findtext("Code") for item in result}
+            expected = {row[1] for row in case.gold if row[0] == reference}
+            assert produced == expected
+
+    def test_missing_manifest_is_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_pack(tmp_path)
+
+    def test_unknown_version_is_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"version": 99, "cases": []}), encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_pack(tmp_path)

@@ -1,0 +1,106 @@
+"""Scenario suites: query synthesis, runner compatibility, scoring."""
+
+from repro.integration import Capability, capabilities_for_query
+from repro.scenarios import ScenarioSuite, scenario_query, synthesize_xquery
+from repro.scenarios.dsl import SCENARIO_NUMBER_BASE, ScenarioSpec
+from repro.systems import cohera, iwiz, thalia_mediator
+from repro.xquery import compile_query
+
+
+def spec_of(*kinds, topic="Database", seed=1):
+    return ScenarioSpec(kinds=tuple(kinds), topic=topic, seed=seed)
+
+
+class TestSynthesis:
+    def test_query_compiles_and_names_the_reference(self):
+        spec = spec_of(Capability.RENAME)
+        text = synthesize_xquery(spec)
+        compile_query(text)
+        assert spec.reference_slug in text
+        assert f"%{spec.topic}%" in text
+
+    def test_filter_kinds_add_predicates(self):
+        spec = spec_of(Capability.VALUE_TRANSFORM,
+                       Capability.COMPLEX_TRANSFORM,
+                       Capability.INFERENCE)
+        text = synthesize_xquery(spec)
+        assert "%10:00 - %" in text
+        assert "Credits" in text
+        assert "Prerequisite" in text
+
+    def test_projection_kinds_add_no_predicates(self):
+        spec = spec_of(Capability.RESTRUCTURE)
+        text = synthesize_xquery(spec)
+        assert "Credits" not in text
+        assert "Prerequisite" not in text
+
+
+class TestScenarioQuery:
+    def test_query_mirrors_spec(self):
+        spec = spec_of(Capability.SEMANTIC_NULL, Capability.UNION_TYPE)
+        query = scenario_query(spec, 3)
+        assert query.number == SCENARIO_NUMBER_BASE + 3
+        assert query.case_id == "S0003"
+        assert query.tier == spec.tier
+        assert query.sources == (spec.reference_slug, spec.challenge_slug)
+        assert query.required_capabilities == spec.required_capabilities
+        assert query.capability is spec.required_capabilities[0]
+
+    def test_canonical_twelve_keep_their_numbers(self):
+        """Generated numbers can never shadow the paper's queries."""
+        suite = ScenarioSuite.generate(seed=1, cases=3)
+        assert min(suite.numbers) >= SCENARIO_NUMBER_BASE
+        for number in range(1, 13):
+            assert number not in suite.numbers
+            assert capabilities_for_query(number)  # canonical lookup intact
+
+
+class TestSuite:
+    def test_histogram_covers_every_query(self, scenario_suite):
+        histogram = scenario_suite.tier_histogram()
+        assert sum(histogram.values()) == len(scenario_suite.queries)
+        assert set(histogram) <= {"easy", "medium", "hard"}
+
+    def test_numbers_are_unique_and_ordered(self, scenario_suite):
+        numbers = scenario_suite.numbers
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == len(numbers)
+
+    def test_testbed_holds_both_sources_per_case(
+            self, scenario_suite, scenario_testbed):
+        for query in scenario_suite.queries:
+            for slug in query.sources:
+                assert scenario_testbed.source(slug).document is not None
+
+    def test_regenerating_from_the_suite_seed_is_stable(self, scenario_suite):
+        again = ScenarioSuite.generate(seed=scenario_suite.seed,
+                                       cases=len(scenario_suite.queries))
+        assert [q.spec for q in again.queries] == \
+            [q.spec for q in scenario_suite.queries]
+
+
+class TestCapabilityScoring:
+    def test_prediction_matches_execution_for_all_systems(
+            self, scenario_suite, scenario_testbed):
+        """The issue's core acceptance bar: for the full mediator and both
+        ablated capability models, supported ⇔ correct on every generated
+        case, and validate_claims passes with the suite's numbers."""
+        problems = scenario_suite.check_system_agreement(
+            [thalia_mediator(), cohera(), iwiz()], scenario_testbed)
+        assert problems == []
+
+    def test_full_mediator_answers_everything(
+            self, scenario_suite, scenario_testbed):
+        card = scenario_suite.run(thalia_mediator(), scenario_testbed)
+        for query in scenario_suite.queries:
+            outcome = card.outcome(query.number)
+            assert outcome.supported and outcome.correct
+
+    def test_ablated_system_fails_exactly_the_unsupported_cases(
+            self, scenario_suite, scenario_testbed):
+        system = cohera()
+        card = scenario_suite.run(system, scenario_testbed)
+        for query in scenario_suite.queries:
+            outcome = card.outcome(query.number)
+            assert outcome.supported == system.supports(query)
+            assert outcome.correct == outcome.supported

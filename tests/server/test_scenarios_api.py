@@ -1,0 +1,105 @@
+"""The scenario endpoints: POST generate, GET download, stats block."""
+
+import json
+
+import pytest
+
+from repro.server import ThaliaApp
+from repro.server.app import MAX_SCENARIO_PACKS
+from repro.server.router import Request
+
+
+def post(app, path, payload):
+    response = app.handle(Request(
+        method="POST", path=path,
+        headers={"content-type": "application/json"},
+        body=json.dumps(payload).encode("utf-8")))
+    return response.status, json.loads(response.body.decode("utf-8"))
+
+
+def get(app, path, headers=None):
+    return app.handle(Request(method="GET", path=path,
+                              headers=headers or {}))
+
+
+@pytest.fixture(scope="module")
+def app(paper_testbed, tmp_path_factory):
+    application = ThaliaApp(
+        testbed=paper_testbed,
+        scores_path=tmp_path_factory.mktemp("scores") / "roll.jsonl")
+    yield application
+    application.close()
+
+
+@pytest.fixture(scope="module")
+def generated(app):
+    status, summary = post(app, "/api/scenarios",
+                           {"seed": 13, "cases": 2})
+    assert status == 201
+    return summary
+
+
+class TestGenerate:
+    def test_summary_names_the_pack(self, generated):
+        assert generated["seed"] == 13
+        assert generated["cases"] == 2
+        assert generated["url"] == \
+            f"/api/scenarios/{generated['fingerprint']}"
+        assert sum(generated["tiers"].values()) == 2
+
+    def test_regenerating_is_idempotent(self, app, generated):
+        before = app.scenario_stats()
+        status, again = post(app, "/api/scenarios",
+                             {"seed": 13, "cases": 2})
+        assert status == 201
+        assert again["fingerprint"] == generated["fingerprint"]
+        after = app.scenario_stats()
+        assert after["packs_generated"] == before["packs_generated"]
+        assert after["cases_generated"] == before["cases_generated"]
+
+    @pytest.mark.parametrize("payload, fragment", [
+        ([1, 2], "JSON object"),
+        ({"seed": "x"}, "'seed'"),
+        ({"cases": 0}, "'cases'"),
+        ({"cases": 10_000}, "'cases'"),
+        ({"tier": "extreme"}, "'tier'"),
+    ])
+    def test_bad_requests_are_rejected(self, app, payload, fragment):
+        status, body = post(app, "/api/scenarios", payload)
+        assert status == 400
+        assert fragment in body["error"]
+
+
+class TestDownload:
+    def test_pack_downloads_by_fingerprint(self, app, generated):
+        response = get(app, generated["url"])
+        assert response.status == 200
+        files = json.loads(response.body.decode("utf-8"))
+        assert "manifest.json" in files
+        manifest = json.loads(files["manifest.json"])
+        assert manifest["fingerprint"] == generated["fingerprint"]
+        assert len(manifest["cases"]) == 2
+
+    def test_download_is_etag_cacheable(self, app, generated):
+        first = get(app, generated["url"])
+        etag = first.headers.get("ETag")
+        assert etag
+        revalidated = get(app, generated["url"],
+                          headers={"if-none-match": etag})
+        assert revalidated.status == 304
+
+    def test_unknown_fingerprint_is_404(self, app):
+        response = get(app, "/api/scenarios/" + "0" * 64)
+        assert response.status == 404
+
+
+class TestStatsBlock:
+    def test_stats_report_the_scenario_counters(self, app, generated):
+        get(app, generated["url"])
+        response = get(app, "/api/stats")
+        block = json.loads(response.body.decode("utf-8"))["scenarios"]
+        assert block["packs_generated"] >= 1
+        assert block["cases_generated"] >= 2
+        assert block["cases_served"] >= 1
+        assert 1 <= block["packs_held"] <= MAX_SCENARIO_PACKS
+        assert sum(block["tiers"].values()) == block["cases_generated"]
