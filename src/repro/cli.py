@@ -147,6 +147,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="print the compiled query plan (operator "
                             "tree, rewrites, index-backed paths) before "
                             "the results")
+    query.add_argument("--explain-analyze", action="store_true",
+                       help="run the query instrumented and print the "
+                            "costed plan with estimated vs. actual rows "
+                            "and per-operator wall time")
 
     site = commands.add_parser(
         "build-site", help="generate the THALIA web site")
@@ -247,6 +251,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="test-only: compile these queries (Q3,Q7) "
                               "with the index-path rewrite disabled; "
                               "defaults to $THALIA_PERF_PERTURB")
+    collect.add_argument("--perturb-estimates", metavar="CSV",
+                         default=None,
+                         help="test-only: plan these queries (Q3,Q7) "
+                              "against x100-scaled cardinalities — "
+                              "identical answers, wrong estimates; "
+                              "defaults to $THALIA_PERF_PERTURB_EST")
     collect.add_argument("--scenarios", metavar="PACK_DIR", default=None,
                          help="also measure the synthesized queries of a "
                               "generated scenario pack (thalia gen) as "
@@ -331,11 +341,24 @@ def _cmd_query(args: argparse.Namespace) -> int:
     query = get_query(args.number)
     print(render_query_description(query.number))
     print()
-    plan = xquery.shared_plan_cache().get(query.xquery)
-    if args.explain:
+    if args.explain_analyze:
+        statistics = xquery.collect_statistics(
+            testbed.documents, fingerprint=testbed.content_fingerprint())
+        plan = xquery.shared_plan_cache().get(query.xquery,
+                                              statistics=statistics)
+    else:
+        plan = xquery.shared_plan_cache().get(query.xquery)
+    if args.explain and not args.explain_analyze:
         print(plan.explain())
         print()
-    results = plan.execute(testbed.documents)
+    results = plan.execute(testbed.documents,
+                           analyze=args.explain_analyze)
+    if args.explain_analyze:
+        # Analyzed rendering needs the actuals the execution above just
+        # recorded, so it prints after the run (costed: strategies and
+        # estimates come from statistics over this very testbed).
+        print(plan.explain(analyze=True))
+        print()
     print(f"reference query returned {len(results)} item(s) against "
           f"{query.reference}:")
     from .xmlmodel import XmlElement, serialize
@@ -344,7 +367,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("  " + serialize(item))
         else:
             print(f"  {item}")
-    if args.explain and plan.last_stats is not None:
+    if (args.explain or args.explain_analyze) \
+            and plan.last_stats is not None:
         stats = plan.last_stats
         print(f"executed in {stats.exec_ns / 1e6:.2f} ms "
               f"({stats.nodes_visited} nodes visited, "
@@ -513,6 +537,11 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         perturb_csv = args.perturb if args.perturb is not None \
             else os.environ.get("THALIA_PERF_PERTURB", "")
         perturb = [name for name in perturb_csv.split(",") if name.strip()]
+        perturb_est_csv = args.perturb_estimates \
+            if args.perturb_estimates is not None \
+            else os.environ.get("THALIA_PERF_PERTURB_EST", "")
+        perturb_estimates = [name for name in perturb_est_csv.split(",")
+                             if name.strip()]
         snapshot = collect_snapshot(
             seed=args.seed,
             scales=_csv_ints(args.scales, "--scales"),
@@ -521,6 +550,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             warmup=args.warmup,
             label=args.label,
             perturb=perturb,
+            perturb_estimates=perturb_estimates,
             scenarios=args.scenarios,
             progress=lambda message: print(f"[perf] {message}"))
         out = Path(args.out)
@@ -531,7 +561,10 @@ def _cmd_perf(args: argparse.Namespace) -> int:
               f"{len(cells[0]['queries'])} queries, "
               f"repeats={snapshot['meta']['repeats']}"
               + (f", perturbed={snapshot['meta']['perturbed']}"
-                 if snapshot["meta"]["perturbed"] else ""))
+                 if snapshot["meta"]["perturbed"] else "")
+              + (f", estimate_perturbed="
+                 f"{snapshot['meta']['estimate_perturbed']}"
+                 if snapshot["meta"].get("estimate_perturbed") else ""))
         return 0
 
     try:

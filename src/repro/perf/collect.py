@@ -14,7 +14,19 @@ per benchmark query with:
 * per-batch CPU time (``time.process_time_ns`` divided by executions),
   so a wall-time regression can be told apart from scheduler noise;
 * plan-cache and result-cache counters for the cell, collected on
-  fresh, private cache instances so numbers are workload-deterministic.
+  fresh, private cache instances so numbers are workload-deterministic;
+* per-operator EXPLAIN ANALYZE counters (``operators``): each plan runs
+  once analyzed and its flattened explain tree — estimated vs. actual
+  rows, calls, inclusive wall time per operator — rides along in the
+  row, so the reporter can flag cardinality-estimate and cost
+  regressions, not just plan-shape changes.
+
+Measured plans are *costed*: statistics are collected per testbed
+(cached by content fingerprint) and fed to the planner, so snapshots
+exercise the decisions production paths make.  ``perturb_estimates``
+names queries compiled against deliberately wrong (×100) cardinalities
+— answers stay identical (samples are untouched) but every estimate is
+off, which is the injected regression the reporter must flag.
 
 Results are verified before timings are trusted: every query must
 return the same items through the result cache as through a direct
@@ -40,7 +52,12 @@ from ..xmlmodel import XmlElement, serialize
 from ..xquery.plan import Plan, compile_query
 from ..xquery.plan_cache import PlanCache
 from ..xquery.results import ResultCache
+from ..xquery.stats import collect_statistics
 from .schema import KIND_SNAPSHOT, stamp
+
+#: Cardinality multiplier for ``perturb_estimates`` queries: estimates
+#: go wrong by ~this factor while answers stay byte-identical.
+ESTIMATE_PERTURB_FACTOR = 100
 
 DEFAULT_REPEATS = 5
 DEFAULT_WARMUP = 1
@@ -96,6 +113,39 @@ def _render_items(items: Iterable) -> tuple:
                  else repr(item) for item in items)
 
 
+def _operator_rows(plan: Plan) -> list[dict]:
+    """The analyzed explain tree flattened into snapshot operator rows.
+
+    One row per operator that carries an estimate or an actual; ``path``
+    is the node's position in the explain tree (stable for a given plan
+    shape), so baseline and candidate rows line up operator by operator.
+    """
+    data = plan.explain_data(analyze=True)
+    rows: list[dict] = []
+
+    def walk(entry: dict, path: str) -> None:
+        estimated = entry.get("estimated")
+        actual = entry.get("actual")
+        if estimated is not None or actual is not None:
+            row: dict = {"path": path, "kind": entry["kind"],
+                         "label": entry["label"]}
+            if estimated is not None:
+                if "est_rows" in estimated:
+                    row["est_rows"] = estimated["est_rows"]
+                if "strategy" in estimated:
+                    row["strategy"] = estimated["strategy"]
+            if actual is not None:
+                row["actual_rows"] = actual["rows"]
+                row["calls"] = actual["calls"]
+                row["wall_ns"] = actual["wall_ns"]
+            rows.append(row)
+        for position, child in enumerate(entry.get("children", ())):
+            walk(child, f"{path}.{position}")
+
+    walk(data["root"], "0")
+    return rows
+
+
 def _timed_executions(plan: Plan, documents) -> list[int]:
     samples = []
     for _ in range(EXECUTIONS_PER_BATCH):
@@ -127,6 +177,7 @@ def collect_snapshot(*, seed: int = 2004,
                      warmup: int = DEFAULT_WARMUP,
                      label: str = "",
                      perturb: Iterable[str] = (),
+                     perturb_estimates: Iterable[str] = (),
                      scenarios: "str | os.PathLike | None" = None,
                      progress: Callable[[str], None] | None = None) -> dict:
     """Measure the twelve-query workload; returns a stamped snapshot.
@@ -134,6 +185,9 @@ def collect_snapshot(*, seed: int = 2004,
     ``perturb`` names queries (``"Q3"``) whose plans are compiled with
     the test-only index-path toggle off — the knob the acceptance test
     and the CI gate demo use to prove plan regressions are caught.
+    ``perturb_estimates`` names queries planned against ×100-scaled
+    cardinalities: answers are untouched but every row estimate is
+    wrong, the injected regression the cost gate must flag.
 
     ``scenarios`` points at a generated pack directory (``thalia gen``);
     its synthesized queries are measured as one extra cell per worker
@@ -144,8 +198,10 @@ def collect_snapshot(*, seed: int = 2004,
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     perturbed = {name.strip().upper() for name in perturb if name.strip()}
+    estimate_perturbed = {name.strip().upper()
+                          for name in perturb_estimates if name.strip()}
     known = {f"Q{query.number}" for query in QUERIES}
-    unknown = perturbed - known
+    unknown = (perturbed | estimate_perturbed) - known
     if unknown:
         raise ValueError(f"cannot perturb unknown queries: "
                          f"{sorted(unknown)}")
@@ -159,11 +215,14 @@ def collect_snapshot(*, seed: int = 2004,
                                 scale=scale)
         documents = testbed.documents
         content_fp = testbed.content_fingerprint()
+        statistics = collect_statistics(documents, fingerprint=content_fp)
         for worker_count in workers:
             say(f"collecting cell scale={scale} workers={worker_count}")
             cells.append(_collect_cell(
                 documents, content_fp, scale, worker_count,
-                repeats=repeats, warmup=warmup, perturbed=perturbed))
+                repeats=repeats, warmup=warmup, perturbed=perturbed,
+                statistics=statistics,
+                estimate_perturbed=estimate_perturbed))
 
     if scenarios is not None:
         from ..scenarios.pack import load_pack
@@ -174,12 +233,14 @@ def collect_snapshot(*, seed: int = 2004,
         for case in pack.cases:
             scenario_documents.update(case.documents)
         workload = [(case.case_id, case.xquery) for case in pack.cases]
+        pack_statistics = collect_statistics(scenario_documents,
+                                             fingerprint=pack.fingerprint)
         for worker_count in workers:
             say(f"collecting scenario cell workers={worker_count}")
             cells.append(_collect_cell(
                 scenario_documents, pack.fingerprint, 1, worker_count,
                 repeats=repeats, warmup=warmup, perturbed=set(),
-                workload=workload,
+                workload=workload, statistics=pack_statistics,
                 extra={"scenario": pack.fingerprint}))
 
     snapshot = stamp(KIND_SNAPSHOT, {
@@ -193,6 +254,7 @@ def collect_snapshot(*, seed: int = 2004,
             "warmup": warmup,
             "queries": len(QUERIES),
             "perturbed": sorted(perturbed),
+            "estimate_perturbed": sorted(estimate_perturbed),
             "argv_hint": "thalia perf collect",
         },
         "cells": cells,
@@ -203,27 +265,38 @@ def collect_snapshot(*, seed: int = 2004,
 def _collect_cell(documents, content_fp: str, scale: int, workers: int,
                   *, repeats: int, warmup: int, perturbed: set[str],
                   workload: Sequence[tuple[str, str]] | None = None,
+                  statistics=None,
+                  estimate_perturbed: set[str] = frozenset(),
                   extra: dict | None = None) -> dict:
     if workload is None:
         workload = [(f"Q{query.number}", query.xquery)
                     for query in QUERIES]
     plan_cache = PlanCache()
     result_cache = ResultCache()
+    # Lookup counters accumulate on the (shared, lazily-built) document
+    # indexes; zero them so this cell's numbers describe this cell only.
+    for document in documents.values():
+        document.index().reset_counters()
     pool = ThreadPoolExecutor(max_workers=workers,
                               thread_name_prefix="thalia-perf") \
         if workers > 1 else None
     try:
         rows = []
         for query_label, source in workload:
-            # The straight plan is always compiled through the cell's
-            # plan cache (a second get records the steady-state hit);
-            # a perturbed plan replaces it for measurement but is kept
-            # out of the cache so nothing else can pick it up.
-            plan = plan_cache.get(source)
-            plan_cache.get(source)
+            # The straight (costed, when statistics are available) plan
+            # is always compiled through the cell's plan cache (a second
+            # get records the steady-state hit); a perturbed plan
+            # replaces it for measurement but is kept out of the cache
+            # so nothing else can pick it up.
+            plan = plan_cache.get(source, statistics=statistics)
+            plan_cache.get(source, statistics=statistics)
             reference_items = _render_items(plan.execute(documents))
             if query_label in perturbed:
                 plan = compile_query(source, perturb=True)
+            elif query_label in estimate_perturbed and statistics is not None:
+                plan = compile_query(
+                    source,
+                    statistics=statistics.scaled(ESTIMATE_PERTURB_FACTOR))
 
             # Result-cache exercise (miss, then hit) doubles as the
             # correctness check: cached, direct and perturbed paths must
@@ -237,6 +310,13 @@ def _collect_cell(documents, content_fp: str, scale: int, workers: int,
                 raise AssertionError(
                     f"{query_label}: measured plan diverged from the "
                     f"reference results; refusing to record timings")
+
+            # One analyzed execution per query feeds the per-operator
+            # EXPLAIN ANALYZE counters; it runs before the GC pause so
+            # its (instrumented, slower) timings never mix with the
+            # measured batches.
+            plan.execute(documents, analyze=True)
+            operators = _operator_rows(plan)
 
             for _ in range(warmup):
                 _run_batch(plan, documents, workers, pool)
@@ -266,6 +346,9 @@ def _collect_cell(documents, content_fp: str, scale: int, workers: int,
                 "explain_sha256": plan.explain_fingerprint,
                 "explain": plan.explain(),
                 "rewrites": dict(plan.rewrites),
+                "costed": plan.costed,
+                "decisions": dict(plan.decisions),
+                "operators": operators,
                 "items": len(reference_items),
                 "wall_ns": _stats_ns(wall_samples),
                 "cpu_ns": _stats_ns(cpu_samples),
@@ -291,6 +374,7 @@ def _collect_cell(documents, content_fp: str, scale: int, workers: int,
 __all__ = [
     "DEFAULT_REPEATS",
     "DEFAULT_WARMUP",
+    "ESTIMATE_PERTURB_FACTOR",
     "collect_snapshot",
     "host_fingerprint",
 ]

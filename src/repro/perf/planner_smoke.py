@@ -1,0 +1,129 @@
+"""End-to-end smoke drive of the cost-based planner (CI's planner job).
+
+Builds a scale-8 testbed, compiles the canonical twelve queries plus a
+generated 25-case scenario pack with statistics-fed (costed) plans, and
+checks the acceptance bar for the cost model:
+
+* at least one of the twelve queries switches physical strategy by cost
+  at scale >= 8 (a step the rule-based plan would have probed through
+  the index is executed as a tree scan, or vice versa);
+* every costed answer is byte-identical to the rule-based plan's answer,
+  for the twelve and for every scenario case — cost decisions may change
+  *how* a step runs, never *what* it returns;
+* ``Plan.explain(analyze=True)`` reports actual row counts that exactly
+  match the observed result cardinality at the plan root.
+
+Run it locally with::
+
+    PYTHONPATH=src python -m repro.perf.planner_smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..catalogs import build_testbed, paper_universities
+from ..core.queries import QUERIES
+from ..xquery.plan import compile_query
+from ..xquery.stats import collect_statistics
+from .collect import _render_items
+
+DEFAULT_SCALE = 8
+DEFAULT_CASES = 25
+DEFAULT_PACK_SEED = 7
+
+
+def _check(label: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    suffix = f" ({detail})" if detail else ""
+    print(f"  [{mark}] {label}{suffix}")
+    if not ok:
+        raise SystemExit(f"planner smoke failed: {label}{suffix}")
+
+
+def _run_pair(source: str, documents, statistics) -> tuple[bool, int]:
+    """Execute rule-based vs costed plans; return (switched, mismatches).
+
+    ``switched`` is true when the costed plan made at least one
+    index/scan choice that differs from the rule-based default, and
+    ``mismatches`` counts rendered-answer divergences (must stay 0).
+    """
+    baseline = compile_query(source)
+    costed = compile_query(source, statistics=statistics)
+    expected = _render_items(baseline.execute(documents))
+    produced = _render_items(costed.execute(documents, analyze=True))
+    switched = costed.decisions.get("scan-steps", 0) > 0
+    mismatch = 0 if produced == expected else 1
+
+    # The analyzed trace must agree with the observed cardinality at
+    # the plan root: EXPLAIN ANALYZE actuals are measurements, not
+    # estimates, so any drift here is an instrumentation bug.
+    data = costed.explain_data(analyze=True)
+    actual = data["root"].get("actual")
+    if actual is not None and actual["rows"] != len(produced):
+        raise SystemExit(
+            f"analyzed root reported {actual['rows']} rows but the "
+            f"execution produced {len(produced)}")
+    return switched, mismatch
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="smoke-test costed plans against rule-based answers")
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+                        help=f"testbed scale tier (default "
+                             f"{DEFAULT_SCALE})")
+    parser.add_argument("--cases", type=int, default=DEFAULT_CASES,
+                        help=f"generated scenario cases (default "
+                             f"{DEFAULT_CASES})")
+    parser.add_argument("--pack-seed", type=int, default=DEFAULT_PACK_SEED,
+                        help="scenario generator seed")
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    print(f"building scale-{args.scale} testbed "
+          f"({len(paper_universities())} sources)")
+    testbed = build_testbed(seed=2004, universities=paper_universities(),
+                            scale=args.scale)
+    documents = testbed.documents
+    statistics = collect_statistics(
+        documents, fingerprint=testbed.content_fingerprint())
+    print(f"statistics fingerprint {statistics.fingerprint[:12]} "
+          f"over {len(statistics.documents)} documents")
+
+    print("canonical twelve, costed vs rule-based:")
+    switches = 0
+    for query in QUERIES:
+        switched, mismatch = _run_pair(query.xquery, documents, statistics)
+        switches += 1 if switched else 0
+        _check(f"Q{query.number} answers byte-identical", mismatch == 0,
+               "strategy switched" if switched else "no switch")
+    _check(f"strategy switches at scale {args.scale}", switches >= 1,
+           f"{switches}/12 queries chose a different physical step")
+
+    print(f"generated scenario pack seed={args.pack_seed} "
+          f"cases={args.cases}:")
+    from ..scenarios.suite import ScenarioSuite
+    suite = ScenarioSuite.generate(args.pack_seed, args.cases)
+    scenario_testbed = suite.build_testbed()
+    scenario_documents = scenario_testbed.documents
+    pack_statistics = collect_statistics(scenario_documents)
+    pack_mismatches = 0
+    pack_switches = 0
+    for query in suite.queries:
+        switched, mismatch = _run_pair(query.xquery, scenario_documents,
+                                       pack_statistics)
+        pack_switches += 1 if switched else 0
+        pack_mismatches += mismatch
+    _check("scenario answers byte-identical", pack_mismatches == 0,
+           f"{len(suite.queries)} cases, {pack_switches} with switches")
+
+    elapsed = time.monotonic() - started
+    print(f"planner smoke passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

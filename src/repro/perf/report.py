@@ -1,6 +1,6 @@
 """``thalia perf report`` — diff two snapshots into a regression report.
 
-Two regression families, deliberately separated:
+Three regression families, deliberately separated:
 
 * **Plan regressions** — the candidate compiled a *different plan* for
   a query the baseline knew: ``plan_fingerprint`` or ``explain_sha256``
@@ -22,6 +22,15 @@ Two regression families, deliberately separated:
   Even then, timing findings are only *enforced* between snapshots
   whose host fingerprints match — cross-host comparisons are reported
   as informational.
+* **Cost regressions** — the planner's cardinality estimates got worse:
+  a query row's worst per-operator q-error (``max(est/act, act/est)``
+  over the ``operators`` counters an analyzed run recorded) exceeds
+  both an absolute gate (:data:`Q_ERROR_FLOOR`) and
+  :data:`Q_ERROR_GROWTH` × the baseline's worst q-error.  Like plan
+  regressions these are exact, machine-independent facts (estimates are
+  pure functions of the statistics; actuals are row counts), so they
+  are always enforced.  Rows without operator counters — snapshots from
+  before the planner — are skipped, keeping old baselines comparable.
 
 ``compare_snapshots`` returns the machine-readable report (itself a
 stamped ``thalia-perf`` document); :func:`render_report` renders the
@@ -32,10 +41,18 @@ from __future__ import annotations
 
 import difflib
 
+from ..xquery.cost import q_error
 from .schema import KIND_REPORT, stamp
 
 DEFAULT_THRESHOLD = 0.25
 DEFAULT_MIN_DELTA_NS = 25_000
+
+#: A candidate row's worst q-error below this never flags: small-result
+#: queries legitimately estimate 4 rows and see 1.
+Q_ERROR_FLOOR = 4.0
+#: ...and it must also be at least this factor worse than the
+#: baseline's worst q-error for the same row.
+Q_ERROR_GROWTH = 2.0
 
 
 def _spread(stats: dict) -> float:
@@ -52,6 +69,24 @@ def _explain_diff(base_row: dict, cand_row: dict) -> str:
         cand_row.get("explain", "").splitlines(),
         fromfile="baseline", tofile="candidate", lineterm="")
     return "\n".join(diff)
+
+
+def _worst_q_error(row: dict) -> tuple[float, dict | None]:
+    """The row's worst per-operator cardinality-estimate error, with
+    the offending operator; ``(0.0, None)`` when the row carries no
+    estimate/actual pairs (pre-planner snapshots)."""
+    worst = 0.0
+    worst_op = None
+    for op_row in row.get("operators") or ():
+        est = op_row.get("est_rows")
+        actual = op_row.get("actual_rows")
+        if est is None or actual is None:
+            continue
+        error = q_error(est, actual)
+        if error > worst:
+            worst = error
+            worst_op = op_row
+    return worst, worst_op
 
 
 def _cell_key(cell: dict) -> tuple:
@@ -99,6 +134,7 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
 
     plan_regressions: list[dict] = []
     timing_regressions: list[dict] = []
+    cost_regressions: list[dict] = []
     improvements: list[dict] = []
     missing: list[dict] = []
     compared_cells = 0
@@ -158,6 +194,24 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
                     "candidate_items": cand_row["items"],
                 })
 
+            cand_q, cand_op = _worst_q_error(cand_row)
+            if cand_op is not None and cand_q > Q_ERROR_FLOOR:
+                base_q, _base_op = _worst_q_error(base_row)
+                # Only gate rows the baseline also instrumented — and
+                # only when the error actually *grew*; a noisy estimate
+                # both snapshots share is not a regression.
+                if base_q and cand_q > base_q * Q_ERROR_GROWTH:
+                    cost_regressions.append({
+                        **where,
+                        "kind": "estimate-error",
+                        "baseline_q_error": round(base_q, 2),
+                        "candidate_q_error": round(cand_q, 2),
+                        "operator": cand_op.get("label"),
+                        "operator_path": cand_op.get("path"),
+                        "est_rows": cand_op.get("est_rows"),
+                        "actual_rows": cand_op.get("actual_rows"),
+                    })
+
             base_wall = base_row["wall_ns"]
             cand_wall = cand_row["wall_ns"]
             base_median = base_wall["median"]
@@ -196,7 +250,7 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
             elif ratio < -threshold and -delta_ns > min_delta_ns:
                 improvements.append(entry)
 
-    ok = not plan_regressions and \
+    ok = not plan_regressions and not cost_regressions and \
         (not enforce_timings or not timing_regressions)
     return stamp(KIND_REPORT, {
         "baseline": _snapshot_ref(baseline),
@@ -208,6 +262,7 @@ def compare_snapshots(baseline: dict, candidate: dict, *,
         "compared": {"cells": compared_cells, "queries": compared_queries},
         "plan_regressions": plan_regressions,
         "timing_regressions": timing_regressions,
+        "cost_regressions": cost_regressions,
         "improvements": improvements,
         "missing": missing,
         "ok": ok,
@@ -248,6 +303,20 @@ def render_report(report: dict) -> str:
             if entry["kind"] == "results-changed":
                 lines.append(f"    items {entry['baseline_items']} -> "
                              f"{entry['candidate_items']}")
+    cost_regressions = report.get("cost_regressions", [])
+    if cost_regressions:
+        lines.append("")
+        lines.append(f"COST REGRESSIONS ({len(cost_regressions)}):")
+        for entry in cost_regressions:
+            lines.append(
+                f"  {entry['query']} [scale={entry['scale']} "
+                f"workers={entry['workers']}]: worst q-error "
+                f"{entry['baseline_q_error']} -> "
+                f"{entry['candidate_q_error']}")
+            lines.append(
+                f"    at {entry.get('operator')}: est "
+                f"{entry.get('est_rows')} rows, actual "
+                f"{entry.get('actual_rows')}")
     if timing_regressions:
         lines.append("")
         verdict = "TIMING REGRESSIONS" if report["timings_enforced"] \
@@ -288,6 +357,8 @@ def render_report(report: dict) -> str:
 __all__ = [
     "DEFAULT_MIN_DELTA_NS",
     "DEFAULT_THRESHOLD",
+    "Q_ERROR_FLOOR",
+    "Q_ERROR_GROWTH",
     "compare_snapshots",
     "render_report",
 ]

@@ -262,6 +262,23 @@ def _validate_snapshot(doc: dict) -> list[str]:
                    f"{qwhere}.items: missing or negative")
             _check(problems, isinstance(row.get("rewrites"), dict),
                    f"{qwhere}.rewrites: missing")
+            # Planner-era additions are optional (snapshots written
+            # before the cost-based planner carry none of them; same
+            # schema version, following the scenario-cell precedent) but
+            # must be well-typed when present.
+            if "operators" in row:
+                if _check(problems, isinstance(row["operators"], list),
+                          f"{qwhere}.operators: not a list"):
+                    for opos, op_row in enumerate(row["operators"]):
+                        _check(problems, isinstance(op_row, dict),
+                               f"{qwhere}.operators[{opos}]: "
+                               f"not an object")
+            if "costed" in row:
+                _check(problems, isinstance(row["costed"], bool),
+                       f"{qwhere}.costed: not a boolean")
+            if "decisions" in row:
+                _check(problems, isinstance(row["decisions"], dict),
+                       f"{qwhere}.decisions: not an object")
             _validate_stats_block(row.get("wall_ns"),
                                   f"{qwhere}.wall_ns", problems)
             _validate_stats_block(row.get("cpu_ns"),
@@ -277,6 +294,11 @@ def _validate_report(doc: dict) -> list[str]:
     for key in ("plan_regressions", "timing_regressions", "improvements"):
         _check(problems, isinstance(doc.get(key), list),
                f"{key}: missing list")
+    # Reports written before the cost gate have no cost_regressions
+    # list; when present it must be a list.
+    if "cost_regressions" in doc:
+        _check(problems, isinstance(doc["cost_regressions"], list),
+               "cost_regressions: not a list")
     _check(problems, isinstance(doc.get("ok"), bool),
            "ok: missing verdict")
     return problems

@@ -17,7 +17,7 @@ import os
 import threading
 import time
 import traceback
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, HTTPServer
 from pathlib import Path
@@ -26,7 +26,12 @@ from urllib.parse import parse_qs, urlsplit
 from ..catalogs import Testbed, shared_testbed
 from ..core import QUERIES
 from ..website import SiteGenerator
-from ..xquery import PlanCache, ResultCache
+from ..xquery import (
+    PlanCache,
+    ResultCache,
+    collect_statistics,
+    statistics_cache_stats,
+)
 from .cache import CacheEntry, ContentCache
 from .handlers import build_router
 from .metrics import ServerMetrics
@@ -46,6 +51,10 @@ GZIP_MIN_BYTES = 256
 
 #: Generated scenario packs kept in memory (oldest evicted past this).
 MAX_SCENARIO_PACKS = 8
+
+#: Per-operator q-errors remembered for the estimate-error quantiles of
+#: the ``/api/stats`` planner block (oldest shifted out past this).
+MAX_PLANNER_ERRORS = 512
 
 _COMPRESSIBLE_PREFIXES = ("text/", "application/json", "application/xml")
 
@@ -104,6 +113,13 @@ class ThaliaApp:
             "cases_served": 0,
             "tiers": {},
         }
+        # Planner observability (POST /api/explain + the planner block
+        # of /api/stats): request counters and a bounded window of
+        # per-operator cardinality-estimate q-errors from analyzed runs.
+        self._planner_lock = threading.Lock()
+        self._planner_counters = {"explains": 0, "analyzed_explains": 0}
+        self._planner_q_errors: deque[float] = deque(
+            maxlen=MAX_PLANNER_ERRORS)
 
     def perf_summary(self) -> dict:
         """Summary of the committed perf baseline for ``/api/stats``.
@@ -140,6 +156,72 @@ class ThaliaApp:
         with self._perf_summary_lock:
             self._perf_summary = (mtime, summary)
         return summary
+
+    @property
+    def statistics(self):
+        """Planner statistics over this testbed, collected lazily.
+
+        Keyed by the testbed's content fingerprint through the
+        module-wide statistics cache, so the first ``/api/explain``
+        request pays collection and every later one is a dict probe.
+        """
+        return collect_statistics(
+            self.testbed.documents,
+            fingerprint=self.testbed.content_fingerprint())
+
+    def record_explain(self, plan, analyzed: bool) -> None:
+        """Count one ``/api/explain`` build and, for analyzed costed
+        plans, fold its per-operator q-errors into the stats window."""
+        from ..xquery import q_error
+
+        errors: list[float] = []
+        if analyzed and plan.costed:
+            data = plan.explain_data(analyze=True)
+
+            def walk(entry: dict) -> None:
+                estimated = entry.get("estimated", {})
+                actual = entry.get("actual")
+                est_rows = estimated.get("est_rows")
+                if est_rows is not None and actual is not None:
+                    errors.append(q_error(est_rows, actual["rows"]))
+                for child in entry.get("children", ()):
+                    walk(child)
+
+            walk(data["root"])
+        with self._planner_lock:
+            self._planner_counters["explains"] += 1
+            if analyzed:
+                self._planner_counters["analyzed_explains"] += 1
+            self._planner_q_errors.extend(errors)
+
+    def planner_stats(self) -> dict:
+        """The ``planner`` block of ``/api/stats``: statistics-cache
+        counters, aggregated costed decisions over the plan cache, and
+        estimate-error quantiles from analyzed explains."""
+        decisions: dict[str, int] = {}
+        costed_plans = 0
+        for plan in self.plans.entries():
+            if getattr(plan, "costed", False):
+                costed_plans += 1
+                for name, count in plan.decisions.items():
+                    decisions[name] = decisions.get(name, 0) + count
+        with self._planner_lock:
+            counters = dict(self._planner_counters)
+            errors = sorted(self._planner_q_errors)
+        quantiles = None
+        if errors:
+            def at(q: float) -> float:
+                rank = max(0, -(-int(q * 100) * len(errors) // 100) - 1)
+                return round(errors[rank], 3)
+            quantiles = {"count": len(errors), "p50": at(0.50),
+                         "p95": at(0.95), "max": round(errors[-1], 3)}
+        return {
+            "statistics_cache": statistics_cache_stats(),
+            **counters,
+            "costed_plans": costed_plans,
+            "costed_decisions": decisions,
+            "estimate_errors": quantiles,
+        }
 
     def generate_scenario_pack(self, seed: int, cases: int,
                                tier: str | None) -> dict:

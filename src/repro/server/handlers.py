@@ -24,6 +24,10 @@ GET      ``/api/scenarios/{fingerprint}``    generated scenario pack as one
                                              JSON bundle (ETag/gzip cached)
 GET      ``/api/stats``                      request/latency/cache metrics
 GET      ``/healthz``                        liveness probe
+POST     ``/api/explain``                    structured explain(-analyze)
+                                             tree for an XQuery — costed
+                                             plan, estimates, actuals
+                                             (ETag/gzip cached)
 POST     ``/api/query``                      run an XQuery against a source
                                              (result-cached, single-flight)
 POST     ``/api/query/batch``                run up to MAX_BATCH_QUERIES
@@ -261,6 +265,7 @@ def build_router() -> Router:
         }
         payload["perf"] = app.perf_summary()
         payload["scenarios"] = app.scenario_stats()
+        payload["planner"] = app.planner_stats()
         return Response.of_json(payload, no_store=True)
 
     @router.get("/healthz", name="healthz")
@@ -274,6 +279,70 @@ def build_router() -> Router:
         }, no_store=True)
 
     # -- POST endpoints --------------------------------------------------- #
+
+    @router.post("/api/explain", name="api_explain")
+    def api_explain(app: "ThaliaApp", request: Request) -> Response:
+        """The structured explain tree for an XQuery, costed against the
+        testbed's statistics.
+
+        Body: ``{"xquery": ..., "source": ...?, "analyze": ...?}``.
+        ``analyze=true`` executes the plan once instrumented and joins
+        actual rows/calls/wall-time onto the tree.  Responses go through
+        the content cache (ETag/gzip): plans and estimates are pure
+        functions of (query, statistics), so they cache forever; an
+        analyzed response replays the *first* analyzed run's actuals —
+        row counts are deterministic, wall times are that run's.
+        """
+        try:
+            payload = request.json()
+        except ValueError as exc:
+            return Response.of_json({"error": str(exc)}, status=400)
+        if not isinstance(payload, dict) or \
+                not isinstance(payload.get("xquery"), str):
+            return Response.of_json(
+                {"error": "body must be a JSON object with an 'xquery' "
+                          "string"}, status=400)
+        analyze = payload.get("analyze", False)
+        if not isinstance(analyze, bool):
+            return Response.of_json(
+                {"error": "'analyze' must be a boolean"}, status=400)
+        slug = payload.get("source")
+        if slug is not None:
+            if slug not in app.testbed:
+                return Response.of_json(
+                    {"error": f"no such source: {slug}"}, status=404)
+            documents = {slug: app.testbed.source(slug).document}
+            content_fp = app.testbed.content_fingerprint([slug])
+        else:
+            documents = app.testbed.documents
+            content_fp = app.testbed.content_fingerprint()
+        try:
+            plan = app.plans.get(payload["xquery"],
+                                 statistics=app.statistics)
+        except XQuerySyntaxError as exc:
+            detail: dict = {"error": f"XQuerySyntaxError: {exc}"}
+            if exc.line is not None:
+                detail["line"] = exc.line
+                detail["column"] = exc.column
+                detail["context"] = exc.context()
+            return Response.of_json(detail, status=400)
+
+        def build() -> tuple[bytes, str]:
+            if analyze:
+                plan.execute(documents, analyze=True)
+            data = plan.explain_data(analyze=analyze)
+            app.record_explain(plan, analyzed=analyze)
+            return (Response.of_json({
+                "explain": data,
+                "text": plan.explain(analyze=analyze),
+            }).body, "application/json")
+
+        try:
+            return app.cached_response(
+                ("explain", plan.identity, content_fp, analyze), build)
+        except XQueryError as exc:
+            return Response.of_json(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=400)
 
     @router.post("/api/query", name="api_run_query")
     def api_run_query(app: "ThaliaApp", request: Request) -> Response:

@@ -102,6 +102,25 @@ class DocumentIndex:
         entry = self._by_tag.get(tag)
         return list(entry[1]) if entry else []
 
+    def tag_count(self, tag: str) -> int:
+        """Posting-list cardinality of *tag* (0 when absent)."""
+        entry = self._by_tag.get(tag)
+        return len(entry[1]) if entry else 0
+
+    def tag_counts(self) -> dict[str, int]:
+        """``{tag: posting-list length}`` over the whole document."""
+        return {tag: len(elems)
+                for tag, (_enters, elems) in self._by_tag.items()}
+
+    def subtree_size(self, node: "XmlElement") -> int | None:
+        """Number of strict element descendants of a covered *node*
+        (``exit - enter - 1`` over the preorder intervals), or None when
+        *node* is outside the indexed tree."""
+        enter = self._enter.get(id(node))
+        if enter is None:
+            return None
+        return self._exit[id(node)] - enter - 1
+
     def children_of(self, parent: "XmlElement",
                     tag: str) -> list["XmlElement"] | None:
         """Direct children of *parent* with *tag*, or None when *parent*
@@ -143,6 +162,13 @@ class DocumentIndex:
         return cached
 
     # -- metrics ---------------------------------------------------------- #
+
+    def reset_counters(self) -> None:
+        """Zero the lookup counters so repeated perf collections measure
+        only their own window instead of accumulating forever."""
+        self.child_lookups = 0
+        self.descendant_lookups = 0
+        self.string_lookups = 0
 
     def stats(self) -> dict:
         """Size and usage counters for the stats endpoint."""

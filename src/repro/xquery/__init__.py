@@ -46,9 +46,16 @@ from .errors import (
 )
 from .functions import FunctionRegistry, XQueryFunction, builtin_registry
 from .lexer import tokenize
+from .cost import q_error
 from .plan import Plan, PlanStats, compile_query
 from .plan_cache import PlanCache, shared_plan_cache
 from .results import ResultCache, shared_result_cache
+from .stats import (
+    Statistics,
+    clear_statistics_cache,
+    collect_statistics,
+    statistics_cache_stats,
+)
 from .unparse import unparse
 from .runtime import (
     Item,
@@ -89,6 +96,12 @@ class Query:
         return plan.execute(documents, variables)
 
     def explain(self) -> str:
+        warnings.warn(
+            "Query.explain() is deprecated; use Plan.explain() / "
+            "Plan.explain_data() on the compiled plan (Query.plan)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.plan.explain()
 
     def __repr__(self) -> str:
@@ -144,6 +157,7 @@ __all__ = [
     "Query",
     "ResultCache",
     "Seq",
+    "Statistics",
     "XQueryError",
     "XQueryFunction",
     "XQueryNameError",
@@ -152,13 +166,17 @@ __all__ = [
     "ast",
     "atomize",
     "builtin_registry",
+    "clear_statistics_cache",
+    "collect_statistics",
     "compile",
     "compile_query",
     "effective_boolean_value",
     "evaluate",
     "parse_query",
+    "q_error",
     "run_query",
     "shared_plan_cache",
+    "statistics_cache_stats",
     "shared_result_cache",
     "string_value",
     "to_number",

@@ -1,0 +1,196 @@
+"""The cost model behind the statistics-driven planner.
+
+Costs are abstract units roughly proportional to Python-level work per
+node touched; they only ever *rank* alternatives, so the constants'
+absolute values matter far less than their ratios:
+
+* an index lookup pays a fixed probe (:data:`INDEX_LOOKUP_COST`) and
+  then only touches the rows it returns;
+* a tree scan pays :data:`SCAN_NODE_COST` for every node in the scanned
+  pool (all children, or the whole subtree for the descendant axis);
+* the synthetic document node is *never* index-covered — a probe there
+  fails and falls back to a scan anyway, so its index cost is modeled
+  as probe + scan, which makes the planner choose the direct scan.
+
+Selectivity estimation works over the deterministic value samples of
+:mod:`repro.xquery.stats`: a LIKE pattern or equality literal is matched
+against the sample and the observed fraction is the estimate, with
+conservative fallbacks (:data:`DEFAULT_SELECTIVITY` and friends) when no
+sample applies.  All estimates are pure functions of the statistics, so
+costed plans are deterministic across processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .stats import DocumentStats
+
+#: Fixed price of one posting-list probe (dict lookup + slice).
+INDEX_LOOKUP_COST = 4.0
+#: Price per node visited by a tree scan.
+SCAN_NODE_COST = 1.0
+#: Price per row produced by a step (materialization + dedup checks).
+ROW_COST = 0.5
+#: Price of evaluating one predicate against one row.
+PREDICATE_COST = 2.0
+
+#: Fallback selectivity for predicates the estimator cannot read.
+DEFAULT_SELECTIVITY = 0.25
+#: Fallback selectivity for an equality with no matching sample —
+#: assume one distinct value out of the observed domain.
+EQUALITY_FLOOR = 0.02
+#: Fallback selectivity for a LIKE pattern with no sample to test.
+LIKE_DEFAULT = 0.2
+
+
+def index_step_cost(card: float, est_rows: float) -> float:
+    """Cost of serving a step via posting lists: one probe per context
+    item, then only the produced rows."""
+    return card * INDEX_LOOKUP_COST + est_rows * ROW_COST
+
+
+def scan_step_cost(card: float, pool_per_item: float,
+                   est_rows: float) -> float:
+    """Cost of a tree scan: the whole candidate pool is visited per
+    context item (children or subtree), then rows are produced."""
+    return card * max(1.0, pool_per_item) * SCAN_NODE_COST \
+        + est_rows * ROW_COST
+
+
+def document_node_index_cost(card: float, pool_per_item: float,
+                             est_rows: float) -> float:
+    """Index cost at the synthetic document node: the probe always
+    misses (the node is outside the indexed tree) and execution falls
+    back to the scan, so the probe is pure overhead."""
+    return card * INDEX_LOOKUP_COST \
+        + scan_step_cost(card, pool_per_item, est_rows)
+
+
+# --------------------------------------------------------------------------- #
+# Selectivity estimation over value samples
+# --------------------------------------------------------------------------- #
+
+def _fraction(matched: int, total: int, fallback: float) -> float:
+    if not total:
+        return fallback
+    # Clamp into (0, 1]: a sample with zero matches still cannot prove
+    # the predicate never matches, so the estimate floors at "one more
+    # sample would have matched".
+    return max(matched, 1) / (total + 1) if matched < total else 1.0
+
+
+def like_selectivity(samples: tuple[str, ...], pattern) -> float:
+    """Fraction of *samples* matched by a compiled LIKE *pattern*."""
+    if not samples:
+        return LIKE_DEFAULT
+    matched = sum(1 for value in samples if pattern.match(value))
+    return _fraction(matched, len(samples), LIKE_DEFAULT)
+
+
+def equality_selectivity(samples: tuple[str, ...], distinct: int,
+                         value: object) -> float:
+    """Fraction of *samples* equal to *value* (after the engine's
+    string/number coercion), else one over the observed domain size."""
+    if not samples:
+        return DEFAULT_SELECTIVITY
+    text = _comparable(value)
+    matched = sum(1 for sample in samples if sample == text)
+    if matched:
+        return _fraction(matched, len(samples), EQUALITY_FLOOR)
+    return max(EQUALITY_FLOOR, 1.0 / max(1, distinct))
+
+
+def range_selectivity(samples: tuple[str, ...], op: str,
+                      value: object) -> float:
+    """Fraction of numerically-comparable *samples* satisfying
+    ``sample <op> value``."""
+    try:
+        bound = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return DEFAULT_SELECTIVITY
+    matched = total = 0
+    for sample in samples:
+        try:
+            number = float(sample)
+        except ValueError:
+            continue
+        total += 1
+        if op == "<" and number < bound:
+            matched += 1
+        elif op == "<=" and number <= bound:
+            matched += 1
+        elif op == ">" and number > bound:
+            matched += 1
+        elif op == ">=" and number >= bound:
+            matched += 1
+    if not total:
+        return DEFAULT_SELECTIVITY
+    return _fraction(matched, total, DEFAULT_SELECTIVITY)
+
+
+def inequality_selectivity(samples: tuple[str, ...], distinct: int,
+                           value: object) -> float:
+    return max(EQUALITY_FLOOR,
+               1.0 - equality_selectivity(samples, distinct, value))
+
+
+def _comparable(value: object) -> str:
+    if isinstance(value, float):
+        return str(int(value)) if value.is_integer() else str(value)
+    return str(value)
+
+
+def comparison_selectivity(docstats: "DocumentStats", context_tag: str,
+                           child_tag: str, op: str, value: object,
+                           like_pattern=None) -> float:
+    """Selectivity of ``context/child_tag <op> value`` predicates."""
+    samples = docstats.samples(child_tag)
+    if like_pattern is not None:
+        estimate = like_selectivity(samples, like_pattern)
+        return estimate if op == "=" else \
+            max(EQUALITY_FLOOR, 1.0 - estimate)
+    if op == "=":
+        return equality_selectivity(samples, docstats.distinct(child_tag),
+                                    value)
+    if op == "!=":
+        return inequality_selectivity(samples,
+                                      docstats.distinct(child_tag), value)
+    return range_selectivity(samples, op, value)
+
+
+# --------------------------------------------------------------------------- #
+# Estimate-quality metric (shared with the perf reporter)
+# --------------------------------------------------------------------------- #
+
+def q_error(estimated: float, actual: float) -> float:
+    """The symmetric cardinality-estimate error ``max(e/a, a/e)``.
+
+    Both sides are shifted by one so zero-row operators stay finite;
+    1.0 is a perfect estimate, and the perf reporter flags rows whose
+    worst operator q-error grew past its gate.
+    """
+    est = max(0.0, float(estimated)) + 1.0
+    act = max(0.0, float(actual)) + 1.0
+    return max(est / act, act / est)
+
+
+__all__ = [
+    "DEFAULT_SELECTIVITY",
+    "EQUALITY_FLOOR",
+    "INDEX_LOOKUP_COST",
+    "LIKE_DEFAULT",
+    "PREDICATE_COST",
+    "ROW_COST",
+    "SCAN_NODE_COST",
+    "comparison_selectivity",
+    "document_node_index_cost",
+    "equality_selectivity",
+    "index_step_cost",
+    "inequality_selectivity",
+    "like_selectivity",
+    "q_error",
+    "range_selectivity",
+    "scan_step_cost",
+]

@@ -6,6 +6,19 @@ logical operators after the :mod:`repro.xquery.rewrite` passes ran
 at a constant ``doc("name")`` call become *index-backed* scans over the
 document's lazily-built :class:`~repro.xmlmodel.indexes.DocumentIndex`.
 
+With ``compile_query(source, statistics=...)`` a cost-based planning
+pass (see :mod:`repro.xquery.stats` and :mod:`repro.xquery.cost`) runs
+after lowering and makes *costed* physical choices: index lookup vs.
+tree scan per path step, pushed-predicate ordering by estimated
+selectivity, and per-execution memoization of loop-invariant inner
+FLWOR sources.  Every costed choice is answer-preserving by
+construction — both step strategies produce document order, reordering
+applies only to provably boolean-valued predicates, and memoization
+only to variable-independent sources — so a costed plan returns
+byte-identical results to the rule-based plan (a pinned property).
+Plans compiled *without* statistics are bit-for-bit the rule-based
+plans of old, which keeps the golden explain suite byte-identical.
+
 Every operator mirrors the tree-walking evaluator's semantics exactly —
 several helpers (`LIKE` pattern compilation, atomic comparison, order
 keys) are imported from :mod:`repro.xquery.evaluator` rather than
@@ -16,9 +29,13 @@ byte-identical results.
 
 A :class:`Plan` additionally exposes:
 
-* :meth:`Plan.explain` — a stable, deterministic text tree of the chosen
-  operators, pushed predicates and index-backed paths (golden-pinned for
-  the twelve benchmark queries);
+* :meth:`Plan.explain_data` — the structured explain tree (op kind,
+  estimated rows/costs/strategies where costed, actual row counts and
+  inclusive wall time per operator after an analyzed run);
+* :meth:`Plan.explain` — rendered from :meth:`Plan.explain_data`; the
+  default text format is golden-pinned for the twelve benchmark
+  queries, ``format="json"`` serializes the data tree, and
+  ``analyze=True`` appends per-operator actuals (true EXPLAIN ANALYZE);
 * :class:`PlanStats` — per-run parse/compile/exec nanoseconds plus nodes
   visited and index lookups, aggregated across runs for ``/api/stats``.
 """
@@ -26,12 +43,15 @@ A :class:`Plan` additionally exposes:
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 import time
 from dataclasses import dataclass
 from sys import intern as _intern
+from typing import TYPE_CHECKING
 
 from ..xmlmodel import XmlElement
+from . import cost as _cost
 from .ast import (
     Arithmetic,
     Comparison,
@@ -71,6 +91,9 @@ from .runtime import (
     to_number,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .stats import DocumentStats, Statistics
+
 
 @dataclass(frozen=True)
 class PlanStats:
@@ -99,14 +122,24 @@ class _ExecState:
     the innermost enclosing index-backed path, so relative paths inside
     its predicates resolve through the index too; operators fall back to
     tree scans for any item the index does not cover.
+
+    ``trace`` is ``None`` on normal executions; an analyzed execution
+    (``Plan.execute(..., analyze=True)``) sets it to a dict mapping
+    ``id(op-or-step)`` to ``[calls, rows produced, inclusive wall ns]``
+    — the actuals behind EXPLAIN ANALYZE.  ``source_cache`` memoizes
+    loop-invariant FLWOR sources (:class:`CachedSourceOp`) within one
+    execution.
     """
 
-    __slots__ = ("nodes_visited", "index_lookups", "index")
+    __slots__ = ("nodes_visited", "index_lookups", "index", "trace",
+                 "source_cache")
 
     def __init__(self) -> None:
         self.nodes_visited = 0
         self.index_lookups = 0
         self.index = None
+        self.trace: dict[int, list[int]] | None = None
+        self.source_cache: dict[int, Seq] | None = None
 
 
 _RESOLVER_CACHE: dict[int, tuple] = {}
@@ -158,19 +191,39 @@ def _atomize(seq: Seq, state: _ExecState) -> Seq:
 
 
 class _Node:
-    """One line of ``explain()`` output with nested children."""
+    """One line of ``explain()`` output with nested children.
 
-    __slots__ = ("label", "children")
+    ``kind`` is the stable operator-kind slug surfaced through
+    :meth:`Plan.explain_data`; ``ref`` points back at the operator (or
+    :class:`StepPlan`) the node describes, so cost annotations and
+    analyzed actuals — both keyed by ``id(ref)`` — can be joined onto
+    the rendered tree.  Purely structural wrapper lines carry
+    ``kind="clause"`` and no ref.
+    """
 
-    def __init__(self, label: str, children: list["_Node"] | None = None):
+    __slots__ = ("label", "children", "kind", "ref")
+
+    def __init__(self, label: str, children: list["_Node"] | None = None,
+                 kind: str = "clause", ref: object | None = None):
         self.label = label
         self.children = children or []
+        self.kind = kind
+        self.ref = ref
 
 
-def _render(node: _Node, depth: int, lines: list[str]) -> None:
-    lines.append("  " * depth + node.label)
-    for child in node.children:
-        _render(child, depth + 1, lines)
+def _render_data(entry: dict, depth: int, lines: list[str],
+                 analyze: bool) -> None:
+    """Text rendering of one :meth:`Plan.explain_data` node."""
+    label = entry["label"]
+    if analyze:
+        actual = entry.get("actual")
+        if actual is not None:
+            label += (f"  (actual rows={actual['rows']} "
+                      f"calls={actual['calls']} "
+                      f"time={actual['wall_ns'] / 1e6:.3f}ms)")
+    lines.append("  " * depth + label)
+    for child in entry.get("children", ()):
+        _render_data(child, depth + 1, lines, analyze)
 
 
 def _literal_label(value) -> str:
@@ -207,7 +260,8 @@ class LiteralOp(Op):
         return [self.value]
 
     def explain_node(self):
-        return _Node(f"literal {_literal_label(self.value)}")
+        return _Node(f"literal {_literal_label(self.value)}",
+                     kind="literal", ref=self)
 
 
 class VarRefOp(Op):
@@ -220,7 +274,7 @@ class VarRefOp(Op):
         return ctx.lookup(self.name)
 
     def explain_node(self):
-        return _Node(f"var ${self.name}")
+        return _Node(f"var ${self.name}", kind="var", ref=self)
 
 
 class ContextItemOp(Op):
@@ -232,7 +286,7 @@ class ContextItemOp(Op):
         return [ctx.context_item]
 
     def explain_node(self):
-        return _Node("context-item")
+        return _Node("context-item", kind="context-item", ref=self)
 
 
 class DocOp(Op):
@@ -247,7 +301,7 @@ class DocOp(Op):
         return [ctx.resolve_document(self.name)]
 
     def explain_node(self):
-        return _Node(f'doc "{self.name}"')
+        return _Node(f'doc "{self.name}"', kind="doc", ref=self)
 
 
 class FunctionCallOp(Op):
@@ -263,7 +317,8 @@ class FunctionCallOp(Op):
 
     def explain_node(self):
         return _Node(f"call {self.name}/{len(self.args)}",
-                     [arg.explain_node() for arg in self.args])
+                     [arg.explain_node() for arg in self.args],
+                     kind="call", ref=self)
 
 
 class SequenceOp(Op):
@@ -280,7 +335,8 @@ class SequenceOp(Op):
 
     def explain_node(self):
         return _Node(f"sequence[{len(self.items)}]",
-                     [item.explain_node() for item in self.items])
+                     [item.explain_node() for item in self.items],
+                     kind="sequence", ref=self)
 
 
 class IfOp(Op):
@@ -301,7 +357,7 @@ class IfOp(Op):
             _Node("condition", [self.condition.explain_node()]),
             _Node("then", [self.then_branch.explain_node()]),
             _Node("else", [self.else_branch.explain_node()]),
-        ])
+        ], kind="if", ref=self)
 
 
 class LogicalOp(Op):
@@ -324,7 +380,8 @@ class LogicalOp(Op):
 
     def explain_node(self):
         return _Node(f"logical '{self.op}'",
-                     [self.left.explain_node(), self.right.explain_node()])
+                     [self.left.explain_node(), self.right.explain_node()],
+                     kind="logical", ref=self)
 
 
 class NotOp(Op):
@@ -337,7 +394,8 @@ class NotOp(Op):
         return [not effective_boolean_value(self.operand.run(ctx, state))]
 
     def explain_node(self):
-        return _Node("not", [self.operand.explain_node()])
+        return _Node("not", [self.operand.explain_node()],
+                     kind="not", ref=self)
 
 
 class ArithmeticOp(Op):
@@ -359,7 +417,8 @@ class ArithmeticOp(Op):
 
     def explain_node(self):
         return _Node(f"arith '{self.op}'",
-                     [self.left.explain_node(), self.right.explain_node()])
+                     [self.left.explain_node(), self.right.explain_node()],
+                     kind="arith", ref=self)
 
 
 class ComparisonOp(Op):
@@ -398,7 +457,8 @@ class ComparisonOp(Op):
         if self.like is not None:
             label += f" [like {_literal_label(self.like[0])}]"
         return _Node(label,
-                     [self.left.explain_node(), self.right.explain_node()])
+                     [self.left.explain_node(), self.right.explain_node()],
+                     kind="compare", ref=self)
 
 
 # --------------------------------------------------------------------------- #
@@ -406,9 +466,20 @@ class ComparisonOp(Op):
 # --------------------------------------------------------------------------- #
 
 class StepPlan:
-    """One lowered path step; predicates carry a pushed-from-WHERE flag."""
+    """One lowered path step; predicates carry a pushed-from-WHERE flag.
 
-    __slots__ = ("axis", "kind", "name", "predicates")
+    ``strategy`` is the physical access choice: ``"auto"`` (rule-based:
+    try the index, fall back to a scan — the only value un-costed plans
+    ever carry), ``"index"`` (costed, same access path as auto) or
+    ``"scan"`` (costed: skip the index probe outright).  Both index and
+    scan produce document order, so the strategy can never change a
+    step's output — only how fast it arrives.  ``est_rows`` is the
+    planner's post-predicate row estimate, rendered in the explain tree
+    and compared against analyzed actuals.
+    """
+
+    __slots__ = ("axis", "kind", "name", "predicates", "strategy",
+                 "est_rows")
 
     def __init__(self, axis: str, kind: str, name: str,
                  predicates: tuple[tuple[Op, bool], ...]) -> None:
@@ -418,13 +489,19 @@ class StepPlan:
         # ``node.tag == step.name`` is a pointer comparison first.
         self.name = _intern(name)
         self.predicates = predicates
+        self.strategy = "auto"
+        self.est_rows: int | None = None
 
     def explain_node(self) -> _Node:
         children = []
         for op, pushed in self.predicates:
             label = "predicate [pushed from where]" if pushed else "predicate"
-            children.append(_Node(label, [op.explain_node()]))
-        return _Node(f"step {self.axis} {self.kind} {self.name}", children)
+            children.append(_Node(label, [op.explain_node()],
+                                  kind="predicate"))
+        label = f"step {self.axis} {self.kind} {self.name}"
+        if self.strategy != "auto":
+            label += f" [via {self.strategy}, est={self.est_rows}]"
+        return _Node(label, children, kind="step", ref=self)
 
 
 def _scan_candidates(step: StepPlan, item: XmlElement,
@@ -507,9 +584,11 @@ def _filter_by_predicate(op: Op, sequence: Seq, ctx: DynamicContext,
     return kept
 
 
-def _apply_step(step: StepPlan, sequence: Seq, ctx: DynamicContext,
-                state: _ExecState) -> Seq:
-    index = state.index
+def _apply_step_inner(step: StepPlan, sequence: Seq, ctx: DynamicContext,
+                      state: _ExecState) -> Seq:
+    # A costed "scan" strategy skips the index probe outright; "index"
+    # and "auto" both try the index first and fall back per item.
+    index = state.index if step.strategy != "scan" else None
     if len(sequence) == 1:
         # A single context item cannot produce duplicates (children and
         # descendants of one node are each visited once), so the id-dedup
@@ -551,6 +630,24 @@ def _apply_step(step: StepPlan, sequence: Seq, ctx: DynamicContext,
     return result
 
 
+def _apply_step(step: StepPlan, sequence: Seq, ctx: DynamicContext,
+                state: _ExecState) -> Seq:
+    trace = state.trace
+    if trace is None:
+        return _apply_step_inner(step, sequence, ctx, state)
+    started = time.perf_counter_ns()
+    result = _apply_step_inner(step, sequence, ctx, state)
+    elapsed = time.perf_counter_ns() - started
+    entry = trace.get(id(step))
+    if entry is None:
+        trace[id(step)] = [1, len(result), elapsed]
+    else:
+        entry[0] += 1
+        entry[1] += len(result)
+        entry[2] += elapsed
+    return result
+
+
 class PathOp(Op):
     """Generic path over an arbitrary base; steps use the enclosing
     index-backed path's document index when one is active."""
@@ -572,7 +669,7 @@ class PathOp(Op):
     def explain_node(self):
         children = [_Node("base", [self.base.explain_node()])]
         children.extend(step.explain_node() for step in self.steps)
-        return _Node(self.label, children)
+        return _Node(self.label, children, kind="path", ref=self)
 
 
 class IndexedPathOp(Op):
@@ -598,7 +695,41 @@ class IndexedPathOp(Op):
 
     def explain_node(self):
         children = [step.explain_node() for step in self.steps]
-        return _Node(f'index-path doc "{self.doc_name}"', children)
+        return _Node(f'index-path doc "{self.doc_name}"', children,
+                     kind="index-path", ref=self)
+
+
+class CachedSourceOp(Op):
+    """Per-execution memo around a loop-invariant FLWOR source.
+
+    The cost planner wraps inner ``for``-clause sources whose subtree
+    references no variables and no context item: re-evaluating such a
+    source once per outer binding always yields the same sequence, so
+    the first evaluation is cached in the execution state and replayed
+    — the order-preserving physical analogue of pulling the inner side
+    of a nested-loop join out of the loop.  Result order is untouched
+    because only *when* the source is evaluated changes, never what it
+    yields or how the FLWOR iterates it.
+    """
+
+    __slots__ = ("source",)
+
+    def __init__(self, source: Op) -> None:
+        self.source = source
+
+    def run(self, ctx, state):
+        cache = state.source_cache
+        if cache is None:
+            cache = state.source_cache = {}
+        cached = cache.get(id(self))
+        if cached is None:
+            cached = self.source.run(ctx, state)
+            cache[id(self)] = cached
+        return cached
+
+    def explain_node(self):
+        return _Node("cached-source", [self.source.explain_node()],
+                     kind="cached-source", ref=self)
 
 
 # --------------------------------------------------------------------------- #
@@ -678,7 +809,7 @@ class FLWOROp(Op):
             children.append(_Node(f"order-by{direction}",
                                   [key_op.explain_node()]))
         children.append(_Node("return", [self.returns.explain_node()]))
-        return _Node("flwor", children)
+        return _Node("flwor", children, kind="flwor", ref=self)
 
 
 class QuantifiedOp(Op):
@@ -716,7 +847,7 @@ class QuantifiedOp(Op):
         children = [_Node(f"${variable} in", [op.explain_node()])
                     for variable, op in self.bindings]
         children.append(_Node("satisfies", [self.condition.explain_node()]))
-        return _Node(self.kind, children)
+        return _Node(self.kind, children, kind="quantified", ref=self)
 
 
 class ElementConstructorOp(Op):
@@ -748,7 +879,48 @@ class ElementConstructorOp(Op):
     def explain_node(self):
         children = [] if self.content is None \
             else [self.content.explain_node()]
-        return _Node(f"element {self.name}", children)
+        return _Node(f"element {self.name}", children,
+                     kind="element", ref=self)
+
+
+# --------------------------------------------------------------------------- #
+# Per-operator instrumentation
+# --------------------------------------------------------------------------- #
+
+def _traced(run):
+    """Wrap an operator's ``run`` with the EXPLAIN ANALYZE recorder.
+
+    The fast path — no analysis requested — is one attribute read and a
+    branch; analyzed executions accumulate ``[calls, rows, inclusive
+    wall ns]`` per operator identity.  Times are inclusive of child
+    operators (the Postgres convention for loops is matched on calls and
+    rows: an operator run N times reports the totals over all N calls).
+    """
+    def traced_run(self, ctx, state):
+        trace = state.trace
+        if trace is None:
+            return run(self, ctx, state)
+        started = time.perf_counter_ns()
+        result = run(self, ctx, state)
+        elapsed = time.perf_counter_ns() - started
+        entry = trace.get(id(self))
+        if entry is None:
+            trace[id(self)] = [1, len(result), elapsed]
+        else:
+            entry[0] += 1
+            entry[1] += len(result)
+            entry[2] += elapsed
+        return result
+    traced_run.__wrapped__ = run
+    return traced_run
+
+
+for _op_class in (LiteralOp, VarRefOp, ContextItemOp, DocOp, FunctionCallOp,
+                  SequenceOp, IfOp, LogicalOp, NotOp, ArithmeticOp,
+                  ComparisonOp, PathOp, IndexedPathOp, CachedSourceOp,
+                  FLWOROp, QuantifiedOp, ElementConstructorOp):
+    _op_class.run = _traced(_op_class.run)
+del _op_class
 
 
 # --------------------------------------------------------------------------- #
@@ -883,6 +1055,330 @@ class _Lowerer:
 
 
 # --------------------------------------------------------------------------- #
+# Cost-based planning
+# --------------------------------------------------------------------------- #
+
+#: Operator reversal for comparisons written literal-first.
+_REVERSED_OP = {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+                "=": "=", "!=": "!="}
+
+
+class _CostPlanner:
+    """Statistics-driven physical planning over a lowered operator tree.
+
+    Three answer-preserving decision families (see the module docstring)
+    are applied in place; every choice is recorded in ``cost_info``
+    (keyed ``id(op-or-step)``, joined onto the explain tree) and tallied
+    in ``decisions``.  Estimates are pure functions of the statistics,
+    so identical statistics produce identical costed plans in any
+    process.
+    """
+
+    def __init__(self, statistics: "Statistics") -> None:
+        self.statistics = statistics
+        self.cost_info: dict[int, dict] = {}
+        self.decisions = {
+            "cached-sources": 0,
+            "index-steps": 0,
+            "reordered-predicates": 0,
+            "scan-steps": 0,
+            "steps-costed": 0,
+        }
+
+    # -- tree walk -------------------------------------------------------- #
+
+    def walk(self, op: Op) -> Op:
+        if isinstance(op, IndexedPathOp):
+            self._cost_indexed_path(op)
+            for step in op.steps:
+                for predicate, _pushed in step.predicates:
+                    self.walk(predicate)
+            return op
+        if isinstance(op, PathOp):
+            self.walk(op.base)
+            for step in op.steps:
+                for predicate, _pushed in step.predicates:
+                    self.walk(predicate)
+            return op
+        if isinstance(op, FLWOROp):
+            return self._cost_flwor(op)
+        if isinstance(op, FunctionCallOp):
+            for arg in op.args:
+                self.walk(arg)
+            return op
+        if isinstance(op, SequenceOp):
+            for item in op.items:
+                self.walk(item)
+            return op
+        if isinstance(op, IfOp):
+            self.walk(op.condition)
+            self.walk(op.then_branch)
+            self.walk(op.else_branch)
+            return op
+        if isinstance(op, (LogicalOp, ArithmeticOp, ComparisonOp)):
+            self.walk(op.left)
+            self.walk(op.right)
+            return op
+        if isinstance(op, NotOp):
+            self.walk(op.operand)
+            return op
+        if isinstance(op, QuantifiedOp):
+            for _variable, source in op.bindings:
+                self.walk(source)
+            self.walk(op.condition)
+            return op
+        if isinstance(op, ElementConstructorOp):
+            if op.content is not None:
+                self.walk(op.content)
+            return op
+        return op
+
+    def _cost_flwor(self, op: FLWOROp) -> Op:
+        clauses = []
+        for position, (kind, variable, source) in enumerate(op.clauses):
+            source = self.walk(source)
+            if kind == "for" and position > 0 \
+                    and _is_loop_invariant(source):
+                # Inner loop-invariant sources re-evaluate once per
+                # outer binding; memoizing is cheaper whenever the
+                # outer side binds more than once, which statistics
+                # can't rule out — so the planner always takes it.
+                source = CachedSourceOp(source)
+                self.decisions["cached-sources"] += 1
+                self.cost_info[id(source)] = {"strategy": "memo"}
+            clauses.append((kind, variable, source))
+        op.clauses = tuple(clauses)
+        if op.where is not None:
+            self.walk(op.where)
+        for key_op, _descending in op.order_specs:
+            self.walk(key_op)
+        self.walk(op.returns)
+        return op
+
+    # -- path-step costing ------------------------------------------------ #
+
+    def _cost_indexed_path(self, op: IndexedPathOp) -> None:
+        docstats = self.statistics.for_document(op.doc_name)
+        if docstats is None:
+            return
+        card = 1.0
+        context_tag: str | None = None   # None = the #document node
+        for step in op.steps:
+            if step.kind != "element" or step.name == "*":
+                # Attribute, text and wildcard steps have exactly one
+                # physical strategy; estimate rows and stop costing —
+                # the context tag is no longer a single element name.
+                est = card if step.kind != "element" \
+                    else card * docstats.avg_children(context_tag)
+                self.cost_info[id(step)] = {
+                    "est_rows": max(0, round(est))}
+                break
+            card, context_tag = self._cost_step(step, card, context_tag,
+                                                docstats)
+
+    def _cost_step(self, step: StepPlan, card: float,
+                   context_tag: str | None,
+                   docstats: "DocumentStats") -> tuple[float, str]:
+        self.decisions["steps-costed"] += 1
+        if step.axis == "child":
+            est = card * docstats.fanout(context_tag, step.name)
+            pool = docstats.avg_children(context_tag)
+            if context_tag is None:
+                # The document node is outside the index: a probe there
+                # always misses and falls back to the scan.
+                index_cost = _cost.document_node_index_cost(card, pool, est)
+            else:
+                index_cost = _cost.index_step_cost(card, est)
+            scan_cost = _cost.scan_step_cost(card, pool, est)
+        else:
+            if context_tag is None:
+                est = float(docstats.tag_count(step.name))
+            else:
+                parents = docstats.tag_count(context_tag)
+                est = card * (docstats.tag_count(step.name) / parents
+                              if parents else 0.0)
+            # Descendant steps are index-served even from the document
+            # node (the whole posting list); the scan walks the subtree.
+            index_cost = _cost.index_step_cost(card, est)
+            scan_cost = _cost.scan_step_cost(
+                card, docstats.avg_subtree(context_tag), est)
+
+        chosen = "index" if index_cost <= scan_cost else "scan"
+        step.strategy = chosen
+        self.decisions[f"{chosen}-steps"] += 1
+        selectivity = self._cost_predicates(step, docstats)
+        est_after = est * selectivity
+        step.est_rows = max(0, round(est_after))
+        info = {
+            "strategy": chosen,
+            "est_rows": step.est_rows,
+            "est_cost": round(min(index_cost, scan_cost), 3),
+            "alternatives": [
+                {"strategy": "index", "cost": round(index_cost, 3)},
+                {"strategy": "scan", "cost": round(scan_cost, 3)},
+            ],
+        }
+        if step.predicates:
+            info["est_selectivity"] = round(selectivity, 4)
+        self.cost_info[id(step)] = info
+        return max(est_after, 0.0), step.name
+
+    def _cost_predicates(self, step: StepPlan,
+                         docstats: "DocumentStats") -> float:
+        if not step.predicates:
+            return 1.0
+        selectivities = [self._selectivity(predicate, step.name, docstats)
+                         for predicate, _pushed in step.predicates]
+        for (predicate, _pushed), estimate in zip(step.predicates,
+                                                  selectivities):
+            self.cost_info.setdefault(id(predicate), {})[
+                "est_selectivity"] = round(estimate, 4)
+        # Pushed-from-WHERE predicates form a contiguous suffix (fusion
+        # appends them) and are provably boolean-valued, so running the
+        # most selective first filters the same set in fewer predicate
+        # evaluations.  Hand-written predicates keep their positions —
+        # a positional predicate must never move.  Predicates that can
+        # raise (numeric coercion of a non-numeric value) are barriers:
+        # moving anything across one would change which items reach it
+        # before a short-circuit, turning an error into a silent filter
+        # (or vice versa) — only runs of total predicates may permute.
+        pushed_count = sum(1 for _predicate, pushed in step.predicates
+                           if pushed)
+        start = len(step.predicates) - pushed_count
+        if pushed_count > 1 and all(
+                pushed for _predicate, pushed in step.predicates[start:]):
+            suffix = list(step.predicates[start:])
+            reordered = list(suffix)
+            run_start = 0
+            for position in range(len(suffix) + 1):
+                at_barrier = position == len(suffix) \
+                    or not _cannot_raise(suffix[position][0])
+                if not at_barrier:
+                    continue
+                run = range(run_start, position)
+                order = sorted(run, key=lambda j: (
+                    selectivities[start + j], j))
+                for target, source_pos in zip(run, order):
+                    reordered[target] = suffix[source_pos]
+                run_start = position + 1
+            if reordered != suffix:
+                step.predicates = step.predicates[:start] \
+                    + tuple(reordered)
+                self.decisions["reordered-predicates"] += 1
+        product = 1.0
+        for estimate in selectivities:
+            product *= estimate
+        return product
+
+    def _selectivity(self, op: Op, context_tag: str,
+                     docstats: "DocumentStats") -> float:
+        if isinstance(op, ComparisonOp):
+            shape = _comparison_shape(op)
+            if shape is None:
+                return _cost.DEFAULT_SELECTIVITY
+            child_tag, cmp_op, literal = shape
+            pattern = op.like[1] if op.like is not None else None
+            return _cost.comparison_selectivity(
+                docstats, context_tag, child_tag, cmp_op, literal, pattern)
+        if isinstance(op, LogicalOp):
+            left = self._selectivity(op.left, context_tag, docstats)
+            right = self._selectivity(op.right, context_tag, docstats)
+            if op.op == "and":
+                return left * right
+            return min(1.0, left + right - left * right)
+        if isinstance(op, NotOp):
+            inner = self._selectivity(op.operand, context_tag, docstats)
+            return max(_cost.EQUALITY_FLOOR, 1.0 - inner)
+        return _cost.DEFAULT_SELECTIVITY
+
+
+def _cannot_raise(op: Op) -> bool:
+    """True when evaluating *op* as a predicate can never raise.
+
+    Node values atomize to strings, so a readable ``./Tag <op> literal``
+    comparison is total when the literal keeps it on the string path:
+    LIKE patterns match text, string literals compare as strings, and
+    boolean literals only admit (total) effective-boolean equality.  A
+    float literal forces ``to_number`` on the node text, which raises on
+    non-numeric values — those predicates (and anything unreadable) pin
+    their position in the reorder.
+    """
+    if isinstance(op, ComparisonOp):
+        if op.like is not None:
+            return True
+        shape = _comparison_shape(op)
+        if shape is None:
+            return False
+        _tag, cmp_op, literal = shape
+        if isinstance(literal, bool):
+            return cmp_op in ("=", "!=")
+        return isinstance(literal, str)
+    if isinstance(op, LogicalOp):
+        return _cannot_raise(op.left) and _cannot_raise(op.right)
+    if isinstance(op, NotOp):
+        return _cannot_raise(op.operand)
+    return False
+
+
+def _relative_child_tag(op: Op) -> str | None:
+    """The tag of a bare ``./child::Tag`` operand, else None."""
+    if isinstance(op, PathOp) and isinstance(op.base, ContextItemOp) \
+            and len(op.steps) == 1:
+        step = op.steps[0]
+        if step.axis == "child" and step.kind == "element" \
+                and step.name != "*" and not step.predicates:
+            return step.name
+    return None
+
+
+def _comparison_shape(op: ComparisonOp) -> tuple[str, str, object] | None:
+    """Decompose ``./Tag <op> literal`` (either operand order) into
+    ``(tag, normalized op, literal value)``; None when unreadable."""
+    tag = _relative_child_tag(op.left)
+    if tag is not None and isinstance(op.right, LiteralOp):
+        return tag, op.op, op.right.value
+    tag = _relative_child_tag(op.right)
+    if tag is not None and isinstance(op.left, LiteralOp):
+        return tag, _REVERSED_OP.get(op.op, op.op), op.left.value
+    return None
+
+
+def _is_loop_invariant(op: Op) -> bool:
+    """True when *op*'s subtree references no variable and no context
+    item, so its value cannot change across outer FLWOR bindings."""
+    if isinstance(op, (VarRefOp, ContextItemOp)):
+        return False
+    if isinstance(op, (LiteralOp, DocOp)):
+        return True
+    if isinstance(op, FunctionCallOp):
+        return all(_is_loop_invariant(arg) for arg in op.args)
+    if isinstance(op, SequenceOp):
+        return all(_is_loop_invariant(item) for item in op.items)
+    if isinstance(op, IfOp):
+        return all(_is_loop_invariant(part) for part in
+                   (op.condition, op.then_branch, op.else_branch))
+    if isinstance(op, (LogicalOp, ArithmeticOp, ComparisonOp)):
+        return _is_loop_invariant(op.left) and _is_loop_invariant(op.right)
+    if isinstance(op, NotOp):
+        return _is_loop_invariant(op.operand)
+    if isinstance(op, PathOp):
+        if not _is_loop_invariant(op.base):
+            return False
+        return all(_is_loop_invariant(predicate)
+                   for step in op.steps
+                   for predicate, _pushed in step.predicates)
+    if isinstance(op, IndexedPathOp):
+        return all(_is_loop_invariant(predicate)
+                   for step in op.steps
+                   for predicate, _pushed in step.predicates)
+    if isinstance(op, CachedSourceOp):
+        return True
+    # FLWOR, quantifiers and constructors bind or construct — leave them
+    # conservatively variant.
+    return False
+
+
+# --------------------------------------------------------------------------- #
 # The Plan object and compilation entry point
 # --------------------------------------------------------------------------- #
 
@@ -892,7 +1388,10 @@ class Plan:
     def __init__(self, source: str, ast: Expr, root: Op,
                  functions: FunctionRegistry, parse_ns: int,
                  compile_ns: int, rewrites: dict[str, int],
-                 perturbed: bool = False) -> None:
+                 perturbed: bool = False,
+                 cost_info: dict[int, dict] | None = None,
+                 decisions: dict[str, int] | None = None,
+                 statistics_fingerprint: str | None = None) -> None:
         self.source = source
         self.ast = ast
         self.root = root
@@ -901,11 +1400,17 @@ class Plan:
         self.compile_ns = compile_ns
         self.rewrites = dict(rewrites)
         self.perturbed = perturbed
+        self.cost_info = cost_info if cost_info is not None else {}
+        self.decisions = dict(decisions) if decisions else {}
+        self.statistics_fingerprint = statistics_fingerprint
+        self.costed = statistics_fingerprint is not None
         self._lock = threading.Lock()
         self._fingerprint: str | None = None
         self._identity: str | None = None
         self._explain_fingerprint: str | None = None
+        self._last_trace: dict[int, list[int]] | None = None
         self.runs = 0
+        self.analyzed_runs = 0
         self.total_exec_ns = 0
         self.total_nodes_visited = 0
         self.total_index_lookups = 0
@@ -920,8 +1425,11 @@ class Plan:
         identical contents fingerprint the same, so result-cache entries
         (see :mod:`repro.xquery.results`) survive recompilation; swapping
         a function implementation changes the fingerprint and with it the
-        cache key.  Memoized — the registry fingerprint is itself memoized
-        and a plan's registry never changes after compilation.
+        cache key.  Costed plans share the rule-based plan's fingerprint
+        on purpose: costed choices are answer-preserving, so their cached
+        results are interchangeable.  Memoized — the registry fingerprint
+        is itself memoized and a plan's registry never changes after
+        compilation.
         """
         if self._fingerprint is None:
             digest = hashlib.sha256(self.source.encode("utf-8"))
@@ -937,9 +1445,12 @@ class Plan:
         sha256 over the query source and the registry's *stable*
         fingerprint (``module.qualname`` names, not ``id()``), so two
         interpreter runs — today's collect and last month's committed
-        baseline — agree on whether they compiled the same plan.  The
-        perf framework stores this as ``plan_fingerprint``; in-process
-        caches keep keying on :attr:`fingerprint`.
+        baseline — agree on whether they compiled the same plan.  Costed
+        plans additionally mix in the statistics fingerprint: a plan
+        whose physical choices were driven by different statistics is a
+        different plan.  The perf framework stores this as
+        ``plan_fingerprint``; in-process caches keep keying on
+        :attr:`fingerprint`.
         """
         if self._identity is None:
             digest = hashlib.sha256(self.source.encode("utf-8"))
@@ -948,27 +1459,40 @@ class Plan:
                 self.functions.stable_fingerprint()).encode("utf-8"))
             if self.perturbed:
                 digest.update(b"\x00perturbed")
+            if self.statistics_fingerprint is not None:
+                digest.update(b"\x00stats:")
+                digest.update(self.statistics_fingerprint.encode("utf-8"))
             self._identity = digest.hexdigest()
         return self._identity
 
     @property
     def explain_fingerprint(self) -> str:
-        """sha256 of :meth:`explain` — a stable hash of the chosen
-        operator tree.  Two plans that picked different operators (e.g.
-        index-path vs tree-scan) hash differently even when their query
-        source is identical; byte-stability across processes is pinned by
-        a differential test."""
+        """sha256 of the default :meth:`explain` text — a stable hash of
+        the chosen operator tree.  Two plans that picked different
+        operators (e.g. index-path vs tree-scan, or differently-costed
+        step strategies) hash differently even when their query source
+        is identical; byte-stability across processes is pinned by a
+        differential test."""
         if self._explain_fingerprint is None:
             self._explain_fingerprint = hashlib.sha256(
                 self.explain().encode("utf-8")).hexdigest()
         return self._explain_fingerprint
 
-    def execute(self, documents=None, variables=None) -> Seq:
-        """Run the plan against a document set; thread-safe."""
+    def execute(self, documents=None, variables=None, *,
+                analyze: bool = False) -> Seq:
+        """Run the plan against a document set; thread-safe.
+
+        ``analyze=True`` records per-operator actuals (calls, rows,
+        inclusive wall time) for :meth:`explain_data`/:meth:`explain`
+        ``analyze`` rendering.  The recorded trace is the *last*
+        analyzed execution's; results are identical either way.
+        """
         context = DynamicContext(documents=_resolver_for(documents),
                                  functions=self.functions,
                                  variables=variables)
         state = _ExecState()
+        if analyze:
+            state.trace = {}
         started = time.perf_counter_ns()
         result = self.root.run(context, state)
         exec_ns = time.perf_counter_ns() - started
@@ -983,24 +1507,100 @@ class Plan:
             self.total_nodes_visited += state.nodes_visited
             self.total_index_lookups += state.index_lookups
             self.last_stats = stats
+            if analyze:
+                self.analyzed_runs += 1
+                self._last_trace = state.trace
         return result
 
-    def explain(self) -> str:
-        """Deterministic text rendering of the operator tree."""
+    def _summary(self) -> str:
         summary = " ".join(self.source.split())
         if len(summary) > 60:
             summary = summary[:57] + "..."
+        return summary
+
+    def explain_data(self, analyze: bool = False) -> dict:
+        """The structured explain tree: a stable, JSON-serializable dict.
+
+        Top level: query summary and full source, rewrite counters,
+        planner decision counters, perturbation/costing flags and the
+        statistics fingerprint the costed choices were derived from.
+        ``root`` is the operator tree — per node its ``kind`` slug, the
+        rendered ``label``, an ``estimated`` block where the planner
+        recorded one (row estimate, chosen strategy, cost of the chosen
+        and rejected alternatives, predicate selectivities) and, with
+        ``analyze=True``, an ``actual`` block (calls, rows, inclusive
+        wall ns) from the most recent ``execute(..., analyze=True)``.
+
+        ``analyze=True`` requires a prior analyzed execution — there is
+        nothing actual to report otherwise.
+        """
+        trace = None
+        if analyze:
+            with self._lock:
+                trace = self._last_trace
+            if trace is None:
+                raise ValueError(
+                    "no analyzed execution recorded; run "
+                    "plan.execute(documents, analyze=True) first")
+        cost_info = self.cost_info
+
+        def walk(node: _Node) -> dict:
+            entry: dict = {"kind": node.kind, "label": node.label}
+            ref = node.ref
+            if ref is not None:
+                estimated = cost_info.get(id(ref))
+                if estimated is not None:
+                    entry["estimated"] = estimated
+                if trace is not None:
+                    recorded = trace.get(id(ref))
+                    if recorded is not None:
+                        entry["actual"] = {
+                            "calls": recorded[0],
+                            "rows": recorded[1],
+                            "wall_ns": recorded[2],
+                        }
+            entry["children"] = [walk(child) for child in node.children]
+            return entry
+
+        return {
+            "version": 1,
+            "source": self._summary(),
+            "xquery": self.source,
+            "perturbed": self.perturbed,
+            "costed": self.costed,
+            "statistics_fingerprint": self.statistics_fingerprint,
+            "rewrites": dict(sorted(self.rewrites.items())),
+            "decisions": dict(sorted(self.decisions.items())),
+            "analyzed": trace is not None,
+            "root": walk(self.root.explain_node()),
+        }
+
+    def explain(self, analyze: bool = False, format: str = "text") -> str:
+        """Deterministic rendering of :meth:`explain_data`.
+
+        The default ``(analyze=False, format="text")`` output is
+        golden-pinned and byte-identical across processes; ``analyze``
+        appends per-operator actuals, ``format="json"`` serializes the
+        data tree instead.
+        """
+        data = self.explain_data(analyze=analyze)
+        if format == "json":
+            return json.dumps(data, indent=2)
+        if format != "text":
+            raise ValueError(f"unknown explain format: {format!r}")
         rewrites = ", ".join(f"{name}={count}"
-                             for name, count in sorted(self.rewrites.items()))
-        lines = [
-            f"plan for: {summary}",
-            f"rewrites: {rewrites}",
-        ]
-        if self.perturbed:
+                             for name, count in data["rewrites"].items())
+        lines = [f"plan for: {data['source']}"]
+        if data["perturbed"]:
             # Only perturbed plans carry the marker line, so the twelve
             # golden explain files stay byte-identical.
-            lines.insert(1, "perturbed: index-paths disabled")
-        _render(self.root.explain_node(), 0, lines)
+            lines.append("perturbed: index-paths disabled")
+        lines.append(f"rewrites: {rewrites}")
+        if data["costed"]:
+            decisions = ", ".join(f"{name}={count}" for name, count
+                                  in data["decisions"].items())
+            lines.append(f"costed: {decisions}")
+        _render_data(data["root"], 0, lines, analyze)
         return "\n".join(lines)
 
     def stats_snapshot(self) -> dict:
@@ -1029,14 +1629,20 @@ class Plan:
 
 def compile_query(source: str,
                   functions: FunctionRegistry | None = None, *,
-                  perturb: bool = False) -> Plan:
+                  perturb: bool = False,
+                  statistics: "Statistics | None" = None) -> Plan:
     """Compile XQuery text to a :class:`Plan` (no caching here; see
     :mod:`repro.xquery.plan_cache`).
 
-    ``perturb=True`` is a test-only toggle that disables the index-path
-    rewrite, yielding a deliberately different (and slower) plan.  The
-    perf framework uses it to prove the regression gate fires; perturbed
-    plans are never cached, so production paths cannot pick one up.
+    ``statistics`` (see :func:`repro.xquery.stats.collect_statistics`)
+    enables the cost-based planning pass; without it the plan is the
+    rule-based plan, bit for bit.  ``perturb=True`` is a test-only
+    toggle that disables the index-path rewrite, yielding a deliberately
+    different (and slower) plan; it wins over ``statistics`` — a
+    perturbed plan is the forced-tree-scan reference the costed path is
+    differentially tested against.  The perf framework uses it to prove
+    the regression gate fires; perturbed plans are never cached, so
+    production paths cannot pick one up.
     """
     registry = functions if functions is not None else default_registry()
     started = time.perf_counter_ns()
@@ -1047,6 +1653,15 @@ def compile_query(source: str,
     folded, folds = fold_constants(ast_root)
     lowerer = _Lowerer(registry, index_paths=not perturb)
     root = lowerer.lower(folded)
+    cost_info = None
+    decisions = None
+    statistics_fingerprint = None
+    if statistics is not None and not perturb:
+        planner = _CostPlanner(statistics)
+        root = planner.walk(root)
+        cost_info = planner.cost_info
+        decisions = planner.decisions
+        statistics_fingerprint = statistics.fingerprint
     compile_ns = time.perf_counter_ns() - started
     return Plan(source, folded, root, registry, parse_ns, compile_ns,
                 rewrites={
@@ -1054,7 +1669,10 @@ def compile_query(source: str,
                     "where-to-predicate": lowerer.where_fused,
                     "index-paths": lowerer.indexed_paths,
                 },
-                perturbed=perturb)
+                perturbed=perturb,
+                cost_info=cost_info,
+                decisions=decisions,
+                statistics_fingerprint=statistics_fingerprint)
 
 
 __all__ = [

@@ -1,9 +1,10 @@
 """A bounded LRU cache of compiled query plans.
 
-Keyed by ``(source, registry fingerprint)`` so the same query text
-compiled against different user-defined function sets (e.g. the
-warehouse loader's UDFs) gets distinct entries, while re-running a
-benchmark query through the default builtins hits the cache every time.
+Keyed by ``(source, registry fingerprint, statistics fingerprint)`` so
+the same query text compiled against different user-defined function
+sets (e.g. the warehouse loader's UDFs) — or costed against different
+statistics — gets distinct entries, while re-running a benchmark query
+through the default builtins hits the cache every time.
 
 The process-wide :func:`shared_plan_cache` is what the runner, the
 claim validator and the CLI use; the server keeps its own instance so
@@ -34,15 +35,22 @@ class PlanCache:
         self.evictions = 0
 
     def get(self, source: str,
-            functions: FunctionRegistry | None = None) -> Plan:
+            functions: FunctionRegistry | None = None,
+            statistics=None) -> Plan:
         """The cached plan for *source*, compiling on a miss.
+
+        *statistics* (a :class:`repro.xquery.stats.Statistics`) enables
+        cost-based planning and becomes part of the cache key — a plan
+        costed against one statistics snapshot is never served for
+        another (or for an un-costed request).
 
         Compilation happens outside the lock; when two threads race on
         the same miss the first stored plan wins so cumulative stats
         stay on one object.
         """
         registry = functions if functions is not None else default_registry()
-        key = (source, registry.fingerprint())
+        key = (source, registry.fingerprint(),
+               statistics.fingerprint if statistics is not None else None)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
@@ -50,7 +58,7 @@ class PlanCache:
                 self._plans.move_to_end(key)
                 return plan
             self.misses += 1
-        compiled = compile_query(source, registry)
+        compiled = compile_query(source, registry, statistics=statistics)
         with self._lock:
             existing = self._plans.get(key)
             if existing is not None:

@@ -1,0 +1,199 @@
+"""The cost-based planner: costed plans answer exactly like rule-based
+plans (and like index-disabled scans), while switching physical
+strategies where the statistics say a scan is cheaper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalogs import build_testbed, paper_universities
+from repro.core.queries import QUERIES
+from repro.xmlmodel import XmlDocument, XmlElement, element, serialize
+from repro.xquery import compile_query
+from repro.xquery.stats import collect_statistics
+
+
+def _render(items):
+    return tuple(serialize(item) if isinstance(item, XmlElement)
+                 else repr(item) for item in items)
+
+
+def _answers(source, documents, statistics=None, perturb=False):
+    plan = compile_query(source, statistics=statistics, perturb=perturb)
+    return _render(plan.execute(documents)), plan
+
+
+@pytest.fixture(scope="module")
+def scale8():
+    testbed = build_testbed(seed=2004, universities=paper_universities(),
+                            scale=8)
+    documents = testbed.documents
+    statistics = collect_statistics(
+        documents, fingerprint=testbed.content_fingerprint())
+    return documents, statistics
+
+
+class TestTwelveQueries:
+    def test_costed_answers_match_rule_based(self, scale8):
+        documents, statistics = scale8
+        for query in QUERIES:
+            expected, _ = _answers(query.xquery, documents)
+            produced, plan = _answers(query.xquery, documents,
+                                      statistics=statistics)
+            assert plan.costed
+            assert produced == expected, f"Q{query.number}"
+
+    def test_at_least_one_strategy_switch_at_scale_8(self, scale8):
+        """The acceptance bar: at scale >= 8 the cost model must move at
+        least one query off the rule-based physical strategy (the rules
+        always probe the index first on child steps)."""
+        documents, statistics = scale8
+        switched = 0
+        for query in QUERIES:
+            plan = compile_query(query.xquery, statistics=statistics)
+            if plan.decisions.get("scan-steps", 0) > 0:
+                switched += 1
+        assert switched >= 1
+
+    def test_costed_plan_identity_differs_but_fingerprint_shared(
+            self, scale8):
+        """Result-cache entries stay shared (answers are interchangeable
+        by construction); plan identity mixes the statistics in."""
+        _documents, statistics = scale8
+        source = QUERIES[0].xquery
+        plain = compile_query(source)
+        costed = compile_query(source, statistics=statistics)
+        assert costed.fingerprint == plain.fingerprint
+        assert costed.identity != plain.identity
+
+    def test_predicate_reordering_happens_and_preserves_answers(
+            self, scale8):
+        """Q4 pushes two WHERE conjuncts; the cheap LIKE filter must run
+        before the numeric range once selectivities are known."""
+        documents, statistics = scale8
+        reordered = 0
+        for query in QUERIES:
+            expected, _ = _answers(query.xquery, documents)
+            produced, plan = _answers(query.xquery, documents,
+                                      statistics=statistics)
+            assert produced == expected, f"Q{query.number}"
+            reordered += plan.decisions.get("reordered-predicates", 0)
+        assert reordered >= 1
+
+    def test_alternatives_recorded_with_costs(self, scale8):
+        _documents, statistics = scale8
+        plan = compile_query(QUERIES[0].xquery, statistics=statistics)
+        data = plan.explain_data()
+
+        found = []
+
+        def walk(entry):
+            estimated = entry.get("estimated") or {}
+            if "alternatives" in estimated:
+                found.append(estimated)
+            for child in entry.get("children", ()):
+                walk(child)
+
+        walk(data["root"])
+        assert found, "no costed step recorded its alternatives"
+        for estimated in found:
+            strategies = {alt["strategy"]: alt["cost"]
+                          for alt in estimated["alternatives"]}
+            assert set(strategies) == {"index", "scan"}
+            assert estimated["strategy"] in strategies
+            assert estimated["est_cost"] \
+                == pytest.approx(min(strategies.values()), abs=1e-3)
+
+    def test_perturb_beats_statistics(self, scale8):
+        """The perf gate's rewrite toggle must stay a pure rule-based
+        plan even when statistics are on hand."""
+        _documents, statistics = scale8
+        plan = compile_query(QUERIES[0].xquery, statistics=statistics,
+                             perturb=True)
+        assert not plan.costed
+        assert plan.perturbed
+
+
+class TestScenarioPack:
+    @pytest.fixture(scope="class")
+    def pack(self):
+        from repro.scenarios.suite import ScenarioSuite
+        suite = ScenarioSuite.generate(11, 25)
+        testbed = suite.build_testbed()
+        documents = testbed.documents
+        statistics = collect_statistics(documents)
+        return suite, documents, statistics
+
+    def test_costed_matches_rule_based_and_forced_scan(self, pack):
+        suite, documents, statistics = pack
+        for query in suite.queries:
+            expected, _ = _answers(query.xquery, documents)
+            scanned, _ = _answers(query.xquery, documents, perturb=True)
+            costed, plan = _answers(query.xquery, documents,
+                                    statistics=statistics)
+            assert plan.costed, query.case_id
+            assert costed == expected == scanned, query.case_id
+
+
+# --------------------------------------------------------------------------- #
+# Property: costed ≡ rule-based ≡ forced-scan on generated queries
+# --------------------------------------------------------------------------- #
+
+def _docs():
+    root = element(
+        "r",
+        element("c", element("v", "x"), element("w", "5"),
+                element("t", "alpha beta")),
+        element("c", element("v", "y"), element("w", "2")),
+        element("c", element("v", "x"), element("w", "7"),
+                element("t", "gamma")),
+        element("deep", element("c", element("v", "z"))),
+    )
+    return {"d": XmlDocument(root)}
+
+
+DOCS = _docs()
+STATISTICS = collect_statistics(DOCS)
+
+_tags = st.sampled_from(["c", "v", "w", "t", "deep", "missing"])
+_values = st.sampled_from(["'x'", "'y'", "'%x%'", "'alpha%'", "5", "2", "0"])
+_cmp_ops = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def _queries(draw):
+    steps = draw(st.lists(_tags, min_size=1, max_size=3))
+    sep = draw(st.sampled_from(["/", "//"]))
+    path = "doc('d')" + sep + "/".join(["r"] + steps)
+    shape = draw(st.integers(min_value=0, max_value=2))
+    if shape == 0:
+        return path
+    if shape == 1:
+        tag = draw(_tags)
+        op = draw(_cmp_ops)
+        value = draw(_values)
+        return f"{path}[{tag} {op} {value}]"
+    conjuncts = [f"$i/{draw(_tags)} {draw(_cmp_ops)} {draw(_values)}"
+                 for _ in range(draw(st.integers(1, 3)))]
+    return (f"for $i in doc('d')/r/c where {' and '.join(conjuncts)} "
+            f"return $i/v")
+
+
+def _outcome(source, **kwargs):
+    """Rendered results, or the raised XQueryError type — either way the
+    three compilation modes must agree exactly."""
+    from repro.xquery.errors import XQueryError
+    try:
+        return _render(compile_query(source, **kwargs).execute(DOCS))
+    except XQueryError as exc:
+        return ("raised", type(exc).__name__)
+
+
+class TestCostedEquivalence:
+    @settings(max_examples=200, deadline=None)
+    @given(_queries())
+    def test_costed_matches_rule_based_and_forced_scan(self, source):
+        plain = _outcome(source)
+        scanned = _outcome(source, perturb=True)
+        costed = _outcome(source, statistics=STATISTICS)
+        assert costed == plain == scanned

@@ -1,0 +1,241 @@
+"""Statistics collection: naive-count parity, determinism, the cache."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.xquery.cost import comparison_selectivity, q_error
+from repro.xquery.stats import (
+    SAMPLE_CAP,
+    clear_statistics_cache,
+    collect_statistics,
+    statistics_cache_stats,
+)
+
+REPO_SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+def _naive_tag_counts(root):
+    counts = {}
+
+    def walk(node):
+        counts[node.tag] = counts.get(node.tag, 0) + 1
+        for child in node.element_children:
+            walk(child)
+
+    walk(root)
+    return counts
+
+
+def _naive_child_pairs(root):
+    pairs = {}
+
+    def walk(node):
+        for child in node.element_children:
+            key = (node.tag, child.tag)
+            pairs[key] = pairs.get(key, 0) + 1
+            walk(child)
+
+    walk(root)
+    return pairs
+
+
+@pytest.fixture(scope="module")
+def statistics(testbed):
+    clear_statistics_cache()
+    return collect_statistics(testbed.documents,
+                              fingerprint=testbed.content_fingerprint())
+
+
+class TestCardinalities:
+    def test_tag_counts_match_naive_counts_on_every_source(
+            self, testbed, statistics):
+        """Posting-list cardinalities equal a hand-rolled tree walk."""
+        for slug, document in testbed.documents.items():
+            docstats = statistics.for_document(slug)
+            assert docstats is not None, slug
+            naive = _naive_tag_counts(document.root)
+            assert docstats.tag_counts == naive, slug
+            assert docstats.element_count == sum(naive.values()), slug
+            index = document.index()
+            for tag, count in naive.items():
+                assert index.tag_count(tag) == count, (slug, tag)
+
+    def test_child_pairs_match_naive_counts(self, testbed, statistics):
+        for slug, document in testbed.documents.items():
+            docstats = statistics.for_document(slug)
+            assert docstats.child_pairs \
+                == _naive_child_pairs(document.root), slug
+
+    def test_fanout_of_document_node_is_the_root(self, statistics):
+        docstats = statistics.for_document("cmu")
+        assert docstats.fanout(None, docstats.root_tag) == 1.0
+        assert docstats.fanout(None, "Course") == 0.0
+
+    def test_doc_uri_normalization(self, statistics):
+        assert statistics.for_document("cmu.xml") \
+            is statistics.for_document("cmu")
+
+    def test_sample_cap_respected(self, statistics):
+        for docstats in statistics.documents.values():
+            for tag, values in docstats.value_samples.items():
+                assert len(values) <= SAMPLE_CAP, (docstats.name, tag)
+
+    def test_subtree_sizes_match_naive_walk(self, testbed):
+        document = testbed.documents["cmu"]
+        index = document.index()
+
+        def descendants(node):
+            return sum(1 + descendants(child)
+                       for child in node.element_children)
+
+        for course in index.elements("Course")[:5]:
+            assert index.subtree_size(course) == descendants(course)
+
+
+class TestScaled:
+    def test_scaled_inflates_row_estimates(self, statistics):
+        docstats = statistics.for_document("umd")
+        inflated = docstats.scaled(100)
+        base = docstats.fanout("umd", "Course")
+        assert base > 0
+        assert inflated.fanout("umd", "Course") == pytest.approx(100 * base)
+        assert inflated.avg_subtree("Course") \
+            == pytest.approx(100 * docstats.avg_subtree("Course"))
+
+    def test_scaled_leaves_value_samples_alone(self, statistics):
+        docstats = statistics.for_document("umd")
+        assert docstats.scaled(100).value_samples is docstats.value_samples
+
+    def test_scaled_changes_the_fingerprint(self, statistics):
+        assert statistics.scaled(100).fingerprint != statistics.fingerprint
+
+    def test_scale_factor_must_be_positive(self, statistics):
+        with pytest.raises(ValueError):
+            statistics.scaled(0)
+
+
+_DUMP_SCRIPT = """\
+import json, sys
+from repro.catalogs import build_testbed, paper_universities
+from repro.xquery.cost import comparison_selectivity
+from repro.xquery.stats import collect_statistics
+
+testbed = build_testbed(universities=paper_universities())
+statistics = collect_statistics(
+    testbed.documents, fingerprint=testbed.content_fingerprint())
+selectivities = {}
+for slug in sorted(statistics.documents):
+    docstats = statistics.documents[slug]
+    for tag in sorted(docstats.value_samples)[:5]:
+        values = docstats.samples(tag)
+        if values:
+            selectivities[f"{slug}/{tag}"] = comparison_selectivity(
+                docstats, docstats.root_tag, tag, "=", values[0])
+json.dump({"fingerprint": statistics.fingerprint,
+           "selectivities": selectivities}, sys.stdout, sort_keys=True)
+"""
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def dumps(self):
+        def run():
+            result = subprocess.run(
+                [sys.executable, "-c", _DUMP_SCRIPT],
+                capture_output=True, text=True, timeout=300,
+                env={"PYTHONPATH": str(REPO_SRC),
+                     "PYTHONHASHSEED": "random"})
+            assert result.returncode == 0, result.stderr
+            return result.stdout
+
+        return run(), run()
+
+    def test_fingerprint_and_selectivities_stable_across_processes(
+            self, dumps):
+        """Two interpreters with randomized hashing agree byte for
+        byte on the fingerprint and on every selectivity estimate."""
+        first, second = dumps
+        assert first == second
+        payload = json.loads(first)
+        assert len(payload["fingerprint"]) == 64
+        assert payload["selectivities"]
+
+    def test_fresh_process_matches_this_process(self, dumps, statistics):
+        """The subprocess estimates agree with in-process estimates over
+        the same documents (the full testbed is a superset of the paper
+        nine, and per-document stats depend only on that document)."""
+        payload = json.loads(dumps[0])
+        for key, value in payload["selectivities"].items():
+            slug, tag = key.split("/", 1)
+            docstats = statistics.for_document(slug)
+            values = docstats.samples(tag)
+            assert comparison_selectivity(
+                docstats, docstats.root_tag, tag, "=", values[0]) \
+                == pytest.approx(value)
+
+
+class TestCache:
+    def test_fingerprint_keyed_hits(self, testbed):
+        clear_statistics_cache()
+        fingerprint = testbed.content_fingerprint()
+        first = collect_statistics(testbed.documents,
+                                   fingerprint=fingerprint)
+        second = collect_statistics(testbed.documents,
+                                    fingerprint=fingerprint)
+        assert second is first
+        counters = statistics_cache_stats()
+        assert counters["hits"] == 1
+        assert counters["misses"] == 1
+        assert counters["collections"] == 1
+        assert counters["hit_rate"] == 0.5
+
+    def test_no_fingerprint_means_no_caching(self, testbed):
+        clear_statistics_cache()
+        first = collect_statistics(testbed.documents)
+        second = collect_statistics(testbed.documents)
+        assert second is not first
+        counters = statistics_cache_stats()
+        assert counters["hits"] == 0
+        assert counters["misses"] == 0
+        assert counters["collections"] == 2
+
+    def test_clear_resets_counters(self, testbed):
+        collect_statistics(testbed.documents,
+                           fingerprint=testbed.content_fingerprint())
+        clear_statistics_cache()
+        counters = statistics_cache_stats()
+        assert counters["entries"] == 0
+        assert counters["hits"] == 0
+        assert counters["misses"] == 0
+        assert counters["collections"] == 0
+
+
+class TestIndexCounters:
+    def test_reset_counters_is_reset_safe(self, testbed):
+        document = testbed.documents["cmu"]
+        index = document.index()
+        index.children_of(document.root, "Course")
+        assert index.stats()["child_lookups"] >= 1
+        index.reset_counters()
+        stats = index.stats()
+        assert stats["child_lookups"] == 0
+        assert stats["descendant_lookups"] == 0
+        assert stats["string_lookups"] == 0
+        # Structure untouched by a counter reset.
+        assert stats["elements"] == index.element_count
+
+
+class TestQError:
+    def test_symmetric(self):
+        assert q_error(10, 1000) == q_error(1000, 10)
+
+    def test_exact_is_one(self):
+        assert q_error(42, 42) == 1.0
+
+    def test_zero_safe(self):
+        assert q_error(0, 0) == 1.0
+        assert q_error(0, 99) == 100.0
