@@ -182,6 +182,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="perf snapshot linked from /api/stats "
                             "(default: $THALIA_PERF_BASELINE or "
                             "PERF_BASELINE.json)")
+    serve.add_argument("--fleet", type=int, default=0, metavar="N",
+                       help="execute /api/query[/batch] on N worker "
+                            "processes sharing a cross-process result "
+                            "cache, with admission control and request "
+                            "hedging (default 0: in-process execution)")
+    serve.add_argument("--fleet-queue-depth", type=int, default=None,
+                       metavar="D",
+                       help="per-worker in-flight budget before requests "
+                            "are shed with 429 (default 32)")
+    serve.add_argument("--hedge-quantile", type=float, default=None,
+                       metavar="Q",
+                       help="re-issue a query to a second worker past "
+                            "this observed latency quantile (default "
+                            "0.95; negative disables hedging)")
+    serve.add_argument("--hedge-floor-ms", type=float, default=None,
+                       metavar="MS",
+                       help="never hedge earlier than this (default 50)")
+    serve.add_argument("--shared-cache-mb", type=int, default=None,
+                       metavar="MB",
+                       help="shared result-cache arena size (default 32; "
+                            "0 disables the shared tier)")
 
     bundle = commands.add_parser(
         "bundle", help="write the three download zips")
@@ -391,24 +412,51 @@ def _cmd_build_site(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from .server import DEFAULT_SCORES_FILE, HonorRollStore, ThaliaApp, \
-        ThaliaServer
+        ThaliaServer, WorkerFleet
 
     testbed = _make_testbed(args)   # global --workers/--cache-dir/--no-cache
     store = HonorRollStore(args.scores or DEFAULT_SCORES_FILE)
+    fleet = None
+    if args.fleet > 0:
+        fleet_kwargs = {}
+        if args.fleet_queue_depth is not None:
+            fleet_kwargs["queue_depth"] = args.fleet_queue_depth
+        if args.hedge_quantile is not None:
+            fleet_kwargs["hedge_quantile"] = \
+                None if args.hedge_quantile < 0 else args.hedge_quantile
+        if args.hedge_floor_ms is not None:
+            fleet_kwargs["hedge_floor_s"] = args.hedge_floor_ms / 1000.0
+        if args.shared_cache_mb is not None:
+            fleet_kwargs["shared_cache_bytes"] = \
+                args.shared_cache_mb * 1024 * 1024
+        fleet = WorkerFleet(testbed, workers=args.fleet, **fleet_kwargs)
     app = ThaliaApp(testbed=testbed, store=store,
                     query_workers=args.query_workers,
-                    perf_baseline=args.perf_baseline)
+                    perf_baseline=args.perf_baseline,
+                    fleet=fleet)
     server = ThaliaServer(app, host=args.host, port=args.port,
                           pool_size=args.http_threads)
+    fleet_note = f", fleet of {fleet.size} worker processes " \
+                 f"({fleet.start_method})" if fleet is not None else ""
     print(f"serving THALIA benchmark service on {server.url} "
-          f"({len(testbed)} sources, {args.http_threads} worker threads, "
-          f"honor roll: {store.path})", flush=True)
+          f"({len(testbed)} sources, {args.http_threads} worker threads"
+          f"{fleet_note}, honor roll: {store.path})", flush=True)
+
+    # SIGTERM drains exactly like Ctrl-C: the acceptor loop exits,
+    # in-flight requests finish, then the fleet drains and stops.
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\nshutting down...", flush=True)
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
         server.stop()
     snapshot = app.metrics.snapshot()
     totals = snapshot["totals"]

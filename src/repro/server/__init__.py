@@ -24,9 +24,16 @@ In-process quickstart::
 
 from .app import DEFAULT_SCORES_FILE, PooledHTTPServer, ThaliaApp, ThaliaServer
 from .cache import CacheEntry, ContentCache, make_etag
+from .fleet import FleetClosed, FleetError, FleetSaturated, WorkerFleet
 from .handlers import build_router
-from .metrics import EndpointStats, ServerMetrics, percentile
+from .metrics import (
+    EndpointStats,
+    LatencyReservoir,
+    ServerMetrics,
+    percentile,
+)
 from .router import Request, Response, Route, Router
+from .shared_cache import SharedResultCache, TieredResultCache
 from .store import HonorRollStore
 
 __all__ = [
@@ -34,15 +41,22 @@ __all__ = [
     "ContentCache",
     "DEFAULT_SCORES_FILE",
     "EndpointStats",
+    "FleetClosed",
+    "FleetError",
+    "FleetSaturated",
     "HonorRollStore",
+    "LatencyReservoir",
     "PooledHTTPServer",
     "Request",
     "Response",
     "Route",
     "Router",
     "ServerMetrics",
+    "SharedResultCache",
     "ThaliaApp",
     "ThaliaServer",
+    "TieredResultCache",
+    "WorkerFleet",
     "build_router",
     "make_etag",
     "percentile",

@@ -66,8 +66,14 @@ class ThaliaApp:
                  store: HonorRollStore | None = None,
                  scores_path: str | Path = DEFAULT_SCORES_FILE,
                  query_workers: int = 4,
-                 perf_baseline: str | Path | None = None) -> None:
+                 perf_baseline: str | Path | None = None,
+                 fleet=None) -> None:
         self.testbed = testbed if testbed is not None else shared_testbed()
+        # Optional multiprocess worker fleet (repro.server.fleet): when
+        # set, POST /api/query[/batch] executes on worker processes with
+        # admission control and hedging instead of in this process.  The
+        # app owns its lifecycle: close() drains and stops the workers.
+        self.fleet = fleet
         self.store = store if store is not None \
             else HonorRollStore(scores_path)
         # The static-site generator renders every HTML page; sharing the
@@ -298,11 +304,14 @@ class ThaliaApp:
             return self._query_pool
 
     def close(self) -> None:
-        """Release background resources (the batch executor)."""
+        """Release background resources (batch executor, worker fleet)."""
         with self._query_pool_lock:
             pool, self._query_pool = self._query_pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        fleet, self.fleet = self.fleet, None
+        if fleet is not None:
+            fleet.close()
 
     # -- handler helpers -------------------------------------------------- #
 

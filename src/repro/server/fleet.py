@@ -1,0 +1,800 @@
+"""Multiprocess worker fleet: sharded query execution behind the service.
+
+One Python process cannot push query execution past the GIL no matter
+how many threads the server pool holds.  ``thalia serve --fleet N``
+moves execution into N worker *processes*, each holding its own compiled
+plans and lazily-built ``DocumentIndex`` over the same testbed, while
+the HTTP frontend keeps doing what it is good at: routing, content
+caching, metrics.
+
+Design, end to end:
+
+* **Sharding.** Requests that name a source route to the worker keyed by
+  ``sha256(scale, slug) % N`` — the same worker keeps answering the same
+  document, so its plan cache, document index and private result cache
+  stay hot.  Unsharded (all-document) requests go to the least-loaded
+  worker.  Under pressure a sharded request spills to the least-loaded
+  worker with capacity rather than queueing behind its home shard.
+* **Shared result cache.** All workers (and the frontend) map one
+  :class:`~repro.server.shared_cache.SharedResultCache`, keyed by the
+  exact ``(task fingerprint, content fingerprint)`` scheme of the
+  in-process :class:`~repro.xquery.results.ResultCache` — a result any
+  process computed is a byte-identical replay for every other process.
+* **Admission control.** Every worker has a bounded in-flight budget
+  (``queue_depth``).  When no candidate worker has capacity the request
+  is *shed* with :class:`FleetSaturated` — the handler answers ``429``
+  with a ``Retry-After`` derived from observed latency — instead of
+  queueing unboundedly and melting tail latency for everyone.
+* **Request hedging.** A request still unanswered past an adaptive
+  latency quantile (default: observed p95, floored) is re-issued to a
+  second worker.  First answer wins; the loser is cancelled (skipped if
+  still queued, its late answer dropped otherwise) and counted.
+* **Lifecycle.** A monitor/dispatcher thread detects dead workers,
+  re-dispatches their in-flight requests to healthy peers (zero failed
+  requests on a worker crash) and respawns them with a cold-start
+  counter.  ``close()`` drains: new work is refused, in-flight work
+  finishes, workers get a stop sentinel, stragglers are terminated.
+
+Workers execute requests through the *same* ``_run_one_query`` code path
+as single-process serving, so fleet responses are byte-identical to what
+one process would have answered.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import logging
+import multiprocessing
+import os
+import pickle
+import resource
+import threading
+import time
+from multiprocessing.connection import wait as connection_wait
+
+from ..xquery import PlanCache
+from ..xquery.results import ResultCache
+from .metrics import LatencyReservoir
+from .shared_cache import SharedResultCache, TieredResultCache
+
+logger = logging.getLogger(__name__)
+
+#: Default bounded in-flight budget per worker (admission control).
+DEFAULT_QUEUE_DEPTH = 32
+
+#: Hedge a request once it is slower than this observed latency quantile.
+DEFAULT_HEDGE_QUANTILE = 0.95
+
+#: Never hedge earlier than this (seconds) — re-issuing microsecond
+#: cache hits would only double load.
+DEFAULT_HEDGE_FLOOR_S = 0.05
+
+#: Hedge delay used until enough latency samples exist to estimate the
+#: quantile.
+INITIAL_HEDGE_DELAY_S = 1.0
+
+#: Latency observations required before the adaptive quantile is trusted.
+MIN_HEDGE_SAMPLES = 16
+
+#: Hard ceiling on one request's wall time before the fleet gives up.
+DEFAULT_REQUEST_TIMEOUT_S = 300.0
+
+#: Dispatcher poll interval: response wait timeout doubling as the
+#: worker liveness check period.
+_POLL_S = 0.1
+
+
+class FleetError(RuntimeError):
+    """Base class for fleet dispatch failures."""
+
+
+class FleetSaturated(FleetError):
+    """Every candidate worker is at its in-flight budget; shed the load."""
+
+    def __init__(self, retry_after_s: int) -> None:
+        super().__init__("worker fleet saturated")
+        self.retry_after_s = retry_after_s
+
+
+class FleetClosed(FleetError):
+    """The fleet is draining or closed; no new work is admitted."""
+
+
+class _WorkerContext:
+    """What ``_run_one_query`` needs, fleet-worker flavored.
+
+    Mirrors the attribute surface of :class:`~repro.server.app.ThaliaApp`
+    that the query path touches — testbed, plan cache, result cache — so
+    the exact single-process handler code runs inside each worker.
+    """
+
+    def __init__(self, testbed, shared_cache: SharedResultCache | None)\
+            -> None:
+        self.testbed = testbed
+        self.plans = PlanCache(maxsize=128)
+        self.results = TieredResultCache(ResultCache(maxsize=256),
+                                         shared_cache)
+
+
+def _process_meta(served: int) -> dict:
+    """This worker's resource self-report, attached to every response."""
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    rss_kb = usage.ru_maxrss            # Linux: KiB, peak
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            rss_kb = int(handle.read().split()[1]) \
+                * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        pass
+    return {
+        "cpu_s": round(usage.ru_utime + usage.ru_stime, 4),
+        "rss_kb": rss_kb,
+        "served": served,
+    }
+
+
+def _worker_main(index: int, seed: int, scale: int, inherited_testbed,
+                 task_conn, resp_conn, cache_path: str | None, cache_lock,
+                 gate) -> None:
+    """One worker process: recv task → execute → send result, forever.
+
+    ``inherited_testbed`` is the frontend's live object under the fork
+    start method (free); under spawn it is ``None`` and the worker
+    rebuilds deterministically from ``(seed, scale)`` — PR 7 proved
+    builds byte-identical across processes, so fingerprints (and
+    therefore shared-cache keys) agree either way.
+    """
+    from ..catalogs import shared_testbed
+    from .handlers import _run_one_query, render_query_body
+
+    dump_dir = os.environ.get("THALIA_FLEET_DUMP_DIR")
+    if dump_dir:
+        # Debug aid: `kill -USR1 <worker pid>` dumps the worker's stack.
+        import faulthandler
+        import signal as _signal
+        try:
+            faulthandler.register(
+                _signal.SIGUSR1,
+                file=open(os.path.join(dump_dir,
+                                       f"fleet-worker-{os.getpid()}.dump"),
+                          "w"))
+        except (OSError, AttributeError, ValueError):
+            pass
+
+    testbed = inherited_testbed if inherited_testbed is not None \
+        else shared_testbed(seed, scale=scale)
+    shared = None
+    if cache_path is not None:
+        try:
+            shared = SharedResultCache.attach(cache_path, cache_lock)
+        except (OSError, ValueError):
+            shared = None               # degrade to a private cache
+    context = _WorkerContext(testbed, shared)
+    cancelled: set[int] = set()
+    served = 0
+    resp_conn.send(("hello", index, os.getpid(), _process_meta(served)))
+    while True:
+        try:
+            message = task_conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "cancel":
+            cancelled.add(message[1])
+            continue
+        rid = message[1]
+        if rid in cancelled:
+            cancelled.discard(rid)
+            try:
+                resp_conn.send(("skipped", rid, _process_meta(served)))
+            except (BrokenPipeError, OSError):
+                break
+            continue
+        if kind == "gate":
+            # Test-only rendezvous: park until the cross-process gate
+            # opens.  Only honored when the fleet was built with a gate.
+            # A (ready, go) pair additionally signals delivery, so tests
+            # can prove a task reached a worker without sleeping.  ``go``
+            # is a semaphore turnstile rather than an mp.Event: a worker
+            # SIGKILLed while parked in ``Event.wait()`` leaves the
+            # event's sleeper count claiming a waiter that no longer
+            # exists, and the next ``set()`` then blocks forever inside
+            # ``Condition.notify_all()`` waiting for the dead process to
+            # acknowledge its wakeup.  ``sem_wait`` keeps no such
+            # accounting, so a killed waiter simply vanishes.
+            if isinstance(gate, tuple):
+                ready, go = gate
+                ready.release()
+                go.acquire()
+                go.release()        # pass the baton to the next waiter
+            elif gate is not None:
+                gate.wait()
+            body, status, rendered = {"gated": True}, 200, None
+        else:
+            payload = message[2]
+            try:
+                body, status = _run_one_query(context, payload)
+                rendered = render_query_body(body, status) \
+                    if message[3] else None
+            except Exception as exc:   # pragma: no cover - defensive
+                body, status, rendered = \
+                    {"error": f"worker failure: {exc}"}, 500, None
+        served += 1
+        try:
+            resp_conn.send(("result", rid, status, body, rendered,
+                            _process_meta(served)))
+        except (BrokenPipeError, OSError):
+            break
+
+
+class _Pending:
+    """One logical request awaiting an answer (possibly hedged)."""
+
+    __slots__ = ("event", "payload", "endpoint", "kind", "render",
+                 "primary_rid", "rids", "result", "rendered", "done",
+                 "winner_rid", "started")
+
+    def __init__(self, payload, endpoint: str, kind: str, render: bool,
+                 rid: int) -> None:
+        self.event = threading.Event()
+        self.payload = payload
+        self.endpoint = endpoint
+        self.kind = kind
+        self.render = render
+        self.primary_rid = rid
+        self.rids: dict[int, int] = {}    # rid -> worker index
+        self.result: tuple[dict, int] | None = None
+        self.rendered: bytes | None = None
+        self.done = False
+        self.winner_rid: int | None = None
+        self.started = time.perf_counter()
+
+
+class _WorkerHandle:
+    """Frontend-side bookkeeping for one worker slot."""
+
+    __slots__ = ("index", "process", "task_conn", "resp_conn", "pid",
+                 "outstanding", "served", "cold_starts", "meta")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process = None
+        self.task_conn = None
+        self.resp_conn = None
+        self.pid: int | None = None
+        self.outstanding: set[int] = set()
+        self.served = 0
+        self.cold_starts = 0
+        self.meta: dict = {}
+
+    @property
+    def inflight(self) -> int:
+        return len(self.outstanding)
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+class WorkerFleet:
+    """N worker processes, one dispatcher, shared cache, SLO counters."""
+
+    def __init__(self, testbed, workers: int = 2, *,
+                 queue_depth: int = DEFAULT_QUEUE_DEPTH,
+                 hedge_quantile: float | None = DEFAULT_HEDGE_QUANTILE,
+                 hedge_floor_s: float = DEFAULT_HEDGE_FLOOR_S,
+                 request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+                 shared_cache_bytes: int | None = None,
+                 _gate=None) -> None:
+        if workers < 1:
+            raise ValueError("WorkerFleet needs at least one worker")
+        self.testbed = testbed
+        self.size = int(workers)
+        self.queue_depth = max(1, int(queue_depth))
+        self.hedge_quantile = hedge_quantile
+        self.hedge_floor_s = hedge_floor_s
+        self.request_timeout_s = request_timeout_s
+        methods = multiprocessing.get_all_start_methods()
+        self.start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._gate = _gate
+
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._pending: dict[int, _Pending] = {}
+        self._rids = itertools.count(1)
+        self._closing = False
+        self._closed = False
+        #: Set the moment close() begins refusing new work — before the
+        #: drain wait — so callers can synchronize on the drain phase.
+        self.draining = threading.Event()
+        self.counters = {
+            "dispatched": 0, "completed": 0, "requeued": 0,
+            "hedged": 0, "hedge_wins": 0, "cancelled": 0,
+            "shed": 0, "respawns": 0, "timeouts": 0, "failed": 0,
+        }
+        self._latencies = LatencyReservoir(seed=1)
+        self._endpoints: dict[str, dict] = {}
+
+        cache_lock = self._ctx.Lock()
+        self._cache_lock = cache_lock
+        if shared_cache_bytes == 0:
+            self.shared_cache = None
+        else:
+            kwargs = {} if shared_cache_bytes is None \
+                else {"arena_bytes": int(shared_cache_bytes)}
+            self.shared_cache = SharedResultCache.create(cache_lock,
+                                                         **kwargs)
+
+        self._workers = [_WorkerHandle(index) for index in range(self.size)]
+        for handle in self._workers:
+            self._spawn(handle, cold=False)
+        self._dispatcher = threading.Thread(target=self._dispatch_loop,
+                                            name="thalia-fleet-dispatch",
+                                            daemon=True)
+        self._dispatcher.start()
+
+    # -- worker lifecycle -------------------------------------------------- #
+
+    def _spawn(self, handle: _WorkerHandle, cold: bool) -> None:
+        """(Re)start one worker slot.  Caller context: init or dispatcher."""
+        task_r, task_w = self._ctx.Pipe(duplex=False)
+        resp_r, resp_w = self._ctx.Pipe(duplex=False)
+        inherited = self.testbed if self.start_method == "fork" else None
+        process = self._ctx.Process(
+            target=_worker_main,
+            name=f"thalia-fleet-{handle.index}",
+            args=(handle.index, self.testbed.seed, self.testbed.scale,
+                  inherited, task_r, resp_w,
+                  self.shared_cache.path if self.shared_cache else None,
+                  self._cache_lock, self._gate),
+            daemon=True)
+        process.start()
+        task_r.close()
+        resp_w.close()
+        handle.process = process
+        handle.task_conn = task_w
+        handle.resp_conn = resp_r
+        handle.pid = process.pid
+        if cold:
+            handle.cold_starts += 1
+
+    def _shard(self, slug: str) -> int:
+        """Stable shard by ``(testbed scale, document)``."""
+        digest = hashlib.sha256(
+            f"{self.testbed.scale}:{slug}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.size
+
+    # -- dispatch ---------------------------------------------------------- #
+
+    def _candidates(self, payload) -> list[int]:
+        """Worker preference order: home shard first, then least-loaded."""
+        order: list[int] = []
+        slug = payload.get("source") if isinstance(payload, dict) else None
+        if isinstance(slug, str):
+            order.append(self._shard(slug))
+        by_load = sorted(range(self.size),
+                         key=lambda i: (self._workers[i].inflight, i))
+        order.extend(i for i in by_load if i not in order)
+        return order
+
+    def _retry_after_s(self) -> int:
+        p50 = self._latencies.percentile(0.50)
+        estimate = p50 * self.queue_depth if p50 else 1.0
+        return int(min(30, max(1, round(estimate + 0.5))))
+
+    def _endpoint_stats(self, endpoint: str) -> dict:
+        stats = self._endpoints.get(endpoint)
+        if stats is None:
+            stats = {"requests": 0, "hedged": 0, "shed": 0,
+                     "latencies": LatencyReservoir(
+                         seed=len(self._endpoints) + 2)}
+            self._endpoints[endpoint] = stats
+        return stats
+
+    def _admit(self, payload, endpoint: str, kind: str,
+               render: bool) -> _Pending:
+        """Admission control + first dispatch.  Raises instead of queueing
+        unboundedly."""
+        with self._lock:
+            if self._closing:
+                raise FleetClosed("fleet is draining")
+            stats = self._endpoint_stats(endpoint)
+            target = None
+            for index in self._candidates(payload):
+                handle = self._workers[index]
+                if handle.alive() and handle.inflight < self.queue_depth:
+                    target = handle
+                    break
+            if target is None:
+                self.counters["shed"] += 1
+                stats["shed"] += 1
+                raise FleetSaturated(self._retry_after_s())
+            rid = next(self._rids)
+            entry = _Pending(payload, endpoint, kind, render, rid)
+            entry.rids[rid] = target.index
+            self._pending[rid] = entry
+            target.outstanding.add(rid)
+            self.counters["dispatched"] += 1
+            stats["requests"] += 1
+            self._send(target, entry, rid)
+            return entry
+
+    def _send(self, handle: _WorkerHandle, entry: _Pending,
+              rid: int) -> None:
+        """Put one task on a worker's pipe (caller holds the lock)."""
+        message = (entry.kind, rid) if entry.kind == "gate" \
+            else (entry.kind, rid, entry.payload, entry.render)
+        try:
+            handle.task_conn.send(message)
+        except (BrokenPipeError, OSError):
+            # Dead worker: the dispatcher will requeue via outstanding.
+            pass
+
+    def _hedge(self, entry: _Pending) -> None:
+        """Re-issue a straggler to a second worker; first answer wins."""
+        with self._lock:
+            if entry.done or self._closing or len(entry.rids) > 1:
+                return
+            busy = set(entry.rids.values())
+            target = None
+            for index in sorted(range(self.size),
+                                key=lambda i: (self._workers[i].inflight,
+                                               i)):
+                handle = self._workers[index]
+                if index not in busy and handle.alive() \
+                        and handle.inflight < self.queue_depth:
+                    target = handle
+                    break
+            if target is None:
+                return                  # no capacity: keep waiting
+            rid = next(self._rids)
+            entry.rids[rid] = target.index
+            self._pending[rid] = entry
+            target.outstanding.add(rid)
+            self.counters["hedged"] += 1
+            self._endpoint_stats(entry.endpoint)["hedged"] += 1
+            self._send(target, entry, rid)
+
+    def _hedge_delay_s(self) -> float | None:
+        if self.hedge_quantile is None:
+            return None
+        with self._lock:
+            count = self._latencies.count
+            quantile = self._latencies.percentile(self.hedge_quantile)
+        if count < MIN_HEDGE_SAMPLES:
+            return max(self.hedge_floor_s, INITIAL_HEDGE_DELAY_S)
+        return max(self.hedge_floor_s, quantile)
+
+    def execute(self, payload, endpoint: str = "query", *,
+                render: bool = False) -> tuple[dict, int, bytes | None]:
+        """Run one query payload on the fleet: ``(body, status, rendered)``.
+
+        ``rendered`` is the worker-side JSON encoding of *body* (saves
+        the frontend re-serializing large result sets) when ``render``
+        was requested and the answer came from a worker.
+
+        Raises :class:`FleetSaturated` (shed; answer 429 + Retry-After)
+        or :class:`FleetClosed` (draining; answer 503).
+        """
+        kind = "gate" if isinstance(payload, dict) \
+            and payload.get("_fleet_test_gate") else "query"
+        entry = self._admit(payload, endpoint, kind, render)
+        delay = self._hedge_delay_s()
+        remaining = self.request_timeout_s
+        if delay is not None and delay < remaining:
+            if not entry.event.wait(delay):
+                self._hedge(entry)
+            remaining = max(0.0, self.request_timeout_s
+                            - (time.perf_counter() - entry.started))
+        if not entry.event.wait(remaining):
+            with self._lock:
+                if not entry.done:
+                    entry.done = True
+                    entry.result = (
+                        {"error": "fleet request timed out"}, 500)
+                    for rid, worker_index in entry.rids.items():
+                        self._pending.pop(rid, None)
+                        self._cancel(rid, worker_index)
+                    self.counters["timeouts"] += 1
+                    self.counters["failed"] += 1
+        elapsed = time.perf_counter() - entry.started
+        with self._lock:
+            self._latencies.add(elapsed)
+            self._endpoint_stats(entry.endpoint)["latencies"].add(elapsed)
+        body, status = entry.result
+        return body, status, entry.rendered
+
+    def execute_many(self, payloads, endpoint: str = "batch")\
+            -> list[tuple[dict, int]]:
+        """Fan a batch out across the fleet; per-item status isolation.
+
+        Shed items become per-item 429 bodies (carrying ``retry_after``)
+        instead of sinking their batch-mates, mirroring the per-item
+        error isolation of the single-process batch path.
+        """
+        entries: list[tuple[_Pending | None, dict | None]] = []
+        for payload in payloads:
+            try:
+                entries.append((self._admit(payload, endpoint, "query",
+                                            False), None))
+            except FleetSaturated as exc:
+                entries.append((None, {
+                    "error": "worker fleet saturated",
+                    "retry_after": exc.retry_after_s}))
+            except FleetClosed:
+                entries.append((None, {"error": "service is shutting "
+                                                "down"}))
+        deadline = time.perf_counter() + self.request_timeout_s
+        delay = self._hedge_delay_s()
+        results: list[tuple[dict, int]] = []
+        for entry, shed_body in entries:
+            if entry is None:
+                results.append((shed_body,
+                                429 if "retry_after" in shed_body else 503))
+                continue
+            if delay is not None and not entry.event.wait(
+                    max(0.0, min(delay,
+                                 deadline - time.perf_counter()))):
+                self._hedge(entry)
+            if not entry.event.wait(
+                    max(0.0, deadline - time.perf_counter())):
+                with self._lock:
+                    if not entry.done:
+                        entry.done = True
+                        entry.result = (
+                            {"error": "fleet request timed out"}, 500)
+                        for rid, worker_index in entry.rids.items():
+                            self._pending.pop(rid, None)
+                            self._cancel(rid, worker_index)
+                        self.counters["timeouts"] += 1
+                        self.counters["failed"] += 1
+            elapsed = time.perf_counter() - entry.started
+            with self._lock:
+                self._latencies.add(elapsed)
+                self._endpoint_stats(endpoint)["latencies"].add(elapsed)
+            results.append(entry.result)
+        return results
+
+    def _cancel(self, rid: int, worker_index: int) -> None:
+        """Best-effort cancel of a dispatched task (caller holds lock)."""
+        handle = self._workers[worker_index]
+        try:
+            handle.task_conn.send(("cancel", rid))
+        except (BrokenPipeError, OSError):
+            pass
+
+    # -- dispatcher / monitor ---------------------------------------------- #
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                conns = {handle.resp_conn: handle
+                         for handle in self._workers
+                         if handle.resp_conn is not None
+                         and not handle.resp_conn.closed}
+            try:
+                ready = connection_wait(list(conns), timeout=_POLL_S)
+            except OSError:
+                ready = []
+            for conn in ready:
+                handle = conns[conn]
+                try:
+                    while conn.poll():
+                        self._on_message(handle, conn.recv())
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    pass            # death handled by the liveness sweep
+            self._sweep_dead()
+
+    def _on_message(self, handle: _WorkerHandle, message) -> None:
+        kind = message[0]
+        if kind == "hello":
+            with self._lock:
+                handle.meta = message[3]
+            return
+        rid = message[1]
+        with self._lock:
+            handle.outstanding.discard(rid)
+            if kind == "skipped":
+                handle.meta = message[2]
+                self._notify_if_drained()
+                return
+            _kind, _rid, status, body, rendered, meta = message
+            handle.meta = meta
+            handle.served += 1
+            entry = self._pending.pop(rid, None)
+            if entry is None or entry.done:
+                self._notify_if_drained()
+                return                  # hedge loser, already answered
+            entry.result = (body, status)
+            entry.rendered = rendered
+            entry.done = True
+            entry.winner_rid = rid
+            self.counters["completed"] += 1
+            if rid != entry.primary_rid:
+                self.counters["hedge_wins"] += 1
+            for other_rid, worker_index in entry.rids.items():
+                if other_rid != rid:
+                    self._pending.pop(other_rid, None)
+                    self._cancel(other_rid, worker_index)
+                    self.counters["cancelled"] += 1
+            entry.event.set()
+            self._notify_if_drained()
+
+    def _notify_if_drained(self) -> None:
+        """Wake ``close()`` when the last in-flight request resolves.
+        Caller holds the lock."""
+        if not self._pending:
+            self._drained.notify_all()
+
+    def _sweep_dead(self) -> None:
+        """Requeue a dead worker's in-flight work, then respawn it."""
+        with self._lock:
+            if self._closing:
+                return
+            dead = [handle for handle in self._workers
+                    if not handle.alive()]
+            if not dead:
+                return
+            for handle in dead:
+                orphaned = list(handle.outstanding)
+                handle.outstanding.clear()
+                logger.warning(
+                    "fleet worker %d (pid %s) died with %d in-flight "
+                    "request(s); respawning", handle.index, handle.pid,
+                    len(orphaned))
+                for conn in (handle.task_conn, handle.resp_conn):
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                self._spawn(handle, cold=True)
+                self.counters["respawns"] += 1
+                for rid in orphaned:
+                    entry = self._pending.get(rid)
+                    if entry is None or entry.done:
+                        continue
+                    # Re-dispatch to the least-loaded healthy worker.
+                    # Capacity is allowed to overshoot here: finishing an
+                    # already-admitted request beats strict budgets.
+                    retarget = min(
+                        (peer for peer in self._workers
+                         if peer.alive()),
+                        key=lambda peer: (peer.inflight, peer.index),
+                        default=None)
+                    if retarget is None:
+                        retarget = handle      # freshly respawned
+                    entry.rids[rid] = retarget.index
+                    retarget.outstanding.add(rid)
+                    self.counters["requeued"] += 1
+                    self._send(retarget, entry, rid)
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def close(self, drain_timeout_s: float = 30.0) -> None:
+        """Graceful shutdown: refuse new work, drain, stop workers."""
+        with self._lock:
+            if self._closed:
+                return
+            already_draining = self._closing
+            self._closing = True
+            self.draining.set()
+            if not already_draining:
+                deadline = time.monotonic() + drain_timeout_s
+                while self._pending:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._drained.wait(
+                            timeout=remaining):
+                        break
+                # Anything still pending after the drain window fails
+                # closed rather than hanging its caller.
+                for rid, entry in list(self._pending.items()):
+                    if not entry.done:
+                        entry.done = True
+                        entry.result = ({"error": "service is shutting "
+                                                  "down"}, 503)
+                        self.counters["failed"] += 1
+                        entry.event.set()
+                    self._pending.pop(rid, None)
+            self._closed = True
+            workers = list(self._workers)
+        if self._dispatcher.is_alive() \
+                and threading.current_thread() is not self._dispatcher:
+            self._dispatcher.join(timeout=5)
+        for handle in workers:
+            try:
+                handle.task_conn.send(("stop",))
+            except (BrokenPipeError, OSError, AttributeError):
+                pass
+        for handle in workers:
+            if handle.process is not None:
+                handle.process.join(timeout=5)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(timeout=5)
+            for conn in (handle.task_conn, handle.resp_conn):
+                try:
+                    if conn is not None:
+                        conn.close()
+                except OSError:
+                    pass
+        if self.shared_cache is not None:
+            self.shared_cache.close()
+
+    def __enter__(self) -> "WorkerFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- observability ----------------------------------------------------- #
+
+    def stats(self) -> dict:
+        """The ``fleet`` block of ``/api/stats``: counters, the
+        per-endpoint SLO table and per-worker CPU/RSS."""
+        with self._lock:
+            counters = dict(self.counters)
+            hedge_delay = None
+            if self.hedge_quantile is not None:
+                count = self._latencies.count
+                hedge_delay = max(
+                    self.hedge_floor_s,
+                    INITIAL_HEDGE_DELAY_S if count < MIN_HEDGE_SAMPLES
+                    else self._latencies.percentile(self.hedge_quantile))
+            slo = {}
+            for endpoint, stats in sorted(self._endpoints.items()):
+                admitted = stats["requests"]
+                offered = admitted + stats["shed"]
+                slo[endpoint] = {
+                    "requests": admitted,
+                    "hedged": stats["hedged"],
+                    "shed": stats["shed"],
+                    "hedge_rate": round(stats["hedged"] / admitted, 4)
+                    if admitted else 0.0,
+                    "shed_rate": round(stats["shed"] / offered, 4)
+                    if offered else 0.0,
+                    "latency_ms": stats["latencies"].quantiles_ms(),
+                }
+            per_worker = [{
+                "index": handle.index,
+                "pid": handle.pid,
+                "alive": handle.alive(),
+                "inflight": handle.inflight,
+                "served": handle.served,
+                "cold_starts": handle.cold_starts,
+                "cpu_s": handle.meta.get("cpu_s"),
+                "rss_kb": handle.meta.get("rss_kb"),
+            } for handle in self._workers]
+        block = {
+            "enabled": True,
+            "workers": self.size,
+            "start_method": self.start_method,
+            "queue_depth": self.queue_depth,
+            "draining": self._closing,
+            **counters,
+            "hedge": {
+                "quantile": self.hedge_quantile,
+                "floor_s": self.hedge_floor_s,
+                "current_delay_s": round(hedge_delay, 4)
+                if hedge_delay is not None else None,
+            },
+            "slo": slo,
+            "per_worker": per_worker,
+        }
+        if self.shared_cache is not None:
+            block["shared_cache"] = self.shared_cache.stats()
+        return block
+
+
+__all__ = [
+    "DEFAULT_HEDGE_QUANTILE",
+    "DEFAULT_QUEUE_DEPTH",
+    "FleetClosed",
+    "FleetError",
+    "FleetSaturated",
+    "WorkerFleet",
+]

@@ -42,6 +42,7 @@ POST     ``/api/scores``                     upload a score card (re-scored
 
 from __future__ import annotations
 
+import json
 from typing import TYPE_CHECKING
 
 from ..core import QUERIES, query_short_name, validate_claims
@@ -56,6 +57,7 @@ from ..website.bundles import (
 )
 from ..xmlmodel import XmlElement, serialize, serialize_pretty
 from ..xquery import XQueryError, XQuerySyntaxError
+from .fleet import FleetClosed, FleetSaturated
 from .router import Request, Response, Router
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -266,6 +268,8 @@ def build_router() -> Router:
         payload["perf"] = app.perf_summary()
         payload["scenarios"] = app.scenario_stats()
         payload["planner"] = app.planner_stats()
+        payload["fleet"] = app.fleet.stats() if app.fleet is not None \
+            else {"enabled": False}
         return Response.of_json(payload, no_store=True)
 
     @router.get("/healthz", name="healthz")
@@ -350,6 +354,23 @@ def build_router() -> Router:
             payload = request.json()
         except ValueError as exc:
             return Response.of_json({"error": str(exc)}, status=400)
+        if app.fleet is not None:
+            try:
+                body, status, rendered = app.fleet.execute(
+                    payload, endpoint="query", render=True)
+            except FleetSaturated as exc:
+                return _shed_response(exc)
+            except FleetClosed:
+                return Response.of_json(
+                    {"error": "service is shutting down"}, status=503,
+                    no_store=True)
+            if rendered is not None:
+                # The worker already serialized the body with the exact
+                # encoder Response.of_json uses; serve its bytes as-is.
+                return Response(status=status, body=rendered,
+                                content_type="application/json",
+                                no_store=True)
+            return Response.of_json(body, status=status, no_store=True)
         body, status = _run_one_query(app, payload)
         return Response.of_json(body, status=status, no_store=True)
 
@@ -381,7 +402,14 @@ def build_router() -> Router:
             return Response.of_json(
                 {"error": f"'queries' exceeds the batch limit of "
                           f"{MAX_BATCH_QUERIES}"}, status=400)
-        if len(queries) > 1:
+        if app.fleet is not None:
+            try:
+                outcomes = app.fleet.execute_many(queries)
+            except FleetClosed:
+                return Response.of_json(
+                    {"error": "service is shutting down"}, status=503,
+                    no_store=True)
+        elif len(queries) > 1:
             outcomes = list(app.query_pool.map(
                 lambda item: _run_one_query(app, item), queries))
         else:
@@ -474,6 +502,28 @@ def build_router() -> Router:
         }, status=201, no_store=True)
 
     return router
+
+
+def _shed_response(exc: FleetSaturated) -> Response:
+    """429 with ``Retry-After``: the admission-control shed answer."""
+    return Response.of_json(
+        {"error": "worker fleet saturated",
+         "retry_after": exc.retry_after_s},
+        status=429,
+        headers={"Retry-After": str(exc.retry_after_s)},
+        no_store=True)
+
+
+def render_query_body(body: dict, status: int) -> bytes:
+    """Exactly the bytes :meth:`Response.of_json` would emit for *body*.
+
+    Fleet workers pre-render their answers with this so the frontend can
+    write them through unchanged — byte-identical to single-process
+    serving by construction, and serialized on the worker's core rather
+    than the frontend's.
+    """
+    del status  # the JSON body does not depend on it
+    return json.dumps(body, indent=2, sort_keys=True).encode("utf-8")
 
 
 def _run_one_query(app: "ThaliaApp", payload: object) -> tuple[dict, int]:

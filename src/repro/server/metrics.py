@@ -1,20 +1,27 @@
 """Per-endpoint request metrics for the benchmark service.
 
 Every request the service answers is recorded against its route name:
-request count, error count, content-cache hits, bytes sent and a bounded
-window of per-request latencies from which ``/api/stats`` reports p50 and
-p95.  Recording is a handful of counter bumps under one lock, cheap
-enough to sit on the hot path of every response.
+request count, error count, content-cache hits, bytes sent and a
+**bounded reservoir** of per-request latencies from which ``/api/stats``
+reports p50, p95 and p99.  Recording is a handful of counter bumps under
+one lock, cheap enough to sit on the hot path of every response.
+
+The reservoir (Vitter's Algorithm R) is what makes sustained traffic
+safe: memory is capped at :data:`SAMPLE_WINDOW` samples per endpoint no
+matter how many requests arrive, and — unlike the sliding ``deque``
+window it replaced — the kept samples are a uniform sample of *every*
+request since startup, so the published percentiles describe the whole
+run rather than whatever the last few seconds looked like.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
-from collections import deque
 from dataclasses import dataclass, field
 
-#: Latency samples kept per endpoint (a ring: old samples fall off).
+#: Latency samples kept per endpoint (reservoir capacity).
 SAMPLE_WINDOW = 4096
 
 
@@ -28,6 +35,63 @@ def percentile(samples: list[float], fraction: float) -> float:
     return ordered[rank]
 
 
+class LatencyReservoir:
+    """Bounded uniform sample of a latency stream (Algorithm R).
+
+    The first ``capacity`` observations are kept verbatim; from then on
+    observation *n* replaces a random kept sample with probability
+    ``capacity / n``, so at any point the reservoir is a uniform sample
+    of everything seen and memory never exceeds ``capacity`` floats.
+    The RNG is seeded deterministically (per reservoir) so identical
+    request streams yield identical snapshots — tests and the perf
+    framework can rely on reproducibility.
+
+    Not thread-safe by itself; callers (``ServerMetrics``, the fleet)
+    already serialize recording under their own lock.
+    """
+
+    __slots__ = ("capacity", "count", "_samples", "_random")
+
+    def __init__(self, capacity: int = SAMPLE_WINDOW, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("LatencyReservoir capacity must be >= 1")
+        self.capacity = capacity
+        self.count = 0
+        self._samples: list[float] = []
+        self._random = random.Random(0x5DEECE66D ^ seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(value)
+            return
+        slot = self._random.randrange(self.count)
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def percentile(self, fraction: float) -> float:
+        return percentile(self._samples, fraction)
+
+    def quantiles_ms(self) -> dict:
+        """The standard p50/p95/p99 block, in milliseconds."""
+        ordered = sorted(self._samples)
+
+        def at(fraction: float) -> float:
+            if not ordered:
+                return 0.0
+            rank = max(0, min(len(ordered) - 1,
+                              round(fraction * (len(ordered) - 1))))
+            return round(1000 * ordered[rank], 3)
+
+        return {"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
+
+
 @dataclass
 class EndpointStats:
     """Counters for one route."""
@@ -38,8 +102,7 @@ class EndpointStats:
     cache_misses: int = 0
     bytes_sent: int = 0
     total_s: float = 0.0
-    latencies_s: deque = field(
-        default_factory=lambda: deque(maxlen=SAMPLE_WINDOW))
+    latencies: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -47,7 +110,6 @@ class EndpointStats:
         return self.cache_hits / tracked if tracked else 0.0
 
     def snapshot(self) -> dict:
-        samples = list(self.latencies_s)
         return {
             "requests": self.requests,
             "errors": self.errors,
@@ -58,8 +120,7 @@ class EndpointStats:
             "latency_ms": {
                 "mean": round(1000 * self.total_s / self.requests, 3)
                 if self.requests else 0.0,
-                "p50": round(1000 * percentile(samples, 0.50), 3),
-                "p95": round(1000 * percentile(samples, 0.95), 3),
+                **self.latencies.quantiles_ms(),
             },
         }
 
@@ -91,7 +152,7 @@ class ServerMetrics:
                 stats.cache_misses += 1
             stats.bytes_sent += bytes_sent
             stats.total_s += elapsed_s
-            stats.latencies_s.append(elapsed_s)
+            stats.latencies.add(elapsed_s)
 
     @property
     def uptime_s(self) -> float:

@@ -1,0 +1,378 @@
+"""Cross-process content-addressed result cache for the worker fleet.
+
+The in-process :class:`~repro.xquery.results.ResultCache` memoizes query
+results under ``(task fingerprint, content fingerprint)`` — a key that
+*proves* the inputs are unchanged.  A multiprocess fleet needs the same
+memoization to work *across* workers: the first worker that executes a
+query should spare every other worker (and every respawned worker) the
+recomputation.  :class:`SharedResultCache` is that cross-process tier —
+a fixed-size, file-backed ``mmap`` arena every fleet process maps, with
+one :class:`multiprocessing.Lock` serializing mutation.
+
+Layout (all little-endian, created by the fleet frontend)::
+
+    header   magic, version, slot count, arena size, arena used,
+             entries, hits, misses, stores, evictions, wraps
+    slots    open-addressed table: sha256 key digest + (offset, length)
+             into the arena
+    arena    pickled values, bump-allocated
+
+Keys are the *same* scheme as the in-process cache — ``sha256(task_fp ||
+content_fp)`` — so a hit is byte-identical to what the in-process cache
+would have replayed: the stored value is the pickled result structure
+itself, round-tripped exactly.  When the arena fills, the whole table is
+wiped in one epoch reset (``wraps``) — coarse, but O(1), allocation-free
+and impossible to fragment; the content-addressed keys mean a wipe can
+only ever cost recomputation, never correctness.
+
+:class:`TieredResultCache` layers a worker's private in-process
+:class:`ResultCache` (single-flight, hot) over the shared arena: local
+hit → shared probe → compute-and-publish.  The cache is an optimization
+by contract — any shared-tier failure degrades to computing locally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+from typing import Callable, TypeVar
+
+from ..xquery.results import ResultCache
+
+T = TypeVar("T")
+
+MAGIC = b"THSC"
+VERSION = 1
+
+#: header: magic, version, slots, arena_size, arena_used, entries,
+#: hits, misses, stores, evictions, wraps
+_HEADER = struct.Struct("<4sIIQQQQQQQQ")
+_HEADER_SIZE = 128                       # room to grow without a bump
+_SLOT = struct.Struct("<32sQQ")          # key digest, offset, length
+_EMPTY_DIGEST = b"\x00" * 32
+
+#: Linear-probe window: a key not found within this many slots of its
+#: home position is treated as absent (and inserted by evicting the
+#: home slot).  Keeps worst-case probes O(1) under the lock.
+PROBE_LIMIT = 32
+
+#: A SIGKILLed process can die *inside* the critical section, leaving
+#: the cross-process lock held forever.  Every acquisition therefore
+#: carries a timeout; a timed-out operation degrades to a miss (get) or
+#: a no-op (put), and after this many consecutive timeouts the process
+#: stops touching the shared tier — a dead lock never recovers, while a
+#: merely-contended one resets the counter on the next success.
+LOCK_TIMEOUT_S = 1.0
+MAX_LOCK_TIMEOUTS = 3
+
+DEFAULT_ARENA_BYTES = 32 * 1024 * 1024
+DEFAULT_SLOTS = 4096
+
+
+def cache_key(task_fingerprint: str, content_fingerprint: str) -> bytes:
+    """The shared-tier key: sha256 over the in-process cache's key pair."""
+    digest = hashlib.sha256()
+    digest.update(task_fingerprint.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(content_fingerprint.encode("utf-8"))
+    return digest.digest()
+
+
+class SharedResultCache:
+    """A fixed-size mmap-backed hash table shared by every fleet process.
+
+    The frontend calls :meth:`create` (which makes and initializes the
+    backing file); workers call :meth:`attach` with the path and the
+    shared lock.  All mutation — probes included, they bump counters —
+    happens under that one cross-process lock; critical sections are a
+    bounded probe plus one memcpy.
+    """
+
+    def __init__(self, path: str, lock, *, _create: bool = False,
+                 slots: int = DEFAULT_SLOTS,
+                 arena_bytes: int = DEFAULT_ARENA_BYTES) -> None:
+        self.path = path
+        self._lock = lock
+        self._owner = _create
+        if _create:
+            size = _HEADER_SIZE + slots * _SLOT.size + arena_bytes
+            with open(path, "wb") as handle:
+                handle.truncate(size)
+            self._file = open(path, "r+b")
+            self._map = mmap.mmap(self._file.fileno(), size)
+            self._map[:_HEADER.size] = _HEADER.pack(
+                MAGIC, VERSION, slots, arena_bytes, 0, 0, 0, 0, 0, 0, 0)
+        else:
+            self._file = open(path, "r+b")
+            size = os.fstat(self._file.fileno()).st_size
+            self._map = mmap.mmap(self._file.fileno(), size)
+            magic, version, slots, arena_bytes = _HEADER.unpack_from(
+                self._map, 0)[:4]
+            if magic != MAGIC or version != VERSION:
+                raise ValueError(f"not a shared result cache: {path}")
+        self.slots = slots
+        self.arena_bytes = arena_bytes
+        self._slots_at = _HEADER_SIZE
+        self._arena_at = _HEADER_SIZE + slots * _SLOT.size
+        self.lock_timeouts = 0
+        self._consecutive_timeouts = 0
+        self._disabled = False
+
+    # -- construction ------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, lock, *, slots: int = DEFAULT_SLOTS,
+               arena_bytes: int = DEFAULT_ARENA_BYTES,
+               dir: str | None = None) -> "SharedResultCache":
+        """Make a fresh backing file (frontend side; owns unlink)."""
+        fd, path = tempfile.mkstemp(prefix="thalia-fleet-cache-",
+                                    suffix=".mmap", dir=dir)
+        os.close(fd)
+        return cls(path, lock, _create=True, slots=slots,
+                   arena_bytes=arena_bytes)
+
+    @classmethod
+    def attach(cls, path: str, lock) -> "SharedResultCache":
+        """Map an existing cache file (worker side)."""
+        return cls(path, lock)
+
+    # -- header accessors (caller holds the lock) -------------------------- #
+
+    def _read_header(self) -> list[int]:
+        return list(_HEADER.unpack_from(self._map, 0))
+
+    def _write_header(self, fields: list[int]) -> None:
+        self._map[:_HEADER.size] = _HEADER.pack(*fields)
+
+    # header field indexes after (magic, version, slots, arena_size)
+    _ARENA_USED, _ENTRIES, _HITS, _MISSES = 4, 5, 6, 7
+    _STORES, _EVICTIONS, _WRAPS = 8, 9, 10
+
+    def _acquire(self) -> bool:
+        """Take the cross-process lock, or give up after the timeout.
+
+        ``False`` means the caller must skip the operation entirely —
+        either the lock died with a killed worker or this process has
+        latched the shared tier off after repeated timeouts.
+        """
+        if self._disabled:
+            return False
+        if self._lock.acquire(timeout=LOCK_TIMEOUT_S):
+            self._consecutive_timeouts = 0
+            return True
+        self.lock_timeouts += 1
+        self._consecutive_timeouts += 1
+        if self._consecutive_timeouts >= MAX_LOCK_TIMEOUTS:
+            self._disabled = True
+        return False
+
+    # -- core -------------------------------------------------------------- #
+
+    def _probe(self, digest: bytes) -> tuple[int | None, int | None]:
+        """``(matching slot, first free slot)`` within the probe window."""
+        home = int.from_bytes(digest[:8], "little") % self.slots
+        free = None
+        for step in range(min(PROBE_LIMIT, self.slots)):
+            index = (home + step) % self.slots
+            offset = self._slots_at + index * _SLOT.size
+            slot_digest = bytes(self._map[offset:offset + 32])
+            if slot_digest == digest:
+                return index, free
+            if slot_digest == _EMPTY_DIGEST and free is None:
+                free = index
+        return None, free
+
+    def get(self, digest: bytes) -> bytes | None:
+        """The stored payload for *digest*, or ``None`` on miss.
+
+        A lock timeout reads as a miss: the caller recomputes, which is
+        always safe.
+        """
+        if not self._acquire():
+            return None
+        try:
+            header = self._read_header()
+            index, _free = self._probe(digest)
+            if index is None:
+                header[self._MISSES] += 1
+                self._write_header(header)
+                return None
+            offset = self._slots_at + index * _SLOT.size
+            _, value_offset, value_length = _SLOT.unpack_from(
+                self._map, offset)
+            start = self._arena_at + value_offset
+            payload = bytes(self._map[start:start + value_length])
+            header[self._HITS] += 1
+            self._write_header(header)
+            return payload
+        finally:
+            self._lock.release()
+
+    def put(self, digest: bytes, payload: bytes) -> bool:
+        """Store *payload*; ``False`` when it cannot fit (or lock lost)."""
+        if len(payload) > self.arena_bytes:
+            return False
+        if not self._acquire():
+            return False
+        try:
+            header = self._read_header()
+            if header[self._ARENA_USED] + len(payload) > self.arena_bytes:
+                # Epoch reset: wipe the table, restart the bump pointer.
+                self._map[self._slots_at:self._arena_at] = \
+                    b"\x00" * (self.slots * _SLOT.size)
+                header[self._EVICTIONS] += header[self._ENTRIES]
+                header[self._ENTRIES] = 0
+                header[self._ARENA_USED] = 0
+                header[self._WRAPS] += 1
+            index, free = self._probe(digest)
+            if index is None:
+                if free is None:
+                    # Probe window saturated: evict the home slot.
+                    index = int.from_bytes(digest[:8], "little") % self.slots
+                    header[self._EVICTIONS] += 1
+                    header[self._ENTRIES] -= 1
+                else:
+                    index = free
+                header[self._ENTRIES] += 1
+            value_offset = header[self._ARENA_USED]
+            start = self._arena_at + value_offset
+            self._map[start:start + len(payload)] = payload
+            header[self._ARENA_USED] = value_offset + len(payload)
+            slot_at = self._slots_at + index * _SLOT.size
+            self._map[slot_at:slot_at + _SLOT.size] = _SLOT.pack(
+                digest, value_offset, len(payload))
+            header[self._STORES] += 1
+            self._write_header(header)
+            return True
+        finally:
+            self._lock.release()
+
+    # -- observability ----------------------------------------------------- #
+
+    def stats(self) -> dict:
+        if self._acquire():
+            try:
+                header = self._read_header()
+            finally:
+                self._lock.release()
+        else:
+            # Observability only: a torn unlocked read beats blocking
+            # the stats endpoint behind a lock that may never release.
+            header = self._read_header()
+        hits, misses = header[self._HITS], header[self._MISSES]
+        lookups = hits + misses
+        return {
+            "slots": self.slots,
+            "arena_bytes": self.arena_bytes,
+            "arena_used": header[self._ARENA_USED],
+            "entries": header[self._ENTRIES],
+            "hits": hits,
+            "misses": misses,
+            "stores": header[self._STORES],
+            "evictions": header[self._EVICTIONS],
+            "wraps": header[self._WRAPS],
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "lock_timeouts": self.lock_timeouts,
+            "disabled": self._disabled,
+        }
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Unmap; the creating process also unlinks the backing file."""
+        try:
+            self._map.close()
+        finally:
+            self._file.close()
+        if self._owner:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+
+class TieredResultCache:
+    """A worker's view: private single-flight LRU over the shared arena.
+
+    Presents the in-process :meth:`ResultCache.fetch` contract.  On a
+    local miss the shared tier is probed before computing; a computed
+    value is published to both tiers.  The extra status ``"shared"``
+    marks answers served from another process's work — callers that only
+    distinguish cached from computed treat it like ``"hit"``.
+    """
+
+    def __init__(self, local: ResultCache | None = None,
+                 shared: SharedResultCache | None = None) -> None:
+        self.local = local if local is not None else ResultCache(maxsize=256)
+        self.shared = shared
+        self.shared_hits = 0
+        self.shared_misses = 0
+        self.publish_failures = 0
+
+    def fetch(self, task_fingerprint: str, content_fingerprint: str,
+              compute: Callable[[], T]) -> tuple[T, str]:
+        if self.shared is None:
+            return self.local.fetch(task_fingerprint, content_fingerprint,
+                                    compute)
+        came_from_shared = []
+
+        def through_shared() -> T:
+            digest = cache_key(task_fingerprint, content_fingerprint)
+            try:
+                payload = self.shared.get(digest)
+            except (OSError, ValueError):
+                payload = None
+            if payload is not None:
+                try:
+                    value = pickle.loads(payload)
+                    self.shared_hits += 1
+                    came_from_shared.append(True)
+                    return value
+                except Exception:
+                    pass        # corrupt entry: fall through and recompute
+            self.shared_misses += 1
+            value = compute()
+            try:
+                self.shared.put(digest, pickle.dumps(
+                    value, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                self.publish_failures += 1   # optimization, not a failure
+            return value
+
+        value, status = self.local.fetch(task_fingerprint,
+                                         content_fingerprint, through_shared)
+        if status == "miss" and came_from_shared:
+            status = "shared"
+        return value, status
+
+    def get_or_compute(self, task_fingerprint: str,
+                       content_fingerprint: str,
+                       compute: Callable[[], T]) -> T:
+        value, _status = self.fetch(task_fingerprint, content_fingerprint,
+                                    compute)
+        return value
+
+    def stats(self) -> dict:
+        block = {
+            "local": self.local.stats(),
+            "shared_hits": self.shared_hits,
+            "shared_misses": self.shared_misses,
+            "publish_failures": self.publish_failures,
+        }
+        if self.shared is not None:
+            block["shared"] = self.shared.stats()
+        return block
+
+
+__all__ = [
+    "DEFAULT_ARENA_BYTES",
+    "DEFAULT_SLOTS",
+    "PROBE_LIMIT",
+    "SharedResultCache",
+    "TieredResultCache",
+    "cache_key",
+]

@@ -8,6 +8,12 @@ malformed upload (400), honor-roll ordering, cache hit-rate visibility,
 and a graceful SIGINT shutdown.  The server is then rebooted on the same
 score store to prove uploads survive restarts.
 
+A final leg reboots the service with ``--fleet 2`` and asserts the
+``fleet`` block of ``/api/stats`` publishes the hedging/admission
+counters (``hedged``, ``hedge_wins``, ``shed``, ``respawns``) with the
+right types, that fleet answers match single-process bytes, and that the
+fleet drains cleanly on SIGINT.
+
 Run it locally with::
 
     PYTHONPATH=src python -m repro.server.smoke
@@ -82,10 +88,12 @@ def _wait_for(url: str, process: subprocess.Popen,
     raise SystemExit(f"server did not come up within {timeout_s}s")
 
 
-def _boot(port: int, scores: Path) -> subprocess.Popen:
+def _boot(port: int, scores: Path,
+          extra_args: list[str] | None = None) -> subprocess.Popen:
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "--workers", "2", "serve",
-         "--port", str(port), "--scores", str(scores)],
+         "--port", str(port), "--scores", str(scores),
+         *(extra_args or [])],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     _wait_for(f"http://127.0.0.1:{port}/healthz", process)
     return process
@@ -206,6 +214,36 @@ def main() -> int:
     finally:
         _stop(process)
     print("  [ok] graceful shutdown on SIGINT")
+
+    print("rebooting with a 2-worker fleet ...")
+    query = {"xquery": 'FOR $c IN doc("cmu.xml")/cmu/Course RETURN $c',
+             "source": "cmu"}
+    process = _boot(port, scores, extra_args=["--fleet", "2"])
+    try:
+        status, _, fleet_body = _post_json(f"{base}/api/query", query)
+        check(status == 200 and json.loads(fleet_body)["count"] >= 1,
+              "POST /api/query executes on the fleet")
+        status, _, body = _request(f"{base}/api/stats")
+        fleet = json.loads(body).get("fleet", {})
+        check(fleet.get("enabled") is True and fleet.get("workers") == 2,
+              "/api/stats fleet block reports 2 workers")
+        for counter in ("hedged", "hedge_wins", "shed", "respawns"):
+            check(isinstance(fleet.get(counter), int),
+                  f"fleet counter '{counter}' present and integral")
+        check(isinstance(fleet.get("slo"), dict)
+              and all(isinstance(row.get("latency_ms"), dict)
+                      for row in fleet["slo"].values()),
+              "fleet SLO table publishes per-endpoint latency quantiles")
+        check(isinstance(fleet.get("shared_cache"), dict)
+              and fleet["shared_cache"].get("stores", 0) >= 0,
+              "fleet shared-cache counters present")
+        check(len(fleet.get("per_worker", [])) == 2
+              and all(isinstance(row.get("rss_kb"), int)
+                      for row in fleet["per_worker"]),
+              "per-worker CPU/RSS self-reports present")
+    finally:
+        _stop(process)
+    print("  [ok] fleet drains gracefully on SIGINT")
     print("server smoke: all checks passed")
     return 0
 

@@ -1,0 +1,189 @@
+"""The cross-process result cache: arena layout, wipes, tiering.
+
+Single-process tests drive the mmap arena directly (the lock only needs
+the context-manager protocol, so a ``threading.Lock`` suffices); one
+test forks a real child process to prove the arena is genuinely shared.
+"""
+
+import multiprocessing
+import pickle
+import threading
+
+from repro.server.shared_cache import (
+    MAX_LOCK_TIMEOUTS,
+    PROBE_LIMIT,
+    SharedResultCache,
+    TieredResultCache,
+    cache_key,
+)
+from repro.xquery.results import ResultCache
+
+
+def _fresh(tmp_path, **kwargs):
+    return SharedResultCache.create(threading.Lock(),
+                                    dir=str(tmp_path), **kwargs)
+
+
+class TestSharedResultCache:
+    def test_put_get_round_trip(self, tmp_path):
+        cache = _fresh(tmp_path)
+        digest = cache_key("task", "content")
+        assert cache.get(digest) is None
+        assert cache.put(digest, b"payload")
+        assert cache.get(digest) == b"payload"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert stats["entries"] == 1
+        assert stats["arena_used"] == len(b"payload")
+        cache.close()
+
+    def test_overwrite_same_key_keeps_one_entry(self, tmp_path):
+        cache = _fresh(tmp_path)
+        digest = cache_key("task", "content")
+        cache.put(digest, b"first")
+        cache.put(digest, b"second-longer")
+        assert cache.get(digest) == b"second-longer"
+        assert cache.stats()["entries"] == 1
+        cache.close()
+
+    def test_full_arena_wipes_in_one_epoch_reset(self, tmp_path):
+        cache = _fresh(tmp_path, arena_bytes=1024, slots=64)
+        payload = b"x" * 300
+        digests = [cache_key(f"task-{n}", "content") for n in range(4)]
+        for digest in digests:
+            assert cache.put(digest, payload)
+        stats = cache.stats()
+        assert stats["wraps"] == 1          # 4th put forced the reset
+        assert stats["arena_used"] == len(payload)
+        # Pre-wipe entries are gone (recomputation, never corruption);
+        # the post-wipe entry survives.
+        assert cache.get(digests[0]) is None
+        assert cache.get(digests[-1]) == payload
+        cache.close()
+
+    def test_oversized_payload_refused_not_stored(self, tmp_path):
+        cache = _fresh(tmp_path, arena_bytes=128)
+        assert not cache.put(cache_key("big", "c"), b"y" * 129)
+        assert cache.stats()["stores"] == 0
+        cache.close()
+
+    def test_probe_window_saturation_evicts_home_slot(self, tmp_path):
+        cache = _fresh(tmp_path, slots=8, arena_bytes=1 << 20)
+        # With 8 slots and a 32-slot probe window, the window spans the
+        # whole table: fill every slot, then one more insert must evict
+        # rather than fail or loop.
+        for n in range(8 + 1):
+            assert cache.put(cache_key(f"k{n}", "c"), b"v")
+        stats = cache.stats()
+        assert stats["entries"] <= 8
+        assert stats["evictions"] >= 1
+        assert PROBE_LIMIT >= 8
+        cache.close()
+
+    def test_attach_sees_creator_entries_same_process(self, tmp_path):
+        lock = threading.Lock()
+        owner = SharedResultCache.create(lock, dir=str(tmp_path))
+        digest = cache_key("t", "c")
+        owner.put(digest, b"shared-bytes")
+        attached = SharedResultCache.attach(owner.path, lock)
+        assert attached.get(digest) == b"shared-bytes"
+        attached.close()
+        owner.close()
+
+    def test_dead_held_lock_degrades_instead_of_blocking(self, tmp_path,
+                                                         monkeypatch):
+        """A worker SIGKILLed inside the critical section leaves the
+        cross-process lock held forever.  Survivors must degrade — get
+        reads as a miss, put as a no-op — and latch the tier off after
+        repeated timeouts, never block."""
+        monkeypatch.setattr("repro.server.shared_cache.LOCK_TIMEOUT_S",
+                            0.01)
+        cache = _fresh(tmp_path)
+        digest = cache_key("t", "c")
+        cache.put(digest, b"before")
+        cache._lock.acquire()           # the lock dies held
+        assert cache.get(digest) is None
+        assert not cache.put(digest, b"after")
+        for _ in range(MAX_LOCK_TIMEOUTS):
+            cache.get(digest)
+        stats = cache.stats()           # unlocked observability read
+        assert stats["disabled"] is True
+        assert stats["lock_timeouts"] >= MAX_LOCK_TIMEOUTS
+        assert stats["stores"] == 1
+        cache._lock.release()
+        cache.close()
+
+    def test_cross_process_visibility(self, tmp_path):
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        lock = ctx.Lock()
+        cache = SharedResultCache.create(lock, dir=str(tmp_path))
+        digest = cache_key("task", "content")
+        process = ctx.Process(target=_child_put,
+                              args=(cache.path, lock, digest))
+        process.start()
+        process.join(timeout=60)
+        assert process.exitcode == 0
+        assert cache.get(digest) == b"from-the-child"
+        assert cache.stats()["stores"] == 1
+        cache.close()
+
+
+def _child_put(path, lock, digest):
+    cache = SharedResultCache.attach(path, lock)
+    assert cache.put(digest, b"from-the-child")
+    cache.close()
+
+
+class TestTieredResultCache:
+    def test_status_progression_local_then_shared(self, tmp_path):
+        shared = _fresh(tmp_path)
+        first = TieredResultCache(ResultCache(maxsize=8), shared)
+        value, status = first.fetch("task", "content", lambda: ("v", 1))
+        assert status == "miss" and value == ("v", 1)
+        value, status = first.fetch("task", "content", lambda: ("v", 1))
+        assert status == "hit"
+        # A different process is modeled by a fresh local tier over the
+        # same arena: its local miss resolves from the shared tier.
+        second = TieredResultCache(ResultCache(maxsize=8), shared)
+        calls = []
+        value, status = second.fetch("task", "content",
+                                     lambda: calls.append(1))
+        assert status == "shared"
+        assert value == ("v", 1)        # exact pickled round trip
+        assert calls == []              # never recomputed
+        assert second.shared_hits == 1
+        shared.close()
+
+    def test_without_shared_tier_behaves_like_result_cache(self):
+        tiered = TieredResultCache(ResultCache(maxsize=8), None)
+        _value, status = tiered.fetch("t", "c", lambda: "x")
+        assert status == "miss"
+        _value, status = tiered.fetch("t", "c", lambda: "x")
+        assert status == "hit"
+
+    def test_corrupt_shared_entry_degrades_to_compute(self, tmp_path):
+        shared = _fresh(tmp_path)
+        digest = cache_key("t", "c")
+        shared.put(digest, b"\x00not-a-pickle")
+        tiered = TieredResultCache(ResultCache(maxsize=8), shared)
+        value, status = tiered.fetch("t", "c", lambda: "recomputed")
+        assert value == "recomputed"
+        assert status == "miss"
+        # The recomputed value replaced the corrupt bytes.
+        assert pickle.loads(shared.get(digest)) == "recomputed"
+        shared.close()
+
+    def test_unpicklable_value_counts_publish_failure(self, tmp_path):
+        shared = _fresh(tmp_path)
+        tiered = TieredResultCache(ResultCache(maxsize=8), shared)
+        value, status = tiered.fetch("t", "c", lambda: lambda: None)
+        assert callable(value) and status == "miss"
+        assert tiered.publish_failures == 1
+        stats = tiered.stats()
+        assert stats["publish_failures"] == 1
+        assert stats["shared"]["stores"] == 0
+        shared.close()
