@@ -1,0 +1,221 @@
+"""End-to-end smoke drive of the join execution engine (CI's join job).
+
+Builds scale-1 and scale-N canonical testbeds plus a generated scenario
+pack and drives every query through a three-way differential — costed
+plan with the join search on, costed plan with the join search forced
+off (``join_search=False``, the nested-loop reference), and the
+tree-walking interpreter — then checks the acceptance bar for the join
+engine:
+
+* every answer is byte-identical across all three engines, for the
+  canonical twelve, a set of handwritten multi-``doc()`` joins and the
+  generated join pack — join planning may change *how* tuples are
+  produced, never *what* is returned nor in what order;
+* at least one handwritten join runs a hash stage at scale >= 8, and
+  the designated switch query flips strategy with scale: nested loop on
+  the tiny scale-1 inputs, hash join once the pair product dominates;
+* ``Plan.explain(analyze=True)`` on a hash-joined plan reports build
+  and probe row actuals, and the root actuals match the observed
+  result cardinality.
+
+Run it locally with::
+
+    PYTHONPATH=src python -m repro.perf.join_smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..catalogs import build_testbed, paper_universities
+from ..core.queries import QUERIES
+from ..xquery.context import DynamicContext
+from ..xquery.evaluator import evaluate
+from ..xquery.parser import parse_query
+from ..xquery.plan import compile_query
+from ..xquery.stats import collect_statistics
+from .collect import _render_items
+
+DEFAULT_SCALE = 8
+DEFAULT_CASES = 25
+DEFAULT_PACK_SEED = 7
+
+#: Handwritten multi-source joins over the canonical testbed.  The first
+#: one is the *switch query*: per-side ``Day`` filters keep both inputs
+#: tiny at scale 1 (nested loop wins) while the unfiltered pair product
+#: at scale 8 makes the hash table pay for itself.
+JOIN_QUERIES = [
+    ("cmu-self-lecturer-filtered",
+     'for $a in doc("cmu.xml")/cmu/Course, '
+     '$b in doc("cmu.xml")/cmu/Course '
+     "where $a/Day = 'F' and $b/Day = 'F' "
+     "and $a/Lecturer = $b/Lecturer return $b/CourseNum"),
+    ("cmu-self-lecturer",
+     'for $a in doc("cmu.xml")/cmu/Course, '
+     '$b in doc("cmu.xml")/cmu/Course '
+     "where $a/Lecturer = $b/Lecturer return $b/CourseNum"),
+    ("brown-gatech-title",
+     'for $a in doc("brown.xml")/brown/Course, '
+     '$b in doc("gatech.xml")/gatech/Course '
+     "where $a/Title = $b/Title return $a/CourseNum"),
+    ("brown-gatech-umass-instructor",
+     'for $a in doc("brown.xml")/brown/Course, '
+     '$b in doc("gatech.xml")/gatech/Course, '
+     '$c in doc("umass.xml")/umass/Course '
+     "where $a/Instructor = $b/Instructor "
+     "and $b/Instructor = $c/Instructor return $c/CourseNum"),
+    ("gatech-umass-time-mixed",
+     'for $a in doc("gatech.xml")/gatech/Course, '
+     '$b in doc("umass.xml")/umass/Course '
+     "where $a/Time = $b/Time and $a/Room != $b/Room "
+     "return $b/CourseNum"),
+]
+
+
+def _check(label: str, ok: bool, detail: str = "") -> None:
+    mark = "ok" if ok else "FAIL"
+    suffix = f" ({detail})" if detail else ""
+    print(f"  [{mark}] {label}{suffix}")
+    if not ok:
+        raise SystemExit(f"join smoke failed: {label}{suffix}")
+
+
+def _run_triple(source: str, documents, statistics) -> tuple[dict, int]:
+    """Three-way differential; returns (join decisions, mismatches).
+
+    Executes the costed plan (join search on), the forced-nested-loop
+    costed plan (``join_search=False``) and the interpreter; all three
+    renderings must agree byte for byte.
+    """
+    joined = compile_query(source, statistics=statistics)
+    loopref = compile_query(source, statistics=statistics,
+                            join_search=False)
+    produced = _render_items(joined.execute(documents, analyze=True))
+    reference = _render_items(loopref.execute(documents))
+    interpreted = _render_items(evaluate(
+        parse_query(source), DynamicContext(documents=documents)))
+    mismatches = (0 if produced == reference else 1) \
+        + (0 if produced == interpreted else 1)
+
+    data = joined.explain_data(analyze=True)
+    actual = data["root"].get("actual")
+    if actual is not None and actual["rows"] != len(produced):
+        raise SystemExit(
+            f"analyzed root reported {actual['rows']} rows but the "
+            f"execution produced {len(produced)}")
+    if joined.decisions.get("hash-joins", 0):
+        _require_hash_actuals(data["root"])
+    return joined.decisions, mismatches
+
+
+def _require_hash_actuals(entry: dict) -> None:
+    """Every hash-join node must carry estimate *and* actual build/probe
+    rows after an analyzed run — the EXPLAIN ANALYZE contract."""
+    if entry.get("kind") == "hash-join":
+        estimated = entry.get("estimated", {})
+        if "est_build_rows" not in estimated \
+                or "est_probe_rows" not in estimated:
+            raise SystemExit("hash-join node lost its build/probe "
+                             "estimates")
+        sides = {child.get("kind"): child
+                 for child in entry.get("children", ())}
+        for side in ("join-build", "join-probe"):
+            if "actual" not in sides.get(side, {}):
+                raise SystemExit(
+                    f"hash-join node has no {side} actuals")
+    for child in entry.get("children", ()):
+        _require_hash_actuals(child)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="smoke-test hash-join plans against nested-loop "
+                    "and interpreter answers")
+    parser.add_argument("--scale", type=int, default=DEFAULT_SCALE,
+                        help=f"testbed scale tier (default "
+                             f"{DEFAULT_SCALE})")
+    parser.add_argument("--cases", type=int, default=DEFAULT_CASES,
+                        help=f"generated scenario cases (default "
+                             f"{DEFAULT_CASES})")
+    parser.add_argument("--pack-seed", type=int, default=DEFAULT_PACK_SEED,
+                        help="scenario generator seed")
+    args = parser.parse_args(argv)
+
+    started = time.monotonic()
+    universities = paper_universities()
+    print(f"building scale-1 and scale-{args.scale} testbeds "
+          f"({len(universities)} sources)")
+    testbeds = {}
+    for scale in sorted({1, args.scale}):
+        testbed = build_testbed(seed=2004, universities=universities,
+                                scale=scale)
+        statistics = collect_statistics(
+            testbed.documents,
+            fingerprint=testbed.content_fingerprint())
+        testbeds[scale] = (testbed.documents, statistics)
+
+    documents, statistics = testbeds[args.scale]
+    print("canonical twelve, three-way differential:")
+    for query in QUERIES:
+        _decisions, mismatches = _run_triple(query.xquery, documents,
+                                             statistics)
+        _check(f"Q{query.number} answers byte-identical",
+               mismatches == 0)
+
+    print("handwritten multi-source joins:")
+    hash_joins = 0
+    for name, source in JOIN_QUERIES:
+        decisions, mismatches = _run_triple(source, documents, statistics)
+        hash_joins += decisions.get("hash-joins", 0)
+        _check(f"{name} answers byte-identical", mismatches == 0,
+               f"groups={decisions.get('join-groups', 0)} "
+               f"hash={decisions.get('hash-joins', 0)} "
+               f"loop={decisions.get('loop-joins', 0)}")
+    _check(f"hash stages chosen at scale {args.scale}", hash_joins >= 1,
+           f"{hash_joins} hash stages across {len(JOIN_QUERIES)} joins")
+
+    switch_name, switch_source = JOIN_QUERIES[0]
+    small_documents, small_statistics = testbeds[1]
+    small_decisions, small_mismatches = _run_triple(
+        switch_source, small_documents, small_statistics)
+    _check(f"{switch_name} answers byte-identical at scale 1",
+           small_mismatches == 0)
+    large_decisions = compile_query(switch_source,
+                                    statistics=statistics).decisions
+    switched = small_decisions.get("hash-joins", 0) == 0 \
+        and small_decisions.get("loop-joins", 0) >= 1 \
+        and large_decisions.get("hash-joins", 0) >= 1
+    _check("strategy switches with scale", switched,
+           f"scale 1 loop={small_decisions.get('loop-joins', 0)}/"
+           f"hash={small_decisions.get('hash-joins', 0)}, "
+           f"scale {args.scale} "
+           f"hash={large_decisions.get('hash-joins', 0)}")
+
+    print(f"generated join pack seed={args.pack_seed} "
+          f"cases={args.cases}:")
+    from ..scenarios.suite import ScenarioSuite, synthesize_join_xquery
+    suite = ScenarioSuite.generate(args.pack_seed, args.cases)
+    scenario_documents = suite.build_testbed().documents
+    pack_statistics = collect_statistics(scenario_documents)
+    specs = [query.spec for query in suite.queries]
+    pack_mismatches = 0
+    pack_groups = 0
+    for index, spec in enumerate(specs):
+        other = specs[(index + 1) % len(specs)]
+        source = synthesize_join_xquery(spec, other)
+        decisions, mismatches = _run_triple(source, scenario_documents,
+                                            pack_statistics)
+        pack_groups += decisions.get("join-groups", 0)
+        pack_mismatches += mismatches
+    _check("join pack answers byte-identical", pack_mismatches == 0,
+           f"{len(specs)} cases, {pack_groups} join groups planned")
+
+    elapsed = time.monotonic() - started
+    print(f"join smoke passed in {elapsed:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

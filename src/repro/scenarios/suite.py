@@ -41,9 +41,16 @@ if TYPE_CHECKING:  # pragma: no cover
 # Query synthesis
 # --------------------------------------------------------------------------- #
 
-def _column(name: str) -> ast.PathExpr:
-    return ast.PathExpr(ast.VarRef("b"),
+def _column(name: str, variable: str = "b") -> ast.PathExpr:
+    return ast.PathExpr(ast.VarRef(variable),
                         (ast.Step("child", "element", name),))
+
+
+def _course_source(slug: str) -> ast.PathExpr:
+    return ast.PathExpr(
+        ast.FunctionCall("doc", (ast.Literal(f"{slug}.xml"),)),
+        (ast.Step("child", "element", slug),
+         ast.Step("child", "element", "Course")))
 
 
 def synthesize_xquery(spec: ScenarioSpec) -> str:
@@ -56,10 +63,7 @@ def synthesize_xquery(spec: ScenarioSpec) -> str:
     :func:`repro.xquery.compile_query` before it is returned.
     """
     slug = spec.reference_slug
-    source = ast.PathExpr(
-        ast.FunctionCall("doc", (ast.Literal(f"{slug}.xml"),)),
-        (ast.Step("child", "element", slug),
-         ast.Step("child", "element", "Course")))
+    source = _course_source(slug)
     conditions: list[ast.Expr] = [
         ast.Comparison("=", _column("Title"),
                        ast.Literal(f"%{spec.topic}%")),
@@ -80,6 +84,36 @@ def synthesize_xquery(spec: ScenarioSpec) -> str:
         where=reduce(lambda left, right: ast.Logical("and", left, right),
                      conditions),
         returns=ast.VarRef("b"))
+    text = unparse(flwor)
+    compile_query(text)  # synthesis must always yield a parsable query
+    return text
+
+
+def synthesize_join_xquery(spec: ScenarioSpec,
+                           other: ScenarioSpec | None = None) -> str:
+    """A two-source equi-join variant of *spec* for the join harness.
+
+    Joins the reference catalog of *spec* against the reference catalog
+    of *other* (or against itself when ``other`` is None) on ``Title``,
+    with the spec's topic LIKE filter on the left side — the shape the
+    cost planner turns into a :class:`~repro.xquery.plan.JoinGroupOp`.
+    Not used for gold scoring: the join smoke harness executes it
+    differentially (costed hash-join vs forced nested-loop vs the
+    interpreter), so no derived answer is needed.  Like
+    :func:`synthesize_xquery`, the text must round-trip through the
+    compiler before it is returned.
+    """
+    left = _course_source(spec.reference_slug)
+    right = _course_source((other or spec).reference_slug)
+    where = ast.Logical(
+        "and",
+        ast.Comparison("=", _column("Title"),
+                       ast.Literal(f"%{spec.topic}%")),
+        ast.Comparison("=", _column("Title"), _column("Title", "c")))
+    flwor = ast.FLWOR(
+        clauses=(ast.ForClause("b", left), ast.ForClause("c", right)),
+        where=where,
+        returns=_column("Code", "c"))
     text = unparse(flwor)
     compile_query(text)  # synthesis must always yield a parsable query
     return text
@@ -158,16 +192,21 @@ class ScenarioSuite:
             histogram[query.tier] = histogram.get(query.tier, 0) + 1
         return histogram
 
-    def build_testbed(self) -> Testbed:
-        """Render every case's source pair through the TESS pipeline."""
+    def build_testbed(self, scale: int = 1) -> Testbed:
+        """Render every case's source pair through the TESS pipeline.
+
+        ``scale`` multiplies each generated catalog exactly like the
+        canonical testbed's scale tier (``scale=1`` stays byte-identical
+        to builds from before the parameter existed).
+        """
         scraper = TessScraper()
         bundles = []
         for query in self.queries:
             assert query.spec is not None
             for profile in scenario_profiles(query.spec):
                 bundles.append(build_source(profile, self.seed,
-                                            scraper=scraper))
-        return Testbed(bundles, seed=self.seed)
+                                            scraper=scraper, scale=scale))
+        return Testbed(bundles, seed=self.seed, scale=scale)
 
     def run(self, system: "IntegrationSystem", testbed: Testbed,
             workers: int = 1) -> ScoreCard:
@@ -235,5 +274,6 @@ __all__ = [
     "ScenarioQuery",
     "ScenarioSuite",
     "scenario_query",
+    "synthesize_join_xquery",
     "synthesize_xquery",
 ]

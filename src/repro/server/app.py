@@ -30,6 +30,7 @@ from ..xquery import (
     PlanCache,
     ResultCache,
     collect_statistics,
+    like_cache_stats,
     statistics_cache_stats,
 )
 from .cache import CacheEntry, ContentCache
@@ -223,6 +224,7 @@ class ThaliaApp:
                          "p95": at(0.95), "max": round(errors[-1], 3)}
         return {
             "statistics_cache": statistics_cache_stats(),
+            "like_cache": like_cache_stats(),
             **counters,
             "costed_plans": costed_plans,
             "costed_decisions": decisions,

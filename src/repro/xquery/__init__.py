@@ -44,6 +44,7 @@ from .errors import (
     XQuerySyntaxError,
     XQueryTypeError,
 )
+from .evaluator import like_cache_stats
 from .functions import FunctionRegistry, XQueryFunction, builtin_registry
 from .lexer import tokenize
 from .cost import q_error
@@ -172,6 +173,7 @@ __all__ = [
     "compile_query",
     "effective_boolean_value",
     "evaluate",
+    "like_cache_stats",
     "parse_query",
     "q_error",
     "run_query",

@@ -36,6 +36,22 @@ ROW_COST = 0.5
 #: Price of evaluating one predicate against one row.
 PREDICATE_COST = 2.0
 
+#: Fixed price of setting up one hash-join stage (table allocation, key
+#: extraction closures).  Deliberately large relative to per-row costs so
+#: tiny filtered inputs keep the nested loop and the strategy flips to
+#: hash only once the pair product dominates — the scale-driven switch
+#: the join smoke test asserts.
+HASH_SETUP_COST = 24.0
+#: Price of hashing one build-side row (key atomization + insert).
+HASH_BUILD_COST = 1.5
+#: Price of probing the table with one probe-side row.
+HASH_PROBE_COST = 1.0
+#: Price per joined tuple materialized by a join stage.
+TUPLE_COST = 0.6
+
+#: Fallback row estimate for a join input the planner cannot size.
+DEFAULT_JOIN_ROWS = 8.0
+
 #: Fallback selectivity for predicates the estimator cannot read.
 DEFAULT_SELECTIVITY = 0.25
 #: Fallback selectivity for an equality with no matching sample —
@@ -161,6 +177,43 @@ def comparison_selectivity(docstats: "DocumentStats", context_tag: str,
 
 
 # --------------------------------------------------------------------------- #
+# Join estimation (hash vs nested-loop stages)
+# --------------------------------------------------------------------------- #
+
+def join_selectivity(left_distinct: float, right_distinct: float) -> float:
+    """Classic equi-join selectivity: ``1 / max(V(left), V(right))``.
+
+    Distinct-value estimates come from
+    :meth:`~repro.xquery.stats.DocumentStats.distinct_estimate`.
+    """
+    return 1.0 / max(1.0, float(left_distinct), float(right_distinct))
+
+
+def join_cardinality(left_rows: float, right_rows: float,
+                     selectivity: float) -> float:
+    """Estimated output tuples of joining two inputs under a combined
+    predicate *selectivity* (1.0 for a pure cartesian stage)."""
+    return max(0.0, left_rows) * max(0.0, right_rows) \
+        * min(1.0, max(0.0, selectivity))
+
+
+def hash_join_cost(build_rows: float, probe_rows: float,
+                   est_matches: float) -> float:
+    """Cost of one hash stage: fixed setup, hash every build row, probe
+    once per probe row, materialize the matches."""
+    return HASH_SETUP_COST + build_rows * HASH_BUILD_COST \
+        + probe_rows * HASH_PROBE_COST + est_matches * TUPLE_COST
+
+
+def loop_join_cost(left_rows: float, right_rows: float,
+                   est_matches: float) -> float:
+    """Cost of one nested-loop stage: every pair pays one predicate
+    evaluation, then matches are materialized."""
+    return left_rows * right_rows * PREDICATE_COST \
+        + est_matches * TUPLE_COST
+
+
+# --------------------------------------------------------------------------- #
 # Estimate-quality metric (shared with the perf reporter)
 # --------------------------------------------------------------------------- #
 
@@ -177,19 +230,28 @@ def q_error(estimated: float, actual: float) -> float:
 
 
 __all__ = [
+    "DEFAULT_JOIN_ROWS",
     "DEFAULT_SELECTIVITY",
     "EQUALITY_FLOOR",
+    "HASH_BUILD_COST",
+    "HASH_PROBE_COST",
+    "HASH_SETUP_COST",
     "INDEX_LOOKUP_COST",
     "LIKE_DEFAULT",
     "PREDICATE_COST",
     "ROW_COST",
     "SCAN_NODE_COST",
+    "TUPLE_COST",
     "comparison_selectivity",
     "document_node_index_cost",
     "equality_selectivity",
+    "hash_join_cost",
     "index_step_cost",
     "inequality_selectivity",
+    "join_cardinality",
+    "join_selectivity",
     "like_selectivity",
+    "loop_join_cost",
     "q_error",
     "range_selectivity",
     "scan_step_cost",

@@ -19,6 +19,7 @@ the visible symptom of an unresolved heterogeneity (e.g. Benchmark Query 4's
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 
 from ..xmlmodel import XmlElement
 from .ast import (
@@ -209,6 +210,7 @@ def _filter_by_predicate(predicate: Expr, sequence: Seq,
 # Comparisons (incl. the paper's LIKE idiom)
 # --------------------------------------------------------------------------- #
 
+@lru_cache(maxsize=512)
 def _like_pattern(pattern: str) -> re.Pattern[str]:
     parts: list[str] = []
     for ch in pattern:
@@ -219,6 +221,17 @@ def _like_pattern(pattern: str) -> re.Pattern[str]:
         else:
             parts.append(re.escape(ch))
     return re.compile("^" + "".join(parts) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def like_cache_stats() -> dict[str, int]:
+    """Counters for the shared LIKE-pattern regex cache (``/api/stats``)."""
+    info = _like_pattern.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "entries": info.currsize,
+        "maxsize": info.maxsize or 0,
+    }
 
 
 def _literal_like(node: Expr) -> str | None:
@@ -259,6 +272,29 @@ def _ordered(op: str, left, right) -> bool:
     return left >= right
 
 
+def _general_compare(op: str, left_seq: Seq, right_seq: Seq) -> bool:
+    """Existential general comparison over two atomized sequences.
+
+    For ``=``/``!=`` between all-string sequences the O(n·m) pair product
+    collapses to set algebra: ``=`` holds iff the value sets intersect and
+    ``!=`` holds iff the union contains at least two distinct values (both
+    sides being non-empty). The generic pair loop remains the fallback for
+    mixed-type sequences, where per-pair numeric promotion (and its type
+    errors) must be preserved.
+    """
+    if not left_seq or not right_seq:
+        return False
+    if op in ("=", "!=") and len(left_seq) * len(right_seq) > 4 \
+            and all(type(value) is str for value in left_seq) \
+            and all(type(value) is str for value in right_seq):
+        if op == "=":
+            return not set(left_seq).isdisjoint(right_seq)
+        return len(set(left_seq).union(right_seq)) > 1
+    return any(
+        _compare_atomic(op, left, right)
+        for left in left_seq for right in right_seq)
+
+
 def _eval_comparison(node: Comparison, context: DynamicContext) -> Seq:
     left_seq = atomize(evaluate(node.left, context))
     right_seq = atomize(evaluate(node.right, context))
@@ -275,10 +311,7 @@ def _eval_comparison(node: Comparison, context: DynamicContext) -> Seq:
                 return [any(pattern.match(str(v)) for v in values)]
             return [any(not pattern.match(str(v)) for v in values)]
 
-    result = any(
-        _compare_atomic(node.op, left, right)
-        for left in left_seq for right in right_seq)
-    return [result]
+    return [_general_compare(node.op, left_seq, right_seq)]
 
 
 # --------------------------------------------------------------------------- #
@@ -362,21 +395,25 @@ def _invert(part):
 
 
 def _eval_quantified(node: Quantified, context: DynamicContext) -> Seq:
-    outcomes: list[bool] = []
+    some = node.kind == "some"
 
-    def recurse(index: int, scope: DynamicContext) -> None:
+    def decided(index: int, scope: DynamicContext) -> bool:
+        """True once the overall answer is settled — stop iterating.
+
+        ``some`` settles on the first true condition, ``every`` on the
+        first false one; later binding combinations are never evaluated.
+        """
         if index == len(node.bindings):
-            outcomes.append(
-                effective_boolean_value(evaluate(node.condition, scope)))
-            return
+            value = effective_boolean_value(evaluate(node.condition, scope))
+            return value if some else not value
         binding = node.bindings[index]
         for item in evaluate(binding.source, scope):
-            recurse(index + 1, scope.bind(binding.variable, [item]))
+            if decided(index + 1, scope.bind(binding.variable, [item])):
+                return True
+        return False
 
-    recurse(0, context)
-    if node.kind == "some":
-        return [any(outcomes)]
-    return [all(outcomes)]
+    settled = decided(0, context)
+    return [settled if some else not settled]
 
 
 # --------------------------------------------------------------------------- #

@@ -43,6 +43,7 @@ A :class:`Plan` additionally exposes:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import threading
 import time
@@ -73,7 +74,13 @@ from .ast import (
 )
 from .context import DocumentResolver, DynamicContext
 from .errors import XQueryTypeError
-from .evaluator import _compare_atomic, _invert, _like_pattern, _order_key
+from .evaluator import (
+    _compare_atomic,
+    _general_compare,
+    _invert,
+    _like_pattern,
+    _order_key,
+)
 from .functions import (
     FunctionRegistry,
     default_registry,
@@ -447,10 +454,7 @@ class ComparisonOp(Op):
             if self.op == "=":
                 return [any(pattern.match(str(v)) for v in values)]
             return [any(not pattern.match(str(v)) for v in values)]
-        result = any(
-            _compare_atomic(self.op, left, right)
-            for left in left_seq for right in right_seq)
-        return [result]
+        return [_general_compare(self.op, left_seq, right_seq)]
 
     def explain_node(self):
         label = f"compare '{self.op}'"
@@ -733,6 +737,361 @@ class CachedSourceOp(Op):
 
 
 # --------------------------------------------------------------------------- #
+# Join execution (hash / nested-loop stages over independent sources)
+# --------------------------------------------------------------------------- #
+
+class _JoinActual:
+    """Identity anchor for one side of a join stage's ANALYZE actuals.
+
+    Build/probe row counts are recorded into the execution trace under
+    ``id()`` of these markers, exactly like operators — the explain tree
+    references them so ``EXPLAIN ANALYZE`` can report build rows and
+    probe rows per stage.
+    """
+
+    __slots__ = ("side",)
+
+    def __init__(self, side: str) -> None:
+        self.side = side
+
+
+class _JoinStage:
+    """One step of a join program: fold one more source into the tuples.
+
+    ``edge`` is ``(bound_position, bound_key_op, new_key_op, conjunct)``
+    for the primary equi-join conjunct a hash stage keys on (``None``
+    for pure loop stages).  ``hash_filters`` are the remaining conjuncts
+    first evaluable at this stage (secondary edges, non-equi cross
+    predicates); ``loop_filters`` are the same plus the primary conjunct,
+    in original conjunct order — the nested-loop path (chosen by cost
+    *or* entered as the runtime fallback for type-mixing keys) evaluates
+    them generically per candidate pair, preserving exact comparison
+    semantics.
+    """
+
+    __slots__ = ("position", "variable", "strategy", "build", "edge",
+                 "hash_filters", "loop_filters", "est_rows",
+                 "build_actual", "probe_actual")
+
+    def __init__(self, position: int, variable: str, strategy: str,
+                 build: str, edge: tuple | None,
+                 hash_filters: tuple[Op, ...],
+                 loop_filters: tuple[Op, ...]) -> None:
+        self.position = position
+        self.variable = variable
+        self.strategy = strategy        # "hash" | "loop"
+        self.build = build              # "source" | "tuples" ("" for loop)
+        self.edge = edge
+        self.hash_filters = hash_filters
+        self.loop_filters = loop_filters
+        self.est_rows: int | None = None
+        self.build_actual = _JoinActual("build")
+        self.probe_actual = _JoinActual("probe")
+
+    def explain_node(self, variables: tuple[str, ...]) -> _Node:
+        children: list[_Node] = []
+        if self.edge is not None:
+            bound_position, bound_key, new_key, _conjunct = self.edge
+            children.append(_Node(
+                f"key ${variables[bound_position]}",
+                [bound_key.explain_node()], kind="join-key"))
+            children.append(_Node(
+                f"key ${self.variable}",
+                [new_key.explain_node()], kind="join-key"))
+        if self.strategy == "hash":
+            build_over = f"${self.variable}" if self.build == "source" \
+                else "tuples"
+            children.append(_Node(f"build [{build_over}]",
+                                  kind="join-build", ref=self.build_actual))
+            children.append(_Node("probe", kind="join-probe",
+                                  ref=self.probe_actual))
+            filters = self.hash_filters
+        else:
+            filters = self.loop_filters
+        for op in filters:
+            children.append(_Node("filter [hoisted]", [op.explain_node()],
+                                  kind="join-filter"))
+        label = f"{self.strategy}-join ${self.variable}"
+        if self.strategy == "hash":
+            label += f" [build={build_over}]"
+        if self.est_rows is not None:
+            label += f" [est={self.est_rows}]"
+        return _Node(label, children, kind=f"{self.strategy}-join",
+                     ref=self)
+
+
+class JoinGroupOp(Op):
+    """Hash/nested-loop join over a prefix of independent FLWOR sources.
+
+    The cost planner builds one of these from ``for``-clauses whose
+    sources reference none of the group's variables, plus the WHERE
+    conjuncts that are *hoistable* (total, boolean-shaped, and only over
+    group variables).  Execution:
+
+    1. evaluate every raw source in clause order, stopping at the first
+       empty one — exactly the combinations the nested loop would have
+       evaluated;
+    2. apply variable-free hoisted conjuncts once (the nested loop would
+       have evaluated them per combination — they are total, so only
+       the evaluation count differs);
+    3. filter each source by its single-variable hoisted conjuncts,
+       tagging every surviving item with its source position;
+    4. run the join program: stages fold sources in the cost-chosen
+       order, hashing on the primary equi-conjunct's atomized string
+       keys (falling back to the generic nested loop when any key
+       atomizes to a non-string) and applying the remaining conjuncts
+       per candidate;
+    5. sort the finished tuples by their original index vector —
+       lexicographic order over clause-position indexes *is* the nested
+       loop's emission order, so downstream clauses, ORDER BY stability
+       and the returned sequence are byte-identical.
+
+    Every hoisted conjunct is total, so no error can be masked by
+    filtering earlier than the interpreter would have; non-hoistable
+    conjuncts stay in the FLWOR's residual WHERE, evaluated at the
+    innermost depth in their original order.
+    """
+
+    __slots__ = ("variables", "sources", "source_filters", "prefilters",
+                 "start", "stages")
+
+    def __init__(self, variables: tuple[str, ...],
+                 sources: tuple[Op, ...],
+                 source_filters: tuple[tuple[Op, ...], ...],
+                 prefilters: tuple[Op, ...],
+                 start: int, stages: tuple[_JoinStage, ...]) -> None:
+        self.variables = variables
+        self.sources = sources
+        self.source_filters = source_filters
+        self.prefilters = prefilters
+        self.start = start
+        self.stages = stages
+
+    @property
+    def order(self) -> tuple[int, ...]:
+        return (self.start,) + tuple(stage.position
+                                     for stage in self.stages)
+
+    def run(self, ctx, state):
+        raw: list[Seq] = []
+        for source in self.sources:
+            items = source.run(ctx, state)
+            if not items:
+                # The nested loop never evaluates sources deeper than
+                # the first empty one — neither do we.
+                return []
+            raw.append(items)
+        for op in self.prefilters:
+            if not effective_boolean_value(op.run(ctx, state)):
+                return []
+        filtered: list[list[tuple[int, object]]] = []
+        for position, items in enumerate(raw):
+            tagged = list(enumerate(items))
+            predicates = self.source_filters[position]
+            if predicates:
+                variable = self.variables[position]
+                child = ctx.bind(variable, [])
+                for predicate in predicates:
+                    if not tagged:
+                        break
+                    kept = []
+                    for index, item in tagged:
+                        child._variables[variable] = [item]
+                        if effective_boolean_value(
+                                predicate.run(child, state)):
+                            kept.append((index, item))
+                    tagged = kept
+            filtered.append(tagged)
+        width = len(self.sources)
+        tuples: list[tuple[list, list]] = []
+        for index, item in filtered[self.start]:
+            indices: list = [-1] * width
+            items_row: list = [None] * width
+            indices[self.start] = index
+            items_row[self.start] = item
+            tuples.append((indices, items_row))
+        for stage in self.stages:
+            if not tuples:
+                break
+            tuples = self._apply_stage(stage, tuples,
+                                       filtered[stage.position], ctx, state)
+        tuples.sort(key=lambda entry: entry[0])
+        return [tuple(items_row) for _indices, items_row in tuples]
+
+    # -- stage execution -------------------------------------------------- #
+
+    def _apply_stage(self, stage: _JoinStage, tuples, new_items,
+                     ctx, state) -> list:
+        trace = state.trace
+        started = time.perf_counter_ns() if trace is not None else 0
+        result, build_rows, probe_rows = self._stage_inner(
+            stage, tuples, new_items, ctx, state)
+        if trace is not None:
+            elapsed = time.perf_counter_ns() - started
+            for ref, rows in ((stage, len(result)),
+                              (stage.build_actual, build_rows),
+                              (stage.probe_actual, probe_rows)):
+                entry = trace.get(id(ref))
+                wall = elapsed if ref is stage else 0
+                if entry is None:
+                    trace[id(ref)] = [1, rows, wall]
+                else:
+                    entry[0] += 1
+                    entry[1] += rows
+                    entry[2] += wall
+        return result
+
+    def _stage_inner(self, stage: _JoinStage, tuples, new_items,
+                     ctx, state) -> tuple[list, int, int]:
+        position = stage.position
+        variable = stage.variable
+        if stage.strategy == "hash" and stage.edge is not None:
+            bound_position, bound_key, new_key, _conjunct = stage.edge
+            new_atoms = self._side_keys(
+                new_key, variable, [item for _i, item in new_items],
+                ctx, state)
+            bound_atoms = None
+            if new_atoms is not None:
+                bound_items: list = []
+                seen_bound: set[int] = set()
+                for indices, items_row in tuples:
+                    bound_index = indices[bound_position]
+                    if bound_index not in seen_bound:
+                        seen_bound.add(bound_index)
+                        bound_items.append(
+                            (bound_index, items_row[bound_position]))
+                per_item = self._side_keys(
+                    bound_key, self.variables[bound_position],
+                    [item for _i, item in bound_items], ctx, state)
+                if per_item is not None:
+                    bound_atoms = {
+                        index: atoms for (index, _item), atoms
+                        in zip(bound_items, per_item)}
+            if new_atoms is not None and bound_atoms is not None:
+                return self._hash_stage(stage, tuples, new_items,
+                                        new_atoms, bound_atoms,
+                                        bound_position, ctx, state)
+        # Nested-loop path: cost-chosen loop stages and the runtime
+        # fallback for key sequences with non-string atoms, where only
+        # the generic per-pair comparison preserves numeric-promotion
+        # semantics.
+        scope = ctx.bind(variable, [])
+        result = []
+        for indices, items_row in tuples:
+            for var_position, name in enumerate(self.variables):
+                if indices[var_position] >= 0:
+                    scope._variables[name] = [items_row[var_position]]
+            for index, item in new_items:
+                scope._variables[variable] = [item]
+                if all(effective_boolean_value(op.run(scope, state))
+                       for op in stage.loop_filters):
+                    joined_indices = list(indices)
+                    joined_items = list(items_row)
+                    joined_indices[position] = index
+                    joined_items[position] = item
+                    result.append((joined_indices, joined_items))
+        return result, 0, len(tuples) * len(new_items)
+
+    def _side_keys(self, key_op: Op, variable: str, items, ctx,
+                   state) -> list[list] | None:
+        """Atomized string keys per item; None → fall back to the loop
+        (some key atomized to a non-string)."""
+        scope = ctx.bind(variable, [])
+        keys: list[list] = []
+        for item in items:
+            scope._variables[variable] = [item]
+            atoms = _atomize(key_op.run(scope, state), state)
+            for atom in atoms:
+                if type(atom) is not str:
+                    return None
+            keys.append(atoms)
+        return keys
+
+    def _hash_stage(self, stage: _JoinStage, tuples, new_items,
+                    new_atoms, bound_atoms, bound_position, ctx,
+                    state) -> tuple[list, int, int]:
+        position = stage.position
+        variable = stage.variable
+        filters = stage.hash_filters
+        scope = ctx.bind(variable, [])
+        result = []
+
+        def passes(indices, items_row, item) -> bool:
+            if not filters:
+                return True
+            for var_position, name in enumerate(self.variables):
+                if indices[var_position] >= 0:
+                    scope._variables[name] = [items_row[var_position]]
+            scope._variables[variable] = [item]
+            return all(effective_boolean_value(op.run(scope, state))
+                       for op in filters)
+
+        def emit(indices, items_row, index, item) -> None:
+            joined_indices = list(indices)
+            joined_items = list(items_row)
+            joined_indices[position] = index
+            joined_items[position] = item
+            result.append((joined_indices, joined_items))
+
+        if stage.build == "source":
+            table: dict[str, list[int]] = {}
+            for slot, atoms in enumerate(new_atoms):
+                for atom in dict.fromkeys(atoms):
+                    table.setdefault(atom, []).append(slot)
+            build_rows, probe_rows = len(new_items), len(tuples)
+            for indices, items_row in tuples:
+                atoms = bound_atoms[indices[bound_position]]
+                if not atoms:
+                    continue
+                candidates: set[int] = set()
+                for atom in atoms:
+                    candidates.update(table.get(atom, ()))
+                for slot in sorted(candidates):
+                    index, item = new_items[slot]
+                    if passes(indices, items_row, item):
+                        emit(indices, items_row, index, item)
+        else:
+            table = {}
+            for tuple_slot, (indices, _items_row) in enumerate(tuples):
+                for atom in dict.fromkeys(
+                        bound_atoms[indices[bound_position]]):
+                    table.setdefault(atom, []).append(tuple_slot)
+            build_rows, probe_rows = len(tuples), len(new_items)
+            for slot, atoms in enumerate(new_atoms):
+                if not atoms:
+                    continue
+                index, item = new_items[slot]
+                candidates = set()
+                for atom in atoms:
+                    candidates.update(table.get(atom, ()))
+                for tuple_slot in sorted(candidates):
+                    indices, items_row = tuples[tuple_slot]
+                    if passes(indices, items_row, item):
+                        emit(indices, items_row, index, item)
+        return result, build_rows, probe_rows
+
+    def explain_node(self):
+        children: list[_Node] = []
+        for position, source in enumerate(self.sources):
+            source_children = [source.explain_node()]
+            for predicate in self.source_filters[position]:
+                source_children.append(
+                    _Node("filter [hoisted]", [predicate.explain_node()],
+                          kind="join-filter"))
+            children.append(_Node(f"source ${self.variables[position]}",
+                                  source_children, kind="join-source"))
+        for op in self.prefilters:
+            children.append(_Node("filter [hoisted, invariant]",
+                                  [op.explain_node()], kind="join-filter"))
+        for stage in self.stages:
+            children.append(stage.explain_node(self.variables))
+        order = ", ".join(f"${self.variables[position]}"
+                          for position in self.order)
+        return _Node(f"join-group [order {order}]", children,
+                     kind="join-group", ref=self)
+
+
+# --------------------------------------------------------------------------- #
 # FLWOR / quantifiers / constructors
 # --------------------------------------------------------------------------- #
 
@@ -784,6 +1143,19 @@ class FLWOROp(Op):
                 for item in items:
                     child._variables[variable] = [item]
                     recurse(depth + 1, child)
+            elif kind == "join":
+                # A cost-planned join group: `variable` is the tuple of
+                # group variable names and each produced row binds them
+                # all at once, already in nested-loop emission order.
+                rows = op.run(scope, state)
+                if not rows:
+                    return
+                names = variable
+                child = scope.bind(names[0], [])
+                for row in rows:
+                    for name, item in zip(names, row):
+                        child._variables[name] = [item]
+                    recurse(depth + 1, child)
             else:
                 recurse(depth + 1,
                         scope.bind(variable, op.run(scope, state)))
@@ -799,6 +1171,11 @@ class FLWOROp(Op):
     def explain_node(self):
         children = []
         for kind, variable, op in self.clauses:
+            if kind == "join":
+                names = ", ".join(f"${name}" for name in variable)
+                children.append(_Node(f"join {names}",
+                                      [op.explain_node()]))
+                continue
             marker = "in" if kind == "for" else ":="
             children.append(_Node(f"{kind} ${variable} {marker}",
                                   [op.explain_node()]))
@@ -822,26 +1199,30 @@ class QuantifiedOp(Op):
         self.condition = condition
 
     def run(self, ctx, state):
-        outcomes: list[bool] = []
+        some = self.kind == "some"
 
-        def recurse(depth: int, scope: DynamicContext) -> None:
+        def decided(depth: int, scope: DynamicContext) -> bool:
+            # True once the overall answer is settled: `some` on the
+            # first true condition, `every` on the first false — later
+            # binding combinations are never evaluated (mirrors the
+            # interpreter's short-circuit exactly).
             if depth == len(self.bindings):
-                outcomes.append(effective_boolean_value(
-                    self.condition.run(scope, state)))
-                return
+                value = effective_boolean_value(
+                    self.condition.run(scope, state))
+                return value if some else not value
             variable, op = self.bindings[depth]
             items = op.run(scope, state)
             if not items:
-                return
+                return False
             child = scope.bind(variable, [])
             for item in items:
                 child._variables[variable] = [item]
-                recurse(depth + 1, child)
+                if decided(depth + 1, child):
+                    return True
+            return False
 
-        recurse(0, ctx)
-        if self.kind == "some":
-            return [any(outcomes)]
-        return [all(outcomes)]
+        settled = decided(0, ctx)
+        return [settled if some else not settled]
 
     def explain_node(self):
         children = [_Node(f"${variable} in", [op.explain_node()])
@@ -918,7 +1299,7 @@ def _traced(run):
 for _op_class in (LiteralOp, VarRefOp, ContextItemOp, DocOp, FunctionCallOp,
                   SequenceOp, IfOp, LogicalOp, NotOp, ArithmeticOp,
                   ComparisonOp, PathOp, IndexedPathOp, CachedSourceOp,
-                  FLWOROp, QuantifiedOp, ElementConstructorOp):
+                  JoinGroupOp, FLWOROp, QuantifiedOp, ElementConstructorOp):
     _op_class.run = _traced(_op_class.run)
 del _op_class
 
@@ -1031,12 +1412,12 @@ class _Lowerer:
         return None, side
 
     def _lower_flwor(self, node: FLWOR) -> Op:
-        fused, pushed = fuse_where(node)
+        fused, pushed, fused_at = fuse_where(node)
         self.where_fused += len(pushed)
         clauses: list[tuple[str, str, Op]] = []
         for position, clause in enumerate(fused.clauses):
             if isinstance(clause, ForClause):
-                if pushed and position == 0 \
+                if pushed and position == fused_at \
                         and isinstance(clause.source, PathExpr):
                     source = self._lower_path(clause.source,
                                               pushed_on_last=len(pushed))
@@ -1074,12 +1455,18 @@ class _CostPlanner:
     process.
     """
 
-    def __init__(self, statistics: "Statistics") -> None:
+    def __init__(self, statistics: "Statistics",
+                 join_search: bool = True) -> None:
         self.statistics = statistics
+        self.join_search = join_search
         self.cost_info: dict[int, dict] = {}
         self.decisions = {
             "cached-sources": 0,
+            "hash-joins": 0,
+            "hoisted-predicates": 0,
             "index-steps": 0,
+            "join-groups": 0,
+            "loop-joins": 0,
             "reordered-predicates": 0,
             "scan-steps": 0,
             "steps-costed": 0,
@@ -1134,26 +1521,404 @@ class _CostPlanner:
         return op
 
     def _cost_flwor(self, op: FLWOROp) -> Op:
-        clauses = []
-        for position, (kind, variable, source) in enumerate(op.clauses):
-            source = self.walk(source)
-            if kind == "for" and position > 0 \
-                    and _is_loop_invariant(source):
-                # Inner loop-invariant sources re-evaluate once per
-                # outer binding; memoizing is cheaper whenever the
-                # outer side binds more than once, which statistics
-                # can't rule out — so the planner always takes it.
-                source = CachedSourceOp(source)
-                self.decisions["cached-sources"] += 1
-                self.cost_info[id(source)] = {"strategy": "memo"}
-            clauses.append((kind, variable, source))
-        op.clauses = tuple(clauses)
+        walked = [(kind, variable, self.walk(source))
+                  for kind, variable, source in op.clauses]
+        joined = None
+        if self.join_search and op.where is not None and len(walked) >= 2:
+            joined = self._plan_join(op, walked)
+        if joined is not None:
+            op.clauses = joined
+        else:
+            clauses = []
+            for position, (kind, variable, source) in enumerate(walked):
+                if kind == "for" and position > 0 \
+                        and _is_loop_invariant(source):
+                    # Inner loop-invariant sources re-evaluate once per
+                    # outer binding; memoizing is cheaper whenever the
+                    # outer side binds more than once, which statistics
+                    # can't rule out — so the planner always takes it.
+                    source = CachedSourceOp(source)
+                    self.decisions["cached-sources"] += 1
+                    self.cost_info[id(source)] = {"strategy": "memo"}
+                clauses.append((kind, variable, source))
+            op.clauses = tuple(clauses)
         if op.where is not None:
             self.walk(op.where)
         for key_op, _descending in op.order_specs:
             self.walk(key_op)
         self.walk(op.returns)
         return op
+
+    # -- join planning ----------------------------------------------------- #
+
+    def _plan_join(self, op: FLWOROp, walked: list) -> tuple | None:
+        """Try to turn a prefix of *walked* clauses plus hoistable WHERE
+        conjuncts into a cost-ordered :class:`JoinGroupOp` clause.
+
+        Returns the transformed clause tuple (mutating ``op.where`` down
+        to the residual conjuncts) or None to keep the nested loop.
+        Safety rules — each one protects byte-identical results:
+
+        * the group is a maximal prefix of ``for``-clauses whose sources
+          reference none of the group's variables (clause order is the
+          evaluation order the interpreter uses, so raw sources are
+          still evaluated in it);
+        * duplicate or tail-shadowed group names bail out — a conjunct
+          mentioning the name would not unambiguously reference the
+          group binding;
+        * every clause *after* the group must be provably total:
+          hoisted filtering evaluates strictly fewer combinations, so a
+          tail source that could raise might lose its error;
+        * a conjunct is hoisted only when it is total, boolean-shaped,
+          over group variables only, and every conjunct *before* it is
+          total (the interpreter stops at the first false conjunct, so
+          an early false may hide a later raise — but only if some
+          earlier conjunct could itself raise).
+        """
+        group: list[tuple[str, Op]] = []
+        bound: set[str] = set()
+        for kind, variable, source in walked:
+            if kind != "for" or (_op_variables(source) & bound):
+                break
+            group.append((variable, source))
+            bound.add(variable)
+        if len(group) < 2:
+            return None
+        group_vars = tuple(variable for variable, _source in group)
+        if len(set(group_vars)) != len(group_vars):
+            return None
+        tail = walked[len(group):]
+        if {variable for _kind, variable, _source in tail} & bound:
+            return None
+        env = {variable: _binding_kind(source)
+               for variable, source in group}
+        for _kind, variable, source in tail:
+            if not _op_cannot_raise(source, env):
+                return None
+            env[variable] = _binding_kind(source)
+
+        conjuncts = _split_conjuncts_op(op.where)
+        hoisted: list[Op] = []
+        residual: list[Op] = []
+        prefix_total = True
+        for conjunct in conjuncts:
+            total = _conjunct_cannot_raise(conjunct, env)
+            if prefix_total and total \
+                    and _op_variables(conjunct) <= bound:
+                hoisted.append(conjunct)
+            else:
+                residual.append(conjunct)
+            prefix_total = prefix_total and total
+        if not hoisted:
+            return None
+
+        # -- classify hoisted conjuncts --------------------------------- #
+        positions = {variable: index
+                     for index, variable in enumerate(group_vars)}
+        prefilters: list[Op] = []
+        per_source: dict[str, list[Op]] = {v: [] for v in group_vars}
+        edges: list[tuple] = []   # (hoist idx, lpos, lkey, rpos, rkey, op)
+        cross: list[tuple] = []   # (hoist idx, frozenset positions, op)
+        for hoist_index, conjunct in enumerate(hoisted):
+            names = _op_variables(conjunct)
+            if not names:
+                prefilters.append(conjunct)
+            elif len(names) == 1:
+                per_source[next(iter(names))].append(conjunct)
+            else:
+                edge = _equi_edge(conjunct, positions)
+                if edge is not None:
+                    edges.append((hoist_index,) + edge + (conjunct,))
+                else:
+                    cross.append((hoist_index,
+                                  frozenset(positions[name]
+                                            for name in names), conjunct))
+
+        # -- estimate filtered input sizes ------------------------------- #
+        rows: list[float] = []
+        docinfo: list[tuple] = []
+        for variable, source in group:
+            docstats, context_tag = self._source_docstats(source)
+            base = self._source_rows(source)
+            selectivity = 1.0
+            for conjunct in per_source[variable]:
+                selectivity *= self._hoisted_selectivity(
+                    conjunct, variable, context_tag, docstats)
+            rows.append(max(base * selectivity, 0.05))
+            docinfo.append((docstats, context_tag))
+
+        def key_distinct(key_op: Op, position: int) -> float:
+            docstats, _context_tag = docinfo[position]
+            tag = _var_child_tag(key_op, group_vars[position])
+            if tag is not None and docstats is not None:
+                return float(docstats.distinct_estimate(tag))
+            return max(1.0, rows[position])
+
+        edge_records = [record + (
+            _cost.join_selectivity(key_distinct(record[2], record[1]),
+                                   key_distinct(record[4], record[3])),)
+            for record in edges]
+        # record = (hoist idx, lpos, lkey, rpos, rkey, op, selectivity)
+
+        def connects(record, new: int, done: frozenset) -> bool:
+            return (record[1] == new and record[3] in done) \
+                or (record[3] == new and record[1] in done)
+
+        def stage_estimates(done: frozenset, done_rows: float, new: int):
+            """(out rows, loop cost, hash cost by build side) of folding
+            source *new* into the tuples over *done*."""
+            selectivity = 1.0
+            has_edge = False
+            for record in edge_records:
+                if connects(record, new, done):
+                    selectivity *= record[6]
+                    has_edge = True
+            for _index, poss, _conjunct in cross:
+                if poss <= done | {new} and not poss <= done:
+                    selectivity *= _cost.DEFAULT_SELECTIVITY
+            out = _cost.join_cardinality(done_rows, rows[new], selectivity)
+            loop = _cost.loop_join_cost(done_rows, rows[new], out)
+            if has_edge:
+                hash_source = _cost.hash_join_cost(rows[new], done_rows,
+                                                   out)
+                hash_tuples = _cost.hash_join_cost(done_rows, rows[new],
+                                                   out)
+            else:
+                hash_source = hash_tuples = None
+            return out, loop, hash_source, hash_tuples
+
+        def best_stage_cost(done: frozenset, done_rows: float, new: int):
+            out, loop, hash_source, hash_tuples = \
+                stage_estimates(done, done_rows, new)
+            best = min(candidate for candidate
+                       in (loop, hash_source, hash_tuples)
+                       if candidate is not None)
+            return out, best
+
+        def order_cost(order: tuple[int, ...]) -> float:
+            total = 0.0
+            done = frozenset((order[0],))
+            done_rows = rows[order[0]]
+            for new in order[1:]:
+                out, best = best_stage_cost(done, done_rows, new)
+                total += best
+                done = done | {new}
+                done_rows = out
+            return total
+
+        # -- join-order search: DP on subsets, greedy past 5 sources ----- #
+        size = len(group)
+        considered = 0
+        if size <= 5:
+            best_plan: dict[frozenset, tuple] = {
+                frozenset((index,)): (0.0, rows[index], (index,))
+                for index in range(size)}
+            for subset_size in range(2, size + 1):
+                for subset in itertools.combinations(range(size),
+                                                     subset_size):
+                    key = frozenset(subset)
+                    entry = None
+                    for last in subset:
+                        previous = best_plan[key - {last}]
+                        prev_cost, prev_rows, prev_order = previous
+                        out, best = best_stage_cost(key - {last},
+                                                    prev_rows, last)
+                        considered += 1
+                        candidate = (prev_cost + best, out,
+                                     prev_order + (last,))
+                        if entry is None or (candidate[0], candidate[2]) \
+                                < (entry[0], entry[2]):
+                            entry = candidate
+                    best_plan[key] = entry
+            chosen_cost, _final_rows, chosen_order = \
+                best_plan[frozenset(range(size))]
+        else:
+            start = min(range(size), key=lambda index: (rows[index], index))
+            order = [start]
+            done = frozenset((start,))
+            done_rows = rows[start]
+            chosen_cost = 0.0
+            while len(order) < size:
+                pick = None
+                for new in range(size):
+                    if new in done:
+                        continue
+                    out, best = best_stage_cost(done, done_rows, new)
+                    considered += 1
+                    if pick is None or (best, new) < (pick[0], pick[1]):
+                        pick = (best, new, out)
+                chosen_cost += pick[0]
+                done = done | {pick[1]}
+                done_rows = pick[2]
+                order.append(pick[1])
+            chosen_order = tuple(order)
+
+        # -- build the stage program ------------------------------------- #
+        start = chosen_order[0]
+        stages: list[_JoinStage] = []
+        done = frozenset((start,))
+        done_rows = rows[start]
+        for new in chosen_order[1:]:
+            stage_edges = [record for record in edge_records
+                           if connects(record, new, done)]
+            stage_cross = [entry for entry in cross
+                           if entry[1] <= done | {new}
+                           and not entry[1] <= done]
+            out, loop, hash_source, hash_tuples = \
+                stage_estimates(done, done_rows, new)
+            options = [(loop, 0, "loop", "")]
+            if hash_source is not None:
+                options.append((hash_source, 1, "hash", "source"))
+                options.append((hash_tuples, 2, "hash", "tuples"))
+            cost_chosen, _rank, strategy, build = min(options)
+
+            primary = None
+            if strategy == "hash":
+                primary = min(stage_edges,
+                              key=lambda record: (record[6], record[0]))
+            ordered_filters = [(record[0], record[5])
+                               for record in stage_edges
+                               if record is not primary]
+            ordered_filters.extend((index, conjunct)
+                                   for index, _poss, conjunct in stage_cross)
+            ordered_filters.sort(key=lambda entry: entry[0])
+            hash_filters = tuple(conjunct
+                                 for _index, conjunct in ordered_filters)
+            if primary is not None:
+                ordered_filters.append((primary[0], primary[5]))
+                ordered_filters.sort(key=lambda entry: entry[0])
+            loop_filters = tuple(conjunct
+                                 for _index, conjunct in ordered_filters)
+
+            edge = None
+            if primary is not None:
+                if primary[1] in done:
+                    edge = (primary[1], primary[2], primary[4], primary[5])
+                else:
+                    edge = (primary[3], primary[4], primary[2], primary[5])
+            stage = _JoinStage(new, group_vars[new], strategy, build,
+                               edge, hash_filters, loop_filters)
+            info: dict = {
+                "strategy": strategy,
+                "est_rows": max(0, round(out)),
+                "est_cost": round(cost_chosen, 3),
+                "alternatives": [
+                    {"strategy": "loop", "cost": round(loop, 3)}],
+            }
+            if hash_source is not None:
+                info["alternatives"].append(
+                    {"strategy": "hash", "build": f"${group_vars[new]}",
+                     "cost": round(hash_source, 3)})
+                info["alternatives"].append(
+                    {"strategy": "hash", "build": "tuples",
+                     "cost": round(hash_tuples, 3)})
+            if strategy == "hash":
+                info["build"] = f"${group_vars[new]}" \
+                    if build == "source" else "tuples"
+                build_rows = rows[new] if build == "source" else done_rows
+                probe_rows = done_rows if build == "source" else rows[new]
+                info["est_build_rows"] = max(0, round(build_rows))
+                info["est_probe_rows"] = max(0, round(probe_rows))
+            stage.est_rows = info["est_rows"]
+            self.cost_info[id(stage)] = info
+            self.decisions["hash-joins" if strategy == "hash"
+                           else "loop-joins"] += 1
+            stages.append(stage)
+            done = done | {new}
+            done_rows = out
+
+        group_op = JoinGroupOp(
+            variables=group_vars,
+            sources=tuple(source for _variable, source in group),
+            source_filters=tuple(tuple(per_source[variable])
+                                 for variable in group_vars),
+            prefilters=tuple(prefilters),
+            start=start,
+            stages=tuple(stages))
+        self.decisions["join-groups"] += 1
+        self.decisions["hoisted-predicates"] += len(hoisted)
+        clause_order = tuple(range(size))
+        group_info = {
+            "strategy": "join-group",
+            "order": [f"${group_vars[position]}"
+                      for position in chosen_order],
+            "est_rows": max(0, round(done_rows)),
+            "est_cost": round(chosen_cost, 3),
+            "orders_considered": considered,
+            "alternatives": [{
+                "order": [f"${group_vars[position]}"
+                          for position in clause_order],
+                "cost": round(order_cost(clause_order), 3),
+            }],
+        }
+        self.cost_info[id(group_op)] = group_info
+
+        op.where = _join_conjuncts_op(residual) if residual else None
+        clauses: list = [("join", group_vars, group_op)]
+        for kind, variable, source in tail:
+            if kind == "for" and _is_loop_invariant(source):
+                source = CachedSourceOp(source)
+                self.decisions["cached-sources"] += 1
+                self.cost_info[id(source)] = {"strategy": "memo"}
+            clauses.append((kind, variable, source))
+        return tuple(clauses)
+
+    def _source_rows(self, source: Op) -> float:
+        """Row estimate for one group source, reusing the step costing
+        this planner already recorded for indexed paths."""
+        if isinstance(source, IndexedPathOp):
+            for step in reversed(source.steps):
+                info = self.cost_info.get(id(step))
+                if info and "est_rows" in info:
+                    return float(info["est_rows"])
+        if isinstance(source, (DocOp, LiteralOp)):
+            return 1.0
+        if isinstance(source, SequenceOp):
+            return float(len(source.items))
+        return _cost.DEFAULT_JOIN_ROWS
+
+    def _source_docstats(self, source: Op) -> tuple:
+        """(document statistics, context tag) for ``$var``-relative
+        estimation over a group source, when the source is an indexed
+        path ending in a named element step."""
+        if isinstance(source, IndexedPathOp):
+            docstats = self.statistics.for_document(source.doc_name)
+            steps = source.steps
+            if steps and steps[-1].kind == "element" \
+                    and steps[-1].name != "*":
+                return docstats, steps[-1].name
+            return docstats, None
+        return None, None
+
+    def _hoisted_selectivity(self, conjunct: Op, variable: str,
+                             context_tag, docstats) -> float:
+        """Selectivity of a single-variable hoisted conjunct, read as a
+        ``$var/Tag <op> literal`` shape against the variable's document
+        statistics."""
+        if docstats is None or context_tag is None:
+            return _cost.DEFAULT_SELECTIVITY
+        if isinstance(conjunct, ComparisonOp):
+            shape = _var_comparison_shape(conjunct, variable)
+            if shape is None:
+                return _cost.DEFAULT_SELECTIVITY
+            child_tag, cmp_op, literal = shape
+            pattern = conjunct.like[1] if conjunct.like is not None \
+                else None
+            return _cost.comparison_selectivity(
+                docstats, context_tag, child_tag, cmp_op, literal, pattern)
+        if isinstance(conjunct, LogicalOp):
+            left = self._hoisted_selectivity(conjunct.left, variable,
+                                             context_tag, docstats)
+            right = self._hoisted_selectivity(conjunct.right, variable,
+                                              context_tag, docstats)
+            if conjunct.op == "and":
+                return left * right
+            return min(1.0, left + right - left * right)
+        if isinstance(conjunct, NotOp):
+            inner = self._hoisted_selectivity(conjunct.operand, variable,
+                                              context_tag, docstats)
+            return max(_cost.EQUALITY_FLOOR, 1.0 - inner)
+        return _cost.DEFAULT_SELECTIVITY
 
     # -- path-step costing ------------------------------------------------ #
 
@@ -1379,6 +2144,245 @@ def _is_loop_invariant(op: Op) -> bool:
 
 
 # --------------------------------------------------------------------------- #
+# Join-planning analysis helpers
+# --------------------------------------------------------------------------- #
+
+def _op_variables(op: Op) -> frozenset[str]:
+    """Every variable name referenced anywhere under *op*.
+
+    Over-approximate on purpose: variables bound by nested FLWORs or
+    quantifiers are included too, so a source is only ever judged
+    *more* dependent than it really is — never less.
+    """
+    names: set[str] = set()
+    stack: list[Op] = [op]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, VarRefOp):
+            names.add(node.name)
+        elif isinstance(node, PathOp):
+            stack.append(node.base)
+            for step in node.steps:
+                stack.extend(predicate
+                             for predicate, _pushed in step.predicates)
+        elif isinstance(node, IndexedPathOp):
+            for step in node.steps:
+                stack.extend(predicate
+                             for predicate, _pushed in step.predicates)
+        elif isinstance(node, FunctionCallOp):
+            stack.extend(node.args)
+        elif isinstance(node, SequenceOp):
+            stack.extend(node.items)
+        elif isinstance(node, IfOp):
+            stack.extend((node.condition, node.then_branch,
+                          node.else_branch))
+        elif isinstance(node, (LogicalOp, ArithmeticOp, ComparisonOp)):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, NotOp):
+            stack.append(node.operand)
+        elif isinstance(node, CachedSourceOp):
+            stack.append(node.source)
+        elif isinstance(node, FLWOROp):
+            for _kind, _variable, source in node.clauses:
+                stack.append(source)
+            if node.where is not None:
+                stack.append(node.where)
+            stack.extend(key_op for key_op, _descending
+                         in node.order_specs)
+            stack.append(node.returns)
+        elif isinstance(node, JoinGroupOp):
+            stack.extend(node.sources)
+            stack.extend(node.prefilters)
+            for filters in node.source_filters:
+                stack.extend(filters)
+            for stage in node.stages:
+                stack.extend(stage.loop_filters)
+        elif isinstance(node, QuantifiedOp):
+            stack.extend(source for _variable, source in node.bindings)
+            stack.append(node.condition)
+        elif isinstance(node, ElementConstructorOp):
+            if node.content is not None:
+                stack.append(node.content)
+    return frozenset(names)
+
+
+def _binding_kind(op: Op) -> str:
+    """What a ``for`` over *op* binds each item to: ``"element"``,
+    ``"string"``, ``"atomic"`` (numbers/booleans) or ``"unknown"``."""
+    if isinstance(op, CachedSourceOp):
+        return _binding_kind(op.source)
+    if isinstance(op, DocOp):
+        return "element"
+    if isinstance(op, (PathOp, IndexedPathOp)) and op.steps:
+        return "element" if op.steps[-1].kind == "element" else "string"
+    if isinstance(op, LiteralOp):
+        return "string" if isinstance(op.value, str) else "atomic"
+    if isinstance(op, SequenceOp) and op.items \
+            and all(isinstance(item, LiteralOp) for item in op.items):
+        if all(isinstance(item.value, str) for item in op.items):
+            return "string"
+        return "atomic"
+    return "unknown"
+
+
+def _operand_kind(op: Op, env: dict[str, str]) -> str:
+    """The atom kind a comparison operand's value atomizes to, given
+    the group variables' binding kinds: ``"string"``, ``"number"``,
+    ``"bool"`` or ``"unknown"``."""
+    if isinstance(op, LiteralOp):
+        if isinstance(op.value, bool):
+            return "bool"
+        if isinstance(op.value, float):
+            return "number"
+        return "string"
+    if isinstance(op, VarRefOp):
+        # Elements atomize to their string value.
+        if env.get(op.name) in ("element", "string"):
+            return "string"
+        return "unknown"
+    if isinstance(op, (PathOp, IndexedPathOp)):
+        # Elements, attributes and text steps all atomize to strings.
+        return "string"
+    if isinstance(op, SequenceOp):
+        kinds = {_operand_kind(item, env) for item in op.items}
+        if len(kinds) == 1:
+            return kinds.pop()
+        return "unknown"
+    return "unknown"
+
+
+def _op_cannot_raise(op: Op, env: dict[str, str]) -> bool:
+    """True when evaluating *op* can never raise, with group variables
+    bound to the kinds recorded in *env*.
+
+    The per-step :func:`_cannot_raise` covers context-relative
+    predicates; this variant reasons about ``$var``-rooted expressions
+    for join hoisting.  Doc-rooted paths count as raising — a missing
+    document raises :class:`~repro.xquery.errors.XQueryNameError`, and
+    hoisted filtering must not be able to hide that.  Unbound-variable
+    errors are out of scope: a reference to a genuinely unbound name is
+    a broken query, not a plan-dependent behavior this engine defends.
+    """
+    if isinstance(op, (LiteralOp, VarRefOp)):
+        return True
+    if isinstance(op, PathOp):
+        base = op.base
+        if not (isinstance(base, VarRefOp)
+                and env.get(base.name) == "element"):
+            return False
+        for position, step in enumerate(op.steps):
+            if step.kind != "element" and position < len(op.steps) - 1:
+                # Attribute/text steps yield strings; a further step on
+                # an atomic raises.
+                return False
+            if any(not _cannot_raise(predicate)
+                   for predicate, _pushed in step.predicates):
+                return False
+        return True
+    if isinstance(op, ComparisonOp):
+        if not (_op_cannot_raise(op.left, env)
+                and _op_cannot_raise(op.right, env)):
+            return False
+        if op.like is not None:
+            return True
+        left_kind = _operand_kind(op.left, env)
+        right_kind = _operand_kind(op.right, env)
+        if op.op in ("=", "!=") and "bool" in (left_kind, right_kind):
+            # Boolean general comparison takes the (total) effective-
+            # boolean-value path on singletons of any kind.
+            return "unknown" not in (left_kind, right_kind)
+        if left_kind == right_kind and left_kind in ("string", "number"):
+            return True
+        return False
+    if isinstance(op, LogicalOp):
+        # and/or take the effective boolean value of each side, which
+        # raises on multi-item atomic sequences — require boolean shape.
+        return _conjunct_cannot_raise(op.left, env) \
+            and _conjunct_cannot_raise(op.right, env)
+    if isinstance(op, NotOp):
+        return _conjunct_cannot_raise(op.operand, env)
+    if isinstance(op, SequenceOp):
+        return all(_op_cannot_raise(item, env) for item in op.items)
+    return False
+
+
+def _boolean_shaped(op: Op) -> bool:
+    """True when *op* always yields a singleton boolean, so taking its
+    effective boolean value cannot raise."""
+    if isinstance(op, (ComparisonOp, LogicalOp, NotOp)):
+        return True
+    return isinstance(op, LiteralOp) and isinstance(op.value, bool)
+
+
+def _conjunct_cannot_raise(op: Op, env: dict[str, str]) -> bool:
+    """Total as a WHERE conjunct: evaluation never raises *and* the
+    result is boolean-shaped (its effective boolean value never
+    raises either)."""
+    return _boolean_shaped(op) and _op_cannot_raise(op, env)
+
+
+def _split_conjuncts_op(op: Op) -> list[Op]:
+    """Flatten a lowered WHERE into its ``and``-conjuncts, in
+    evaluation order."""
+    if isinstance(op, LogicalOp) and op.op == "and":
+        return _split_conjuncts_op(op.left) + _split_conjuncts_op(op.right)
+    return [op]
+
+
+def _join_conjuncts_op(conjuncts: list[Op]) -> Op:
+    """Rebuild a left-associated ``and`` chain (the parser's shape)."""
+    joined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        joined = LogicalOp("and", joined, conjunct)
+    return joined
+
+
+def _equi_edge(op: Op, positions: dict[str, int]) -> tuple | None:
+    """Decompose an equality conjunct into a join edge
+    ``(left position, left key op, right position, right key op)`` when
+    each operand references exactly one (distinct) group variable."""
+    if not isinstance(op, ComparisonOp) or op.op != "=" \
+            or op.like is not None:
+        return None
+    left_names = _op_variables(op.left)
+    right_names = _op_variables(op.right)
+    if len(left_names) != 1 or len(right_names) != 1:
+        return None
+    left_var = next(iter(left_names))
+    right_var = next(iter(right_names))
+    if left_var == right_var:
+        return None
+    if left_var not in positions or right_var not in positions:
+        return None
+    return (positions[left_var], op.left, positions[right_var], op.right)
+
+
+def _var_child_tag(op: Op, variable: str) -> str | None:
+    """The tag of a bare ``$variable/child::Tag`` operand, else None."""
+    if isinstance(op, PathOp) and isinstance(op.base, VarRefOp) \
+            and op.base.name == variable and len(op.steps) == 1:
+        step = op.steps[0]
+        if step.axis == "child" and step.kind == "element" \
+                and step.name != "*" and not step.predicates:
+            return step.name
+    return None
+
+
+def _var_comparison_shape(op: ComparisonOp, variable: str) \
+        -> tuple[str, str, object] | None:
+    """Decompose ``$variable/Tag <op> literal`` (either operand order)
+    into ``(tag, normalized op, literal value)``; None when
+    unreadable."""
+    tag = _var_child_tag(op.left, variable)
+    if tag is not None and isinstance(op.right, LiteralOp):
+        return tag, op.op, op.right.value
+    tag = _var_child_tag(op.right, variable)
+    if tag is not None and isinstance(op.left, LiteralOp):
+        return tag, _REVERSED_OP.get(op.op, op.op), op.left.value
+    return None
+
+
+# --------------------------------------------------------------------------- #
 # The Plan object and compilation entry point
 # --------------------------------------------------------------------------- #
 
@@ -1391,7 +2395,8 @@ class Plan:
                  perturbed: bool = False,
                  cost_info: dict[int, dict] | None = None,
                  decisions: dict[str, int] | None = None,
-                 statistics_fingerprint: str | None = None) -> None:
+                 statistics_fingerprint: str | None = None,
+                 joinless: bool = False) -> None:
         self.source = source
         self.ast = ast
         self.root = root
@@ -1404,6 +2409,7 @@ class Plan:
         self.decisions = dict(decisions) if decisions else {}
         self.statistics_fingerprint = statistics_fingerprint
         self.costed = statistics_fingerprint is not None
+        self.joinless = joinless
         self._lock = threading.Lock()
         self._fingerprint: str | None = None
         self._identity: str | None = None
@@ -1462,6 +2468,10 @@ class Plan:
             if self.statistics_fingerprint is not None:
                 digest.update(b"\x00stats:")
                 digest.update(self.statistics_fingerprint.encode("utf-8"))
+            if self.joinless:
+                # A costed plan compiled with the join search disabled
+                # (the differential reference) is a different plan.
+                digest.update(b"\x00joinless")
             self._identity = digest.hexdigest()
         return self._identity
 
@@ -1630,7 +2640,8 @@ class Plan:
 def compile_query(source: str,
                   functions: FunctionRegistry | None = None, *,
                   perturb: bool = False,
-                  statistics: "Statistics | None" = None) -> Plan:
+                  statistics: "Statistics | None" = None,
+                  join_search: bool = True) -> Plan:
     """Compile XQuery text to a :class:`Plan` (no caching here; see
     :mod:`repro.xquery.plan_cache`).
 
@@ -1643,6 +2654,11 @@ def compile_query(source: str,
     differentially tested against.  The perf framework uses it to prove
     the regression gate fires; perturbed plans are never cached, so
     production paths cannot pick one up.
+
+    ``join_search=False`` disables only the join-order/hash-join pass of
+    the costed planner (meaningless without ``statistics``): the result
+    is the pre-join costed plan — the forced-nested-loop reference the
+    join execution engine is differentially tested against.
     """
     registry = functions if functions is not None else default_registry()
     started = time.perf_counter_ns()
@@ -1656,12 +2672,14 @@ def compile_query(source: str,
     cost_info = None
     decisions = None
     statistics_fingerprint = None
+    joinless = False
     if statistics is not None and not perturb:
-        planner = _CostPlanner(statistics)
+        planner = _CostPlanner(statistics, join_search=join_search)
         root = planner.walk(root)
         cost_info = planner.cost_info
         decisions = planner.decisions
         statistics_fingerprint = statistics.fingerprint
+        joinless = not join_search
     compile_ns = time.perf_counter_ns() - started
     return Plan(source, folded, root, registry, parse_ns, compile_ns,
                 rewrites={
@@ -1672,7 +2690,8 @@ def compile_query(source: str,
                 perturbed=perturb,
                 cost_info=cost_info,
                 decisions=decisions,
-                statistics_fingerprint=statistics_fingerprint)
+                statistics_fingerprint=statistics_fingerprint,
+                joinless=joinless)
 
 
 __all__ = [

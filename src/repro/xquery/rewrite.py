@@ -13,9 +13,11 @@ Two rewrite families run before lowering (:mod:`repro.xquery.plan`):
   provably boolean-valued and focus-free are rewritten to step
   predicates on the binding path (``$b`` becomes ``.``), letting the
   plan filter during the path scan instead of materializing every
-  binding first.  Fusion is all-or-nothing per FLWOR so the conjunct
-  short-circuit order — and therefore which error surfaces first — is
-  unchanged.
+  binding first.  Multi-clause FLWORs fuse onto the innermost ``for``
+  when every conjunct references only that binding — conjuncts spanning
+  bindings are join predicates and stay in WHERE for the join planner.
+  Fusion is all-or-nothing per FLWOR so the conjunct short-circuit
+  order — and therefore which error surfaces first — is unchanged.
 
 Every rewrite is conservative: when a precondition cannot be proven the
 expression is left alone, keeping ``Plan.execute`` byte-identical to the
@@ -236,6 +238,56 @@ def conjunct_is_pushable(conjunct: Expr) -> bool:
     return _is_boolean_shaped(conjunct) and not _contains_forbidden(conjunct)
 
 
+def expr_variables(expr: Expr) -> frozenset[str]:
+    """Every ``$name`` referenced anywhere in *expr* (over-approximate:
+    variables bound by nested FLWOR/quantifier clauses are included, which
+    only ever makes callers more conservative)."""
+    names: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, VarRef):
+            names.add(node.name)
+        elif isinstance(node, FunctionCall):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, PathExpr):
+            walk(node.base)
+            for step in node.steps:
+                for predicate in step.predicates:
+                    walk(predicate)
+        elif isinstance(node, (Comparison, Arithmetic, Logical)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Not):
+            walk(node.operand)
+        elif isinstance(node, Sequence):
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, IfExpr):
+            walk(node.condition)
+            walk(node.then_branch)
+            walk(node.else_branch)
+        elif isinstance(node, FLWOR):
+            for clause in node.clauses:
+                walk(clause.source if isinstance(clause, ForClause)
+                     else clause.value)
+            if node.where is not None:
+                walk(node.where)
+            for spec in node.order_specs:
+                walk(spec.key)
+            walk(node.returns)
+        elif isinstance(node, Quantified):
+            for binding in node.bindings:
+                walk(binding.source)
+            walk(node.condition)
+        elif isinstance(node, ElementConstructor):
+            if node.content is not None:
+                walk(node.content)
+
+    walk(expr)
+    return frozenset(names)
+
+
 def substitute_variable(expr: Expr, variable: str) -> Expr:
     """Rewrite every ``$variable`` reference in *expr* to ``.``."""
     def walk(node: Expr) -> Expr:
@@ -271,34 +323,48 @@ def substitute_variable(expr: Expr, variable: str) -> Expr:
     return walk(expr)
 
 
-def fuse_where(flwor: FLWOR) -> tuple[FLWOR, tuple[Expr, ...]]:
-    """Fuse a FLWOR's WHERE clause into its binding path's final step.
+def fuse_where(flwor: FLWOR) -> tuple[FLWOR, tuple[Expr, ...], int]:
+    """Fuse a FLWOR's WHERE clause into the innermost binding path.
 
-    Returns the (possibly rewritten) FLWOR plus the pushed predicate
-    expressions (already rewritten to use ``.``).  Fusion applies only to
-    the single-``for`` shape and is all-or-nothing over the conjuncts, so
-    evaluation order — including which item first raises a type error —
-    is identical to the interpreter's.
+    Returns ``(rewritten flwor, pushed predicates, fused clause index)``
+    (``-1`` when nothing fused); pushed predicates are already rewritten
+    to use ``.``.  The WHERE fuses onto the *last* clause, which must be
+    a ``for`` over a path ending in an element step.  In the
+    multi-clause shape every conjunct must additionally reference, among
+    this FLWOR's own bindings, only the innermost variable: a conjunct
+    touching an outer binding is a join predicate and must stay in WHERE
+    where the cost-based join planner can see it.  Fusion remains
+    all-or-nothing over the conjuncts, so the conjunct short-circuit
+    order — including which conjunct first raises a type error — is
+    identical to the interpreter's.
     """
-    if flwor.where is None or len(flwor.clauses) != 1:
-        return flwor, ()
-    clause = flwor.clauses[0]
+    if flwor.where is None or not flwor.clauses:
+        return flwor, (), -1
+    position = len(flwor.clauses) - 1
+    clause = flwor.clauses[position]
     if not isinstance(clause, ForClause):
-        return flwor, ()
+        return flwor, (), -1
     source = clause.source
     if not isinstance(source, PathExpr) or not source.steps:
-        return flwor, ()
+        return flwor, (), -1
     last_step = source.steps[-1]
     if last_step.kind != "element":
-        return flwor, ()
+        return flwor, (), -1
     conjuncts = split_conjuncts(flwor.where)
     if not all(conjunct_is_pushable(c) for c in conjuncts):
-        return flwor, ()
+        return flwor, (), -1
+    if position:
+        outer = {c.variable for c in flwor.clauses[:position]}
+        outer.discard(clause.variable)
+        if any(expr_variables(conjunct) & outer for conjunct in conjuncts):
+            return flwor, (), -1
     pushed = tuple(substitute_variable(c, clause.variable)
                    for c in conjuncts)
     fused_step = Step(last_step.axis, last_step.kind, last_step.name,
                       last_step.predicates + pushed)
     fused_source = PathExpr(source.base, source.steps[:-1] + (fused_step,))
-    fused = FLWOR((ForClause(clause.variable, fused_source),),
-                  None, flwor.returns, flwor.order_specs)
-    return fused, pushed
+    fused = FLWOR(
+        flwor.clauses[:position]
+        + (ForClause(clause.variable, fused_source),),
+        None, flwor.returns, flwor.order_specs)
+    return fused, pushed, position

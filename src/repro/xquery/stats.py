@@ -109,6 +109,28 @@ class DocumentStats:
     def distinct(self, tag: str) -> int:
         return len(set(self.value_samples.get(tag, ())))
 
+    def distinct_estimate(self, tag: str) -> int:
+        """Estimated distinct string values across *all* ``tag`` leaves.
+
+        Exact samples report the observed distinct count.  Capped samples
+        extrapolate: when every sampled value was distinct the domain is
+        assumed to keep growing linearly with the population (unique-ish
+        keys), while a sample that already repeats values is assumed to
+        have seen the whole domain.  Never below one, never above the tag
+        cardinality — join selectivities divide by this.
+        """
+        samples = self.value_samples.get(tag, ())
+        count = self.tag_counts.get(tag, 0)
+        if not samples:
+            return max(1, count)
+        observed = len(set(samples))
+        if self.sampled_exactly.get(tag, True):
+            return max(1, observed)
+        if observed == len(samples):
+            scaled = round(observed * count / len(samples))
+            return max(observed, min(max(1, count), scaled))
+        return max(1, observed)
+
     def attr_samples(self, tag: str, attr: str) -> tuple[str, ...]:
         return self.attr_values.get((tag, attr), ())
 

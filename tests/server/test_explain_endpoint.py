@@ -121,6 +121,9 @@ class TestPlannerStats:
         assert planner["costed_decisions"]["steps-costed"] >= 1
         cache = planner["statistics_cache"]
         assert cache["hits"] + cache["misses"] >= 1
+        like_cache = planner["like_cache"]
+        assert set(like_cache) == {"hits", "misses", "entries", "maxsize"}
+        assert like_cache["maxsize"] >= like_cache["entries"] >= 0
         errors = planner["estimate_errors"]
         assert errors is not None
         assert errors["count"] >= 1

@@ -1,6 +1,8 @@
 """Evaluator tests: paths, comparisons (incl. LIKE), FLWOR, constructors."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.xmlmodel import XmlDocument, element
 from repro.xquery import (
@@ -262,3 +264,126 @@ class TestConstructorsAndFunctions:
     def test_query_repr_truncates(self):
         query = Query("for $b in (1,2,3,4,5,6,7,8,9,10) return $b + $b + $b")
         assert len(repr(query)) < 90
+
+
+class TestLikeCache:
+    """The shared lru_cache behind SQL-LIKE pattern compilation."""
+
+    def test_repeated_patterns_hit_the_cache(self, docs):
+        from repro.xquery import like_cache_stats
+        from repro.xquery.context import DynamicContext
+        from repro.xquery.evaluator import _like_pattern, evaluate
+        from repro.xquery.parser import parse_query
+
+        _like_pattern.cache_clear()
+        # The interpreter compiles the pattern per row (plans hoist the
+        # compile to lowering time): one miss, then hits for rows 2..n.
+        node = parse_query("for $b in doc('cmu')/cmu/Course "
+                           "where $b/CourseTitle = '%Sys%' "
+                           "return $b/Lecturer")
+        evaluate(node, DynamicContext(documents=docs))
+        stats = like_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] >= 2
+        assert stats["entries"] == 1
+        evaluate(node, DynamicContext(documents=docs))
+        again = like_cache_stats()
+        assert again["misses"] == 1
+        assert again["hits"] > stats["hits"]
+        assert again["maxsize"] >= again["entries"]
+
+
+class TestGeneralCompareFastPath:
+    """Set-based =/!= over all-string sequences vs the pair loop."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(op=st.sampled_from(["=", "!="]),
+           left=st.lists(st.sampled_from(["a", "b", "c", "d", "e", ""]),
+                         max_size=6),
+           right=st.lists(st.sampled_from(["a", "b", "c", "d", "e", ""]),
+                          max_size=6))
+    def test_matches_the_brute_force_pair_product(self, op, left, right):
+        from repro.xquery.evaluator import _compare_atomic, _general_compare
+
+        expected = any(_compare_atomic(op, lv, rv)
+                       for lv in left for rv in right)
+        assert _general_compare(op, list(left), list(right)) == expected
+
+    def test_large_inputs_stay_existential(self, docs):
+        # 3 titles x 2 literals crosses the fast-path threshold; the
+        # answer must stay the existential one.
+        assert run_query(
+            "doc('cmu')/cmu/Course/CourseTitle = "
+            "('Computer Networks', 'Nope')", docs) == [True]
+        assert run_query(
+            "doc('cmu')/cmu/Course/CourseTitle != "
+            "('Computer Networks', 'Nope')", docs) == [True]
+
+
+class TestQuantifiedShortCircuit:
+    """some/every stop at the first deciding binding in both engines."""
+
+    def _probe_registry(self):
+        from repro.xquery import builtin_registry, string_value
+
+        seen = []
+        registry = builtin_registry().copy()
+
+        def probe(context, args):
+            value = string_value(args[0][0])
+            seen.append(value)
+            return [value]
+
+        registry.register("udf:probe", probe, 1)
+        return registry, seen
+
+    def test_some_stops_at_first_true(self, docs):
+        registry, seen = self._probe_registry()
+        result = run_query(
+            "some $i in ('a', 'b', 'c', 'd') "
+            "satisfies udf:probe($i) = 'b'", docs, functions=registry)
+        assert result == [True]
+        assert seen == ["a", "b"]
+
+    def test_every_stops_at_first_false(self, docs):
+        registry, seen = self._probe_registry()
+        result = run_query(
+            "every $i in ('a', 'b', 'c', 'd') "
+            "satisfies udf:probe($i) = 'a'", docs, functions=registry)
+        assert result == [False]
+        assert seen == ["a", "b"]
+
+    def test_interpreter_stops_too(self, docs):
+        from repro.xquery.evaluator import evaluate
+        from repro.xquery.parser import parse_query
+        from repro.xquery.context import DynamicContext
+
+        registry, seen = self._probe_registry()
+        result = evaluate(
+            parse_query("some $i in ('a', 'b', 'c') "
+                        "satisfies udf:probe($i) = 'a'"),
+            DynamicContext(documents=docs, functions=registry))
+        assert result == [True]
+        assert seen == ["a"]
+
+    def test_short_circuit_skips_a_raising_tail(self, docs):
+        # number('x') raises; the quantifier settles before reaching it.
+        from repro.xquery import compile_query
+        from repro.xquery.evaluator import evaluate
+        from repro.xquery.parser import parse_query
+        from repro.xquery.context import DynamicContext
+
+        cases = [
+            ("some $i in ('1', 'x') satisfies number($i) = 1", [True]),
+            ("every $i in ('2', 'x') satisfies number($i) = 1", [False]),
+        ]
+        for source, expected in cases:
+            assert run_query(source, docs) == expected
+            assert compile_query(source).execute(docs) == expected
+            assert evaluate(parse_query(source),
+                            DynamicContext(documents=docs)) == expected
+
+    def test_undecided_quantifier_still_raises(self, docs):
+        with pytest.raises(XQueryTypeError):
+            run_query("every $i in ('1', 'x') satisfies number($i) = 1",
+                      docs)
